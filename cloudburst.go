@@ -1,0 +1,223 @@
+// Package cloudburst is a framework for data-intensive computing with
+// cloud bursting: MapReduce-style processing — expressed through the
+// generalized reduction API — over a data set split between a local
+// cluster and cloud storage, using compute resources at both ends,
+// with pooling-based load balancing and inter-cluster work stealing.
+//
+// It is an independent reproduction of the system described in
+// T. Bicer, D. Chiu, G. Agrawal, "A Framework for Data-Intensive
+// Computing with Cloud Bursting", IEEE CLUSTER 2011.
+//
+// # Programming model
+//
+// An application implements App: a fixed record size, a per-unit
+// compute cost, and a Reduction — the reduction object updated in
+// place by local reduction (the paper's proc(e)) and folded by global
+// reduction:
+//
+//	type App interface {
+//		Name() string
+//		RecordSize() int
+//		NewReduction() Reduction
+//		UnitCost() time.Duration
+//	}
+//
+// Ready-made applications (k-nearest neighbors, k-means, PageRank,
+// word count) live in this package's apps subtree and register
+// themselves with the registry; NewApp instantiates them by name.
+//
+// # Running
+//
+// Deploy runs a complete hybrid job in process: a head node holding
+// the global job pool, one master per site, and each site's virtual
+// cores as slaves, all communicating over (optionally shaped) loopback
+// TCP. For real multi-node deployments, use the cbhead / cbmaster /
+// cbslave commands, which speak the same protocol over the network.
+package cloudburst
+
+import (
+	"cloudburst/internal/chunk"
+	"cloudburst/internal/cluster"
+	"cloudburst/internal/driver"
+	"cloudburst/internal/gr"
+	"cloudburst/internal/metrics"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/store"
+	"cloudburst/internal/workload"
+
+	// The built-in applications (knn, kmeans, pagerank, wordcount)
+	// register themselves with the registry on import.
+	"cloudburst/internal/apps"
+)
+
+// Core generalized-reduction API.
+type (
+	// App couples a record format with its reduction; see package gr.
+	App = gr.App
+	// Reduction is a reduction object: Update (local reduction),
+	// Merge (global reduction), and a codec.
+	Reduction = gr.Reduction
+	// Engine runs local reduction over chunk data.
+	Engine = gr.Engine
+	// EngineOptions configure an Engine.
+	EngineOptions = gr.EngineOptions
+	// Summarizer renders final results.
+	Summarizer = gr.Summarizer
+)
+
+// NewEngine builds a local-reduction engine for app.
+func NewEngine(app App, opts EngineOptions) *Engine { return gr.NewEngine(app, opts) }
+
+// NewApp instantiates a registered application ("knn", "kmeans",
+// "pagerank", "wordcount") from string parameters.
+func NewApp(name string, params map[string]string) (App, error) { return gr.New(name, params) }
+
+// RegisterApp installs a custom application factory.
+func RegisterApp(name string, f func(params map[string]string) (App, error)) {
+	gr.Register(name, f)
+}
+
+// Apps lists the registered application names.
+func Apps() []string { return gr.Apps() }
+
+// MergeAll folds reduction objects into one (global reduction).
+func MergeAll(app App, objs []Reduction) (Reduction, error) { return gr.MergeAll(app, objs) }
+
+// Data organization.
+type (
+	// Index is the data set metadata: files, chunks, units.
+	Index = chunk.Index
+	// FileMeta names one data file and its site.
+	FileMeta = chunk.FileMeta
+	// Chunk is one logical chunk (one job).
+	Chunk = chunk.Chunk
+	// BuildOptions configure index generation.
+	BuildOptions = chunk.BuildOptions
+)
+
+// BuildIndex scans data files and produces the index the head node's
+// job pool is generated from.
+func BuildIndex(stores map[string]Store, files []FileMeta, opts BuildOptions) (*Index, error) {
+	return chunk.Build(stores, files, opts)
+}
+
+// ReadIndex deserializes an index file.
+var ReadIndex = chunk.ReadIndex
+
+// Storage substrate.
+type (
+	// Store is the read-only object store interface.
+	Store = store.Store
+	// MemStore is an in-memory store.
+	MemStore = store.Mem
+	// LocalStore is a directory-backed store.
+	LocalStore = store.Local
+	// FetchOptions tune multi-threaded ranged retrieval.
+	FetchOptions = store.FetchOptions
+)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return store.NewMem() }
+
+// NewLocalStore returns a store over the files in dir.
+func NewLocalStore(dir string) *LocalStore { return store.NewLocal(dir) }
+
+// Cluster runtime.
+type (
+	// DeployConfig describes an in-process hybrid deployment.
+	DeployConfig = cluster.DeployConfig
+	// SiteSpec describes one cluster of a deployment.
+	SiteSpec = cluster.SiteSpec
+	// RunResult carries the final object and the run report.
+	RunResult = cluster.RunResult
+	// RunReport is the per-run metrics summary.
+	RunReport = metrics.RunReport
+	// ClusterReport is one cluster's metrics.
+	ClusterReport = metrics.ClusterReport
+)
+
+// Deploy executes one complete job across the configured sites and
+// returns the globally reduced result with its run report.
+func Deploy(cfg DeployConfig) (*RunResult, error) { return cluster.Run(cfg) }
+
+// Iterative algorithms.
+type (
+	// Iterative drives repeated deployments until convergence.
+	Iterative = driver.Iterative
+	// IterResult summarizes an iterative run.
+	IterResult = driver.Result
+	// StepFunc consumes one iteration's globally reduced object.
+	StepFunc = driver.StepFunc
+)
+
+// KMeansDriver builds an Iterative running Lloyd's algorithm to
+// convergence over repeated deployments.
+func KMeansDriver(deploy DeployConfig, tolerance float64) (*Iterative, error) {
+	return driver.KMeans(deploy, tolerance)
+}
+
+// PageRankDriver builds an Iterative running PageRank power iterations
+// to convergence.
+func PageRankDriver(deploy DeployConfig, tolerance float64) (*Iterative, error) {
+	return driver.PageRank(deploy, tolerance)
+}
+
+// Network emulation and pacing.
+type (
+	// Clock is the scalable virtual clock pacing a deployment.
+	Clock = netsim.Clock
+	// Link is a network path profile (latency + bandwidth).
+	Link = netsim.Link
+)
+
+// ScaledClock returns a clock compressing emulated time by scale
+// (1.0 = real time; 0 disables pacing).
+func ScaledClock(scale float64) Clock { return netsim.Scaled(scale) }
+
+// Built-in applications and their result accessors.
+type (
+	// KNN searches the k nearest neighbors of a fixed query point.
+	KNN = apps.KNN
+	// KMeans runs one Lloyd iteration per job.
+	KMeans = apps.KMeans
+	// PageRank runs one power iteration per job.
+	PageRank = apps.PageRank
+	// WordCount counts fixed-width text records.
+	WordCount = apps.WordCount
+	// Scored is one (id, score) element of a knn result.
+	Scored = gr.Scored
+)
+
+// Neighborer is implemented by knn reduction objects.
+type Neighborer interface{ Neighbors() []Scored }
+
+// Meaner is implemented by kmeans reduction objects.
+type Meaner interface {
+	Means() [][]float64
+	Counts() []int64
+}
+
+// Ranker is implemented by pagerank reduction objects.
+type Ranker interface{ NextRanks() []float64 }
+
+// Counter is implemented by wordcount reduction objects.
+type Counter interface{ Counts() map[string]int64 }
+
+// Workload generation.
+type (
+	// Generator produces deterministic synthetic records.
+	Generator = workload.Generator
+	// PointsGen generates d-dimensional float32 points.
+	PointsGen = workload.Points
+	// EdgesGen generates a link graph as (src, dst) records.
+	EdgesGen = workload.Edges
+	// WordsGen generates fixed-width text records.
+	WordsGen = workload.Words
+	// DataSpec shapes a materialized data set.
+	DataSpec = workload.Spec
+)
+
+// Materialize generates a data set into per-site memory stores.
+func Materialize(gen Generator, spec DataSpec, stores map[string]*MemStore) ([]FileMeta, error) {
+	return workload.Materialize(gen, spec, stores)
+}

@@ -1,0 +1,160 @@
+package cloudburst_test
+
+import (
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudburst"
+)
+
+// twoSiteFixture builds the documented quickstart flow: a word-count
+// data set split across two memory stores with its index.
+func twoSiteFixture(t *testing.T, records int64, localFiles int) (cloudburst.App, *cloudburst.Index, map[string]*cloudburst.MemStore) {
+	t.Helper()
+	app, err := cloudburst.NewApp("wordcount", map[string]string{"width": "12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := map[string]*cloudburst.MemStore{
+		"local": cloudburst.NewMemStore(),
+		"cloud": cloudburst.NewMemStore(),
+	}
+	files, err := cloudburst.Materialize(
+		cloudburst.WordsGen{Width: 12, Vocab: 200, Seed: 1},
+		cloudburst.DataSpec{Records: records, Files: 8, LocalFiles: localFiles},
+		stores,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := cloudburst.BuildIndex(
+		map[string]cloudburst.Store{"local": stores["local"], "cloud": stores["cloud"]},
+		files,
+		cloudburst.BuildOptions{RecordSize: 12, ChunkBytes: 8 << 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, idx, stores
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	app, idx, stores := twoSiteFixture(t, 50_000, 4)
+	res, err := cloudburst.Deploy(cloudburst.DeployConfig{
+		App: app, Index: idx,
+		Sites: []cloudburst.SiteSpec{
+			{Name: "local", Cores: 2, HomeStore: stores["local"],
+				RemoteStores: map[string]cloudburst.Store{"cloud": stores["cloud"]}},
+			{Name: "cloud", Cores: 2, HomeStore: stores["cloud"],
+				RemoteStores: map[string]cloudburst.Store{"local": stores["local"]}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := res.Final.(cloudburst.Counter).Counts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 50_000 {
+		t.Fatalf("total words = %d", total)
+	}
+	if !strings.Contains(res.Report.FinalResult, "50000 words") {
+		t.Fatalf("digest = %q", res.Report.FinalResult)
+	}
+}
+
+func TestPublicAPICustomApp(t *testing.T) {
+	// A downstream user can register an application and run it through
+	// the whole stack without touching internal packages.
+	cloudburst.RegisterApp("test-bytesum", func(params map[string]string) (cloudburst.App, error) {
+		return byteSumApp{}, nil
+	})
+	found := false
+	for _, name := range cloudburst.Apps() {
+		if name == "test-bytesum" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered app not listed")
+	}
+
+	app, err := cloudburst.NewApp("test-bytesum", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := cloudburst.NewEngine(app, cloudburst.EngineOptions{})
+	red := app.NewReduction()
+	if _, err := engine.ProcessChunk(red, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := cloudburst.MergeAll(app, []cloudburst.Reduction{red})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.(*byteSum).total; got != 10 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestPublicAPIBuiltinsPresent(t *testing.T) {
+	names := cloudburst.Apps()
+	for _, want := range []string{"knn", "kmeans", "pagerank", "wordcount"} {
+		ok := false
+		for _, n := range names {
+			if n == want {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("built-in %q missing from %v", want, names)
+		}
+	}
+}
+
+func TestPublicAPIShapedDeploy(t *testing.T) {
+	app, idx, stores := twoSiteFixture(t, 20_000, 2)
+	wan := cloudburst.Link{Name: "wan", Latency: 10 * time.Millisecond, PerStream: 4 << 20}
+	res, err := cloudburst.Deploy(cloudburst.DeployConfig{
+		App: app, Index: idx,
+		Clock: cloudburst.ScaledClock(0.01),
+		Sites: []cloudburst.SiteSpec{
+			{Name: "local", Cores: 2, HomeStore: stores["local"],
+				RemoteStores: map[string]cloudburst.Store{"cloud": stores["cloud"]},
+				HeadLink:     wan},
+			{Name: "cloud", Cores: 2, HomeStore: stores["cloud"],
+				RemoteStores: map[string]cloudburst.Store{"local": stores["local"]},
+				HeadLink:     wan},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.TotalWall <= 0 {
+		t.Fatal("paced run reported no emulated time")
+	}
+}
+
+// byteSum is the minimal custom application for the public-API test.
+type byteSumApp struct{}
+
+func (byteSumApp) Name() string                       { return "test-bytesum" }
+func (byteSumApp) RecordSize() int                    { return 1 }
+func (byteSumApp) UnitCost() time.Duration            { return 0 }
+func (byteSumApp) NewReduction() cloudburst.Reduction { return &byteSum{} }
+
+type byteSum struct{ total int64 }
+
+func (b *byteSum) Update(unit []byte) error { b.total += int64(unit[0]); return nil }
+func (b *byteSum) Merge(other cloudburst.Reduction) error {
+	b.total += other.(*byteSum).total
+	return nil
+}
+func (b *byteSum) Encode(w io.Writer) error { return binary.Write(w, binary.LittleEndian, b.total) }
+func (b *byteSum) Decode(r io.Reader) error { return binary.Read(r, binary.LittleEndian, &b.total) }
+func (b *byteSum) Bytes() int               { return 8 }

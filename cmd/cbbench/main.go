@@ -1,0 +1,180 @@
+// Command cbbench regenerates the paper's evaluation: Figure 3 (the
+// five cloud-bursting configurations), Tables I and II (job assignment
+// and slowdowns), Figure 4 (scalability), and the Figure 1 API
+// ablation.
+//
+// Usage:
+//
+//	cbbench -experiment all
+//	cbbench -experiment fig3a            # knn panel only
+//	cbbench -experiment fig4b -scale 0.001
+//	cbbench -experiment table2 -records-divisor 10
+//
+// The -records-divisor flag shrinks every data set (and job count) by
+// the given factor for quick runs; shapes are preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cloudburst/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost")
+		scale   = flag.Float64("scale", 0, "clock scale override (wall s per emulated s)")
+		divisor = flag.Int64("records-divisor", 1, "shrink data sets (and jobs) by this factor")
+		verbose = flag.Bool("v", false, "log cluster progress")
+	)
+	flag.Parse()
+
+	sim := bench.DefaultSim()
+	if *scale > 0 {
+		sim.Scale = *scale
+		sim.ScaleForced = true
+	}
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	specs := map[string]bench.AppSpec{
+		"a": bench.KNNSpec().Shrink(*divisor),
+		"b": bench.KMeansSpec().Shrink(*divisor),
+		"c": bench.PageRankSpec().Shrink(*divisor),
+	}
+
+	runFig3 := func(panel string) []bench.EnvResult {
+		spec := specs[panel]
+		results, err := bench.Fig3(spec, sim, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderFig3(spec.Name, results))
+		return results
+	}
+	runFig4 := func(panel string) []bench.EnvResult {
+		spec := specs[panel]
+		results, err := bench.Fig4(spec, sim, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderFig4(spec.Name, results))
+		return results
+	}
+	runFig3All := func() [][]bench.EnvResult {
+		var all [][]bench.EnvResult
+		for _, p := range []string{"a", "b", "c"} {
+			all = append(all, runFig3(p))
+		}
+		return all
+	}
+	runFig4All := func() [][]bench.EnvResult {
+		var all [][]bench.EnvResult
+		for _, p := range []string{"a", "b", "c"} {
+			all = append(all, runFig4(p))
+		}
+		return all
+	}
+	runFig1 := func() {
+		rows, err := bench.Fig1(500_000/maxI64(*divisor, 1), 8)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderFig1(rows))
+	}
+
+	runAblations := func() {
+		knn := specs["a"]
+		rows, err := bench.AblationConsecutive(knn, sim, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderAblation("consecutive vs scattered job assignment (knn, env-local)", rows))
+
+		rows, err = bench.AblationFetchThreads(knn, sim, []int{1, 2, 4, 8, 16}, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderAblation("retrieval thread count (knn, env-cloud)", rows))
+
+		rows, err = bench.AblationBatch(knn, sim, []int{4, 16, 64, 240}, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderAblation("master refill batch size (knn, env-50/50)", rows))
+
+		pages := []int64{25_000, 75_000, 150_000, 300_000}
+		if *divisor > 1 {
+			for i := range pages {
+				pages[i] /= *divisor
+			}
+		}
+		rows, err = bench.AblationObjectSize(sim, pages, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderAblation("reduction object size (pagerank, env-50/50)", rows))
+
+		rows, err = bench.AblationPooling(specs["b"], sim, 0.6, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderAblation("dynamic pooling vs static partition under ±60% core jitter (kmeans, env-50/50)", rows))
+	}
+
+	switch strings.ToLower(*experiment) {
+	case "ablation":
+		runAblations()
+	case "cost":
+		results := runFig3("a")
+		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))
+		fmt.Println(bench.RenderCost(results, bench.AWS2011(), scaleUp))
+	case "fig1":
+		runFig1()
+	case "fig3a", "fig3b", "fig3c":
+		runFig3(strings.TrimPrefix(strings.ToLower(*experiment), "fig3"))
+	case "fig3":
+		all := runFig3All()
+		fmt.Println(bench.RenderTable1(all))
+		fmt.Println(bench.RenderTable2(all))
+	case "table1":
+		fmt.Println(bench.RenderTable1(runFig3All()))
+	case "table2":
+		fmt.Println(bench.RenderTable2(runFig3All()))
+	case "fig4a", "fig4b", "fig4c":
+		runFig4(strings.TrimPrefix(strings.ToLower(*experiment), "fig4"))
+	case "fig4", "summary":
+		fig3 := runFig3All()
+		fig4 := runFig4All()
+		fmt.Println(bench.RenderSummary(fig3, fig4))
+	case "all":
+		runFig1()
+		fig3 := runFig3All()
+		fmt.Println(bench.RenderTable1(fig3))
+		fmt.Println(bench.RenderTable2(fig3))
+		fig4 := runFig4All()
+		fmt.Println(bench.RenderSummary(fig3, fig4))
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *experiment))
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbbench:", err)
+	os.Exit(1)
+}

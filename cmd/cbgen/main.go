@@ -1,0 +1,127 @@
+// Command cbgen materializes a deterministic synthetic data set for an
+// application onto disk, split into files across two site directories
+// (the local cluster's storage node and the simulated S3 bucket), and
+// writes the matching index file the head node loads.
+//
+//	cbgen -app knn -records 600000 -files 32 -local-files 16 \
+//	      -local-dir ./data/local -cloud-dir ./data/cloud \
+//	      -index ./data/index.cbix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cloudburst/internal/bench"
+	"cloudburst/internal/chunk"
+	"cloudburst/internal/cli"
+	"cloudburst/internal/gr"
+	"cloudburst/internal/workload"
+)
+
+func main() {
+	var (
+		appName    = flag.String("app", "wordcount", "application (knn, kmeans, pagerank, wordcount)")
+		params     = flag.String("params", "", "application parameters, k=v,k2=v2")
+		records    = flag.Int64("records", 1_000_000, "total record count (pagerank derives it from the graph)")
+		files      = flag.Int("files", 32, "number of data files")
+		localFiles = flag.Int("local-files", 16, "files placed in -local-dir; the rest go to -cloud-dir")
+		localDir   = flag.String("local-dir", "data/local", "local site directory")
+		cloudDir   = flag.String("cloud-dir", "data/cloud", "cloud site directory")
+		indexPath  = flag.String("index", "data/index.cbix", "index file to write")
+		chunkJobs  = flag.Int("jobs", 960, "total job (chunk) count the index should target")
+	)
+	flag.Parse()
+
+	p, err := cli.ParseParams(*params)
+	if err != nil {
+		fatal(err)
+	}
+	app, err := gr.New(*appName, p)
+	if err != nil {
+		fatal(err)
+	}
+	gen, n, err := bench.GeneratorFor(app, *records)
+	if err != nil {
+		fatal(err)
+	}
+	if *files < 1 || *localFiles < 0 || *localFiles > *files {
+		fatal(fmt.Errorf("bad file split: %d files, %d local", *files, *localFiles))
+	}
+	if n < int64(*files) {
+		fatal(fmt.Errorf("%d records cannot fill %d files", n, *files))
+	}
+	for _, dir := range []string{*localDir, *cloudDir, filepath.Dir(*indexPath)} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	rs := int64(gen.RecordSize())
+	per := n / int64(*files)
+	extra := n % int64(*files)
+	var metas []chunk.FileMeta
+	var next int64
+	var localBytes, cloudBytes int64
+	for f := 0; f < *files; f++ {
+		cnt := per
+		if int64(f) < extra {
+			cnt++
+		}
+		buf := make([]byte, cnt*rs)
+		workload.GenInto(gen, next, buf)
+		next += cnt
+
+		site, dir := "cloud", *cloudDir
+		if f < *localFiles {
+			site, dir = "local", *localDir
+			localBytes += int64(len(buf))
+		} else {
+			cloudBytes += int64(len(buf))
+		}
+		name := fmt.Sprintf("%s-%02d.bin", *appName, f)
+		if err := os.WriteFile(filepath.Join(dir, name), buf, 0o644); err != nil {
+			fatal(err)
+		}
+		metas = append(metas, chunk.FileMeta{Name: name, Site: site, Size: int64(len(buf))})
+	}
+
+	totalBytes := localBytes + cloudBytes
+	chunkBytes := totalBytes / int64(*chunkJobs)
+	chunkBytes -= chunkBytes % rs
+	if chunkBytes < rs {
+		chunkBytes = rs
+	}
+	idx := &chunk.Index{RecordSize: int32(rs)}
+	var id int32
+	for fi, m := range metas {
+		idx.Files = append(idx.Files, m)
+		for off := int64(0); off < m.Size; off += chunkBytes {
+			length := chunkBytes
+			if off+length > m.Size {
+				length = m.Size - off
+			}
+			idx.Chunks = append(idx.Chunks, chunk.Chunk{
+				ID: id, File: int32(fi), Offset: off, Length: length, Units: length / rs,
+			})
+			id++
+		}
+	}
+	if err := idx.Validate(); err != nil {
+		fatal(err)
+	}
+	if err := cli.WriteIndexFile(*indexPath, idx); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cbgen: %s: %d records (%d B each), %d files (%d local / %d cloud), %d jobs\n",
+		*appName, n, rs, *files, *localFiles, *files-*localFiles, len(idx.Chunks))
+	fmt.Printf("cbgen: local %s (%d B), cloud %s (%d B), index %s\n",
+		*localDir, localBytes, *cloudDir, cloudBytes, *indexPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command cbhead runs the head node: it loads the index, generates the
+// job pool, serves job requests from the clusters' masters (locality
+// first, then work stealing), performs the global reduction, and
+// prints the run report.
+//
+//	cbhead -index ./data/index.cbix -app knn -params k=1000,dims=3 \
+//	       -clusters 2 -listen :7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	_ "cloudburst/internal/apps" // register built-in applications
+	"cloudburst/internal/cli"
+	"cloudburst/internal/cluster"
+	"cloudburst/internal/gr"
+	"cloudburst/internal/netsim"
+)
+
+func main() {
+	var (
+		indexPath = flag.String("index", "index.cbix", "index file")
+		appName   = flag.String("app", "", "application name (required)")
+		params    = flag.String("params", "", "application parameters, k=v,k2=v2")
+		clusters  = flag.Int("clusters", 2, "number of masters expected")
+		listen    = flag.String("listen", ":7070", "listen address")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+	if *appName == "" {
+		fatal(fmt.Errorf("-app is required (one of %v)", gr.Apps()))
+	}
+
+	p, err := cli.ParseParams(*params)
+	if err != nil {
+		fatal(err)
+	}
+	app, err := gr.New(*appName, p)
+	if err != nil {
+		fatal(err)
+	}
+	idx, err := cli.ReadIndexFile(*indexPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	head, err := cluster.NewHead(cluster.HeadConfig{
+		App: app, Index: idx, Clusters: *clusters,
+		Clock: netsim.Real(), Logf: logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cbhead: %s over %d jobs (%d files), awaiting %d masters on %s\n",
+		*appName, len(idx.Chunks), len(idx.Files), *clusters, ln.Addr())
+	head.Serve(ln)
+
+	report, _, err := head.Wait()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cbhead: done in %v, global reduction %v\n",
+		report.TotalWall.Round(time.Millisecond), report.GlobalRed.Round(time.Millisecond))
+	for _, c := range report.Clusters {
+		fmt.Printf("cbhead: cluster %-8s jobs=%d stolen=%d proc=%v retr=%v sync=%v idle=%v\n",
+			c.Site, c.Workers.JobsProcessed, c.Workers.JobsStolen,
+			c.Workers.Processing.Round(time.Millisecond),
+			c.Workers.Retrieval.Round(time.Millisecond),
+			c.Workers.Sync.Round(time.Millisecond),
+			c.IdleAtEnd.Round(time.Millisecond))
+	}
+	if report.FinalResult != "" {
+		fmt.Println("cbhead: result:", report.FinalResult)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbhead:", err)
+	os.Exit(1)
+}

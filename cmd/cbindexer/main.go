@@ -1,0 +1,80 @@
+// Command cbindexer is the data organizer (Section III-B): it analyzes
+// existing data files across site directories and generates the binary
+// index file — physical locations, starting offsets, chunk sizes, and
+// unit counts — that the head node turns into the job pool.
+//
+//	cbindexer -record-size 20 -chunk-bytes 131072 \
+//	          -local-dir ./data/local -cloud-dir ./data/cloud \
+//	          -out ./data/index.cbix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudburst/internal/chunk"
+	"cloudburst/internal/cli"
+	"cloudburst/internal/store"
+)
+
+func main() {
+	var (
+		recordSize = flag.Int("record-size", 0, "data unit size in bytes (required)")
+		chunkBytes = flag.Int64("chunk-bytes", 128<<10, "target chunk (job) size in bytes")
+		localDir   = flag.String("local-dir", "", "local site directory (optional)")
+		cloudDir   = flag.String("cloud-dir", "", "cloud site directory (optional)")
+		out        = flag.String("out", "index.cbix", "index file to write")
+	)
+	flag.Parse()
+	if *recordSize <= 0 {
+		fatal(fmt.Errorf("-record-size is required and must be positive"))
+	}
+	if *localDir == "" && *cloudDir == "" {
+		fatal(fmt.Errorf("at least one of -local-dir / -cloud-dir is required"))
+	}
+
+	stores := make(map[string]store.Store)
+	var files []chunk.FileMeta
+	add := func(site, dir string) error {
+		if dir == "" {
+			return nil
+		}
+		st := store.NewLocal(dir)
+		stores[site] = st
+		names, err := st.List()
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			files = append(files, chunk.FileMeta{Name: name, Site: site})
+		}
+		return nil
+	}
+	if err := add("local", *localDir); err != nil {
+		fatal(err)
+	}
+	if err := add("cloud", *cloudDir); err != nil {
+		fatal(err)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no data files found"))
+	}
+
+	idx, err := chunk.Build(stores, files, chunk.BuildOptions{
+		RecordSize: int32(*recordSize), ChunkBytes: *chunkBytes,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := cli.WriteIndexFile(*out, idx); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cbindexer: %d files, %d chunks, %d units, %d bytes -> %s\n",
+		len(idx.Files), len(idx.Chunks), idx.TotalUnits(), idx.TotalBytes(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbindexer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command cbslave runs one slave node: its cores connect to the
+// cluster's master, retrieve assigned chunks (sequential reads from
+// the local data directory; multi-threaded ranged retrieval from
+// remote cbstore endpoints for stolen jobs), run local reduction, and
+// ship their reduction objects.
+//
+//	cbslave -site local -master masterhost:7071 -cores 8 \
+//	        -app knn -params k=1000,dims=3 \
+//	        -data-dir ./data/local -remote cloud=cloudhost:7075
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	_ "cloudburst/internal/apps" // register built-in applications
+	"cloudburst/internal/cli"
+	"cloudburst/internal/cluster"
+	"cloudburst/internal/gr"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/store"
+)
+
+func main() {
+	var (
+		site       = flag.String("site", "", "this slave's site name (required)")
+		masterAddr = flag.String("master", "", "master address (required)")
+		cores      = flag.Int("cores", 1, "worker goroutines (virtual cores)")
+		appName    = flag.String("app", "", "application name (required)")
+		params     = flag.String("params", "", "application parameters")
+		dataDir    = flag.String("data-dir", "", "directory holding this site's data files (required)")
+		remotes    = flag.String("remote", "", "remote stores, site=host:port,...")
+		threads    = flag.Int("fetch-threads", 8, "retrieval threads for remote chunks")
+		rangeKB    = flag.Int("fetch-range-kb", 256, "range size per remote request (KiB)")
+	)
+	flag.Parse()
+	if *site == "" || *masterAddr == "" || *appName == "" || *dataDir == "" {
+		fatal(fmt.Errorf("-site, -master, -app, and -data-dir are required"))
+	}
+
+	p, err := cli.ParseParams(*params)
+	if err != nil {
+		fatal(err)
+	}
+	app, err := gr.New(*appName, p)
+	if err != nil {
+		fatal(err)
+	}
+	addrs, err := cli.ParseSiteAddrs(*remotes)
+	if err != nil {
+		fatal(err)
+	}
+	remoteStores := make(map[string]store.Store, len(addrs))
+	for s, addr := range addrs {
+		c := store.NewClient(addr, nil)
+		defer c.Close()
+		remoteStores[s] = c
+	}
+	home := store.NewLocal(*dataDir)
+	defer home.Close()
+
+	slave, err := cluster.NewSlave(cluster.SlaveConfig{
+		Site: *site, App: app, Cores: *cores,
+		HomeStore: home, RemoteStores: remoteStores,
+		Fetch: store.FetchOptions{Threads: *threads, RangeSize: *rangeKB << 10},
+		Clock: netsim.Real(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cbslave: site %s, %d cores, app %s, master %s\n", *site, *cores, *appName, *masterAddr)
+	stats, err := slave.Run(*masterAddr, net.Dial)
+	if err != nil {
+		fatal(err)
+	}
+	s := stats.Snapshot()
+	fmt.Printf("cbslave: done: jobs=%d stolen=%d units=%d proc=%v retr=%v sync=%v\n",
+		s.JobsProcessed, s.JobsStolen, s.UnitsReduced,
+		s.Processing.Round(time.Millisecond), s.Retrieval.Round(time.Millisecond),
+		s.Sync.Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbslave:", err)
+	os.Exit(1)
+}

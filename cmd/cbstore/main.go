@@ -1,0 +1,45 @@
+// Command cbstore serves a directory of data files over the store
+// protocol, so slaves at other sites can retrieve stolen jobs' chunks
+// with ranged reads. It stands in for the storage node's export (or an
+// S3 endpoint) in multi-node deployments.
+//
+//	cbstore -dir ./data/local -listen :7075
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cloudburst/internal/store"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", "data", "directory to serve")
+		listen = flag.String("listen", ":7075", "listen address")
+	)
+	flag.Parse()
+
+	st := store.NewLocal(*dir)
+	defer st.Close()
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	srv := store.Serve(ln, st)
+	fmt.Printf("cbstore: serving %s on %s\n", *dir, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbstore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+package cloudburst_test
+
+import (
+	"fmt"
+	"log"
+
+	"cloudburst"
+)
+
+// ExampleDeploy runs a complete cloud-bursting word count over two
+// sites with the data split evenly between them.
+func ExampleDeploy() {
+	app, err := cloudburst.NewApp("wordcount", map[string]string{"width": "12"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stores := map[string]*cloudburst.MemStore{
+		"local": cloudburst.NewMemStore(),
+		"cloud": cloudburst.NewMemStore(),
+	}
+	files, err := cloudburst.Materialize(
+		cloudburst.WordsGen{Width: 12, Vocab: 100, Seed: 9},
+		cloudburst.DataSpec{Records: 10_000, Files: 4, LocalFiles: 2},
+		stores,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := cloudburst.BuildIndex(
+		map[string]cloudburst.Store{"local": stores["local"], "cloud": stores["cloud"]},
+		files, cloudburst.BuildOptions{RecordSize: 12, ChunkBytes: 4 << 10},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cloudburst.Deploy(cloudburst.DeployConfig{
+		App: app, Index: idx,
+		Sites: []cloudburst.SiteSpec{
+			{Name: "local", Cores: 2, HomeStore: stores["local"],
+				RemoteStores: map[string]cloudburst.Store{"cloud": stores["cloud"]}},
+			{Name: "cloud", Cores: 2, HomeStore: stores["cloud"],
+				RemoteStores: map[string]cloudburst.Store{"local": stores["local"]}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := res.Final.(cloudburst.Counter).Counts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	fmt.Println("words counted:", total)
+	fmt.Println("distinct words:", len(counts))
+	// Output:
+	// words counted: 10000
+	// distinct words: 98
+}
+
+// ExampleNewEngine shows the generalized-reduction engine on its own:
+// local reduction over raw records without any cluster machinery.
+func ExampleNewEngine() {
+	app, err := cloudburst.NewApp("knn", map[string]string{"k": "3", "dims": "2"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := cloudburst.PointsGen{Dims: 2, Seed: 11, WithID: true}
+	data := make([]byte, 1000*app.RecordSize())
+	for i := int64(0); i < 1000; i++ {
+		gen.Gen(i, data[int(i)*app.RecordSize():int(i+1)*app.RecordSize()])
+	}
+
+	engine := cloudburst.NewEngine(app, cloudburst.EngineOptions{})
+	red := app.NewReduction()
+	units, err := engine.ProcessChunk(red, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("units reduced:", units)
+	fmt.Println("neighbors kept:", len(red.(cloudburst.Neighborer).Neighbors()))
+	// Output:
+	// units reduced: 1000
+	// neighbors kept: 3
+}
+
+// ExampleKMeansDriver converges Lloyd's algorithm over repeated
+// deployments.
+func ExampleKMeansDriver() {
+	app, err := cloudburst.NewApp("kmeans", map[string]string{"k": "2", "dims": "1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stores := map[string]*cloudburst.MemStore{
+		"local": cloudburst.NewMemStore(),
+		"cloud": cloudburst.NewMemStore(),
+	}
+	files, err := cloudburst.Materialize(
+		cloudburst.PointsGen{Dims: 1, Seed: 2},
+		cloudburst.DataSpec{Records: 4000, Files: 2, LocalFiles: 1},
+		stores,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := cloudburst.BuildIndex(
+		map[string]cloudburst.Store{"local": stores["local"], "cloud": stores["cloud"]},
+		files, cloudburst.BuildOptions{RecordSize: 4, ChunkBytes: 1 << 10},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	it, err := cloudburst.KMeansDriver(cloudburst.DeployConfig{
+		App: app, Index: idx,
+		Sites: []cloudburst.SiteSpec{
+			{Name: "local", Cores: 1, HomeStore: stores["local"],
+				RemoteStores: map[string]cloudburst.Store{"cloud": stores["cloud"]}},
+			{Name: "cloud", Cores: 1, HomeStore: stores["cloud"],
+				RemoteStores: map[string]cloudburst.Store{"local": stores["local"]}},
+		},
+	}, 1e-10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := it.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("converged:", res.Converged)
+	// Output:
+	// converged: true
+}

@@ -1,0 +1,87 @@
+// clustering: iterative k-means over a hybrid deployment. Each Lloyd
+// iteration is one complete cloud-bursting job; between iterations the
+// new centroids (the globally reduced result) are installed into the
+// application, exactly how the paper's applications run multi-pass
+// algorithms on top of single-pass generalized reductions.
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudburst"
+)
+
+func main() {
+	app, err := cloudburst.NewApp("kmeans", map[string]string{
+		"k": "8", "dims": "2", "cseed": "99",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	km := app.(*cloudburst.KMeans)
+
+	gen := cloudburst.PointsGen{Dims: 2, Seed: 5}
+	stores := map[string]*cloudburst.MemStore{
+		"local": cloudburst.NewMemStore(),
+		"cloud": cloudburst.NewMemStore(),
+	}
+	files, err := cloudburst.Materialize(gen, cloudburst.DataSpec{
+		Records: 120_000, Files: 6, LocalFiles: 3,
+	}, stores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := cloudburst.BuildIndex(
+		map[string]cloudburst.Store{"local": stores["local"], "cloud": stores["cloud"]},
+		files,
+		cloudburst.BuildOptions{RecordSize: int32(app.RecordSize()), ChunkBytes: 16 << 10},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	deploy := cloudburst.DeployConfig{
+		App:   app,
+		Index: idx,
+		Sites: []cloudburst.SiteSpec{
+			{Name: "local", Cores: 3, HomeStore: stores["local"],
+				RemoteStores: map[string]cloudburst.Store{"cloud": stores["cloud"]}},
+			{Name: "cloud", Cores: 3, HomeStore: stores["cloud"],
+				RemoteStores: map[string]cloudburst.Store{"local": stores["local"]}},
+		},
+	}
+
+	// Iterate until centroids stop moving.
+	const tolerance = 1e-7
+	for iter := 1; iter <= 25; iter++ {
+		res, err := cloudburst.Deploy(deploy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		move, err := km.Iterate(res.Final)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := res.Final.(cloudburst.Meaner).Counts()
+		nonEmpty := 0
+		for _, c := range counts {
+			if c > 0 {
+				nonEmpty++
+			}
+		}
+		fmt.Printf("iteration %2d: max centroid movement %.2e, %d/%d clusters populated\n",
+			iter, move, nonEmpty, km.K)
+		if move < tolerance {
+			fmt.Println("converged")
+			break
+		}
+	}
+
+	fmt.Println("final centroids:")
+	for i, c := range km.Centroids() {
+		fmt.Printf("  cluster %d: (%.4f, %.4f)\n", i, c[0], c[1])
+	}
+}

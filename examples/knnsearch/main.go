@@ -1,0 +1,97 @@
+// knnsearch: the paper's first evaluation application — find the k
+// points nearest a query in a data set that is mostly stored in the
+// cloud, using compute on both sides of the WAN.
+//
+// The deployment mirrors the paper's env-17/83 configuration: 17% of
+// the files on the local cluster's storage, 83% in the simulated S3,
+// with shaped links so that remote retrieval has realistic relative
+// costs. Watch the local cluster finish its own files and start
+// stealing S3-resident jobs.
+//
+//	go run ./examples/knnsearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cloudburst"
+)
+
+func main() {
+	app, err := cloudburst.NewApp("knn", map[string]string{
+		"k": "25", "dims": "3", "cost": "50us",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 200k points, ids embedded so results name their neighbors.
+	gen := cloudburst.PointsGen{Dims: 3, Seed: 42, WithID: true}
+	stores := map[string]*cloudburst.MemStore{
+		"local": cloudburst.NewMemStore(),
+		"cloud": cloudburst.NewMemStore(),
+	}
+	files, err := cloudburst.Materialize(gen, cloudburst.DataSpec{
+		Records: 200_000, Files: 12, LocalFiles: 2, // ~17% local
+	}, stores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := cloudburst.BuildIndex(
+		map[string]cloudburst.Store{"local": stores["local"], "cloud": stores["cloud"]},
+		files,
+		cloudburst.BuildOptions{RecordSize: int64ToInt32(int64(app.RecordSize())), ChunkBytes: 40 << 10},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compress emulated time 50x so the shaped links cost real-but-
+	// bounded wall time.
+	clk := cloudburst.ScaledClock(0.02)
+	wan := cloudburst.Link{Name: "wan", Latency: 30 * time.Millisecond, PerStream: 2 << 20}
+	lan := cloudburst.Link{Name: "lan", Latency: time.Millisecond, PerStream: 100 << 20}
+
+	start := time.Now()
+	res, err := cloudburst.Deploy(cloudburst.DeployConfig{
+		App:   app,
+		Index: idx,
+		Clock: clk,
+		Sites: []cloudburst.SiteSpec{
+			{
+				Name: "local", Cores: 4, HomeStore: stores["local"],
+				RemoteStores: map[string]cloudburst.Store{"cloud": stores["cloud"]},
+				HeadLink:     lan, SlaveLink: lan,
+			},
+			{
+				Name: "cloud", Cores: 4, HomeStore: stores["cloud"], HomeFetch: true,
+				RemoteStores: map[string]cloudburst.Store{"local": stores["local"]},
+				HeadLink:     wan, SlaveLink: lan,
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("knn search over %d points finished in %v\n", 200_000, time.Since(start).Round(time.Millisecond))
+	for _, c := range res.Report.Clusters {
+		fmt.Printf("  %-6s jobs=%-3d stolen=%-3d remote bytes=%d\n",
+			c.Site, c.Workers.JobsProcessed, c.Workers.JobsStolen, c.Workers.BytesRemote)
+	}
+	neighbors := res.Final.(cloudburst.Neighborer).Neighbors()
+	fmt.Println("nearest neighbors of the query point:")
+	for i, n := range neighbors[:5] {
+		fmt.Printf("  #%d point %d at squared distance %.6f\n", i+1, n.ID, n.Score)
+	}
+}
+
+// int64ToInt32 keeps the example honest about the narrow conversion.
+func int64ToInt32(v int64) int32 {
+	if v > 1<<31-1 {
+		panic("record size overflow")
+	}
+	return int32(v)
+}

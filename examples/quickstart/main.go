@@ -1,0 +1,81 @@
+// Quickstart: count words in a data set split between a "local" and a
+// "cloud" site, processed by both sites at once.
+//
+// This is the smallest complete cloudburst program: generate a
+// deterministic synthetic data set, split it across two in-memory
+// stores, build the chunk index, and deploy a head + two clusters in
+// process.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudburst"
+)
+
+func main() {
+	// An application is instantiated from the registry by name.
+	app, err := cloudburst.NewApp("wordcount", map[string]string{"width": "12"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate 400k twelve-byte word records into 8 files: 4 on the
+	// local site's store, 4 on the cloud's.
+	gen := cloudburst.WordsGen{Width: 12, Vocab: 1000, Seed: 7}
+	stores := map[string]*cloudburst.MemStore{
+		"local": cloudburst.NewMemStore(),
+		"cloud": cloudburst.NewMemStore(),
+	}
+	files, err := cloudburst.Materialize(gen, cloudburst.DataSpec{
+		Records: 400_000, Files: 8, LocalFiles: 4,
+	}, stores)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The index records every file, chunk, and unit; the head node
+	// turns it into the job pool (one job per chunk).
+	idx, err := cloudburst.BuildIndex(
+		map[string]cloudburst.Store{"local": stores["local"], "cloud": stores["cloud"]},
+		files,
+		cloudburst.BuildOptions{RecordSize: 12, ChunkBytes: 64 << 10},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy: one head, one master per site, 4 virtual cores each.
+	// Each site reads its own data directly and can steal the other
+	// site's jobs through the cross-registered remote stores.
+	res, err := cloudburst.Deploy(cloudburst.DeployConfig{
+		App:   app,
+		Index: idx,
+		Sites: []cloudburst.SiteSpec{
+			{
+				Name: "local", Cores: 4, HomeStore: stores["local"],
+				RemoteStores: map[string]cloudburst.Store{"cloud": stores["cloud"]},
+			},
+			{
+				Name: "cloud", Cores: 4, HomeStore: stores["cloud"],
+				RemoteStores: map[string]cloudburst.Store{"local": stores["local"]},
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Report.FinalResult)
+	for _, c := range res.Report.Clusters {
+		fmt.Printf("  %-6s processed %3d jobs (%d stolen from the other site)\n",
+			c.Site, c.Workers.JobsProcessed, c.Workers.JobsStolen)
+	}
+
+	// The final reduction object is the merged word histogram.
+	counts := res.Final.(cloudburst.Counter).Counts()
+	fmt.Printf("  distinct words: %d\n", len(counts))
+}

@@ -1,0 +1,126 @@
+package cloudburst_test
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMultiProcessDeployment builds the real command binaries and runs
+// a complete cloud-bursting job as eight separate OS processes: two
+// cbstore servers, one cbhead, two cbmaster (one per site), and two
+// cbslave, over loopback TCP — the deployment shape the paper ran
+// across OSU and EC2.
+func TestMultiProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/...")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	data := t.TempDir()
+	localDir := filepath.Join(data, "local")
+	cloudDir := filepath.Join(data, "cloud")
+	index := filepath.Join(data, "index.cbix")
+
+	// Generate a split data set.
+	gen := exec.Command(filepath.Join(bin, "cbgen"),
+		"-app", "wordcount", "-records", "60000", "-files", "8", "-local-files", "3",
+		"-local-dir", localDir, "-cloud-dir", cloudDir, "-index", index, "-jobs", "48")
+	if out, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("cbgen: %v\n%s", err, out)
+	}
+
+	port := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		return l.Addr().String()
+	}
+	storeL, storeC := port(), port()
+	headAddr := port()
+	masterL, masterC := port(), port()
+
+	start := func(name string, args ...string) *exec.Cmd {
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		cmd.Stdout = &logWriter{t: t, name: name}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		return cmd
+	}
+
+	sl := start("cbstore", "-dir", localDir, "-listen", storeL)
+	sc := start("cbstore", "-dir", cloudDir, "-listen", storeC)
+	defer sl.Process.Kill()
+	defer sc.Process.Kill()
+	time.Sleep(200 * time.Millisecond)
+
+	head := exec.Command(filepath.Join(bin, "cbhead"),
+		"-index", index, "-app", "wordcount", "-clusters", "2", "-listen", headAddr, "-q")
+	headOut := &strings.Builder{}
+	head.Stdout = headOut
+	head.Stderr = headOut
+	if err := head.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	ml := start("cbmaster", "-site", "local", "-head", headAddr, "-listen", masterL,
+		"-app", "wordcount", "-slaves", "2", "-q")
+	mc := start("cbmaster", "-site", "cloud", "-head", headAddr, "-listen", masterC,
+		"-app", "wordcount", "-slaves", "2", "-q")
+	time.Sleep(200 * time.Millisecond)
+
+	wl := start("cbslave", "-site", "local", "-master", masterL, "-cores", "2",
+		"-app", "wordcount", "-data-dir", localDir, "-remote", "cloud="+storeC)
+	wc := start("cbslave", "-site", "cloud", "-master", masterC, "-cores", "2",
+		"-app", "wordcount", "-data-dir", cloudDir, "-remote", "local="+storeL)
+
+	done := make(chan error, 1)
+	go func() { done <- head.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cbhead failed: %v\n%s", err, headOut.String())
+		}
+	case <-time.After(60 * time.Second):
+		head.Process.Kill()
+		t.Fatalf("deployment timed out\nhead output:\n%s", headOut.String())
+	}
+	for _, cmd := range []*exec.Cmd{ml, mc, wl, wc} {
+		cmd.Wait()
+	}
+
+	out := headOut.String()
+	if !strings.Contains(out, "wordcount: 60000 words") {
+		t.Fatalf("head did not report the full result:\n%s", out)
+	}
+	if !strings.Contains(out, "cluster local") || !strings.Contains(out, "cluster cloud") {
+		t.Fatalf("head missing cluster reports:\n%s", out)
+	}
+}
+
+// logWriter forwards subprocess output to the test log.
+type logWriter struct {
+	t    *testing.T
+	name string
+}
+
+func (w *logWriter) Write(p []byte) (int, error) {
+	for _, line := range strings.Split(strings.TrimRight(string(p), "\n"), "\n") {
+		w.t.Logf("[%s] %s", w.name, line)
+	}
+	return len(p), nil
+}

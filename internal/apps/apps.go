@@ -1,0 +1,93 @@
+// Package apps implements the paper's three evaluation applications —
+// k-nearest-neighbor search, k-means clustering, and PageRank — plus a
+// word-count quickstart, all against the generalized reduction API.
+//
+// The three applications were chosen by the paper for their contrasting
+// characteristics, which this package preserves:
+//
+//   - knn: low computation, medium/high I/O demand, small reduction
+//     object (a k-element neighbor heap).
+//   - kmeans: heavy computation, low/medium I/O, small reduction
+//     object (k centroid accumulators).
+//   - pagerank: low/medium computation, high I/O, very large reduction
+//     object (the full rank vector), which makes its global reduction
+//     expensive across clusters.
+//
+// Each application registers a factory with the gr registry so the
+// command-line tools can instantiate it from string parameters.
+package apps
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Params provides typed access with defaults over the string parameter
+// maps the gr registry passes to factories.
+type Params map[string]string
+
+// Int returns the named integer parameter or def.
+func (p Params) Int(key string, def int) (int, error) {
+	s, ok := p[key]
+	if !ok || s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("apps: parameter %s=%q: %w", key, s, err)
+	}
+	return v, nil
+}
+
+// Int64 returns the named int64 parameter or def.
+func (p Params) Int64(key string, def int64) (int64, error) {
+	s, ok := p[key]
+	if !ok || s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("apps: parameter %s=%q: %w", key, s, err)
+	}
+	return v, nil
+}
+
+// Uint64 returns the named uint64 parameter or def.
+func (p Params) Uint64(key string, def uint64) (uint64, error) {
+	s, ok := p[key]
+	if !ok || s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("apps: parameter %s=%q: %w", key, s, err)
+	}
+	return v, nil
+}
+
+// Float returns the named float parameter or def.
+func (p Params) Float(key string, def float64) (float64, error) {
+	s, ok := p[key]
+	if !ok || s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("apps: parameter %s=%q: %w", key, s, err)
+	}
+	return v, nil
+}
+
+// Duration returns the named duration parameter or def.
+func (p Params) Duration(key string, def time.Duration) (time.Duration, error) {
+	s, ok := p[key]
+	if !ok || s == "" {
+		return def, nil
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("apps: parameter %s=%q: %w", key, s, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,14 @@
+package apps
+
+import "testing"
+
+// mustWC returns a WordCount app used as a "wrong type" foil in
+// cross-application type-safety tests.
+func mustWC(t *testing.T) *WordCount {
+	t.Helper()
+	app, err := NewWordCount(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}

@@ -1,0 +1,159 @@
+package apps
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"cloudburst/internal/gr"
+	"cloudburst/internal/workload"
+)
+
+func TestKMeansMatchesBruteForce(t *testing.T) {
+	app, err := NewKMeans(Params{"k": "8", "dims": "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Points{Dims: 3, Seed: 21}
+	const n = 3000
+	data := genRecords(gen, n)
+	rs := app.RecordSize()
+
+	e := gr.NewEngine(app, gr.EngineOptions{GroupUnits: 100})
+	red := app.NewReduction()
+	if _, err := e.ProcessChunk(red, data); err != nil {
+		t.Fatal(err)
+	}
+	r := red.(*kmeansRed)
+
+	// Brute force accumulation.
+	sums := make([]float64, 8*3)
+	counts := make([]int64, 8)
+	for i := 0; i < n; i++ {
+		rec := data[i*rs : (i+1)*rs]
+		c := app.Assign(rec)
+		counts[c]++
+		for d := 0; d < 3; d++ {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(rec[4*d:]))
+			sums[c*3+d] += float64(v)
+		}
+	}
+	for c := 0; c < 8; c++ {
+		if counts[c] != r.n[c] {
+			t.Fatalf("cluster %d count %d != %d", c, r.n[c], counts[c])
+		}
+	}
+	for i := range sums {
+		if math.Abs(sums[i]-r.sums.V[i]) > 1e-9 {
+			t.Fatalf("sum %d: %v != %v", i, r.sums.V[i], sums[i])
+		}
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("points lost: %d", total)
+	}
+}
+
+func TestKMeansSplitMergeEqualsWhole(t *testing.T) {
+	app, _ := NewKMeans(Params{"k": "5", "dims": "2"})
+	gen := workload.Points{Dims: 2, Seed: 3}
+	data := genRecords(gen, 2000)
+	rs := app.RecordSize()
+
+	e := gr.NewEngine(app, gr.EngineOptions{})
+	whole := app.NewReduction()
+	e.ProcessChunk(whole, data)
+
+	parts := make([]gr.Reduction, 4)
+	for i := range parts {
+		parts[i] = app.NewReduction()
+		e.ProcessChunk(parts[i], data[i*500*rs:(i+1)*500*rs])
+	}
+	merged, err := gr.MergeAll(app, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, m := whole.(*kmeansRed), merged.(*kmeansRed)
+	for c := range w.n {
+		if w.n[c] != m.n[c] {
+			t.Fatalf("cluster %d: %d != %d", c, w.n[c], m.n[c])
+		}
+	}
+	for i := range w.sums.V {
+		if math.Abs(w.sums.V[i]-m.sums.V[i]) > 1e-9 {
+			t.Fatalf("sum %d differs", i)
+		}
+	}
+}
+
+func TestKMeansCodec(t *testing.T) {
+	app, _ := NewKMeans(Params{"k": "4", "dims": "2"})
+	gen := workload.Points{Dims: 2, Seed: 6}
+	data := genRecords(gen, 500)
+	e := gr.NewEngine(app, gr.EngineOptions{})
+	red := app.NewReduction()
+	e.ProcessChunk(red, data)
+
+	enc, err := gr.EncodeReduction(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := gr.DecodeReduction(app, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := red.(*kmeansRed), dec.(*kmeansRed)
+	for i := range a.sums.V {
+		if a.sums.V[i] != b.sums.V[i] {
+			t.Fatal("codec sums differ")
+		}
+	}
+	for i := range a.n {
+		if a.n[i] != b.n[i] {
+			t.Fatal("codec counts differ")
+		}
+	}
+}
+
+func TestKMeansMeans(t *testing.T) {
+	app, _ := NewKMeans(Params{"k": "3", "dims": "1"})
+	red := app.NewReduction().(*kmeansRed)
+	// Assign two synthetic points manually to cluster accounting.
+	red.sums.V[0] = 10 // cluster 0, dim 0
+	red.n[0] = 4
+	means := red.Means()
+	if means[0][0] != 2.5 {
+		t.Fatalf("mean = %v", means[0][0])
+	}
+	// Empty cluster keeps its initial centroid.
+	if means[1][0] != float64(app.Centroids()[1][0]) {
+		t.Fatal("empty cluster centroid not preserved")
+	}
+	counts := red.Counts()
+	if counts[0] != 4 || counts[1] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestKMeansSummarizeAndErrors(t *testing.T) {
+	app, _ := NewKMeans(Params{"k": "2", "dims": "2"})
+	red := app.NewReduction()
+	if s, err := app.Summarize(red); err != nil || s == "" {
+		t.Fatalf("Summarize = %q, %v", s, err)
+	}
+	if _, err := app.Summarize(mustWC(t).NewReduction()); err == nil {
+		t.Fatal("wrong type should error")
+	}
+	other, _ := NewKMeans(Params{"k": "3", "dims": "2"})
+	if err := red.Merge(other.NewReduction()); err == nil {
+		t.Fatal("k mismatch merge should error")
+	}
+	for _, p := range []Params{{"k": "0"}, {"dims": "0"}, {"k": "x"}} {
+		if _, err := NewKMeans(p); err == nil {
+			t.Fatalf("params %v accepted", p)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package apps
+
+import (
+	"sort"
+	"testing"
+
+	"cloudburst/internal/gr"
+	"cloudburst/internal/workload"
+)
+
+// genPoints materializes n records of the generator into one buffer.
+func genRecords(gen workload.Generator, n int64) []byte {
+	rs := gen.RecordSize()
+	buf := make([]byte, n*int64(rs))
+	for i := int64(0); i < n; i++ {
+		gen.Gen(i, buf[i*int64(rs):(i+1)*int64(rs)])
+	}
+	return buf
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	app, err := NewKNN(Params{"k": "10", "dims": "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Points{Dims: 3, Seed: 99, WithID: true}
+	if gen.RecordSize() != app.RecordSize() {
+		t.Fatalf("record size mismatch: %d vs %d", gen.RecordSize(), app.RecordSize())
+	}
+	const n = 5000
+	data := genRecords(gen, n)
+
+	// Engine result.
+	e := gr.NewEngine(app, gr.EngineOptions{GroupUnits: 128})
+	red := app.NewReduction()
+	if _, err := e.ProcessChunk(red, data); err != nil {
+		t.Fatal(err)
+	}
+	got := red.(*knnRed).Neighbors()
+
+	// Brute force.
+	rs := app.RecordSize()
+	type pair struct {
+		id   int64
+		dist float64
+	}
+	all := make([]pair, n)
+	for i := 0; i < n; i++ {
+		all[i] = pair{int64(i), app.Distance(data[i*rs : (i+1)*rs])}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].dist != all[j].dist {
+			return all[i].dist < all[j].dist
+		}
+		return all[i].id < all[j].id
+	})
+
+	if len(got) != 10 {
+		t.Fatalf("got %d neighbors", len(got))
+	}
+	for i := range got {
+		if got[i].Score != all[i].dist {
+			t.Fatalf("neighbor %d: dist %v, brute force %v", i, got[i].Score, all[i].dist)
+		}
+	}
+}
+
+func TestKNNMergeEqualsWhole(t *testing.T) {
+	app, _ := NewKNN(Params{"k": "25", "dims": "2"})
+	gen := workload.Points{Dims: 2, Seed: 5, WithID: true}
+	data := genRecords(gen, 4000)
+	rs := app.RecordSize()
+	half := (4000 / 2) * rs
+
+	e := gr.NewEngine(app, gr.EngineOptions{})
+	whole := app.NewReduction()
+	e.ProcessChunk(whole, data)
+
+	a, b := app.NewReduction(), app.NewReduction()
+	e.ProcessChunk(a, data[:half])
+	e.ProcessChunk(b, data[half:])
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+
+	wn, an := whole.(*knnRed).Neighbors(), a.(*knnRed).Neighbors()
+	if len(wn) != len(an) {
+		t.Fatalf("lengths differ: %d vs %d", len(wn), len(an))
+	}
+	for i := range wn {
+		if wn[i].Score != an[i].Score {
+			t.Fatalf("split+merge differs at %d", i)
+		}
+	}
+}
+
+func TestKNNCodecRoundTrip(t *testing.T) {
+	app, _ := NewKNN(Params{"k": "5", "dims": "2"})
+	gen := workload.Points{Dims: 2, Seed: 1, WithID: true}
+	data := genRecords(gen, 100)
+	e := gr.NewEngine(app, gr.EngineOptions{})
+	red := app.NewReduction()
+	e.ProcessChunk(red, data)
+
+	enc, err := gr.EncodeReduction(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := gr.DecodeReduction(app, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := red.(*knnRed).Neighbors(), dec.(*knnRed).Neighbors()
+	if len(a) != len(b) {
+		t.Fatal("codec changed neighbor count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("codec changed neighbors")
+		}
+	}
+}
+
+func TestKNNQueryDeterministic(t *testing.T) {
+	a, _ := NewKNN(Params{"dims": "4", "qseed": "11"})
+	b, _ := NewKNN(Params{"dims": "4", "qseed": "11"})
+	c, _ := NewKNN(Params{"dims": "4", "qseed": "12"})
+	for d := 0; d < 4; d++ {
+		if a.Query()[d] != b.Query()[d] {
+			t.Fatal("query not deterministic")
+		}
+	}
+	diff := false
+	for d := 0; d < 4; d++ {
+		if a.Query()[d] != c.Query()[d] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical query")
+	}
+}
+
+func TestKNNSummarize(t *testing.T) {
+	app, _ := NewKNN(Params{"k": "3", "dims": "2"})
+	gen := workload.Points{Dims: 2, Seed: 2, WithID: true}
+	data := genRecords(gen, 50)
+	e := gr.NewEngine(app, gr.EngineOptions{})
+	red := app.NewReduction()
+	e.ProcessChunk(red, data)
+	s, err := app.Summarize(red)
+	if err != nil || s == "" {
+		t.Fatalf("Summarize = %q, %v", s, err)
+	}
+	if _, err := app.Summarize(mustWC(t).NewReduction()); err == nil {
+		t.Fatal("wrong type should error")
+	}
+}
+
+func TestKNNBadParams(t *testing.T) {
+	for _, p := range []Params{
+		{"k": "0"}, {"dims": "-1"}, {"k": "abc"}, {"cost": "xyz"},
+	} {
+		if _, err := NewKNN(p); err == nil {
+			t.Fatalf("params %v accepted", p)
+		}
+	}
+}
+
+func TestKNNRegistered(t *testing.T) {
+	app, err := gr.New("knn", map[string]string{"k": "7", "dims": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.(*KNN).K != 7 {
+		t.Fatal("params not applied through registry")
+	}
+}

@@ -1,0 +1,183 @@
+package apps
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"cloudburst/internal/gr"
+)
+
+func newPR(t *testing.T, params Params) *PageRank {
+	t.Helper()
+	app, err := NewPageRank(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	app := newPR(t, Params{"pages": "200", "mindeg": "2", "maxdeg": "6", "gseed": "3"})
+	total := app.Graph.TotalEdges()
+	data := genRecords(app.Graph, total)
+
+	e := gr.NewEngine(app, gr.EngineOptions{GroupUnits: 64})
+	red := app.NewReduction()
+	if _, err := e.ProcessChunk(red, data); err != nil {
+		t.Fatal(err)
+	}
+	got := red.(*pagerankRed).NextRanks()
+
+	// Reference: dense single-threaded iteration over the same edges.
+	want := make([]float64, 200)
+	teleport := (1 - app.Damping) / 200.0
+	for i := range want {
+		want[i] = teleport
+	}
+	rs := app.RecordSize()
+	for i := int64(0); i < total; i++ {
+		rec := data[i*int64(rs) : (i+1)*int64(rs)]
+		src := int64(binary.LittleEndian.Uint32(rec[0:4]))
+		dst := int64(binary.LittleEndian.Uint32(rec[4:8]))
+		want[dst] += app.Damping * app.Ranks()[src] / float64(app.Graph.OutDegree(src))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("rank %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPageRankMassConservation(t *testing.T) {
+	// After one full iteration over ALL edges, total rank mass is 1
+	// (every page has out-degree >= 1, so no dangling mass).
+	app := newPR(t, Params{"pages": "500", "mindeg": "1", "maxdeg": "9"})
+	data := genRecords(app.Graph, app.Graph.TotalEdges())
+	e := gr.NewEngine(app, gr.EngineOptions{})
+	red := app.NewReduction()
+	if _, err := e.ProcessChunk(red, data); err != nil {
+		t.Fatal(err)
+	}
+	var mass float64
+	for _, v := range red.(*pagerankRed).NextRanks() {
+		mass += v
+	}
+	if math.Abs(mass-1.0) > 1e-9 {
+		t.Fatalf("rank mass = %v, want 1", mass)
+	}
+}
+
+func TestPageRankSplitMergeEqualsWhole(t *testing.T) {
+	app := newPR(t, Params{"pages": "100", "mindeg": "2", "maxdeg": "4"})
+	total := app.Graph.TotalEdges()
+	data := genRecords(app.Graph, total)
+	rs := app.RecordSize()
+
+	e := gr.NewEngine(app, gr.EngineOptions{})
+	whole := app.NewReduction()
+	e.ProcessChunk(whole, data)
+
+	mid := (total / 2) * int64(rs)
+	a, b := app.NewReduction(), app.NewReduction()
+	e.ProcessChunk(a, data[:mid])
+	e.ProcessChunk(b, data[mid:])
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	w, m := whole.(*pagerankRed).NextRanks(), a.(*pagerankRed).NextRanks()
+	for i := range w {
+		if math.Abs(w[i]-m[i]) > 1e-12 {
+			t.Fatalf("rank %d differs after split+merge", i)
+		}
+	}
+}
+
+func TestPageRankCodecAndSize(t *testing.T) {
+	app := newPR(t, Params{"pages": "1000", "mindeg": "1", "maxdeg": "3"})
+	red := app.NewReduction()
+	// The reduction object is the full rank vector: 8 bytes per page.
+	if red.Bytes() != 8000 {
+		t.Fatalf("reduction object size = %d, want 8000", red.Bytes())
+	}
+	enc, err := gr.EncodeReduction(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) < 8000 {
+		t.Fatalf("encoded size = %d", len(enc))
+	}
+	dec, err := gr.DecodeReduction(app, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Bytes() != 8000 {
+		t.Fatal("codec changed object size")
+	}
+}
+
+func TestPageRankMultipleIterations(t *testing.T) {
+	// Two iterations driven through SetRanks must converge toward the
+	// stationary distribution (mass stays 1, ranks change).
+	app := newPR(t, Params{"pages": "300", "mindeg": "2", "maxdeg": "8"})
+	data := genRecords(app.Graph, app.Graph.TotalEdges())
+	e := gr.NewEngine(app, gr.EngineOptions{})
+
+	first := app.NewReduction()
+	e.ProcessChunk(first, data)
+	r1 := first.(*pagerankRed).NextRanks()
+	if err := app.SetRanks(r1); err != nil {
+		t.Fatal(err)
+	}
+
+	second := app.NewReduction()
+	e.ProcessChunk(second, data)
+	r2 := second.(*pagerankRed).NextRanks()
+
+	var mass, delta float64
+	for i := range r2 {
+		mass += r2[i]
+		delta += math.Abs(r2[i] - r1[i])
+	}
+	if math.Abs(mass-1.0) > 1e-9 {
+		t.Fatalf("iteration 2 mass = %v", mass)
+	}
+	if delta == 0 {
+		t.Fatal("ranks did not change between iterations")
+	}
+	if err := app.SetRanks(make([]float64, 5)); err == nil {
+		t.Fatal("bad rank vector length accepted")
+	}
+}
+
+func TestPageRankRejectsOutOfRangeEdge(t *testing.T) {
+	app := newPR(t, Params{"pages": "10", "mindeg": "1", "maxdeg": "1"})
+	red := app.NewReduction()
+	bad := make([]byte, 8)
+	binary.LittleEndian.PutUint32(bad[0:4], 99)
+	if err := red.Update(bad); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestPageRankBadParams(t *testing.T) {
+	for _, p := range []Params{
+		{"pages": "0"}, {"mindeg": "0"}, {"mindeg": "5", "maxdeg": "2"}, {"pages": "zzz"},
+	} {
+		if _, err := NewPageRank(p); err == nil {
+			t.Fatalf("params %v accepted", p)
+		}
+	}
+}
+
+func TestPageRankSummarize(t *testing.T) {
+	app := newPR(t, Params{"pages": "50", "mindeg": "1", "maxdeg": "2"})
+	data := genRecords(app.Graph, app.Graph.TotalEdges())
+	e := gr.NewEngine(app, gr.EngineOptions{})
+	red := app.NewReduction()
+	e.ProcessChunk(red, data)
+	s, err := app.Summarize(red)
+	if err != nil || s == "" {
+		t.Fatalf("Summarize = %q, %v", s, err)
+	}
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationConsecutive(t *testing.T) {
+	rows, err := AblationConsecutive(tinySpec(), tinySim(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Label != "consecutive" || rows[1].Label != "scattered" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if !strings.Contains(r.Result.Report.FinalResult, "20000 words") {
+			t.Fatalf("%s computed wrong result: %q", r.Label, r.Result.Report.FinalResult)
+		}
+	}
+}
+
+func TestAblationFetchThreads(t *testing.T) {
+	rows, err := AblationFetchThreads(tinySpec(), tinySim(), []int{1, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Result.Env != "env-cloud" {
+			t.Fatalf("fetch ablation ran %s", r.Result.Env)
+		}
+	}
+}
+
+func TestAblationBatch(t *testing.T) {
+	rows, err := AblationBatch(tinySpec(), tinySim(), []int{4, 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if got := r.Result.Report.JobsProcessed(); got < 32 {
+			t.Fatalf("%s processed %d jobs", r.Label, got)
+		}
+	}
+}
+
+func TestAblationObjectSize(t *testing.T) {
+	rows, err := AblationObjectSize(tinySim(), []int64{200, 400}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Both sizes must produce full pagerank results (mass ~1).
+	for _, r := range rows {
+		if !strings.Contains(r.Result.Report.FinalResult, "mass=1.0") {
+			t.Fatalf("%s result %q", r.Label, r.Result.Report.FinalResult)
+		}
+	}
+	if out := RenderAblation("object size", rows); !strings.Contains(out, "pages=200") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestAblationPooling(t *testing.T) {
+	// Compute-dominated configuration (each chunk costs ~2.5 emulated
+	// seconds, several jobs per worker) so per-core speed jitter is
+	// the decisive factor.
+	spec := tinySpec()
+	spec.Params["cost"] = "20ms"
+	spec.Jobs = 160
+	sim := tinySim()
+	sim.Scale = 0.01
+	rows, err := AblationPooling(spec, sim, 0.6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	dynamic, static := rows[0].Result.Report, rows[1].Result.Report
+	// Both must compute the full result.
+	for _, r := range rows {
+		if !strings.Contains(r.Result.Report.FinalResult, "20000 words") {
+			t.Fatalf("%s result %q", r.Label, r.Result.Report.FinalResult)
+		}
+	}
+	// Under heavy jitter, on-demand pooling must beat static
+	// partitioning (the paper's load-balancing claim). The race
+	// detector skews real CPU costs enough to drown the paced timing,
+	// so the shape assertion only runs uninstrumented.
+	if !raceEnabled && static.TotalWall <= dynamic.TotalWall {
+		t.Fatalf("static partition (%v) beat dynamic pooling (%v) despite ±60%% jitter",
+			static.TotalWall, dynamic.TotalWall)
+	}
+}

@@ -1,0 +1,346 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinySpec returns a minimal wordcount spec that exercises the full
+// pipeline in milliseconds (Instant-equivalent scale).
+func tinySpec() AppSpec {
+	return AppSpec{
+		Name:    "wordcount",
+		Params:  map[string]string{"width": "12", "cost": "0s"},
+		Records: 20_000,
+		Files:   8,
+		Jobs:    40,
+		Scale:   0, // fall back to sim's scale
+	}
+}
+
+// tinySim disables pacing entirely.
+func tinySim() SimParams {
+	return SimParams{Scale: 0, ScaleForced: true, FetchThreads: 4, FetchRange: 8 << 10, GroupUnits: 1024}
+}
+
+func TestBuildDatasetShapes(t *testing.T) {
+	d, err := BuildDataset(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Files) != 8 || len(d.Names) != 8 {
+		t.Fatalf("files = %d", len(d.Files))
+	}
+	var total int64
+	for _, f := range d.Files {
+		if int64(len(f))%int64(d.RecordSize) != 0 {
+			t.Fatal("file not record-aligned")
+		}
+		total += int64(len(f))
+	}
+	if total != 20_000*int64(d.RecordSize) {
+		t.Fatalf("total bytes %d", total)
+	}
+}
+
+func TestBuildDatasetPageRankDerivesRecords(t *testing.T) {
+	spec := AppSpec{
+		Name:   "pagerank",
+		Params: map[string]string{"pages": "500", "mindeg": "2", "maxdeg": "4"},
+		Files:  4, Jobs: 16,
+	}
+	d, err := BuildDataset(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Records < 1000 || d.Records > 2000 {
+		t.Fatalf("derived records = %d", d.Records)
+	}
+}
+
+func TestCachedDatasetReuses(t *testing.T) {
+	a, err := CachedDataset(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedDataset(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache miss for identical spec")
+	}
+	other := tinySpec()
+	other.Records = 24_000
+	c, err := CachedDataset(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("cache collision for different spec")
+	}
+}
+
+func TestExecuteEnvironments(t *testing.T) {
+	spec, sim := tinySpec(), tinySim()
+	cases := []struct {
+		name       string
+		localPct   int
+		lc, cc     int
+		wantEnv    string
+		wantStolen bool
+	}{
+		{"local-only", 100, 4, 0, "env-local", false},
+		{"cloud-only", 0, 0, 4, "env-cloud", false},
+		{"even", 50, 2, 2, "env-50/50", false},
+		{"skewed", 17, 2, 2, "env-17/83", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Execute(RunConfig{
+				Spec: spec, LocalPct: tc.localPct,
+				LocalCores: tc.lc, CloudCores: tc.cc, Sim: sim,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Env != tc.wantEnv {
+				t.Fatalf("env = %q, want %q", res.Env, tc.wantEnv)
+			}
+			if got := res.Report.JobsProcessed(); got < spec.Jobs {
+				t.Fatalf("jobs processed %d < %d", got, spec.Jobs)
+			}
+			if !strings.Contains(res.Report.FinalResult, "20000 words") {
+				t.Fatalf("result %q", res.Report.FinalResult)
+			}
+			if tc.wantStolen {
+				local := res.Report.Cluster("local")
+				if local == nil || local.Workers.JobsStolen == 0 {
+					t.Fatal("skewed run did not steal")
+				}
+			}
+		})
+	}
+}
+
+func TestExecuteRejectsNoCores(t *testing.T) {
+	if _, err := Execute(RunConfig{Spec: tinySpec(), Sim: tinySim()}); err == nil {
+		t.Fatal("no cores accepted")
+	}
+}
+
+func TestFig3ProducesFiveEnvironments(t *testing.T) {
+	spec := tinySpec()
+	results, err := Fig3(spec, tinySim(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("fig3 results = %d", len(results))
+	}
+	wantEnvs := []string{"env-local", "env-cloud", "env-50/50", "env-33/67", "env-17/83"}
+	for i, r := range results {
+		if r.Env != wantEnvs[i] {
+			t.Fatalf("env %d = %q, want %q", i, r.Env, wantEnvs[i])
+		}
+		// Every configuration must compute the same answer.
+		if !strings.Contains(r.Report.FinalResult, "20000 words") {
+			t.Fatalf("%s result %q", r.Env, r.Report.FinalResult)
+		}
+	}
+}
+
+func TestFig4SweepAndSpeedups(t *testing.T) {
+	results, err := Fig4(tinySpec(), tinySim(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("fig4 results = %d", len(results))
+	}
+	if results[0].Env != "(4,4)" || results[3].Env != "(32,32)" {
+		t.Fatalf("envs = %v, %v", results[0].Env, results[3].Env)
+	}
+	if got := Speedups(results); len(got) != 3 {
+		t.Fatalf("speedups = %v", got)
+	}
+}
+
+func TestSlowdownAndSummaryHelpers(t *testing.T) {
+	spec := tinySpec()
+	results, err := Fig3(spec, tinySim(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := SlowdownVsLocal(results)
+	if len(slow) != 3 {
+		t.Fatalf("slowdowns = %v", slow)
+	}
+	all := [][]EnvResult{results}
+	_ = MeanHybridSlowdownPct(all) // must not panic; sign unconstrained at tiny scale
+	if MeanHybridSlowdownPct(nil) != 0 {
+		t.Fatal("empty slowdown should be 0")
+	}
+	if MeanSpeedupPct(nil) != 0 {
+		t.Fatal("empty speedup should be 0")
+	}
+}
+
+func TestFig1RowsConsistent(t *testing.T) {
+	rows, err := Fig1(50_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// All engines agree on the answer.
+	for _, r := range rows {
+		if !strings.Contains(r.ResultDigest, "50000 words") {
+			t.Fatalf("%s digest %q", r.Engine, r.ResultDigest)
+		}
+	}
+	// Map-Reduce materializes pairs; GR does not. The combiner cuts
+	// the shuffle.
+	var plain, combined Fig1Row
+	for _, r := range rows {
+		switch r.Engine {
+		case "map-reduce":
+			plain = r
+		case "map-reduce+combine":
+			combined = r
+		default:
+			if r.PeakPairs != 0 || r.ShuffledPairs != 0 {
+				t.Fatalf("GR reported pairs: %+v", r)
+			}
+		}
+	}
+	if plain.PeakPairs == 0 || plain.ShuffledPairs != 50_000 {
+		t.Fatalf("plain MR stats: %+v", plain)
+	}
+	if combined.ShuffledPairs >= plain.ShuffledPairs {
+		t.Fatal("combiner did not shrink shuffle")
+	}
+}
+
+func TestRendererOutputs(t *testing.T) {
+	spec := tinySpec()
+	fig3, err := Fig3(spec, tinySim(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4, err := Fig4(spec, tinySim(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := [][]EnvResult{fig3}
+	for name, out := range map[string]string{
+		"fig3":    RenderFig3("wordcount", fig3),
+		"table1":  RenderTable1(all),
+		"table2":  RenderTable2(all),
+		"fig4":    RenderFig4("wordcount", fig4),
+		"summary": RenderSummary(all, [][]EnvResult{fig4}),
+	} {
+		if len(out) == 0 {
+			t.Fatalf("%s renderer produced nothing", name)
+		}
+	}
+	if !strings.Contains(RenderTable2(all), "15.55%") {
+		t.Fatal("table2 should cite the paper's headline")
+	}
+	rows, err := Fig1(10_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderFig1(rows), "generalized-reduction") {
+		t.Fatal("fig1 renderer missing engines")
+	}
+}
+
+func TestShrinkPreservesStructure(t *testing.T) {
+	spec := KNNSpec()
+	s := spec.Shrink(10)
+	if s.Records != spec.Records/10 {
+		t.Fatalf("records = %d", s.Records)
+	}
+	if s.Jobs < 32 || s.Jobs > 960 {
+		t.Fatalf("jobs = %d", s.Jobs)
+	}
+	if s.Files > s.Jobs {
+		t.Fatal("more files than jobs")
+	}
+	// Shrinking must not mutate the original.
+	if spec.Records != KNNSpec().Records {
+		t.Fatal("Shrink mutated its receiver")
+	}
+	pr := PageRankSpec().Shrink(100)
+	if pr.Params["pages"] == PageRankSpec().Params["pages"] {
+		t.Fatal("pagerank pages not shrunk")
+	}
+	if got := KNNSpec().Shrink(1); got.Records != KNNSpec().Records {
+		t.Fatal("divisor 1 should be identity")
+	}
+}
+
+func TestDefaultSimRelativeSpeeds(t *testing.T) {
+	sim := DefaultSim()
+	if sim.LocalDisk.PerStream <= sim.S3External.PerStream {
+		t.Fatal("local disk should beat WAN S3")
+	}
+	if sim.S3Internal.Latency >= sim.S3External.Latency {
+		t.Fatal("in-cloud S3 latency should be below WAN S3")
+	}
+	if sim.Scale <= 0 {
+		t.Fatal("default scale must be positive")
+	}
+	for _, spec := range EvalApps() {
+		if spec.Scale <= 0 {
+			t.Fatalf("%s has no preferred scale", spec.Name)
+		}
+		c := spec.withDefaults()
+		if c.Files != 32 || c.Jobs != 960 {
+			t.Fatalf("%s geometry = %d files %d jobs", spec.Name, c.Files, c.Jobs)
+		}
+	}
+	// kmeans needs more cloud cores, like the paper's 16 -> 22.
+	km := KMeansSpec()
+	if km.CloudCores(16) != 22 || km.CloudCores(32) != 44 {
+		t.Fatalf("kmeans cloud cores: 16->%d 32->%d", km.CloudCores(16), km.CloudCores(32))
+	}
+}
+
+func TestGeneratorForRecordSizesMatch(t *testing.T) {
+	for _, spec := range append(EvalApps(), WordCountSpec()) {
+		d, err := CachedDataset(spec.Shrink(100))
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if d.RecordSize <= 0 {
+			t.Fatalf("%s record size %d", spec.Name, d.RecordSize)
+		}
+	}
+}
+
+func TestExecuteEmulatedTimingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	// A briefly paced run must report non-zero emulated durations.
+	spec := tinySpec()
+	spec.Params = map[string]string{"width": "12", "cost": "100us"}
+	sim := tinySim()
+	sim.Scale = 0.005
+	sim.LocalDisk.PerStream = 200 << 10
+	res, err := Execute(RunConfig{Spec: spec, LocalPct: 100, LocalCores: 4, Sim: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.TotalWall <= 0 {
+		t.Fatal("no emulated wall time")
+	}
+	c := res.Report.Cluster("local")
+	if c.Workers.Processing < 100*time.Millisecond {
+		t.Fatalf("processing = %v", c.Workers.Processing)
+	}
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Cost model (extension): the paper motivates cloud bursting with
+// pay-as-you-go economics but never prices its runs. This module
+// estimates each configuration's dollar cost under 2011 AWS pricing,
+// turning the performance trade-off of Figure 3 into a cost trade-off.
+//
+// Emulated seconds correspond to the paper's real seconds, so instance
+// time is billed from emulated wall time directly.
+
+// Prices captures the relevant 2011 AWS price points.
+type Prices struct {
+	// InstancePerHour is the m1.large on-demand price (USD).
+	InstancePerHour float64
+	// CoresPerInstance converts cores to instances (m1.large = 2
+	// virtual cores).
+	CoresPerInstance int
+	// BillByFullHour rounds usage up to whole instance-hours, as EC2
+	// billed in 2011.
+	BillByFullHour bool
+	// EgressPerGB prices S3 data leaving AWS toward the local cluster
+	// (USD per GiB).
+	EgressPerGB float64
+	// RequestPer10K prices S3 GET requests (USD per 10,000).
+	RequestPer10K float64
+	// RequestSize approximates bytes per S3 request for request-count
+	// estimation (the harness's fetch range).
+	RequestSize int
+}
+
+// AWS2011 returns the late-2011 on-demand price points the paper's
+// deployment would have paid (us-east-1).
+func AWS2011() Prices {
+	return Prices{
+		InstancePerHour:  0.34,
+		CoresPerInstance: 2,
+		BillByFullHour:   true,
+		EgressPerGB:      0.12,
+		RequestPer10K:    0.01,
+		RequestSize:      256 << 10,
+	}
+}
+
+// CostReport is one run's estimated cloud bill.
+type CostReport struct {
+	Env           string
+	InstanceHours float64
+	InstanceUSD   float64
+	EgressGB      float64
+	EgressUSD     float64
+	RequestsUSD   float64
+	TotalUSD      float64
+}
+
+// EstimateCost prices one run. Scaled runs are first projected back to
+// paper scale: byte quantities multiply by scaleUp (the dataset
+// scale-down factor, 10,000 for the calibrated specs), while emulated
+// durations are already at paper scale.
+func EstimateCost(res EnvResult, prices Prices, scaleUp float64) CostReport {
+	if scaleUp <= 0 {
+		scaleUp = 1
+	}
+	out := CostReport{Env: res.Env}
+
+	// EC2 instance time: cloud cores for the run's emulated duration.
+	if res.CloudCores > 0 {
+		instances := float64(res.CloudCores) / float64(prices.CoresPerInstance)
+		hours := res.Report.TotalWall.Hours()
+		if prices.BillByFullHour {
+			hours = math.Ceil(hours)
+		}
+		out.InstanceHours = instances * hours
+		out.InstanceUSD = out.InstanceHours * prices.InstancePerHour
+	}
+
+	// S3 egress: bytes the *local* cluster pulled out of S3 (stolen
+	// jobs and skewed distributions). Reads by EC2 stay inside AWS and
+	// are free; transfer into AWS (cloud stealing local data) was free
+	// by late 2011.
+	var egressBytes, s3Bytes float64
+	if local := res.Report.Cluster("local"); local != nil {
+		egressBytes = float64(local.Workers.BytesRemote) * scaleUp
+	}
+	if cloud := res.Report.Cluster("cloud"); cloud != nil {
+		// Every byte the cloud cluster read came from S3 (home data
+		// and request counts), except stolen local-cluster bytes.
+		s3Bytes = float64(cloud.Workers.BytesRead-cloud.Workers.BytesRemote) * scaleUp
+	}
+	out.EgressGB = egressBytes / (1 << 30)
+	out.EgressUSD = out.EgressGB * prices.EgressPerGB
+
+	// S3 GET requests from both sides.
+	if prices.RequestSize > 0 {
+		requests := (egressBytes + s3Bytes) / float64(prices.RequestSize)
+		out.RequestsUSD = requests / 10_000 * prices.RequestPer10K
+	}
+
+	out.TotalUSD = out.InstanceUSD + out.EgressUSD + out.RequestsUSD
+	return out
+}
+
+// RenderCost prices a Fig3 sweep, exposing the paper's implicit
+// economics: env-cloud rents the most instance time, env-local rents
+// none, and skewed hybrids pay growing egress for stolen data.
+func RenderCost(results []EnvResult, prices Prices, scaleUp float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cloud cost per run (2011 AWS pricing, data projected to paper scale)\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %10s %10s %10s %12s\n",
+		"env", "time", "inst-hours", "inst $", "egress $", "requests $", "total $")
+	for _, r := range results {
+		c := EstimateCost(r, prices, scaleUp)
+		fmt.Fprintf(&b, "%-12s %10s %12.1f %10.2f %10.4f %10.4f %12.2f\n",
+			r.Env, r.Report.TotalWall.Round(time.Second),
+			c.InstanceHours, c.InstanceUSD, c.EgressUSD, c.RequestsUSD, c.TotalUSD)
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cloudburst/internal/metrics"
+)
+
+func costFixture(env string, localCores, cloudCores int, wall time.Duration, localRemote, cloudRead int64) EnvResult {
+	r := EnvResult{
+		Env: env, App: "knn", LocalCores: localCores, CloudCores: cloudCores,
+		Report: &metrics.RunReport{Env: env, TotalWall: wall},
+	}
+	if localCores > 0 {
+		r.Report.Clusters = append(r.Report.Clusters, metrics.ClusterReport{
+			Site: "local", Cores: localCores,
+			Workers: metrics.Snapshot{BytesRead: localRemote, BytesRemote: localRemote},
+		})
+	}
+	if cloudCores > 0 {
+		r.Report.Clusters = append(r.Report.Clusters, metrics.ClusterReport{
+			Site: "cloud", Cores: cloudCores,
+			Workers: metrics.Snapshot{BytesRead: cloudRead},
+		})
+	}
+	return r
+}
+
+func TestEstimateCostLocalOnlyIsFree(t *testing.T) {
+	r := costFixture("env-local", 32, 0, 190*time.Second, 0, 0)
+	c := EstimateCost(r, AWS2011(), 10_000)
+	if c.TotalUSD != 0 {
+		t.Fatalf("env-local cost = %+v", c)
+	}
+}
+
+func TestEstimateCostCloudInstanceHours(t *testing.T) {
+	// 32 cloud cores = 16 m1.large for a 190 s run -> billed one full
+	// hour each = 16 instance-hours at $0.34.
+	r := costFixture("env-cloud", 0, 32, 190*time.Second, 0, 12<<20)
+	c := EstimateCost(r, AWS2011(), 10_000)
+	if c.InstanceHours != 16 {
+		t.Fatalf("instance hours = %v", c.InstanceHours)
+	}
+	if got, want := c.InstanceUSD, 16*0.34; got != want {
+		t.Fatalf("instance cost = %v, want %v", got, want)
+	}
+	if c.EgressUSD != 0 {
+		t.Fatalf("EC2->S3 reads must be free, got %v", c.EgressUSD)
+	}
+	if c.RequestsUSD <= 0 {
+		t.Fatal("S3 requests should cost something")
+	}
+}
+
+func TestEstimateCostEgressScalesUp(t *testing.T) {
+	// 1 MiB of stolen bytes at scale-up 10,000 = ~9.77 GiB of egress.
+	r := costFixture("env-17/83", 16, 16, time.Hour, 1<<20, 0)
+	c := EstimateCost(r, AWS2011(), 10_000)
+	wantGB := float64(1<<20) * 10_000 / (1 << 30)
+	if c.EgressGB < wantGB*0.99 || c.EgressGB > wantGB*1.01 {
+		t.Fatalf("egress = %v GB, want ~%v", c.EgressGB, wantGB)
+	}
+	if c.EgressUSD <= 0 {
+		t.Fatal("egress should cost")
+	}
+}
+
+func TestEstimateCostHourlyRounding(t *testing.T) {
+	prices := AWS2011()
+	r := costFixture("env-cloud", 0, 2, 61*time.Minute, 0, 0)
+	c := EstimateCost(r, prices, 1)
+	if c.InstanceHours != 2 { // 1 instance x 2 billed hours
+		t.Fatalf("rounded hours = %v", c.InstanceHours)
+	}
+	prices.BillByFullHour = false
+	c = EstimateCost(r, prices, 1)
+	if c.InstanceHours <= 1 || c.InstanceHours >= 1.1 {
+		t.Fatalf("fractional hours = %v", c.InstanceHours)
+	}
+}
+
+func TestRenderCost(t *testing.T) {
+	results := []EnvResult{
+		costFixture("env-local", 32, 0, 190*time.Second, 0, 0),
+		costFixture("env-cloud", 0, 32, 170*time.Second, 0, 12<<20),
+		costFixture("env-17/83", 16, 16, 235*time.Second, 2<<20, 10<<20),
+	}
+	out := RenderCost(results, AWS2011(), 10_000)
+	for _, want := range []string{"env-local", "env-cloud", "env-17/83", "total $"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

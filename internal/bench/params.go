@@ -1,0 +1,275 @@
+// Package bench is the experiment harness: it reconstructs the paper's
+// evaluation (Section IV) — the five cloud-bursting configurations of
+// Figure 3 / Tables I-II, the scalability sweep of Figure 4, and the
+// generalized-reduction vs. Map-Reduce comparison implied by Figure 1 —
+// over the simulated two-site environment.
+//
+// Scaling model. Byte quantities are scaled ~10,000x below the paper's
+// testbed (120 GB -> ~12 MB) and link bandwidths in the same
+// proportion, while per-unit compute costs are raised so that the
+// *emulated* per-core seconds land on the paper's Figure 3 bars.
+// Emulated seconds therefore read directly against the paper's
+// figures. A per-application clock scale compresses emulated time into
+// wall time; it is chosen large enough that real CPU overhead (TCP,
+// encoding, scheduling on the test host) stays a small fraction of the
+// emulated durations.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cloudburst/internal/netsim"
+)
+
+// SimParams fixes the emulated environment for a run.
+type SimParams struct {
+	// Scale is the wall-seconds-per-emulated-second clock compression.
+	Scale float64
+	// ScaleForced marks Scale as a user override that per-app
+	// preferred scales must not replace.
+	ScaleForced bool
+
+	// LocalDisk is how the local cluster reads its own storage node:
+	// per-stream bound (each core's share of the SATA-SCSI node), as
+	// the paper's retrieval times show (halving the data and the cores
+	// leaves per-core retrieval time unchanged).
+	LocalDisk netsim.Link
+	// S3Internal is EC2 reading S3 (multi-threaded ranged requests).
+	S3Internal netsim.Link
+	// S3External is the local cluster stealing S3 data across the WAN.
+	S3External netsim.Link
+	// LocalFromCloud is EC2 stealing local-cluster data across the WAN.
+	LocalFromCloud netsim.Link
+	// HeadWAN shapes master<->head traffic for the cloud cluster:
+	// control messages and, critically, the reduction-object exchange.
+	HeadWAN netsim.Link
+	// HeadLAN shapes master<->head traffic for the local cluster (the
+	// head runs at the local site).
+	HeadLAN netsim.Link
+	// SlaveLAN shapes slave<->master traffic inside a cluster.
+	SlaveLAN netsim.Link
+
+	// S3Egress / LocalEgress cap each store service's total outflow
+	// (bytes per emulated second; 0 = unlimited).
+	S3Egress    float64
+	LocalEgress float64
+
+	// LocalSeek is the storage node's extra cost for non-sequential
+	// reads (what consecutive-job assignment avoids).
+	LocalSeek time.Duration
+	// FetchThreads / FetchRange tune the multi-threaded retrieval.
+	FetchThreads int
+	FetchRange   int
+	// GroupUnits is the engine's cache-sized unit group.
+	GroupUnits int
+	// CloudCostScale slows cloud cores relative to local ones (the
+	// paper's kmeans needed 22 EC2 cores to match 16 local cores).
+	CloudCostScale float64
+}
+
+// DefaultSim returns the calibrated environment. Bandwidths are in
+// bytes per emulated second, ~10,000x below the paper's hardware to
+// match the dataset scale-down:
+//
+//   - storage node: ~3 KB/s per stream (≈30 MB/s per core in paper
+//     terms), so 12 MB through 32 streams takes ~125 emulated s — the
+//     knn env-local retrieval bar;
+//   - S3 from EC2: ~600 B/s per range request, 8 concurrent requests
+//     per core (≈4.8 KB/s effective), slightly faster in aggregate
+//     than the storage node, as the paper observed;
+//   - S3 across the WAN (stolen jobs): ~4x slower per stream;
+//   - head WAN: 15 KB/s, making pagerank's ~600 KB rank vector cost
+//     ~40 emulated s per exchange (Table II's global reduction).
+func DefaultSim() SimParams {
+	return SimParams{
+		Scale: 0.01,
+		LocalDisk: netsim.Link{
+			Name: "local-disk", Latency: 4 * time.Millisecond,
+			PerStream: 3 << 10, Aggregate: 160 << 10,
+		},
+		S3Internal: netsim.Link{
+			Name: "s3-internal", Latency: 20 * time.Millisecond,
+			PerStream: 600, Aggregate: 208 << 10,
+		},
+		S3External: netsim.Link{
+			Name: "s3-external", Latency: 60 * time.Millisecond,
+			PerStream: 160, Aggregate: 30 << 10,
+		},
+		LocalFromCloud: netsim.Link{
+			Name: "local-from-cloud", Latency: 60 * time.Millisecond,
+			PerStream: 160, Aggregate: 30 << 10,
+		},
+		HeadWAN: netsim.Link{
+			Name: "head-wan", Latency: 40 * time.Millisecond,
+			PerStream: 15 << 10, Burst: 8 << 10,
+		},
+		HeadLAN: netsim.Link{
+			Name: "head-lan", Latency: 500 * time.Microsecond,
+			PerStream: 10 << 20,
+		},
+		SlaveLAN: netsim.Link{
+			Name: "slave-lan", Latency: 200 * time.Microsecond,
+			PerStream: 20 << 20,
+		},
+		S3Egress:       208 << 10,
+		LocalEgress:    160 << 10,
+		LocalSeek:      12 * time.Millisecond,
+		FetchThreads:   8,
+		FetchRange:     2 << 10,
+		GroupUnits:     4096,
+		CloudCostScale: 1.0,
+	}
+}
+
+// AppSpec describes one evaluation application's workload: the app
+// parameters plus the data set geometry (the paper: 120 GB in 32 files
+// and 960 jobs for every application).
+type AppSpec struct {
+	// Name is the registered application name.
+	Name string
+	// Params instantiate the app.
+	Params map[string]string
+	// Records is the total data unit count (ignored for pagerank,
+	// whose edge count follows from the graph parameters).
+	Records int64
+	// Files / Jobs shape the data set (default 32 / 960).
+	Files int
+	Jobs  int
+	// Scale is this app's preferred clock compression (used unless
+	// SimParams.ScaleForced); heavier apps afford smaller scales.
+	Scale float64
+	// CloudCores maps a local core count to this app's matching cloud
+	// core count (kmeans: 16 local ~ 22 EC2). Nil means equal.
+	CloudCores func(local int) int
+	// CloudCostScale overrides SimParams.CloudCostScale per app.
+	CloudCostScale float64
+}
+
+func (a AppSpec) withDefaults() AppSpec {
+	if a.Files <= 0 {
+		a.Files = 32
+	}
+	if a.Jobs <= 0 {
+		a.Jobs = 960
+	}
+	if a.CloudCores == nil {
+		a.CloudCores = func(local int) int { return local }
+	}
+	if a.CloudCostScale <= 0 {
+		a.CloudCostScale = 1.0
+	}
+	return a
+}
+
+// Shrink divides the workload (records and jobs) by divisor for quick
+// runs; timing shapes are preserved, absolute emulated seconds shrink
+// proportionally.
+func (a AppSpec) Shrink(divisor int64) AppSpec {
+	if divisor <= 1 {
+		return a
+	}
+	a = a.withDefaults()
+	out := a
+	out.Params = make(map[string]string, len(a.Params))
+	for k, v := range a.Params {
+		out.Params[k] = v
+	}
+	out.Records = a.Records / divisor
+	if a.Name == "pagerank" {
+		// Shrink the graph rather than the (derived) edge count.
+		if pages, ok := out.Params["pages"]; ok {
+			var p int64
+			fmt.Sscan(pages, &p)
+			out.Params["pages"] = fmt.Sprint(maxI64(p/divisor, 64))
+		}
+	}
+	// Jobs shrink by sqrt(divisor): chunks get smaller too, keeping
+	// per-chunk costs (and thus hybrid overhead ratios) close to the
+	// full-size calibration instead of freezing chunk size while the
+	// baseline shrinks.
+	jobsDiv := int64(1)
+	for (jobsDiv+1)*(jobsDiv+1) <= divisor {
+		jobsDiv++
+	}
+	out.Jobs = int(int64(a.Jobs) / jobsDiv)
+	if out.Jobs < 32 {
+		out.Jobs = 32
+	}
+	if out.Files > out.Jobs {
+		out.Files = out.Jobs
+	}
+	return out
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// The calibrated evaluation applications. Per-unit compute costs are
+// emulated, set so the per-core processing seconds land near the
+// paper's Figure 3 bars (knn ~55 s, kmeans ~2000 s, pagerank ~330 s on
+// 32 cores).
+
+// KNNSpec reproduces the paper's knn workload: low computation, high
+// I/O, small reduction object (k = 1000 neighbors).
+func KNNSpec() AppSpec {
+	return AppSpec{
+		Name: "knn",
+		Params: map[string]string{
+			"k": "1000", "dims": "3", "cost": "2.9ms",
+		},
+		Records: 600_000, // 20 B/record -> 12 MB
+		Scale:   0.012,
+	}
+}
+
+// KMeansSpec reproduces kmeans: heavy computation, low I/O, small
+// reduction object. 22 EC2 cores match 16 local cores.
+func KMeansSpec() AppSpec {
+	return AppSpec{
+		Name: "kmeans",
+		Params: map[string]string{
+			"k": "64", "dims": "8", "cost": "426ms",
+		},
+		Records: 150_000, // 32 B/record -> 4.8 MB
+		Scale:   0.004,
+		CloudCores: func(local int) int {
+			return local + (local*3+4)/8 // 16 -> 22, 4 -> 6, 32 -> 44
+		},
+		CloudCostScale: 1.375, // 22 EC2 cores ~ 16 local cores
+	}
+}
+
+// PageRankSpec reproduces pagerank: moderate computation, high I/O,
+// and a very large reduction object (the full rank vector, ~600 KB
+// here standing in for the paper's ~300 MB at the same bandwidth
+// ratio).
+func PageRankSpec() AppSpec {
+	return AppSpec{
+		Name: "pagerank",
+		Params: map[string]string{
+			"pages": "75000", "mindeg": "40", "maxdeg": "66", "cost": "2.64ms",
+		},
+		// ~4M edges (32 MB) follow from the graph parameters.
+		Scale: 0.012,
+	}
+}
+
+// WordCountSpec is the quickstart/ablation workload.
+func WordCountSpec() AppSpec {
+	return AppSpec{
+		Name:    "wordcount",
+		Params:  map[string]string{"width": "12", "cost": "250ns"},
+		Records: 2_000_000,
+		Scale:   0.01,
+	}
+}
+
+// EvalApps returns the paper's three evaluation applications.
+func EvalApps() []AppSpec {
+	return []AppSpec{KNNSpec(), KMeansSpec(), PageRankSpec()}
+}

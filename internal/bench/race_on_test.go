@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active; timing-shape
+// assertions are relaxed because instrumentation skews CPU costs by an
+// order of magnitude.
+const raceEnabled = true

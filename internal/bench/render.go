@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cloudburst/internal/metrics"
+)
+
+// Renderers produce the paper's tables and figure data as text. All
+// durations print in emulated seconds.
+
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// coresLabel formats the "(m, n)" core annotation under each bar.
+func coresLabel(r EnvResult) string {
+	return fmt.Sprintf("(%d,%d)", r.LocalCores, r.CloudCores)
+}
+
+// perCore averages a cluster's worker time components over its cores,
+// matching the paper's per-cluster stacked bars.
+func perCore(c *metrics.ClusterReport) metrics.Snapshot {
+	if c == nil {
+		return metrics.Snapshot{}
+	}
+	return c.Workers.DivideTimes(c.Cores)
+}
+
+// RenderFig3 prints one application's Figure 3 panel: per cluster,
+// the processing / data retrieval / sync stacked components.
+func RenderFig3(app string, results []EnvResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — %s: execution over environment configurations (emulated seconds)\n", app)
+	fmt.Fprintf(&b, "%-12s %-8s %-8s %12s %12s %12s %12s\n",
+		"env", "cores", "cluster", "processing", "retrieval", "sync", "total")
+	for _, r := range results {
+		for _, site := range []string{"local", "cloud"} {
+			c := r.Report.Cluster(site)
+			if c == nil {
+				continue
+			}
+			s := perCore(c)
+			// Sync in the paper's bars also covers end-of-run idle and
+			// the global-reduction barrier.
+			sync := s.Sync + c.IdleAtEnd
+			fmt.Fprintf(&b, "%-12s %-8s %-8s %12.1f %12.1f %12.1f %12.1f\n",
+				r.Env, coresLabel(r), site,
+				secs(s.Processing), secs(s.Retrieval), secs(sync),
+				secs(s.Processing+s.Retrieval+sync))
+		}
+		fmt.Fprintf(&b, "%-12s %-8s %-8s %51s total execution: %.1f\n",
+			r.Env, coresLabel(r), "run", "", secs(r.Report.TotalWall))
+	}
+	return b.String()
+}
+
+// RenderTable1 prints the paper's Table I: jobs processed per cluster
+// and jobs the local cluster stole, for the hybrid configurations.
+func RenderTable1(all [][]EnvResult) string {
+	var b strings.Builder
+	b.WriteString("Table I — job assignment per application\n")
+	fmt.Fprintf(&b, "%-10s %-10s %8s %8s %10s\n", "app", "env", "EC2", "Local", "(stolen)")
+	for _, results := range all {
+		for _, r := range results {
+			if r.Env == "env-local" || r.Env == "env-cloud" {
+				continue
+			}
+			local, cloud := r.Report.Cluster("local"), r.Report.Cluster("cloud")
+			if local == nil || cloud == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%-10s %-10s %8d %8d %10d\n",
+				r.App, strings.TrimPrefix(r.Env, "env-"),
+				cloud.Workers.JobsProcessed, local.Workers.JobsProcessed,
+				local.Workers.JobsStolen)
+		}
+	}
+	return b.String()
+}
+
+// RenderTable2 prints the paper's Table II: global reduction time,
+// per-cluster idle time, and total slowdown versus env-local.
+func RenderTable2(all [][]EnvResult) string {
+	var b strings.Builder
+	b.WriteString("Table II — slowdowns with respect to data distribution (emulated seconds)\n")
+	fmt.Fprintf(&b, "%-10s %-10s %10s %12s %12s %12s\n",
+		"app", "env", "globalRed", "idle(local)", "idle(EC2)", "slowdown")
+	for _, results := range all {
+		slow := SlowdownVsLocal(results)
+		for _, r := range results {
+			if r.Env == "env-local" || r.Env == "env-cloud" {
+				continue
+			}
+			local, cloud := r.Report.Cluster("local"), r.Report.Cluster("cloud")
+			var idleL, idleC time.Duration
+			if local != nil {
+				idleL = local.IdleAtEnd
+			}
+			if cloud != nil {
+				idleC = cloud.IdleAtEnd
+			}
+			fmt.Fprintf(&b, "%-10s %-10s %10.3f %12.3f %12.3f %12.3f\n",
+				r.App, strings.TrimPrefix(r.Env, "env-"),
+				secs(r.Report.GlobalRed), secs(idleL), secs(idleC), secs(slow[r.Env]))
+		}
+	}
+	fmt.Fprintf(&b, "mean hybrid slowdown: %.2f%% (paper: 15.55%%)\n", MeanHybridSlowdownPct(all))
+	return b.String()
+}
+
+// RenderFig4 prints one application's Figure 4 panel: the scalability
+// sweep with per-doubling speedups.
+func RenderFig4(app string, results []EnvResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — %s: system scalability, all data in S3 (emulated seconds)\n", app)
+	fmt.Fprintf(&b, "%-10s %-8s %12s %12s %12s %12s\n",
+		"cores", "cluster", "processing", "retrieval", "sync", "total")
+	for _, r := range results {
+		for _, site := range []string{"local", "cloud"} {
+			c := r.Report.Cluster(site)
+			if c == nil {
+				continue
+			}
+			s := perCore(c)
+			sync := s.Sync + c.IdleAtEnd
+			fmt.Fprintf(&b, "%-10s %-8s %12.1f %12.1f %12.1f %12.1f\n",
+				r.Env, site, secs(s.Processing), secs(s.Retrieval), secs(sync),
+				secs(s.Processing+s.Retrieval+sync))
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %51s total execution: %.1f\n", r.Env, "run", "", secs(r.Report.TotalWall))
+	}
+	for i, s := range Speedups(results) {
+		fmt.Fprintf(&b, "speedup %s -> %s: %.1f%%\n", results[i].Env, results[i+1].Env, s)
+	}
+	return b.String()
+}
+
+// RenderFig1 prints the API-comparison ablation.
+func RenderFig1(rows []Fig1Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 1 (ablation) — generalized reduction vs Map-Reduce, same workload\n")
+	fmt.Fprintf(&b, "%-22s %10s %12s %12s %14s\n",
+		"engine", "wall (s)", "peak pairs", "shuffled", "state bytes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %10.3f %12d %12d %14d\n",
+			r.Engine, r.WallSeconds, r.PeakPairs, r.ShuffledPairs, r.StateBytes)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-22s %s\n", r.Engine+":", r.ResultDigest)
+	}
+	return b.String()
+}
+
+// RenderSummary prints the paper's two headline numbers for a full
+// sweep of Fig3 and Fig4 results.
+func RenderSummary(fig3 [][]EnvResult, fig4 [][]EnvResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mean hybrid slowdown:        %6.2f%%  (paper: 15.55%%)\n", MeanHybridSlowdownPct(fig3))
+	fmt.Fprintf(&b, "mean speedup per doubling:   %6.2f%%  (paper: 81%%)\n", MeanSpeedupPct(fig4))
+	return b.String()
+}

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"cloudburst/internal/apps"
+	"cloudburst/internal/chunk"
+	"cloudburst/internal/cluster"
+	"cloudburst/internal/gr"
+	"cloudburst/internal/metrics"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/store"
+	"cloudburst/internal/workload"
+)
+
+// Dataset is a materialized workload: the file contents, independent
+// of where the files are later placed. Building the bytes once lets a
+// sweep over data distributions reuse them.
+type Dataset struct {
+	Spec       AppSpec
+	RecordSize int
+	Records    int64
+	Names      []string
+	Files      [][]byte
+}
+
+// GeneratorFor picks the deterministic generator matching an
+// instantiated application. records is the requested record count;
+// the returned count may differ (pagerank's edge count follows from
+// its graph parameters).
+func GeneratorFor(app gr.App, records int64) (workload.Generator, int64, error) {
+	switch a := app.(type) {
+	case *apps.KNN:
+		return workload.Points{Dims: a.Dims, Seed: 1001, WithID: true}, records, nil
+	case *apps.KMeans:
+		return workload.Points{Dims: a.Dims, Seed: 2002}, records, nil
+	case *apps.PageRank:
+		return a.Graph, a.Graph.TotalEdges(), nil
+	case *apps.WordCount:
+		return workload.Words{Width: a.Width, Vocab: 5000, Seed: 3003}, records, nil
+	default:
+		return nil, 0, fmt.Errorf("bench: no generator for app %T", app)
+	}
+}
+
+// BuildDataset instantiates the app and materializes its data set.
+func BuildDataset(spec AppSpec) (*Dataset, error) {
+	spec = spec.withDefaults()
+	app, err := gr.New(spec.Name, spec.Params)
+	if err != nil {
+		return nil, err
+	}
+	gen, records, err := GeneratorFor(app, spec.Records)
+	if err != nil {
+		return nil, err
+	}
+	if records < int64(spec.Files) {
+		return nil, fmt.Errorf("bench: %d records over %d files", records, spec.Files)
+	}
+	rs := int64(gen.RecordSize())
+	if gen.RecordSize() != app.RecordSize() {
+		return nil, fmt.Errorf("bench: generator record size %d != app %d", gen.RecordSize(), app.RecordSize())
+	}
+	d := &Dataset{Spec: spec, RecordSize: int(rs), Records: records}
+	per := records / int64(spec.Files)
+	extra := records % int64(spec.Files)
+	var next int64
+	for f := 0; f < spec.Files; f++ {
+		n := per
+		if int64(f) < extra {
+			n++
+		}
+		buf := make([]byte, n*rs)
+		workload.GenInto(gen, next, buf)
+		next += n
+		d.Files = append(d.Files, buf)
+		d.Names = append(d.Names, fmt.Sprintf("%s-%02d.bin", spec.Name, f))
+	}
+	return d, nil
+}
+
+// datasetCache memoizes materialized datasets across runs of a sweep.
+var datasetCache struct {
+	mu sync.Mutex
+	m  map[string]*Dataset
+}
+
+// CachedDataset returns (building if needed) the dataset for spec.
+func CachedDataset(spec AppSpec) (*Dataset, error) {
+	spec = spec.withDefaults()
+	key := fmt.Sprintf("%s|%v|%d|%d", spec.Name, spec.Params, spec.Records, spec.Files)
+	datasetCache.mu.Lock()
+	defer datasetCache.mu.Unlock()
+	if datasetCache.m == nil {
+		datasetCache.m = make(map[string]*Dataset)
+	}
+	if d, ok := datasetCache.m[key]; ok {
+		return d, nil
+	}
+	d, err := BuildDataset(spec)
+	if err != nil {
+		return nil, err
+	}
+	datasetCache.m[key] = d
+	return d, nil
+}
+
+// RunConfig describes one experiment run.
+type RunConfig struct {
+	Spec AppSpec
+	// Dataset reuses a prebuilt data set; nil builds (and caches) one.
+	Dataset *Dataset
+	// LocalPct is the percentage of files stored at the local site
+	// (100 = all local; the paper's env-33/67 stores 33% locally).
+	LocalPct int
+	// LocalCores / CloudCores are the virtual core counts; a zero
+	// count omits that cluster entirely (env-local / env-cloud).
+	LocalCores int
+	CloudCores int
+	Sim        SimParams
+	// Scatter disables consecutive-job assignment (ablation knob).
+	Scatter bool
+	// Batch overrides the master's refill batch size (0 = default).
+	Batch int
+	// JobsPerRequest overrides the slaves' per-request job count
+	// (large values approximate static partitioning; ablation knob).
+	JobsPerRequest int
+	// CloudJitter spreads cloud core speeds by ±CloudJitter, modeling
+	// EC2 performance variability.
+	CloudJitter float64
+	Logf        func(format string, args ...any)
+}
+
+// EnvResult is one configuration's outcome.
+type EnvResult struct {
+	Env        string
+	App        string
+	LocalCores int
+	CloudCores int
+	Report     *metrics.RunReport
+}
+
+// Execute runs one configuration through the full middleware stack:
+// workload placement, index generation, head/master/slave deployment
+// over shaped loopback links, and global reduction.
+func Execute(cfg RunConfig) (*EnvResult, error) {
+	spec := cfg.Spec.withDefaults()
+	if cfg.LocalCores == 0 && cfg.CloudCores == 0 {
+		return nil, fmt.Errorf("bench: no cores configured")
+	}
+	d := cfg.Dataset
+	if d == nil {
+		var err error
+		if d, err = CachedDataset(spec); err != nil {
+			return nil, err
+		}
+	}
+	app, err := gr.New(spec.Name, spec.Params)
+	if err != nil {
+		return nil, err
+	}
+
+	scale := cfg.Sim.Scale
+	if spec.Scale > 0 && !cfg.Sim.ScaleForced {
+		scale = spec.Scale
+	}
+	clk := netsim.Scaled(scale)
+
+	// Stores: the local storage node and the simulated S3 service,
+	// each a Service whose views share the site's egress budget.
+	localSvc := store.NewService(clk, cfg.Sim.LocalEgress)
+	s3Svc := store.NewService(clk, cfg.Sim.S3Egress)
+
+	localFiles := (len(d.Files)*cfg.LocalPct + 50) / 100
+	if cfg.LocalCores == 0 {
+		localFiles = 0 // env-cloud stores everything in S3
+	}
+	if cfg.CloudCores == 0 {
+		localFiles = len(d.Files) // env-local stores everything locally
+	}
+	var metas []chunk.FileMeta
+	for f, buf := range d.Files {
+		site := "cloud"
+		svc := s3Svc
+		if f < localFiles {
+			site = "local"
+			svc = localSvc
+		}
+		svc.Objects.Put(d.Names[f], buf)
+		metas = append(metas, chunk.FileMeta{Name: d.Names[f], Site: site, Size: int64(len(buf))})
+	}
+
+	// Chunk size targeting spec.Jobs total jobs.
+	totalBytes := int64(0)
+	for _, buf := range d.Files {
+		totalBytes += int64(len(buf))
+	}
+	chunkBytes := totalBytes / int64(spec.Jobs)
+	chunkBytes -= chunkBytes % int64(d.RecordSize)
+	if chunkBytes < int64(d.RecordSize) {
+		chunkBytes = int64(d.RecordSize)
+	}
+	stores := map[string]store.Store{"local": localSvc.Objects, "cloud": s3Svc.Objects}
+	idx, err := chunk.Build(stores, metas, chunk.BuildOptions{
+		RecordSize: int32(d.RecordSize), ChunkBytes: chunkBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var sites []cluster.SiteSpec
+	if cfg.LocalCores > 0 {
+		sites = append(sites, cluster.SiteSpec{
+			Name:  "local",
+			Cores: cfg.LocalCores,
+			// The local cluster reads its storage node per-stream
+			// bound; stolen jobs cross to S3 over the WAN.
+			HomeStore: localSvc.View(cfg.Sim.LocalDisk).WithSeekPenalty(cfg.Sim.LocalSeek),
+			RemoteStores: map[string]store.Store{
+				"cloud": s3Svc.View(cfg.Sim.S3External),
+			},
+			HeadLink:  cfg.Sim.HeadLAN,
+			SlaveLink: cfg.Sim.SlaveLAN,
+		})
+	}
+	if cfg.CloudCores > 0 {
+		scale := cfg.Sim.CloudCostScale
+		if spec.CloudCostScale > 0 {
+			scale = spec.CloudCostScale
+		}
+		sites = append(sites, cluster.SiteSpec{
+			Name:  "cloud",
+			Cores: cfg.CloudCores,
+			// EC2 reads S3 with concurrent range requests even for its
+			// own jobs; stolen jobs pull from the local storage node
+			// across the WAN.
+			HomeStore: s3Svc.View(cfg.Sim.S3Internal),
+			HomeFetch: true,
+			RemoteStores: map[string]store.Store{
+				"local": localSvc.View(cfg.Sim.LocalFromCloud),
+			},
+			HeadLink:      cfg.Sim.HeadWAN,
+			SlaveLink:     cfg.Sim.SlaveLAN,
+			UnitCostScale: scale,
+			CostJitter:    cfg.CloudJitter,
+		})
+	}
+
+	res, err := cluster.Run(cluster.DeployConfig{
+		App: app, Index: idx, Sites: sites, Clock: clk,
+		GroupUnits: cfg.Sim.GroupUnits,
+		Fetch: store.FetchOptions{
+			Threads: cfg.Sim.FetchThreads, RangeSize: cfg.Sim.FetchRange,
+		},
+		Scatter:        cfg.Scatter,
+		Batch:          cfg.Batch,
+		JobsPerRequest: cfg.JobsPerRequest,
+		Logf:           cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Report.Env = envName(cfg)
+	return &EnvResult{
+		Env: res.Report.Env, App: spec.Name,
+		LocalCores: cfg.LocalCores, CloudCores: cfg.CloudCores,
+		Report: res.Report,
+	}, nil
+}
+
+func envName(cfg RunConfig) string {
+	switch {
+	case cfg.CloudCores == 0:
+		return "env-local"
+	case cfg.LocalCores == 0:
+		return "env-cloud"
+	default:
+		return fmt.Sprintf("env-%d/%d", cfg.LocalPct, 100-cfg.LocalPct)
+	}
+}

@@ -1,0 +1,74 @@
+package chunk
+
+import (
+	"bytes"
+	"testing"
+
+	"cloudburst/internal/store"
+)
+
+func benchIndex(b *testing.B) *Index {
+	b.Helper()
+	local, cloud := store.NewMem(), store.NewMem()
+	stores := map[string]store.Store{"local": local, "cloud": cloud}
+	var files []FileMeta
+	for i := 0; i < 16; i++ {
+		name := string(rune('a'+i)) + ".bin"
+		st, site := local, "local"
+		if i%2 == 1 {
+			st, site = cloud, "cloud"
+		}
+		st.Put(name, make([]byte, 1<<20))
+		files = append(files, FileMeta{Name: name, Site: site})
+	}
+	idx, err := Build(stores, files, BuildOptions{RecordSize: 16, ChunkBytes: 16 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+// BenchmarkPoolAcquireComplete measures the head's job-pool hot path:
+// a full drain with interleaved completions from two sites.
+func BenchmarkPoolAcquireComplete(b *testing.B) {
+	idx := benchIndex(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := NewPool(idx)
+		sites := [...]string{"local", "cloud"}
+		for !p.Done() {
+			for _, site := range sites {
+				grants := p.Acquire(site, 8)
+				if len(grants) == 0 {
+					continue
+				}
+				ids := make([]int32, len(grants))
+				for j, g := range grants {
+					ids[j] = g.Chunk.ID
+				}
+				if err := p.Complete(ids); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkIndexCodec measures index serialization round trips.
+func BenchmarkIndexCodec(b *testing.B) {
+	idx := benchIndex(b)
+	var buf bytes.Buffer
+	idx.WriteTo(&buf)
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := idx.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadIndex(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package chunk
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cloudburst/internal/store"
+)
+
+// buildTestIndex creates a two-site data set: nLocal files at "local"
+// and nCloud files at "cloud", each of fileBytes bytes.
+func buildTestIndex(t *testing.T, nLocal, nCloud int, fileBytes int64, recordSize int32, chunkBytes int64) (*Index, map[string]store.Store) {
+	t.Helper()
+	local, cloud := store.NewMem(), store.NewMem()
+	stores := map[string]store.Store{"local": local, "cloud": cloud}
+	var files []FileMeta
+	mk := func(st *store.Mem, site string, i int) {
+		name := site + "-" + string(rune('a'+i)) + ".bin"
+		st.Put(name, make([]byte, fileBytes))
+		files = append(files, FileMeta{Name: name, Site: site})
+	}
+	for i := 0; i < nLocal; i++ {
+		mk(local, "local", i)
+	}
+	for i := 0; i < nCloud; i++ {
+		mk(cloud, "cloud", i)
+	}
+	idx, err := Build(stores, files, BuildOptions{RecordSize: recordSize, ChunkBytes: chunkBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, stores
+}
+
+func TestBuildBasic(t *testing.T) {
+	idx, _ := buildTestIndex(t, 2, 2, 64<<10, 16, 8<<10)
+	if err := idx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Files) != 4 {
+		t.Fatalf("files = %d", len(idx.Files))
+	}
+	// 64 KiB / 8 KiB = 8 chunks per file.
+	if len(idx.Chunks) != 32 {
+		t.Fatalf("chunks = %d", len(idx.Chunks))
+	}
+	if idx.TotalBytes() != 4*64<<10 {
+		t.Fatalf("total bytes = %d", idx.TotalBytes())
+	}
+	if idx.TotalUnits() != 4*64<<10/16 {
+		t.Fatalf("total units = %d", idx.TotalUnits())
+	}
+}
+
+func TestBuildUnevenTailChunk(t *testing.T) {
+	m := store.NewMem()
+	m.Put("f", make([]byte, 100)) // 10 records of 10 bytes
+	idx, err := Build(map[string]store.Store{"s": m},
+		[]FileMeta{{Name: "f", Site: "s"}},
+		BuildOptions{RecordSize: 10, ChunkBytes: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk bytes rounds down to 30 -> chunks of 30,30,30,10.
+	if len(idx.Chunks) != 4 {
+		t.Fatalf("chunks = %d: %+v", len(idx.Chunks), idx.Chunks)
+	}
+	if last := idx.Chunks[3]; last.Length != 10 || last.Units != 1 {
+		t.Fatalf("tail chunk = %+v", last)
+	}
+	if err := idx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRejectsMisalignedFile(t *testing.T) {
+	m := store.NewMem()
+	m.Put("f", make([]byte, 101))
+	_, err := Build(map[string]store.Store{"s": m},
+		[]FileMeta{{Name: "f", Site: "s"}},
+		BuildOptions{RecordSize: 10, ChunkBytes: 50})
+	if err == nil || !strings.Contains(err.Error(), "multiple") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuildRejectsBadInputs(t *testing.T) {
+	m := store.NewMem()
+	if _, err := Build(map[string]store.Store{"s": m}, nil, BuildOptions{RecordSize: 0}); err == nil {
+		t.Fatal("zero record size should error")
+	}
+	if _, err := Build(map[string]store.Store{}, []FileMeta{{Name: "f", Site: "x"}},
+		BuildOptions{RecordSize: 8, ChunkBytes: 64}); err == nil {
+		t.Fatal("unknown site should error")
+	}
+	if _, err := Build(map[string]store.Store{"s": m}, []FileMeta{{Name: "ghost", Site: "s"}},
+		BuildOptions{RecordSize: 8, ChunkBytes: 64}); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestIndexSerializationRoundTrip(t *testing.T) {
+	idx, _ := buildTestIndex(t, 3, 2, 128<<10, 32, 16<<10)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, idx) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, idx)
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("not an index file at all"))); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+	if _, err := ReadIndex(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should be rejected")
+	}
+}
+
+func TestReadIndexRejectsTruncation(t *testing.T) {
+	idx, _ := buildTestIndex(t, 1, 1, 32<<10, 16, 8<<10)
+	var buf bytes.Buffer
+	idx.WriteTo(&buf)
+	full := buf.Bytes()
+	for _, cut := range []int{5, 12, len(full) / 2, len(full) - 3} {
+		if _, err := ReadIndex(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	idx, _ := buildTestIndex(t, 1, 0, 32<<10, 16, 8<<10)
+	cases := []func(*Index){
+		func(i *Index) { i.Chunks[0].ID = 99 },
+		func(i *Index) { i.Chunks[1].File = 7 },
+		func(i *Index) { i.Chunks[2].Offset = -1 },
+		func(i *Index) { i.Chunks[2].Length = 1<<40 + 16 },
+		func(i *Index) { i.Chunks[3].Length = 17 },
+		func(i *Index) { i.Chunks[3].Units = 3 },
+		func(i *Index) { i.RecordSize = 0 },
+	}
+	for n, corrupt := range cases {
+		cp := *idx
+		cp.Chunks = append([]Chunk(nil), idx.Chunks...)
+		corrupt(&cp)
+		if err := cp.Validate(); err == nil {
+			t.Errorf("corruption %d not caught", n)
+		}
+	}
+}
+
+// Property: for random sizes, Build covers every byte exactly once
+// with record-aligned chunks.
+func TestBuildCoversFileProperty(t *testing.T) {
+	f := func(records uint16, recSize uint8, chunkRecords uint8) bool {
+		rs := int32(recSize%64) + 1
+		nRec := int64(records%2000) + 1
+		m := store.NewMem()
+		m.Put("f", make([]byte, nRec*int64(rs)))
+		idx, err := Build(map[string]store.Store{"s": m},
+			[]FileMeta{{Name: "f", Site: "s"}},
+			BuildOptions{RecordSize: rs, ChunkBytes: int64(chunkRecords%32+1) * int64(rs)})
+		if err != nil {
+			return false
+		}
+		if idx.Validate() != nil {
+			return false
+		}
+		// Chunks must tile the file contiguously.
+		var off int64
+		for _, c := range idx.Chunks {
+			if c.Offset != off {
+				return false
+			}
+			off += c.Length
+		}
+		return off == nRec*int64(rs) && idx.TotalUnits() == nRec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+package chunk
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func poolFixture(t *testing.T) (*Pool, *Index) {
+	t.Helper()
+	// 2 local files + 2 cloud files, 8 chunks each -> 32 jobs.
+	idx, _ := buildTestIndex(t, 2, 2, 64<<10, 16, 8<<10)
+	return NewPool(idx), idx
+}
+
+func TestPoolPrefersLocalJobs(t *testing.T) {
+	p, idx := poolFixture(t)
+	got := p.Acquire("cloud", 4)
+	if len(got) != 4 {
+		t.Fatalf("granted %d jobs", len(got))
+	}
+	for _, a := range got {
+		if idx.Files[a.Chunk.File].Site != "cloud" {
+			t.Fatalf("cloud request got non-cloud job %+v", a)
+		}
+		if a.Stolen {
+			t.Fatal("local job marked stolen")
+		}
+	}
+}
+
+func TestPoolConsecutiveAssignment(t *testing.T) {
+	p, _ := poolFixture(t)
+	got := p.Acquire("local", 6)
+	if len(got) != 6 {
+		t.Fatalf("granted %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Chunk.ID != got[i-1].Chunk.ID+1 {
+			t.Fatalf("non-consecutive grant: %d after %d", got[i].Chunk.ID, got[i-1].Chunk.ID)
+		}
+		if got[i].Chunk.File != got[0].Chunk.File {
+			t.Fatal("grant crosses files")
+		}
+	}
+}
+
+func TestPoolStealsWhenLocalExhausted(t *testing.T) {
+	p, idx := poolFixture(t)
+	// Drain all 16 local jobs.
+	drained := 0
+	for drained < 16 {
+		got := p.Acquire("local", 8)
+		for _, a := range got {
+			if a.Stolen {
+				t.Fatal("stole while local jobs remained")
+			}
+			drained++
+		}
+	}
+	// Next acquisition must steal from cloud.
+	got := p.Acquire("local", 4)
+	if len(got) == 0 {
+		t.Fatal("no stolen jobs granted")
+	}
+	for _, a := range got {
+		if !a.Stolen {
+			t.Fatal("remote job not marked stolen")
+		}
+		if idx.Files[a.Chunk.File].Site != "cloud" {
+			t.Fatal("stolen job not from cloud")
+		}
+	}
+}
+
+func TestPoolMinContentionHeuristic(t *testing.T) {
+	p, idx := poolFixture(t)
+	// Cloud takes jobs from its first file, leaving that file "busy".
+	first := p.Acquire("cloud", 4)
+	busyFile := first[0].Chunk.File
+	// Drain local, then local steals: should pick the cloud file with
+	// fewer active readers (not busyFile).
+	for p.PendingAt("local") > 0 {
+		p.Acquire("local", 8)
+	}
+	stolen := p.Acquire("local", 2)
+	if len(stolen) == 0 {
+		t.Fatal("no steal")
+	}
+	if stolen[0].Chunk.File == busyFile {
+		t.Fatalf("steal picked contended file %d (sites=%v)", busyFile, idx.Files[busyFile].Site)
+	}
+}
+
+func TestPoolCompleteAndDone(t *testing.T) {
+	p, _ := poolFixture(t)
+	var all []int32
+	for {
+		got := p.Acquire("local", 8)
+		if len(got) == 0 {
+			break
+		}
+		for _, a := range got {
+			all = append(all, a.Chunk.ID)
+		}
+	}
+	if len(all) != 32 {
+		t.Fatalf("acquired %d jobs", len(all))
+	}
+	if p.Done() {
+		t.Fatal("pool done before completion")
+	}
+	if err := p.Complete(all); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done() {
+		t.Fatal("pool not done after completing everything")
+	}
+	if err := p.Complete([]int32{0}); err == nil {
+		t.Fatal("double completion should error")
+	}
+}
+
+func TestPoolNoDoubleAssignment(t *testing.T) {
+	p, _ := poolFixture(t)
+	seen := make(map[int32]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, site := range []string{"local", "cloud", "local", "cloud"} {
+		wg.Add(1)
+		go func(site string) {
+			defer wg.Done()
+			for {
+				got := p.Acquire(site, 3)
+				if len(got) == 0 {
+					return
+				}
+				mu.Lock()
+				for _, a := range got {
+					if seen[a.Chunk.ID] {
+						t.Errorf("job %d assigned twice", a.Chunk.ID)
+					}
+					seen[a.Chunk.ID] = true
+				}
+				mu.Unlock()
+			}
+		}(site)
+	}
+	wg.Wait()
+	if len(seen) != 32 {
+		t.Fatalf("assigned %d of 32 jobs", len(seen))
+	}
+}
+
+func TestPoolRequeueSite(t *testing.T) {
+	p, _ := poolFixture(t)
+	got := p.Acquire("local", 5)
+	if len(got) != 5 {
+		t.Fatalf("granted %d", len(got))
+	}
+	if n := p.RequeueSite("local"); n != 5 {
+		t.Fatalf("requeued %d, want 5", n)
+	}
+	// The same jobs must be grantable again.
+	again := p.Acquire("local", 5)
+	if len(again) != 5 {
+		t.Fatalf("re-granted %d", len(again))
+	}
+	ids := map[int32]bool{}
+	for _, a := range got {
+		ids[a.Chunk.ID] = true
+	}
+	for _, a := range again {
+		if !ids[a.Chunk.ID] {
+			t.Fatalf("unexpected job %d after requeue", a.Chunk.ID)
+		}
+	}
+	if n := p.RequeueSite("mars"); n != 0 {
+		t.Fatalf("requeue of unknown site = %d", n)
+	}
+}
+
+// Conservation invariant under random concurrent acquire/complete
+// cycles: every job is completed exactly once, and the pool drains.
+func TestPoolConservationRandomized(t *testing.T) {
+	idx, _ := buildTestIndex(t, 3, 3, 64<<10, 16, 4<<10) // 96 jobs
+	p := NewPool(idx)
+	var mu sync.Mutex
+	completed := make(map[int32]int)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			site := "local"
+			if w%2 == 1 {
+				site = "cloud"
+			}
+			for {
+				got := p.Acquire(site, rng.Intn(5)+1)
+				if len(got) == 0 {
+					return
+				}
+				ids := make([]int32, len(got))
+				for i, a := range got {
+					ids[i] = a.Chunk.ID
+				}
+				if err := p.Complete(ids); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				for _, id := range ids {
+					completed[id]++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !p.Done() {
+		t.Fatalf("pool not drained: remaining=%d", p.Remaining())
+	}
+	if len(completed) != 96 {
+		t.Fatalf("completed %d of 96", len(completed))
+	}
+	for id, n := range completed {
+		if n != 1 {
+			t.Fatalf("job %d completed %d times", id, n)
+		}
+	}
+}
+
+func TestInsertSorted(t *testing.T) {
+	ids := []int32{2, 5, 9}
+	ids = insertSorted(ids, 7)
+	ids = insertSorted(ids, 1)
+	ids = insertSorted(ids, 11)
+	want := []int32{1, 2, 5, 7, 9, 11}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("got %v want %v", ids, want)
+		}
+	}
+}
+
+func TestPoolScatterSpreadsGrants(t *testing.T) {
+	idx, _ := buildTestIndex(t, 1, 0, 64<<10, 16, 2<<10) // 1 file, 32 chunks
+	p := NewPoolWith(idx, PoolOptions{Scatter: true})
+	got := p.Acquire("local", 4)
+	if len(got) != 4 {
+		t.Fatalf("granted %d", len(got))
+	}
+	consecutive := 0
+	for i := 1; i < len(got); i++ {
+		if got[i].Chunk.ID == got[i-1].Chunk.ID+1 {
+			consecutive++
+		}
+	}
+	if consecutive == len(got)-1 {
+		t.Fatalf("scatter produced a fully consecutive grant: %+v", got)
+	}
+	// Scattered pools still conserve jobs.
+	seen := map[int32]bool{}
+	for _, a := range got {
+		seen[a.Chunk.ID] = true
+	}
+	for {
+		more := p.Acquire("local", 5)
+		if len(more) == 0 {
+			break
+		}
+		for _, a := range more {
+			if seen[a.Chunk.ID] {
+				t.Fatalf("job %d granted twice under scatter", a.Chunk.ID)
+			}
+			seen[a.Chunk.ID] = true
+		}
+	}
+	if len(seen) != 32 {
+		t.Fatalf("scatter lost jobs: %d of 32", len(seen))
+	}
+}
+
+func TestPoolScatterSmallRemainder(t *testing.T) {
+	idx, _ := buildTestIndex(t, 1, 0, 8<<10, 16, 2<<10) // 4 chunks
+	p := NewPoolWith(idx, PoolOptions{Scatter: true})
+	if got := p.Acquire("local", 10); len(got) != 4 {
+		t.Fatalf("granted %d of 4", len(got))
+	}
+}

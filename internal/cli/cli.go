@@ -1,0 +1,75 @@
+// Package cli holds small helpers shared by the command-line tools:
+// parameter-list parsing and index file I/O.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"cloudburst/internal/chunk"
+)
+
+// ParseParams parses "k=v,k2=v2" application parameter lists.
+func ParseParams(s string) (map[string]string, error) {
+	params := make(map[string]string)
+	if strings.TrimSpace(s) == "" {
+		return params, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || strings.TrimSpace(k) == "" {
+			return nil, fmt.Errorf("cli: bad parameter %q (want key=value)", kv)
+		}
+		params[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return params, nil
+}
+
+// ParseSiteAddrs parses "site=addr,site2=addr2" lists (remote store
+// endpoints for cbslave).
+func ParseSiteAddrs(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		site, addr, ok := strings.Cut(kv, "=")
+		if !ok || site == "" || addr == "" {
+			return nil, fmt.Errorf("cli: bad site address %q (want site=host:port)", kv)
+		}
+		out[site] = addr
+	}
+	return out, nil
+}
+
+// WriteIndexFile serializes idx to path.
+func WriteIndexFile(path string, idx *chunk.Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadIndexFile loads and validates an index file.
+func ReadIndexFile(path string) (*chunk.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return chunk.ReadIndex(f)
+}

@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cloudburst/internal/chunk"
+	"cloudburst/internal/store"
+)
+
+func TestParseParams(t *testing.T) {
+	got, err := ParseParams(" k=1000 , dims=3,cost=2.9ms ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"k": "1000", "dims": "3", "cost": "2.9ms"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	if got, err := ParseParams(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty = %v, %v", got, err)
+	}
+	for _, bad := range []string{"noequals", "=v", " = "} {
+		if _, err := ParseParams(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseSiteAddrs(t *testing.T) {
+	got, err := ParseSiteAddrs("cloud=10.0.0.1:7072, local=10.0.0.2:7072")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["cloud"] != "10.0.0.1:7072" || got["local"] != "10.0.0.2:7072" {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := ParseSiteAddrs("=x"); err == nil {
+		t.Fatal("bad addr accepted")
+	}
+}
+
+func TestIndexFileRoundTrip(t *testing.T) {
+	m := store.NewMem()
+	m.Put("f.bin", make([]byte, 1024))
+	idx, err := chunk.Build(map[string]store.Store{"local": m},
+		[]chunk.FileMeta{{Name: "f.bin", Site: "local"}},
+		chunk.BuildOptions{RecordSize: 16, ChunkBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.cbix")
+	if err := WriteIndexFile(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndexFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, idx) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := ReadIndexFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+
+	"cloudburst/internal/netsim"
+)
+
+// The paper's load-balancing claims (Section III-B): on-demand job
+// requests make faster compute naturally process more jobs, at both
+// the slave and the cluster level.
+
+func TestFasterClusterProcessesMoreJobs(t *testing.T) {
+	cfg, gen := fixture(t, 12_000, 6, 3, 2, 2)
+	// Pace compute so per-job time dominates real protocol overhead,
+	// with the cloud's cores three times slower than local ones.
+	cfg.Clock = netsim.Scaled(0.01)
+	cfg.GroupUnits = 500
+	cfg.Sites[0].UnitCostScale = 1.0
+	cfg.Sites[1].UnitCostScale = 3.0
+	setAppCost(t, &cfg, "5ms")
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, res.Final, wantCounts(gen, 12_000))
+	local := res.Report.Cluster("local").Workers.JobsProcessed
+	cloud := res.Report.Cluster("cloud").Workers.JobsProcessed
+	if local <= cloud {
+		t.Fatalf("faster cluster processed %d jobs, slower %d — pooling did not balance", local, cloud)
+	}
+	// The slow cluster must still have contributed meaningfully.
+	if cloud == 0 {
+		t.Fatal("slow cluster starved entirely")
+	}
+}
+
+func TestBalancedClustersFinishTogether(t *testing.T) {
+	cfg, _ := fixture(t, 12_000, 6, 3, 2, 2)
+	cfg.Clock = netsim.Scaled(0.01)
+	setAppCost(t, &cfg, "2ms")
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With identical speeds and even data, end-of-run idle times must
+	// be small relative to total execution.
+	total := res.Report.TotalWall
+	for _, c := range res.Report.Clusters {
+		if c.IdleAtEnd > total/2 {
+			t.Fatalf("cluster %s idled %v of %v", c.Site, c.IdleAtEnd, total)
+		}
+	}
+}
+
+// setAppCost rebuilds the fixture's wordcount app with a paced unit
+// cost so compute dominates the (unshaped) retrieval.
+func setAppCost(t *testing.T, cfg *DeployConfig, cost string) {
+	t.Helper()
+	app, err := newFixtureApp(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.App = app
+}
+
+func TestHeterogeneousSlavesWithinCluster(t *testing.T) {
+	// Two slaves in one cluster, one 4x slower: the on-demand model
+	// must give the fast slave more jobs.
+	cfg, gen := fixture(t, 8_000, 4, 4, 1, 0)
+	clk := netsim.Scaled(0.01)
+	app, err := newFixtureApp("20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	head, err := NewHead(HeadConfig{App: app, Index: cfg.Index, Clusters: 1, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	headLn := mustListen(t)
+	head.Serve(headLn)
+
+	master, err := NewMaster(MasterConfig{Site: "local", App: app, Cores: 2, Slaves: 2, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterLn := mustListen(t)
+	masterDone := make(chan error, 1)
+	go func() {
+		_, err := master.Run(headLn.Addr().String(), dialTCP, masterLn)
+		masterDone <- err
+	}()
+
+	runSlave := func(scale float64, out chan<- int) {
+		slave, err := NewSlave(SlaveConfig{
+			Site: "local", App: app, Cores: 1,
+			HomeStore: cfg.Sites[0].HomeStore,
+			Clock:     clk, UnitCostScale: scale, GroupUnits: 250,
+		})
+		if err != nil {
+			out <- -1
+			return
+		}
+		stats, err := slave.Run(masterLn.Addr().String(), dialTCP)
+		if err != nil {
+			out <- -1
+			return
+		}
+		out <- stats.Snapshot().JobsProcessed
+	}
+	fast, slow := make(chan int, 1), make(chan int, 1)
+	go runSlave(1.0, fast)
+	go runSlave(4.0, slow)
+
+	fastJobs, slowJobs := <-fast, <-slow
+	if err := <-masterDone; err != nil {
+		t.Fatal(err)
+	}
+	if _, final, err := head.Wait(); err != nil {
+		t.Fatal(err)
+	} else {
+		checkCounts(t, final, wantCounts(gen, 8_000))
+	}
+	if fastJobs < 0 || slowJobs < 0 {
+		t.Fatal("a slave failed")
+	}
+	if fastJobs <= slowJobs {
+		t.Fatalf("fast slave got %d jobs, slow got %d", fastJobs, slowJobs)
+	}
+}

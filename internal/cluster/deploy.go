@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"cloudburst/internal/chunk"
+	"cloudburst/internal/gr"
+	"cloudburst/internal/metrics"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/store"
+)
+
+// SiteSpec describes one cluster of a deployment.
+type SiteSpec struct {
+	// Name is the site/cluster name referenced by the index's files.
+	Name string
+	// Cores is the number of virtual cores the site contributes.
+	Cores int
+	// HomeStore reads the site's own data (unshaped fast path).
+	HomeStore store.Store
+	// RemoteStores are (shaped) views of other sites' data, used for
+	// stolen jobs.
+	RemoteStores map[string]store.Store
+	// HeadLink shapes the master<->head connection (the inter-cluster
+	// path the reduction objects travel).
+	HeadLink netsim.Link
+	// SlaveLink shapes slave<->master connections (intra-cluster).
+	SlaveLink netsim.Link
+	// HomeFetch makes home reads use multi-threaded ranged retrieval
+	// (the cloud cluster reading its object store).
+	HomeFetch bool
+	// UnitCostScale adjusts this site's per-core compute speed.
+	UnitCostScale float64
+	// CostJitter spreads per-core speeds by ±CostJitter (EC2-style
+	// performance variability).
+	CostJitter float64
+}
+
+// DeployConfig describes a whole in-process deployment: one head, one
+// master per site, and each site's cores as slave workers, all
+// connected over loopback TCP through shaped links.
+type DeployConfig struct {
+	App   gr.App
+	Index *chunk.Index
+	Sites []SiteSpec
+	Clock netsim.Clock
+
+	// Batch/Watermark tune master refills; GroupUnits the engine's
+	// cache group; JobsPerRequest the slave's request size; Fetch the
+	// remote retrieval. Zero values pick defaults.
+	Batch          int
+	Watermark      int
+	GroupUnits     int
+	JobsPerRequest int
+	Fetch          store.FetchOptions
+	// Scatter disables consecutive-job assignment (ablation knob).
+	Scatter bool
+
+	Logf func(format string, args ...any)
+}
+
+// RunResult is everything a deployment run produces.
+type RunResult struct {
+	Report *metrics.RunReport
+	// Final is the globally reduced object (head's copy).
+	Final gr.Reduction
+	// PerSiteFinal holds each master's decoded copy of the final
+	// object (they must agree with Final; tests check).
+	PerSiteFinal map[string]gr.Reduction
+}
+
+// Run executes one complete job: it starts the head, masters, and
+// slaves, processes every chunk of the index, performs local and
+// global reductions, and returns the merged result and the run report.
+func Run(cfg DeployConfig) (*RunResult, error) {
+	if len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("cluster: deployment needs at least one site")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = netsim.Instant()
+	}
+
+	head, err := NewHead(HeadConfig{
+		App: cfg.App, Index: cfg.Index, Clusters: len(cfg.Sites),
+		Scatter: cfg.Scatter, Clock: cfg.Clock, Logf: cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	headLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	head.Serve(headLn)
+	headAddr := headLn.Addr().String()
+
+	result := &RunResult{PerSiteFinal: make(map[string]gr.Reduction)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(cfg.Sites))
+
+	for _, site := range cfg.Sites {
+		master, err := NewMaster(MasterConfig{
+			Site: site.Name, App: cfg.App, Cores: site.Cores, Slaves: site.Cores,
+			Batch: cfg.Batch, Watermark: cfg.Watermark,
+			Clock: cfg.Clock, Logf: cfg.Logf,
+		})
+		if err != nil {
+			headLn.Close()
+			return nil, err
+		}
+		masterLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			headLn.Close()
+			return nil, err
+		}
+		headShaper := netsim.NewShaper(cfg.Clock, site.HeadLink)
+		slaveShaper := netsim.NewShaper(cfg.Clock, site.SlaveLink)
+
+		wg.Add(1)
+		go func(site SiteSpec) {
+			defer wg.Done()
+			final, err := master.Run(headAddr, headShaper.DialerBoth(), masterLn)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			result.PerSiteFinal[site.Name] = final
+			mu.Unlock()
+		}(site)
+
+		slave, err := NewSlave(SlaveConfig{
+			Site: site.Name, App: cfg.App, Cores: site.Cores,
+			HomeStore: site.HomeStore, RemoteStores: site.RemoteStores,
+			Fetch: cfg.Fetch, GroupUnits: cfg.GroupUnits,
+			JobsPerRequest: cfg.JobsPerRequest,
+			HomeFetch:      site.HomeFetch, UnitCostScale: site.UnitCostScale,
+			CostJitter: site.CostJitter,
+			Clock:      cfg.Clock, Logf: cfg.Logf,
+		})
+		if err != nil {
+			headLn.Close()
+			return nil, err
+		}
+		wg.Add(1)
+		go func(site SiteSpec, addr string) {
+			defer wg.Done()
+			if _, err := slave.Run(addr, store.Dialer(slaveShaper.DialerBoth())); err != nil {
+				errs <- err
+			}
+		}(site, masterLn.Addr().String())
+	}
+
+	report, final, err := head.Wait()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		if err == nil {
+			err = e
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	result.Report = report
+	result.Final = final
+	// Annotate core counts (the head does not know them).
+	for i := range report.Clusters {
+		for _, site := range cfg.Sites {
+			if site.Name == report.Clusters[i].Site {
+				report.Clusters[i].Cores = site.Cores
+			}
+		}
+	}
+	return result, nil
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"cloudburst/internal/apps"
+	"cloudburst/internal/chunk"
+	"cloudburst/internal/store"
+	"cloudburst/internal/wire"
+)
+
+// Fault-tolerance tests for the re-execution extension: a worker or a
+// whole cluster dying mid-run must not lose data — everything it was
+// granted is re-executed elsewhere, because its partial reduction
+// object died with it.
+
+// startHead spins up a head over the given fixture config.
+func startHead(t *testing.T, cfg DeployConfig) (*Head, string) {
+	t.Helper()
+	head, err := NewHead(HeadConfig{
+		App: cfg.App, Index: cfg.Index, Clusters: len(cfg.Sites), Clock: cfg.Clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head.Serve(ln)
+	return head, ln.Addr().String()
+}
+
+func TestSlaveDeathJobsReexecuted(t *testing.T) {
+	cfg, gen := fixture(t, 6000, 6, 6, 1, 0) // single site, all data local
+	cfg.Sites[0].Cores = 1                   // one real worker...
+	head, headAddr := startHead(t, cfg)
+
+	master, err := NewMaster(MasterConfig{
+		Site: "local", App: cfg.App, Cores: 2, Slaves: 2, // ...plus one doomed worker
+		Batch: 4, Watermark: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterDone := make(chan error, 1)
+	go func() {
+		_, err := master.Run(headAddr, net.Dial, masterLn)
+		masterDone <- err
+	}()
+
+	// Doomed worker: register, grab jobs, die without completing them.
+	raw, err := net.Dial("tcp", masterLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := wire.NewConn(raw)
+	if _, err := doomed.Call(&wire.Message{Kind: wire.KindRegisterSlave, Site: "local"}); err != nil {
+		t.Fatal(err)
+	}
+	grant, err := doomed.Call(&wire.Message{Kind: wire.KindRequestJob, Max: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grant.Jobs) == 0 {
+		t.Fatal("doomed worker got no jobs")
+	}
+	doomed.Close() // dies holding its grant
+
+	// Real slave processes everything, including the requeued jobs.
+	slave, err := NewSlave(SlaveConfig{
+		Site: "local", App: cfg.App, Cores: 1,
+		HomeStore: cfg.Sites[0].HomeStore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := slave.Run(masterLn.Addr().String(), net.Dial); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-masterDone; err != nil {
+		t.Fatal(err)
+	}
+	report, final, err := head.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, final, wantCounts(gen, 6000))
+	if got := report.JobsProcessed(); got != len(cfg.Index.Chunks) {
+		t.Fatalf("jobs processed %d != %d", got, len(cfg.Index.Chunks))
+	}
+}
+
+func TestMasterDeathClusterReexecuted(t *testing.T) {
+	cfg, gen := fixture(t, 6000, 6, 3, 1, 1)
+	head, headAddr := startHead(t, cfg)
+
+	// Doomed master: registers as "cloud", takes a batch, dies.
+	raw, err := net.Dial("tcp", headAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := wire.NewConn(raw)
+	if _, err := doomed.Call(&wire.Message{Kind: wire.KindRegisterMaster, Site: "cloud", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	grant, err := doomed.Call(&wire.Message{Kind: wire.KindRequestJobs, Site: "cloud", Max: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grant.Jobs) == 0 {
+		t.Fatal("doomed master got no jobs")
+	}
+	doomed.Close()
+
+	// Surviving cluster: a real master + slave for "local". It must
+	// steal and re-execute everything, including the doomed batch.
+	master, err := NewMaster(MasterConfig{Site: "local", App: cfg.App, Cores: 1, Slaves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterDone := make(chan error, 1)
+	go func() {
+		_, err := master.Run(headAddr, net.Dial, masterLn)
+		masterDone <- err
+	}()
+	slave, err := NewSlave(SlaveConfig{
+		Site: "local", App: cfg.App, Cores: 1,
+		HomeStore: cfg.Sites[0].HomeStore,
+		RemoteStores: map[string]store.Store{
+			"cloud": cfg.Sites[1].HomeStore,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the head a moment to notice the dead master so its batch is
+	// requeued before the survivor drains the pool.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := slave.Run(masterLn.Addr().String(), net.Dial); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-masterDone; err != nil {
+		t.Fatal(err)
+	}
+	_, final, err := head.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, final, wantCounts(gen, 6000))
+}
+
+func TestAllClustersLostFailsRun(t *testing.T) {
+	cfg, _ := fixture(t, 1000, 2, 2, 1, 0)
+	head, headAddr := startHead(t, cfg)
+
+	raw, err := net.Dial("tcp", headAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := wire.NewConn(raw)
+	if _, err := doomed.Call(&wire.Message{Kind: wire.KindRegisterMaster, Site: "local", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	doomed.Close()
+
+	_, _, err = head.Wait()
+	if err == nil {
+		t.Fatal("run with all clusters lost should fail")
+	}
+}
+
+// TestAllSlavesLostFailsCluster drives a master whose only slave dies.
+func TestAllSlavesLostFailsCluster(t *testing.T) {
+	cfg, _ := fixture(t, 1000, 2, 2, 1, 0)
+	_, headAddr := startHead(t, cfg)
+
+	master, err := NewMaster(MasterConfig{Site: "local", App: cfg.App, Cores: 1, Slaves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterDone := make(chan error, 1)
+	go func() {
+		_, err := master.Run(headAddr, net.Dial, masterLn)
+		masterDone <- err
+	}()
+
+	raw, err := net.Dial("tcp", masterLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := wire.NewConn(raw)
+	if _, err := doomed.Call(&wire.Message{Kind: wire.KindRegisterSlave, Site: "local"}); err != nil {
+		t.Fatal(err)
+	}
+	doomed.Close()
+
+	select {
+	case err := <-masterDone:
+		if err == nil {
+			t.Fatal("master with no surviving slaves should fail")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("master did not detect total slave loss")
+	}
+}
+
+// TestFixtureAppsAgree sanity-checks the fixture across two app types.
+func TestFixtureAppsAgree(t *testing.T) {
+	app, err := apps.NewWordCount(apps.Params{"width": "12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.RecordSize() != 12 {
+		t.Fatal("fixture record size drifted")
+	}
+	if _, err := chunk.Build(nil, nil, chunk.BuildOptions{RecordSize: 12, ChunkBytes: 1}); err != nil {
+		t.Fatal("empty build should succeed with no files")
+	}
+}

@@ -1,0 +1,373 @@
+// Package cluster implements the paper's three-tier runtime (Section
+// III-B): the head node owns the global job pool and the final global
+// reduction; one master per cluster pulls job batches from the head on
+// demand and feeds its slaves; slaves retrieve chunk data (sequential
+// local reads, multi-threaded remote fetches for stolen jobs) and run
+// local reduction on paced virtual cores.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cloudburst/internal/chunk"
+	"cloudburst/internal/gr"
+	"cloudburst/internal/metrics"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/wire"
+)
+
+// HeadConfig configures a head node run.
+type HeadConfig struct {
+	// App is the application whose reduction objects the head merges.
+	App gr.App
+	// Index describes the data set; the head builds its job pool from it.
+	Index *chunk.Index
+	// Clusters is the number of masters expected to register.
+	Clusters int
+	// Scatter disables the consecutive-job assignment optimization
+	// (ablation knob; see chunk.PoolOptions).
+	Scatter bool
+	// Clock converts measured wall time back to emulated durations.
+	Clock netsim.Clock
+	// Logf receives progress logging; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+// Head is the head node: it assigns jobs to requesting clusters
+// (locality first, then stealing from the least-contended remote
+// file), collects per-cluster reduction objects, and produces the
+// final result.
+type Head struct {
+	cfg  HeadConfig
+	pool *chunk.Pool
+
+	mu          sync.Mutex
+	started     time.Time
+	arrivals    map[string]time.Time // site -> cluster-result arrival
+	stats       map[string]wire.Stats
+	objects     []gr.Reduction
+	registered  int
+	expected    int // clusters still expected to deliver a result
+	lastArrival time.Time
+	sendsDone   int
+	broadcastT  time.Time // when the last Final send completed
+	mergeEmu    time.Duration
+
+	// mergeReady is closed when the global reduction has produced the
+	// final object (or failed); handlers then broadcast it.
+	mergeReady chan struct{}
+	mergeOnce  sync.Once
+	finalObj   gr.Reduction
+	finalEnc   []byte
+	runErr     error
+
+	resultOnce sync.Once
+	resultCh   chan headResult
+
+	wg sync.WaitGroup
+	ln net.Listener
+}
+
+type headResult struct {
+	report *metrics.RunReport
+	final  gr.Reduction
+	err    error
+}
+
+// NewHead builds a head node.
+func NewHead(cfg HeadConfig) (*Head, error) {
+	if cfg.App == nil || cfg.Index == nil {
+		return nil, fmt.Errorf("cluster: head needs an app and an index")
+	}
+	if cfg.Clusters <= 0 {
+		return nil, fmt.Errorf("cluster: head needs a positive cluster count")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = netsim.Instant()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Head{
+		cfg:        cfg,
+		pool:       chunk.NewPoolWith(cfg.Index, chunk.PoolOptions{Scatter: cfg.Scatter}),
+		expected:   cfg.Clusters,
+		arrivals:   make(map[string]time.Time),
+		stats:      make(map[string]wire.Stats),
+		mergeReady: make(chan struct{}),
+		resultCh:   make(chan headResult, 1),
+	}, nil
+}
+
+// Serve accepts master connections on l until the run completes.
+func (h *Head) Serve(l net.Listener) {
+	h.mu.Lock()
+	h.ln = l
+	h.started = h.cfg.Clock.Now()
+	h.mu.Unlock()
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			h.wg.Add(1)
+			go func() {
+				defer h.wg.Done()
+				if err := h.handleMaster(wire.NewConn(conn)); err != nil {
+					h.fail(err)
+				}
+			}()
+		}
+	}()
+}
+
+// Wait blocks until the run completes, returning the run report and
+// the final reduction object. Wait may be called repeatedly.
+func (h *Head) Wait() (*metrics.RunReport, gr.Reduction, error) {
+	res := <-h.resultCh
+	h.resultCh <- res
+	if h.ln != nil {
+		h.ln.Close()
+	}
+	return res.report, res.final, res.err
+}
+
+func (h *Head) fail(err error) {
+	// Release any handlers blocked waiting for the merge so they can
+	// observe the failure instead of hanging.
+	h.mu.Lock()
+	if h.runErr == nil {
+		h.runErr = err
+	}
+	h.mu.Unlock()
+	h.mergeOnce.Do(func() { close(h.mergeReady) })
+	h.resultOnce.Do(func() {
+		h.resultCh <- headResult{err: err}
+	})
+}
+
+// handleMaster drives one master connection through the protocol:
+// register -> (request-jobs)* -> cluster-result -> final.
+func (h *Head) handleMaster(c *wire.Conn) error {
+	defer c.Close()
+	reg, err := c.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: head: master register: %w", err)
+	}
+	if reg.Kind != wire.KindRegisterMaster || reg.Site == "" {
+		return fmt.Errorf("cluster: head: expected register-master, got %v", reg.Kind)
+	}
+	site := reg.Site
+	h.mu.Lock()
+	h.registered++
+	n := h.registered
+	h.mu.Unlock()
+	if n > h.cfg.Clusters {
+		return fmt.Errorf("cluster: head: unexpected extra master %q", site)
+	}
+	h.cfg.Logf("head: master %s registered (%d cores)", site, reg.Cores)
+	if err := c.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
+		return err
+	}
+
+	for {
+		req, err := c.Recv()
+		if err != nil {
+			// A master dying mid-run: requeue its outstanding jobs so
+			// surviving clusters pick them up, and stop expecting a
+			// result from this site (fault-tolerance extension; the
+			// paper defers this).
+			h.clusterLost(site, err)
+			return nil
+		}
+		switch req.Kind {
+		case wire.KindRequestJobs:
+			if len(req.Completed) > 0 {
+				if err := h.pool.Complete(req.Completed); err != nil {
+					return err
+				}
+			}
+			grants := h.pool.Acquire(site, req.Max)
+			resp := &wire.Message{Kind: wire.KindJobs, Done: len(grants) == 0}
+			for _, g := range grants {
+				ch := g.Chunk
+				f := h.cfg.Index.Files[ch.File]
+				resp.Jobs = append(resp.Jobs, wire.JobAssign{
+					Chunk: ch.ID, File: f.Name, Offset: ch.Offset, Length: ch.Length,
+					Units: ch.Units, HomeSite: f.Site, Stolen: g.Stolen,
+				})
+			}
+			if err := c.Send(resp); err != nil {
+				return err
+			}
+
+		case wire.KindClusterResult:
+			if len(req.Completed) > 0 {
+				if err := h.pool.Complete(req.Completed); err != nil {
+					return err
+				}
+			}
+			obj, err := gr.DecodeReduction(h.cfg.App, req.Object)
+			if err != nil {
+				return fmt.Errorf("cluster: head: decode %s result: %w", site, err)
+			}
+			if h.recordResult(site, obj, req.Stats) {
+				h.merge()
+			}
+			<-h.mergeReady
+			h.mu.Lock()
+			runErr, enc := h.runErr, h.finalEnc
+			h.mu.Unlock()
+			if runErr != nil {
+				c.Send(&wire.Message{Kind: wire.KindError, Err: runErr.Error()})
+				h.fail(runErr)
+				return nil
+			}
+			// The Final broadcast carries the merged reduction object
+			// back across the (shaped) inter-cluster links; its cost
+			// is part of the global reduction (Table II). The master's
+			// ack marks actual delivery — a plain Send would complete
+			// into the socket buffer long before the shaped link
+			// finished carrying the object.
+			err = c.Send(&wire.Message{Kind: wire.KindFinal, Object: enc, Done: true})
+			if err == nil {
+				_, err = c.Recv() // delivery ack
+			}
+			if err != nil {
+				// The cluster's result is already merged; losing the
+				// connection now only means it misses the broadcast.
+				h.clusterLost(site, err)
+				return nil
+			}
+			h.broadcastDone()
+			return nil
+
+		default:
+			return fmt.Errorf("cluster: head: unexpected %v from %s", req.Kind, site)
+		}
+	}
+}
+
+// recordResult stores one cluster's result, returning true when every
+// expected cluster has reported.
+func (h *Head) recordResult(site string, obj gr.Reduction, stats wire.Stats) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.arrivals[site]; dup {
+		return false
+	}
+	now := h.cfg.Clock.Now()
+	h.arrivals[site] = now
+	if now.After(h.lastArrival) {
+		h.lastArrival = now
+	}
+	h.stats[site] = stats
+	h.objects = append(h.objects, obj)
+	h.cfg.Logf("head: cluster %s finished (%d jobs)", site, stats.Breakdown.JobsProcessed)
+	return len(h.arrivals) == h.expected
+}
+
+// clusterLost handles a master connection dying: if the cluster's
+// result had not yet arrived, its outstanding jobs are requeued and
+// the cluster is no longer expected (its result died with it). If it
+// was the last expected cluster, the run fails.
+func (h *Head) clusterLost(site string, cause error) {
+	h.mu.Lock()
+	if _, delivered := h.arrivals[site]; delivered {
+		// The result is already safe; losing the connection while
+		// broadcasting Final only means the master misses the final
+		// object.
+		h.mu.Unlock()
+		h.broadcastDone()
+		return
+	}
+	requeued := h.pool.RequeueSite(site)
+	h.expected--
+	remaining := h.expected
+	ready := remaining > 0 && len(h.arrivals) == remaining
+	h.cfg.Logf("head: cluster %s lost, %d jobs requeued, %d clusters remain (%v)",
+		site, requeued, remaining, cause)
+	h.mu.Unlock()
+	if remaining <= 0 {
+		h.fail(fmt.Errorf("cluster: head: all clusters lost: %w", cause))
+		return
+	}
+	if ready {
+		h.merge()
+	}
+	h.broadcastDone()
+}
+
+// merge runs the global reduction once all clusters have reported and
+// releases the handlers to broadcast the final object.
+func (h *Head) merge() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	start := h.cfg.Clock.Now()
+	final, err := gr.MergeAll(h.cfg.App, h.objects)
+	if err == nil {
+		h.finalObj = final
+		h.finalEnc, err = gr.EncodeReduction(final)
+	}
+	h.mergeEmu = h.cfg.Clock.ToEmu(h.cfg.Clock.Now().Sub(start))
+	if h.runErr == nil {
+		h.runErr = err
+	}
+	h.mergeOnce.Do(func() { close(h.mergeReady) })
+}
+
+// broadcastDone is called as each handler finishes sending Final; the
+// last one assembles and publishes the run report.
+func (h *Head) broadcastDone() {
+	h.mu.Lock()
+	h.sendsDone++
+	now := h.cfg.Clock.Now()
+	if now.After(h.broadcastT) {
+		h.broadcastT = now
+	}
+	done := h.sendsDone == h.cfg.Clusters
+	h.mu.Unlock()
+	if done {
+		h.publish()
+	}
+}
+
+// publish assembles the final run report.
+func (h *Head) publish() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	report := &metrics.RunReport{
+		App: h.cfg.App.Name(),
+		// Global reduction = in-memory merge plus broadcasting the
+		// final object back to every cluster.
+		GlobalRed: h.mergeEmu + h.cfg.Clock.ToEmu(h.broadcastT.Sub(h.lastArrival)),
+		TotalWall: h.cfg.Clock.ToEmu(h.broadcastT.Sub(h.started)),
+	}
+	for site, t := range h.arrivals {
+		st := h.stats[site]
+		report.Clusters = append(report.Clusters, metrics.ClusterReport{
+			Site:      site,
+			Workers:   st.Breakdown,
+			IdleAtEnd: h.cfg.Clock.ToEmu(h.lastArrival.Sub(t)),
+			Wall:      time.Duration(st.WallEmu),
+		})
+	}
+	if s, ok := h.cfg.App.(gr.Summarizer); ok {
+		if digest, err := s.Summarize(h.finalObj); err == nil {
+			report.FinalResult = digest
+		}
+	}
+	err := h.runErr
+	if err == nil && !h.pool.Done() {
+		err = fmt.Errorf("cluster: head: run finished with %d jobs unaccounted", h.pool.Remaining())
+	}
+	final := h.finalObj
+	h.resultOnce.Do(func() { h.resultCh <- headResult{report: report, final: final, err: err} })
+}

@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cloudburst/internal/gr"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/store"
+	"cloudburst/internal/wire"
+)
+
+// MasterConfig configures one cluster's master node.
+type MasterConfig struct {
+	// Site is this cluster's name ("local", "cloud").
+	Site string
+	// App is the application (used to merge slave reduction objects).
+	App gr.App
+	// Cores is the cluster's total virtual core count (reported to the
+	// head for logging; the slaves bring the actual workers).
+	Cores int
+	// Slaves is the number of slave nodes that will register; the
+	// master finishes its local combine after hearing from all.
+	Slaves int
+	// Batch is how many jobs to request from the head per refill
+	// (values below 1 default to 2x cores or 8).
+	Batch int
+	// Watermark refills the pool when it drops below this many jobs
+	// (default: half the batch).
+	Watermark int
+	// Clock converts wall time to emulated durations.
+	Clock netsim.Clock
+	// Logf receives progress logging; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+func (c MasterConfig) withDefaults() MasterConfig {
+	if c.Batch < 1 {
+		c.Batch = 2 * c.Cores
+		if c.Batch < 8 {
+			c.Batch = 8
+		}
+	}
+	if c.Watermark < 1 {
+		c.Watermark = c.Batch / 2
+		if c.Watermark < 1 {
+			c.Watermark = 1
+		}
+	}
+	if c.Clock == nil {
+		c.Clock = netsim.Instant()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Master manages one cluster: it keeps a local pool of jobs topped up
+// from the head on demand (pooling-based load balancing) and serves
+// them to requesting slaves; when the head's pool drains it collects
+// slave reduction objects, combines them, and ships the cluster result
+// to the head.
+type Master struct {
+	cfg  MasterConfig
+	head *wire.Conn
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []wire.JobAssign
+	completed []int32 // finished job ids not yet reported to the head
+	headDone  bool
+	failed    error
+	expected  int // slave results still awaited (starts at cfg.Slaves)
+
+	slaveObjs  []gr.Reduction
+	slaveStats []wire.Stats
+	started    time.Time
+
+	wg sync.WaitGroup
+	ln net.Listener
+
+	doneCh chan error
+}
+
+// NewMaster builds a master for the given site.
+func NewMaster(cfg MasterConfig) (*Master, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Site == "" || cfg.App == nil {
+		return nil, fmt.Errorf("cluster: master needs a site and an app")
+	}
+	if cfg.Slaves <= 0 {
+		return nil, fmt.Errorf("cluster: master needs a positive slave count")
+	}
+	m := &Master{cfg: cfg, expected: cfg.Slaves, doneCh: make(chan error, 1)}
+	m.cond = sync.NewCond(&m.mu)
+	return m, nil
+}
+
+// Run connects to the head through dial, serves slaves on l, and
+// blocks until the cluster's part of the run completes. It returns the
+// final (globally reduced) object received from the head.
+func (m *Master) Run(headAddr string, dial store.Dialer, l net.Listener) (gr.Reduction, error) {
+	raw, err := dial("tcp", headAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: master %s: dial head: %w", m.cfg.Site, err)
+	}
+	m.head = wire.NewConn(raw)
+	defer m.head.Close()
+
+	if _, err := m.head.Call(&wire.Message{
+		Kind: wire.KindRegisterMaster, Site: m.cfg.Site, Cores: m.cfg.Cores,
+	}); err != nil {
+		return nil, fmt.Errorf("cluster: master %s: register: %w", m.cfg.Site, err)
+	}
+	m.mu.Lock()
+	m.started = m.cfg.Clock.Now()
+	m.mu.Unlock()
+
+	// Accept slave connections.
+	m.ln = l
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				if err := m.handleSlave(wire.NewConn(conn)); err != nil {
+					m.fail(err)
+				}
+			}()
+		}
+	}()
+
+	// Pump the head for jobs until it reports the pool dry.
+	if err := m.refillLoop(); err != nil {
+		m.fail(err)
+	}
+
+	// Wait for every slave's result (or a failure).
+	if err := <-m.doneCh; err != nil {
+		l.Close()
+		m.wg.Wait()
+		return nil, err
+	}
+	l.Close()
+	m.wg.Wait()
+
+	return m.combineAndReport()
+}
+
+func (m *Master) fail(err error) {
+	m.mu.Lock()
+	if m.failed == nil {
+		m.failed = err
+		m.headDone = true // release blocked slaves
+		select {
+		case m.doneCh <- err:
+		default:
+		}
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// refillLoop keeps the local pool topped up: whenever the queue drops
+// below the watermark it requests a batch from the head, piggybacking
+// completed-job acknowledgements.
+func (m *Master) refillLoop() error {
+	for {
+		m.mu.Lock()
+		for len(m.queue) >= m.cfg.Watermark && m.failed == nil {
+			m.cond.Wait()
+		}
+		if m.failed != nil {
+			m.mu.Unlock()
+			return nil
+		}
+		completed := m.completed
+		m.completed = nil
+		m.mu.Unlock()
+
+		resp, err := m.head.Call(&wire.Message{
+			Kind: wire.KindRequestJobs, Site: m.cfg.Site,
+			Max: m.cfg.Batch, Completed: completed,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: master %s: request jobs: %w", m.cfg.Site, err)
+		}
+		if resp.Kind != wire.KindJobs {
+			return fmt.Errorf("cluster: master %s: unexpected %v", m.cfg.Site, resp.Kind)
+		}
+
+		m.mu.Lock()
+		m.queue = append(m.queue, resp.Jobs...)
+		if resp.Done {
+			m.headDone = true
+		}
+		m.cond.Broadcast()
+		done := m.headDone
+		m.mu.Unlock()
+		if done {
+			m.cfg.Logf("master %s: head pool dry, draining", m.cfg.Site)
+			return nil
+		}
+	}
+}
+
+// handleSlave serves one slave connection: grant jobs until the pool
+// is dry, then collect the slave's reduction object.
+//
+// Fault tolerance (an extension beyond the paper): a slave's completed
+// jobs are only acknowledged upstream once its reduction object has
+// arrived safely. If the slave dies first, every job it was ever
+// granted is requeued — its partial reduction object died with it, so
+// even "completed" jobs must be re-executed.
+func (m *Master) handleSlave(c *wire.Conn) error {
+	defer c.Close()
+	reg, err := c.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: master %s: slave register: %w", m.cfg.Site, err)
+	}
+	if reg.Kind != wire.KindRegisterSlave {
+		return fmt.Errorf("cluster: master %s: expected register-slave, got %v", m.cfg.Site, reg.Kind)
+	}
+	if err := c.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
+		return err
+	}
+
+	granted := make(map[int32]wire.JobAssign)
+	var completed []int32
+
+	for {
+		req, err := c.Recv()
+		if err != nil {
+			m.slaveLost(granted)
+			return nil
+		}
+		switch req.Kind {
+		case wire.KindRequestJob:
+			completed = append(completed, req.Completed...)
+			jobs, done := m.takeJobs(max(req.Max, 1))
+			for _, j := range jobs {
+				granted[j.Chunk] = j
+			}
+			if err := c.Send(&wire.Message{Kind: wire.KindJobGrant, Jobs: jobs, Done: done}); err != nil {
+				m.slaveLost(granted)
+				return nil
+			}
+
+		case wire.KindSlaveResult:
+			completed = append(completed, req.Completed...)
+			if len(completed) != len(granted) {
+				return fmt.Errorf("cluster: master %s: slave completed %d of %d granted jobs",
+					m.cfg.Site, len(completed), len(granted))
+			}
+			obj, err := gr.DecodeReduction(m.cfg.App, req.Object)
+			if err != nil {
+				return fmt.Errorf("cluster: master %s: decode slave result: %w", m.cfg.Site, err)
+			}
+			if err := c.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
+				return err
+			}
+			m.mu.Lock()
+			m.completed = append(m.completed, completed...)
+			m.slaveObjs = append(m.slaveObjs, obj)
+			m.slaveStats = append(m.slaveStats, req.Stats)
+			ready := len(m.slaveObjs) == m.expected && m.failed == nil
+			m.mu.Unlock()
+			if ready {
+				m.doneCh <- nil
+			}
+			return nil
+
+		default:
+			return fmt.Errorf("cluster: master %s: unexpected %v from slave", m.cfg.Site, req.Kind)
+		}
+	}
+}
+
+// slaveLost requeues everything a dead slave had been granted and
+// lowers the expected-result count. If no slaves remain, the cluster
+// cannot finish and the run fails.
+func (m *Master) slaveLost(granted map[int32]wire.JobAssign) {
+	m.mu.Lock()
+	for _, j := range granted {
+		m.queue = append(m.queue, j)
+	}
+	m.expected--
+	remaining := m.expected
+	results := len(m.slaveObjs)
+	m.cfg.Logf("master %s: slave lost, requeued %d jobs, %d slaves remain",
+		m.cfg.Site, len(granted), remaining)
+	m.cond.Broadcast()
+	ready := remaining > 0 && results == remaining && m.failed == nil
+	m.mu.Unlock()
+	if remaining <= 0 {
+		m.fail(fmt.Errorf("cluster: master %s: all slaves lost", m.cfg.Site))
+		return
+	}
+	if ready {
+		m.doneCh <- nil
+	}
+}
+
+// takeJobs pops up to max jobs, blocking while the pool is being
+// refilled; done is true only when the head has no more jobs AND the
+// local queue is empty.
+func (m *Master) takeJobs(max int) ([]wire.JobAssign, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.headDone && m.failed == nil {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return nil, true
+	}
+	n := len(m.queue)
+	if max < n {
+		n = max
+	}
+	jobs := append([]wire.JobAssign(nil), m.queue[:n]...)
+	m.queue = m.queue[n:]
+	// Dropping below the watermark wakes the refill loop.
+	if len(m.queue) < m.cfg.Watermark {
+		m.cond.Broadcast()
+	}
+	return jobs, false
+}
+
+// combineAndReport performs the intra-cluster combine, ships the
+// result (plus aggregated stats and any unreported completions) to the
+// head, and waits for the final object.
+func (m *Master) combineAndReport() (gr.Reduction, error) {
+	m.mu.Lock()
+	objs := m.slaveObjs
+	stats := m.slaveStats
+	completed := m.completed
+	m.completed = nil
+	started := m.started
+	m.mu.Unlock()
+
+	combined, err := gr.MergeAll(m.cfg.App, objs)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: master %s: combine: %w", m.cfg.Site, err)
+	}
+	enc, err := gr.EncodeReduction(combined)
+	if err != nil {
+		return nil, err
+	}
+
+	var agg wire.Stats
+	for _, s := range stats {
+		agg.Breakdown = agg.Breakdown.Add(s.Breakdown)
+	}
+	agg.WallEmu = int64(m.cfg.Clock.ToEmu(m.cfg.Clock.Now().Sub(started)))
+
+	m.cfg.Logf("master %s: local combine done, %d jobs, shipping %d-byte object",
+		m.cfg.Site, agg.Breakdown.JobsProcessed, len(enc))
+	resp, err := m.head.Call(&wire.Message{
+		Kind: wire.KindClusterResult, Site: m.cfg.Site,
+		Object: enc, Stats: agg, Completed: completed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: master %s: report: %w", m.cfg.Site, err)
+	}
+	if resp.Kind != wire.KindFinal {
+		return nil, fmt.Errorf("cluster: master %s: expected final, got %v", m.cfg.Site, resp.Kind)
+	}
+	// Confirm receipt: the head charges the broadcast's (shaped)
+	// transfer time to the global reduction only once this ack lands.
+	if err := m.head.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
+		return nil, err
+	}
+	return gr.DecodeReduction(m.cfg.App, resp.Object)
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudburst/internal/gr"
+	"cloudburst/internal/wire"
+)
+
+// Protocol-level negative tests: drive raw wire messages against head
+// and master and check that malformed or out-of-order traffic is
+// rejected without wedging the run.
+
+func dialWire(t *testing.T, addr string) *wire.Conn {
+	t.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wire.NewConn(raw)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestHeadRejectsNonRegisterFirst(t *testing.T) {
+	cfg, _ := fixture(t, 1000, 2, 2, 1, 0)
+	head, addr := startHead(t, cfg)
+
+	c := dialWire(t, addr)
+	if err := c.Send(&wire.Message{Kind: wire.KindRequestJobs, Site: "local"}); err != nil {
+		t.Fatal(err)
+	}
+	// The head drops the connection and the run fails (its only
+	// expected cluster is gone).
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("head answered an unregistered master")
+	}
+	if _, _, err := head.Wait(); err == nil {
+		t.Fatal("run should fail after protocol violation")
+	}
+}
+
+func TestHeadRejectsEmptySiteName(t *testing.T) {
+	cfg, _ := fixture(t, 1000, 2, 2, 1, 0)
+	head, addr := startHead(t, cfg)
+	c := dialWire(t, addr)
+	if err := c.Send(&wire.Message{Kind: wire.KindRegisterMaster, Site: ""}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("head accepted an empty site name")
+	}
+	if _, _, err := head.Wait(); err == nil {
+		t.Fatal("run should fail")
+	}
+}
+
+func TestHeadRejectsExtraMaster(t *testing.T) {
+	cfg, _ := fixture(t, 1000, 2, 2, 1, 0) // single site expected
+	head, addr := startHead(t, cfg)
+
+	first := dialWire(t, addr)
+	if _, err := first.Call(&wire.Message{Kind: wire.KindRegisterMaster, Site: "local", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	extra := dialWire(t, addr)
+	if err := extra.Send(&wire.Message{Kind: wire.KindRegisterMaster, Site: "mars", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := extra.Recv(); err == nil {
+		t.Fatal("head accepted a master beyond the configured cluster count")
+	}
+	_, _, err := head.Wait()
+	if err == nil || !strings.Contains(err.Error(), "extra master") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHeadRejectsUnexpectedKindMidRun(t *testing.T) {
+	cfg, _ := fixture(t, 1000, 2, 2, 1, 0)
+	head, addr := startHead(t, cfg)
+	c := dialWire(t, addr)
+	if _, err := c.Call(&wire.Message{Kind: wire.KindRegisterMaster, Site: "local", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(&wire.Message{Kind: wire.KindReadAt, File: "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := head.Wait(); err == nil {
+		t.Fatal("head tolerated a store message on the cluster protocol")
+	}
+}
+
+func TestHeadRejectsBogusCompletion(t *testing.T) {
+	cfg, _ := fixture(t, 1000, 2, 2, 1, 0)
+	head, addr := startHead(t, cfg)
+	c := dialWire(t, addr)
+	if _, err := c.Call(&wire.Message{Kind: wire.KindRegisterMaster, Site: "local", Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Completing a job that was never assigned is a protocol bug.
+	if err := c.Send(&wire.Message{Kind: wire.KindRequestJobs, Site: "local", Max: 1, Completed: []int32{7}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := head.Wait(); err == nil {
+		t.Fatal("head accepted completion of an unassigned job")
+	}
+}
+
+func TestMasterRejectsNonRegisterSlave(t *testing.T) {
+	cfg, _ := fixture(t, 1000, 2, 2, 1, 0)
+	_, headAddr := startHead(t, cfg)
+	master, err := NewMaster(MasterConfig{Site: "local", App: cfg.App, Cores: 1, Slaves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := mustListen(t)
+	done := make(chan error, 1)
+	go func() {
+		_, err := master.Run(headAddr, dialTCP, ln)
+		done <- err
+	}()
+
+	c := dialWire(t, ln.Addr().String())
+	if err := c.Send(&wire.Message{Kind: wire.KindRequestJob}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("master tolerated an unregistered slave")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("master did not fail")
+	}
+}
+
+func TestMasterDetectsShortCompletion(t *testing.T) {
+	// A slave shipping its result while jobs it was granted remain
+	// unreported indicates lost work; the master must reject it.
+	cfg, _ := fixture(t, 1000, 2, 2, 1, 0)
+	_, headAddr := startHead(t, cfg)
+	master, err := NewMaster(MasterConfig{Site: "local", App: cfg.App, Cores: 1, Slaves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := mustListen(t)
+	done := make(chan error, 1)
+	go func() {
+		_, err := master.Run(headAddr, dialTCP, ln)
+		done <- err
+	}()
+
+	c := dialWire(t, ln.Addr().String())
+	if _, err := c.Call(&wire.Message{Kind: wire.KindRegisterSlave, Site: "local"}); err != nil {
+		t.Fatal(err)
+	}
+	grant, err := c.Call(&wire.Message{Kind: wire.KindRequestJob, Max: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grant.Jobs) == 0 {
+		t.Fatal("no jobs granted")
+	}
+	// Ship a result without reporting the granted jobs complete.
+	enc, err := gr.EncodeReduction(cfg.App.NewReduction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(&wire.Message{Kind: wire.KindSlaveResult, Object: enc}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "completed") {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("master did not detect lost completions")
+	}
+}

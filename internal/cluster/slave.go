@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"cloudburst/internal/gr"
+	"cloudburst/internal/metrics"
+	"cloudburst/internal/netsim"
+	"cloudburst/internal/store"
+	"cloudburst/internal/wire"
+)
+
+// SlaveConfig configures one slave node.
+type SlaveConfig struct {
+	// Site is the cluster this slave belongs to.
+	Site string
+	// App is the application to run.
+	App gr.App
+	// Cores is the number of virtual cores (worker goroutines).
+	Cores int
+	// HomeStore reads data stored at this slave's own site
+	// (sequential, fast path).
+	HomeStore store.Store
+	// RemoteStores maps other sites to the (shaped) stores used when
+	// processing stolen jobs.
+	RemoteStores map[string]store.Store
+	// Fetch tunes the multi-threaded remote retrieval.
+	Fetch store.FetchOptions
+	// GroupUnits is the cache-sized unit group for local reduction.
+	GroupUnits int
+	// JobsPerRequest is how many jobs a worker asks the master for at
+	// once (default 1, the paper's on-demand model).
+	JobsPerRequest int
+	// HomeFetch uses multi-threaded ranged retrieval even for home
+	// data. The cloud cluster sets this: its "local" data lives in the
+	// object store, which rewards concurrent range requests just like
+	// stolen data does.
+	HomeFetch bool
+	// UnitCostScale multiplies the app's per-unit compute cost for
+	// this slave's cores (cloud instances slower than local Xeons).
+	// Zero means 1.
+	UnitCostScale float64
+	// CostJitter models EC2-style performance variability: each core's
+	// effective unit cost is further scaled by a deterministic factor
+	// in [1-CostJitter, 1+CostJitter]. The paper observes that the
+	// pooling-based load balancer normalizes exactly this.
+	CostJitter float64
+	// Clock paces compute and converts wall to emulated time.
+	Clock netsim.Clock
+	// Logf receives progress logging; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+func (c SlaveConfig) withDefaults() SlaveConfig {
+	if c.Cores < 1 {
+		c.Cores = 1
+	}
+	if c.JobsPerRequest < 1 {
+		c.JobsPerRequest = 1
+	}
+	if c.Fetch.Threads == 0 && c.Fetch.RangeSize == 0 {
+		c.Fetch = store.DefaultFetchOptions()
+	}
+	if c.Clock == nil {
+		c.Clock = netsim.Instant()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Slave runs Cores worker goroutines, each with its own connection to
+// the master and its own private reduction object. Workers request
+// jobs on demand (so faster cores naturally process more jobs — the
+// paper's pooling-based load balancing), retrieve the chunk data
+// (sequential local reads; multi-threaded ranged fetches for stolen
+// jobs), and run local reduction in cache-sized unit groups. When the
+// pool drains, the workers' objects are merged and shipped to the
+// master as this slave's result.
+type Slave struct {
+	cfg SlaveConfig
+}
+
+// NewSlave builds a slave node.
+func NewSlave(cfg SlaveConfig) (*Slave, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Site == "" || cfg.App == nil {
+		return nil, fmt.Errorf("cluster: slave needs a site and an app")
+	}
+	if cfg.HomeStore == nil {
+		return nil, fmt.Errorf("cluster: slave needs a home store")
+	}
+	return &Slave{cfg: cfg}, nil
+}
+
+// Run connects every virtual core to the master, processes jobs until
+// the pool drains, and ships each core's reduction object; the master
+// performs the intra-cluster combine. It returns the slave's
+// aggregated metrics.
+func (s *Slave) Run(masterAddr string, dial store.Dialer) (*metrics.Breakdown, error) {
+	type workerOut struct {
+		stats metrics.Snapshot
+		err   error
+	}
+	outs := make([]workerOut, s.cfg.Cores)
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Cores; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stats, err := s.worker(masterAddr, dial, w)
+			outs[w] = workerOut{stats, err}
+		}(w)
+	}
+	wg.Wait()
+
+	total := &metrics.Breakdown{}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		total.AddSnapshot(o.stats)
+	}
+	return total, nil
+}
+
+// jitterFactor derives worker w's deterministic speed factor in
+// [1-j, 1+j] from its index.
+func jitterFactor(w int, j float64) float64 {
+	if j <= 0 {
+		return 1
+	}
+	x := uint64(w)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	frac := float64(x>>40) / float64(1<<24)
+	return 1 + j*(2*frac-1)
+}
+
+// worker is one virtual core: its own master connection, engine, and
+// private reduction object, shipped to the master when the pool dries.
+func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.Snapshot, error) {
+	var zero metrics.Snapshot
+	raw, err := dial("tcp", masterAddr)
+	if err != nil {
+		return zero, fmt.Errorf("cluster: slave %s: dial master: %w", s.cfg.Site, err)
+	}
+	conn := wire.NewConn(raw)
+	defer conn.Close()
+	if _, err := conn.Call(&wire.Message{Kind: wire.KindRegisterSlave, Site: s.cfg.Site}); err != nil {
+		return zero, err
+	}
+
+	scale := s.cfg.UnitCostScale
+	if scale <= 0 {
+		scale = 1
+	}
+	scale *= jitterFactor(idx, s.cfg.CostJitter)
+	stats := &metrics.Breakdown{}
+	engine := gr.NewEngine(s.cfg.App, gr.EngineOptions{
+		GroupUnits:    s.cfg.GroupUnits,
+		Clock:         s.cfg.Clock,
+		Stats:         stats,
+		UnitCostScale: scale,
+	})
+	red := s.cfg.App.NewReduction()
+	var pending []int32 // completions not yet reported
+
+	for {
+		waitStart := s.cfg.Clock.Now()
+		resp, err := conn.Call(&wire.Message{
+			Kind: wire.KindRequestJob, Max: s.cfg.JobsPerRequest, Completed: pending,
+		})
+		stats.AddSync(s.cfg.Clock.ToEmu(s.cfg.Clock.Now().Sub(waitStart)))
+		if err != nil {
+			return zero, fmt.Errorf("cluster: slave %s: request job: %w", s.cfg.Site, err)
+		}
+		pending = nil
+		if resp.Kind != wire.KindJobGrant {
+			return zero, fmt.Errorf("cluster: slave %s: unexpected %v", s.cfg.Site, resp.Kind)
+		}
+		if resp.Done && len(resp.Jobs) == 0 {
+			break
+		}
+		for _, job := range resp.Jobs {
+			if err := s.processJob(engine, red, job, stats); err != nil {
+				return zero, err
+			}
+			pending = append(pending, job.Chunk)
+		}
+	}
+
+	enc, err := gr.EncodeReduction(red)
+	if err != nil {
+		return zero, err
+	}
+	snap := stats.Snapshot()
+	if _, err := conn.Call(&wire.Message{
+		Kind: wire.KindSlaveResult, Object: enc, Completed: pending,
+		Stats: wire.Stats{Breakdown: snap},
+	}); err != nil {
+		return zero, fmt.Errorf("cluster: slave %s: ship result: %w", s.cfg.Site, err)
+	}
+	return snap, nil
+}
+
+// processJob retrieves one chunk and locally reduces it.
+func (s *Slave) processJob(engine *gr.Engine, red gr.Reduction, job wire.JobAssign, stats *metrics.Breakdown) error {
+	var (
+		data []byte
+		err  error
+	)
+	retrStart := s.cfg.Clock.Now()
+	if job.HomeSite == s.cfg.Site {
+		if s.cfg.HomeFetch {
+			// Object-store home data (the cloud cluster): concurrent
+			// range requests, same as stolen jobs.
+			data, err = store.Fetch(s.cfg.HomeStore, job.File, job.Offset, job.Length, s.cfg.Fetch)
+		} else {
+			// Local disk data: one continuous sequential read.
+			data = make([]byte, job.Length)
+			var n int
+			n, err = s.cfg.HomeStore.ReadAt(job.File, data, job.Offset)
+			if err == io.EOF && int64(n) == job.Length {
+				err = nil
+			}
+			if err == nil && int64(n) != job.Length {
+				err = fmt.Errorf("cluster: slave %s: short local read of %s: %d of %d",
+					s.cfg.Site, job.File, n, job.Length)
+			}
+		}
+	} else {
+		// Stolen job: multi-threaded ranged retrieval from the remote
+		// site's store.
+		st, ok := s.cfg.RemoteStores[job.HomeSite]
+		if !ok {
+			return fmt.Errorf("cluster: slave %s: no remote store for site %q", s.cfg.Site, job.HomeSite)
+		}
+		data, err = store.Fetch(st, job.File, job.Offset, job.Length, s.cfg.Fetch)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: slave %s: retrieve job %d: %w", s.cfg.Site, job.Chunk, err)
+	}
+	stats.AddRetrieval(s.cfg.Clock.ToEmu(s.cfg.Clock.Now().Sub(retrStart)), job.Length, job.Stolen)
+
+	units, err := engine.ProcessChunk(red, data)
+	if err != nil {
+		return err
+	}
+	stats.CountJob(job.Stolen, int64(units))
+	return nil
+}

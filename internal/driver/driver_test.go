@@ -1,0 +1,255 @@
+package driver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"cloudburst/internal/apps"
+	"cloudburst/internal/chunk"
+	"cloudburst/internal/cluster"
+	"cloudburst/internal/gr"
+	"cloudburst/internal/metrics"
+	"cloudburst/internal/store"
+	"cloudburst/internal/workload"
+)
+
+// deployFor wires a two-site deployment over a generator's data.
+func deployFor(t *testing.T, app gr.App, gen workload.Generator, records int64) cluster.DeployConfig {
+	t.Helper()
+	stores := map[string]*store.Mem{"local": store.NewMem(), "cloud": store.NewMem()}
+	metas, err := workload.Materialize(gen, workload.Spec{
+		Records: records, Files: 4, LocalFiles: 2,
+	}, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := chunk.Build(map[string]store.Store{"local": stores["local"], "cloud": stores["cloud"]},
+		metas, chunk.BuildOptions{
+			RecordSize: int32(app.RecordSize()),
+			ChunkBytes: int64(app.RecordSize()) * 512,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster.DeployConfig{
+		App: app, Index: idx,
+		Sites: []cluster.SiteSpec{
+			{Name: "local", Cores: 2, HomeStore: stores["local"],
+				RemoteStores: map[string]store.Store{"cloud": stores["cloud"]}},
+			{Name: "cloud", Cores: 2, HomeStore: stores["cloud"],
+				RemoteStores: map[string]store.Store{"local": stores["local"]}},
+		},
+	}
+}
+
+func TestKMeansDriverConverges(t *testing.T) {
+	app, err := apps.NewKMeans(apps.Params{"k": "4", "dims": "2", "cost": "0s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Points{Dims: 2, Seed: 17}
+	it, err := KMeans(deployFor(t, app, gen, 20_000), 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.MaxIterations = 40
+	res, err := it.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("kmeans did not converge in %d iterations (last delta %v)",
+			res.Iterations, res.Deltas[len(res.Deltas)-1])
+	}
+	// Deltas must be (weakly) decreasing toward zero overall.
+	if res.Deltas[len(res.Deltas)-1] >= res.Deltas[0] {
+		t.Fatalf("no progress: first %v last %v", res.Deltas[0], res.Deltas[len(res.Deltas)-1])
+	}
+}
+
+func TestKMeansDriverMatchesSequentialLloyd(t *testing.T) {
+	// The distributed iterative result must equal a plain sequential
+	// Lloyd implementation run over the same data from the same seed.
+	const records = 8000
+	gen := workload.Points{Dims: 2, Seed: 23}
+	params := apps.Params{"k": "3", "dims": "2", "cseed": "5", "cost": "0s"}
+
+	distApp, err := apps.NewKMeans(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := KMeans(deployFor(t, distApp, gen, records), -1) // never converges early
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 5
+	it.MaxIterations = iters
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential reference with an identical app instance.
+	refApp, err := apps.NewKMeans(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, records*int64(refApp.RecordSize()))
+	workload.GenInto(gen, 0, data)
+	engine := gr.NewEngine(refApp, gr.EngineOptions{})
+	for i := 0; i < iters; i++ {
+		red := refApp.NewReduction()
+		if _, err := engine.ProcessChunk(red, data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := refApp.Iterate(red); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for c := range refApp.Centroids() {
+		for d := range refApp.Centroids()[c] {
+			got := distApp.Centroids()[c][d]
+			want := refApp.Centroids()[c][d]
+			if math.Abs(float64(got-want)) > 1e-5 {
+				t.Fatalf("centroid %d dim %d: distributed %v, sequential %v", c, d, got, want)
+			}
+		}
+	}
+}
+
+func TestPageRankDriverConverges(t *testing.T) {
+	app, err := apps.NewPageRank(apps.Params{
+		"pages": "2000", "mindeg": "2", "maxdeg": "8", "cost": "0s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := PageRank(deployFor(t, app, app.Graph, app.Graph.TotalEdges()), 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := it.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("pagerank did not converge: %d iterations, deltas %v", res.Iterations, res.Deltas)
+	}
+	// Mass conservation at the fixed point.
+	var mass float64
+	for _, r := range app.Ranks() {
+		mass += r
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Fatalf("rank mass = %v", mass)
+	}
+}
+
+func TestPageRankDriverMatchesDenseIteration(t *testing.T) {
+	app, err := apps.NewPageRank(apps.Params{
+		"pages": "500", "mindeg": "1", "maxdeg": "4", "cost": "0s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot the edges for the dense reference before running.
+	total := app.Graph.TotalEdges()
+	data := make([]byte, total*int64(app.RecordSize()))
+	workload.GenInto(app.Graph, 0, data)
+
+	it, err := PageRank(deployFor(t, app, app.Graph, total), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 3
+	it.MaxIterations = iters
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dense reference.
+	n := int(app.Graph.Pages)
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < iters; iter++ {
+		next := make([]float64, n)
+		teleport := (1 - app.Damping) / float64(n)
+		for i := range next {
+			next[i] = teleport
+		}
+		for off := int64(0); off < int64(len(data)); off += 8 {
+			src := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+			dst := int64(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+			next[dst] += app.Damping * ranks[src] / float64(app.Graph.OutDegree(src))
+		}
+		ranks = next
+	}
+	for i := range ranks {
+		if math.Abs(ranks[i]-app.Ranks()[i]) > 1e-12 {
+			t.Fatalf("page %d: distributed %v, dense %v", i, app.Ranks()[i], ranks[i])
+		}
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	if _, err := (&Iterative{}).Run(); err == nil {
+		t.Fatal("missing Step accepted")
+	}
+	wc, _ := apps.NewWordCount(apps.Params{})
+	if _, err := KMeans(cluster.DeployConfig{App: wc}, 1e-3); err == nil {
+		t.Fatal("KMeans accepted a wordcount app")
+	}
+	if _, err := PageRank(cluster.DeployConfig{App: wc}, 1e-3); err == nil {
+		t.Fatal("PageRank accepted a wordcount app")
+	}
+}
+
+func TestDriverStepErrorPropagates(t *testing.T) {
+	app, _ := apps.NewWordCount(apps.Params{"cost": "0s"})
+	gen := workload.Words{Width: 12, Vocab: 10, Seed: 1}
+	it := &Iterative{
+		Deploy: deployFor(t, app, gen, 5000),
+		Step: func(final gr.Reduction) (float64, bool, error) {
+			return 0, false, fmt.Errorf("step boom")
+		},
+		MaxIterations: 3,
+	}
+	if _, err := it.Run(); err == nil {
+		t.Fatal("step error swallowed")
+	}
+}
+
+func TestDriverMaxIterationsRespected(t *testing.T) {
+	app, _ := apps.NewWordCount(apps.Params{"cost": "0s"})
+	gen := workload.Words{Width: 12, Vocab: 10, Seed: 1}
+	calls := 0
+	observed := 0
+	it := &Iterative{
+		Deploy: deployFor(t, app, gen, 5000),
+		Step: func(final gr.Reduction) (float64, bool, error) {
+			calls++
+			return 1, false, nil // never converges
+		},
+		MaxIterations: 3,
+		OnIteration: func(iter int, delta float64, report *metrics.RunReport) {
+			observed++
+			if report == nil || delta != 1 {
+				t.Errorf("iteration %d: delta %v report %v", iter, delta, report)
+			}
+		},
+	}
+	res, err := it.Run()
+	if observed != 3 {
+		t.Fatalf("OnIteration called %d times", observed)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Iterations != 3 || calls != 3 {
+		t.Fatalf("res = %+v calls = %d", res, calls)
+	}
+}

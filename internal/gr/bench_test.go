@@ -1,0 +1,78 @@
+package gr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Micro-benchmarks for the generalized reduction engine: raw local
+// reduction throughput without pacing.
+
+func benchEngine(b *testing.B, group int) {
+	data, _ := sumData(100_000, 1)
+	e := NewEngine(sumApp{}, EngineOptions{GroupUnits: group})
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		red := &sumRed{}
+		if _, err := e.ProcessChunk(red, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProcessChunk measures unpaced local-reduction throughput at
+// several cache-group sizes.
+func BenchmarkProcessChunk(b *testing.B) {
+	for _, group := range []int{64, 1024, 4096, 65536} {
+		b.Run(fmt.Sprintf("group-%d", group), func(b *testing.B) {
+			benchEngine(b, group)
+		})
+	}
+}
+
+// BenchmarkTopKConsider measures the knn reduction object's hot path.
+func BenchmarkTopKConsider(b *testing.B) {
+	tk := NewTopK(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk.Consider(Scored{ID: int64(i), Score: float64(i % 9973)})
+	}
+}
+
+// BenchmarkVectorSumMerge measures the pagerank-style large-object
+// global reduction.
+func BenchmarkVectorSumMerge(b *testing.B) {
+	const n = 75_000 // the calibrated pagerank rank vector
+	a, o := NewVectorSum(n), NewVectorSum(n)
+	for i := range o.V {
+		o.V[i] = float64(i)
+	}
+	b.SetBytes(8 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Merge(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReductionCodec measures reduction-object serialization (the
+// inter-cluster transfer payload).
+func BenchmarkReductionCodec(b *testing.B) {
+	s := NewVectorSum(75_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, err := EncodeReduction(vecReduction{s})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(enc)))
+	}
+}
+
+// vecReduction adapts VectorSum for the codec benchmark.
+type vecReduction struct{ *VectorSum }
+
+func (v vecReduction) Update(unit []byte) error    { return nil }
+func (v vecReduction) Merge(other Reduction) error { return nil }

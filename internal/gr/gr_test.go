@@ -1,0 +1,261 @@
+package gr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cloudburst/internal/metrics"
+	"cloudburst/internal/netsim"
+)
+
+// sumApp is a minimal test App: records are uint32 values, the
+// reduction object is their sum and count.
+type sumApp struct{ cost time.Duration }
+
+func (sumApp) Name() string              { return "sum" }
+func (sumApp) RecordSize() int           { return 4 }
+func (a sumApp) UnitCost() time.Duration { return a.cost }
+func (sumApp) NewReduction() Reduction   { return &sumRed{} }
+
+type sumRed struct {
+	Sum   uint64
+	Count uint64
+}
+
+func (s *sumRed) Update(unit []byte) error {
+	s.Sum += uint64(binary.LittleEndian.Uint32(unit))
+	s.Count++
+	return nil
+}
+
+func (s *sumRed) Merge(other Reduction) error {
+	o, ok := other.(*sumRed)
+	if !ok {
+		return fmt.Errorf("bad type %T", other)
+	}
+	s.Sum += o.Sum
+	s.Count += o.Count
+	return nil
+}
+
+func (s *sumRed) Encode(w io.Writer) error { return binary.Write(w, binary.LittleEndian, s) }
+func (s *sumRed) Decode(r io.Reader) error { return binary.Read(r, binary.LittleEndian, s) }
+func (s *sumRed) Bytes() int               { return 16 }
+
+func sumData(n int, seed int64) ([]byte, uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, 4*n)
+	var want uint64
+	for i := 0; i < n; i++ {
+		v := rng.Uint32() % 1000
+		binary.LittleEndian.PutUint32(data[4*i:], v)
+		want += uint64(v)
+	}
+	return data, want
+}
+
+func TestProcessChunkCorrectSum(t *testing.T) {
+	data, want := sumData(10_000, 1)
+	e := NewEngine(sumApp{}, EngineOptions{GroupUnits: 512})
+	red := &sumRed{}
+	units, err := e.ProcessChunk(red, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units != 10_000 {
+		t.Fatalf("units = %d", units)
+	}
+	if red.Sum != want || red.Count != 10_000 {
+		t.Fatalf("sum=%d count=%d want sum=%d", red.Sum, red.Count, want)
+	}
+}
+
+func TestProcessChunkGroupSizeInvariance(t *testing.T) {
+	data, want := sumData(7777, 2)
+	for _, group := range []int{1, 7, 100, 4096, 1_000_000} {
+		e := NewEngine(sumApp{}, EngineOptions{GroupUnits: group})
+		red := &sumRed{}
+		if _, err := e.ProcessChunk(red, data); err != nil {
+			t.Fatal(err)
+		}
+		if red.Sum != want {
+			t.Fatalf("group %d: sum %d != %d", group, red.Sum, want)
+		}
+	}
+}
+
+func TestProcessChunkRejectsMisaligned(t *testing.T) {
+	e := NewEngine(sumApp{}, EngineOptions{})
+	if _, err := e.ProcessChunk(&sumRed{}, make([]byte, 10)); err == nil {
+		t.Fatal("misaligned chunk accepted")
+	}
+}
+
+func TestProcessChunkEmpty(t *testing.T) {
+	e := NewEngine(sumApp{}, EngineOptions{})
+	units, err := e.ProcessChunk(&sumRed{}, nil)
+	if err != nil || units != 0 {
+		t.Fatalf("empty chunk = %d, %v", units, err)
+	}
+}
+
+func TestProcessChunkRecordsProcessingTime(t *testing.T) {
+	var stats metrics.Breakdown
+	e := NewEngine(sumApp{cost: time.Millisecond}, EngineOptions{
+		GroupUnits: 100,
+		Clock:      netsim.Instant(),
+		Stats:      &stats,
+	})
+	data, _ := sumData(500, 3)
+	if _, err := e.ProcessChunk(&sumRed{}, data); err != nil {
+		t.Fatal(err)
+	}
+	// 500 units at 1ms modeled cost = 500ms charged.
+	if got := stats.Snapshot().Processing; got != 500*time.Millisecond {
+		t.Fatalf("processing charged %v, want 500ms", got)
+	}
+}
+
+func TestProcessChunkPacedWallTime(t *testing.T) {
+	e := NewEngine(sumApp{cost: time.Millisecond}, EngineOptions{
+		GroupUnits: 1000,
+		Clock:      netsim.Scaled(0.001), // 1000 emulated ms -> 1ms wall
+	})
+	data, _ := sumData(5000, 4)
+	start := time.Now()
+	if _, err := e.ProcessChunk(&sumRed{}, data); err != nil {
+		t.Fatal(err)
+	}
+	// 5000 units * 1ms = 5s emulated = 5ms wall minimum.
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("pacing not applied: %v", elapsed)
+	}
+}
+
+func TestMergeAllEqualsSequential(t *testing.T) {
+	app := sumApp{}
+	var objs []Reduction
+	var want uint64
+	for i := 0; i < 5; i++ {
+		data, sum := sumData(1000, int64(i))
+		e := NewEngine(app, EngineOptions{})
+		red := app.NewReduction()
+		if _, err := e.ProcessChunk(red, data); err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, red)
+		want += sum
+	}
+	final, err := MergeAll(app, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := final.(*sumRed).Sum; got != want {
+		t.Fatalf("global reduction sum = %d, want %d", got, want)
+	}
+}
+
+func TestMergeAllSkipsNil(t *testing.T) {
+	app := sumApp{}
+	final, err := MergeAll(app, []Reduction{nil, &sumRed{Sum: 5, Count: 1}, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.(*sumRed).Sum != 5 {
+		t.Fatal("nil entries mishandled")
+	}
+}
+
+func TestEncodeDecodeReduction(t *testing.T) {
+	app := sumApp{}
+	red := &sumRed{Sum: 12345, Count: 99}
+	data, err := EncodeReduction(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReduction(app, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got.(*sumRed) != *red {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestMergeTypeMismatch(t *testing.T) {
+	s := &sumRed{}
+	if err := s.Merge(NewCounterReduction()); err == nil {
+		t.Fatal("cross-type merge should error")
+	}
+}
+
+// NewCounterReduction adapts Counter for the mismatch test.
+func NewCounterReduction() Reduction { return &counterRed{NewCounter()} }
+
+type counterRed struct{ *Counter }
+
+func (c *counterRed) Update(unit []byte) error { c.Inc(string(unit), 1); return nil }
+func (c *counterRed) Merge(other Reduction) error {
+	o, ok := other.(*counterRed)
+	if !ok {
+		return fmt.Errorf("bad type %T", other)
+	}
+	return c.Counter.Merge(o.Counter)
+}
+
+// Order-independence property (the API contract): processing the same
+// units in shuffled chunk order yields the same final object.
+func TestOrderIndependenceProperty(t *testing.T) {
+	app := sumApp{}
+	data, want := sumData(4000, 9)
+	chunks := make([][]byte, 8)
+	for i := range chunks {
+		chunks[i] = data[i*2000 : (i+1)*2000]
+	}
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		order := rng.Perm(len(chunks))
+		red := app.NewReduction()
+		e := NewEngine(app, EngineOptions{GroupUnits: 64})
+		for _, i := range order {
+			if _, err := e.ProcessChunk(red, chunks[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if red.(*sumRed).Sum != want {
+			t.Fatalf("trial %d: order-dependent result", trial)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register("test-sum", func(params map[string]string) (App, error) {
+		return sumApp{}, nil
+	})
+	app, err := New("test-sum", nil)
+	if err != nil || app.Name() != "sum" {
+		t.Fatalf("New = %v, %v", app, err)
+	}
+	if _, err := New("nonexistent", nil); err == nil {
+		t.Fatal("unknown app should error")
+	}
+	found := false
+	for _, n := range Apps() {
+		if n == "test-sum" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered app not listed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	Register("test-sum", func(map[string]string) (App, error) { return nil, nil })
+}

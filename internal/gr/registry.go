@@ -1,0 +1,50 @@
+package gr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory builds an App from string parameters (parsed from command
+// lines or experiment configs). Unknown parameters should be rejected.
+type Factory func(params map[string]string) (App, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Factory)
+)
+
+// Register installs a factory under name. Registering a duplicate name
+// panics: it is a programmer error wired at init time.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("gr: duplicate app registration %q", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates a registered App.
+func New(name string, params map[string]string) (App, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("gr: unknown app %q (have %v)", name, Apps())
+	}
+	return f(params)
+}
+
+// Apps lists registered application names, sorted.
+func Apps() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

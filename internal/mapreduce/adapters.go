@@ -1,0 +1,135 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cloudburst/internal/apps"
+)
+
+// This file adapts the evaluation applications to the Map-Reduce API,
+// so the Figure 1 ablation can run the same workload through both
+// engines and compare intermediate-state behaviour and results.
+
+// WordCountJob builds a Map-Reduce job equivalent to apps.WordCount.
+func WordCountJob(width int, combine bool) Config {
+	cfg := Config{
+		RecordSize: width,
+		Map: func(record []byte, emit func(string, []float64)) error {
+			word := string(bytes.TrimRight(record, " "))
+			if word != "" {
+				emit(word, []float64{1})
+			}
+			return nil
+		},
+		Reduce: sumReduce,
+	}
+	if combine {
+		cfg.Combine = sumReduce
+	}
+	return cfg
+}
+
+func sumReduce(key string, values [][]float64) ([]float64, error) {
+	var sum float64
+	for _, v := range values {
+		if len(v) != 1 {
+			return nil, fmt.Errorf("mapreduce: word count value of width %d", len(v))
+		}
+		sum += v[0]
+	}
+	return []float64{sum}, nil
+}
+
+// KMeansJob builds a Map-Reduce job equivalent to one apps.KMeans
+// iteration: map assigns each point to its nearest centroid and emits
+// (centroid, [coords..., 1]); reduce sums the vectors, yielding
+// per-cluster coordinate sums and counts.
+func KMeansJob(app *apps.KMeans, combine bool) Config {
+	dims := app.Dims
+	cfg := Config{
+		RecordSize: app.RecordSize(),
+		Map: func(record []byte, emit func(string, []float64)) error {
+			c := app.Assign(record)
+			v := make([]float64, dims+1)
+			for d := 0; d < dims; d++ {
+				v[d] = float64(math.Float32frombits(binary.LittleEndian.Uint32(record[4*d:])))
+			}
+			v[dims] = 1
+			emit(fmt.Sprintf("c%04d", c), v)
+			return nil
+		},
+		Reduce: vectorSumReduce(dims + 1),
+	}
+	if combine {
+		cfg.Combine = vectorSumReduce(dims + 1)
+	}
+	return cfg
+}
+
+func vectorSumReduce(n int) ReduceFunc {
+	return func(key string, values [][]float64) ([]float64, error) {
+		sum := make([]float64, n)
+		for _, v := range values {
+			if len(v) != n {
+				return nil, fmt.Errorf("mapreduce: vector width %d, want %d", len(v), n)
+			}
+			for i, x := range v {
+				sum[i] += x
+			}
+		}
+		return sum, nil
+	}
+}
+
+// KNNJob builds a Map-Reduce knn job: every point maps to the single
+// key "knn" carrying (distance, id); reduce keeps the k smallest. This
+// is the structurally worst case for Map-Reduce — every record's pair
+// survives to the shuffle unless a combiner prunes — which is why the
+// paper's knn benefits most from generalized reduction.
+func KNNJob(app *apps.KNN, combine bool) Config {
+	topK := func(key string, values [][]float64) ([]float64, error) {
+		// Values are flattened (dist, id) pairs; keep the k nearest.
+		type cand struct{ dist, id float64 }
+		var all []cand
+		for _, v := range values {
+			if len(v)%2 != 0 {
+				return nil, fmt.Errorf("mapreduce: knn value of odd width %d", len(v))
+			}
+			for i := 0; i < len(v); i += 2 {
+				all = append(all, cand{v[i], v[i+1]})
+			}
+		}
+		// Selection by simple sort (values lists are modest after
+		// combining).
+		for i := 1; i < len(all); i++ {
+			for j := i; j > 0 && (all[j].dist < all[j-1].dist ||
+				(all[j].dist == all[j-1].dist && all[j].id < all[j-1].id)); j-- {
+				all[j], all[j-1] = all[j-1], all[j]
+			}
+		}
+		if len(all) > app.K {
+			all = all[:app.K]
+		}
+		out := make([]float64, 0, 2*len(all))
+		for _, c := range all {
+			out = append(out, c.dist, c.id)
+		}
+		return out, nil
+	}
+	cfg := Config{
+		RecordSize: app.RecordSize(),
+		Map: func(record []byte, emit func(string, []float64)) error {
+			id := float64(binary.LittleEndian.Uint64(record[:8]))
+			emit("knn", []float64{app.Distance(record), id})
+			return nil
+		},
+		Reduce: topK,
+	}
+	if combine {
+		cfg.Combine = topK
+	}
+	return cfg
+}

@@ -1,0 +1,53 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"cloudburst/internal/gr"
+	"cloudburst/internal/workload"
+)
+
+// BenchmarkEngines compares the three engines of the Figure 1 argument
+// on the same word-count workload: generalized reduction vs Map-Reduce
+// with and without a combiner.
+func BenchmarkEngines(b *testing.B) {
+	gen := workload.Words{Width: 12, Vocab: 2000, Seed: 6}
+	chunks := genChunks(gen, 200_000, 8)
+	var total int64
+	for _, c := range chunks {
+		total += int64(len(c))
+	}
+
+	b.Run("generalized-reduction", func(b *testing.B) {
+		app, err := gr.New("wordcount", map[string]string{"width": "12", "cost": "0s"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			e := gr.NewEngine(app, gr.EngineOptions{})
+			red := app.NewReduction()
+			for _, c := range chunks {
+				if _, err := e.ProcessChunk(red, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("map-reduce", func(b *testing.B) {
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(WordCountJob(12, false), chunks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("map-reduce-combine", func(b *testing.B) {
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(WordCountJob(12, true), chunks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,262 @@
+// Package mapreduce is the baseline the paper's generalized-reduction
+// API argues against (Section III-A, Figure 1): a classic in-process
+// map/shuffle/reduce engine, with and without a Combine function.
+//
+// The engine instruments exactly the quantities the paper's argument
+// rests on: how many intermediate (key, value) pairs are materialized,
+// the peak number buffered at once, and how many survive into the
+// shuffle. Generalized reduction folds map+combine+reduce into an
+// in-place update, so its "intermediate state" is a single reduction
+// object per worker; Map-Reduce without a combiner buffers one pair
+// per input record, and with a combiner it still materializes every
+// pair before folding buffer flushes.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Pair is one intermediate (key, value) record. Values are float64
+// vectors, which covers the evaluation applications (counts, point
+// coordinates, rank contributions).
+type Pair struct {
+	Key   string
+	Value []float64
+}
+
+// MapFunc turns one input record into zero or more intermediate pairs.
+type MapFunc func(record []byte, emit func(key string, value []float64)) error
+
+// ReduceFunc folds all values for one key into a single value. It is
+// also the type of the optional Combine function.
+type ReduceFunc func(key string, values [][]float64) ([]float64, error)
+
+// Config describes one Map-Reduce job.
+type Config struct {
+	// RecordSize is the fixed input record length.
+	RecordSize int
+	// Map and Reduce are required; Combine is optional.
+	Map     MapFunc
+	Reduce  ReduceFunc
+	Combine ReduceFunc
+	// Workers is the map-phase parallelism (default 4).
+	Workers int
+	// Reducers is the number of shuffle partitions (default Workers).
+	Reducers int
+	// FlushThreshold is how many buffered pairs trigger a combiner
+	// flush on a map worker (default 4096). Ignored without Combine.
+	FlushThreshold int
+}
+
+// Stats quantifies the intermediate-state behaviour Figure 1 is about.
+type Stats struct {
+	// PairsEmitted counts every pair produced by Map.
+	PairsEmitted int64
+	// PeakBuffered is the maximum number of pairs held in map-side
+	// buffers at any instant, across all workers.
+	PeakBuffered int64
+	// PairsShuffled is how many pairs crossed the shuffle (post
+	// combine, if any) — the inter-node traffic proxy.
+	PairsShuffled int64
+	// ApproxBufferedBytes estimates the peak buffered pair memory.
+	ApproxBufferedBytes int64
+}
+
+// Result is the final reduced key -> value map plus the run's stats.
+type Result struct {
+	Values map[string][]float64
+	Stats  Stats
+}
+
+// Run executes the job over the chunks (each chunk is a byte slice of
+// whole records).
+func Run(cfg Config, chunks [][]byte) (*Result, error) {
+	if cfg.Map == nil || cfg.Reduce == nil {
+		return nil, fmt.Errorf("mapreduce: Map and Reduce are required")
+	}
+	if cfg.RecordSize <= 0 {
+		return nil, fmt.Errorf("mapreduce: record size must be positive")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 4
+	}
+	if cfg.Reducers < 1 {
+		cfg.Reducers = cfg.Workers
+	}
+	if cfg.FlushThreshold < 1 {
+		cfg.FlushThreshold = 4096
+	}
+
+	var (
+		emitted  atomic.Int64
+		buffered atomic.Int64 // currently buffered pairs across workers
+		peak     atomic.Int64
+		shuffled atomic.Int64
+	)
+	notePeak := func(delta int64) {
+		now := buffered.Add(delta)
+		for {
+			p := peak.Load()
+			if now <= p || peak.CompareAndSwap(p, now) {
+				break
+			}
+		}
+	}
+
+	// Shuffle partitions, guarded per-partition.
+	parts := make([]map[string][][]float64, cfg.Reducers)
+	var partMu []sync.Mutex
+	for i := range parts {
+		parts[i] = make(map[string][][]float64)
+	}
+	partMu = make([]sync.Mutex, cfg.Reducers)
+
+	partition := func(key string) int {
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		return int(h.Sum32() % uint32(cfg.Reducers))
+	}
+
+	// sendToShuffle moves one pair into its partition.
+	sendToShuffle := func(key string, value []float64) {
+		p := partition(key)
+		partMu[p].Lock()
+		parts[p][key] = append(parts[p][key], value)
+		partMu[p].Unlock()
+		shuffled.Add(1)
+	}
+
+	// Map phase.
+	work := make(chan []byte, cfg.Workers)
+	errc := make(chan error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-worker buffer of emitted pairs.
+			buf := make(map[string][][]float64)
+			bufN := 0
+
+			flush := func() error {
+				if bufN == 0 {
+					return nil
+				}
+				for key, values := range buf {
+					if cfg.Combine != nil {
+						v, err := cfg.Combine(key, values)
+						if err != nil {
+							return err
+						}
+						sendToShuffle(key, v)
+					} else {
+						for _, v := range values {
+							sendToShuffle(key, v)
+						}
+					}
+					delete(buf, key)
+				}
+				notePeak(int64(-bufN))
+				bufN = 0
+				return nil
+			}
+
+			for chunk := range work {
+				if len(chunk)%cfg.RecordSize != 0 {
+					errc <- fmt.Errorf("mapreduce: chunk of %d bytes not record-aligned", len(chunk))
+					return
+				}
+				for off := 0; off < len(chunk); off += cfg.RecordSize {
+					err := cfg.Map(chunk[off:off+cfg.RecordSize], func(key string, value []float64) {
+						buf[key] = append(buf[key], value)
+						bufN++
+						emitted.Add(1)
+						notePeak(1)
+					})
+					if err != nil {
+						errc <- err
+						return
+					}
+					if cfg.Combine != nil && bufN >= cfg.FlushThreshold {
+						if err := flush(); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}
+				// Without a combiner, pairs are buffered until the map
+				// task ends (one chunk = one map task), then shuffled.
+				if cfg.Combine == nil {
+					if err := flush(); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+			if err := flush(); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	for _, chunk := range chunks {
+		work <- chunk
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+
+	// Reduce phase: one goroutine per partition.
+	out := make([]map[string][]float64, cfg.Reducers)
+	for p := 0; p < cfg.Reducers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			res := make(map[string][]float64, len(parts[p]))
+			// Deterministic order for reproducible error reporting.
+			keys := make([]string, 0, len(parts[p]))
+			for k := range parts[p] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				v, err := cfg.Reduce(k, parts[p][k])
+				if err != nil {
+					errc <- err
+					return
+				}
+				res[k] = v
+			}
+			out[p] = res
+		}(p)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+
+	final := make(map[string][]float64)
+	for _, m := range out {
+		for k, v := range m {
+			final[k] = v
+		}
+	}
+	return &Result{
+		Values: final,
+		Stats: Stats{
+			PairsEmitted:        emitted.Load(),
+			PeakBuffered:        peak.Load(),
+			PairsShuffled:       shuffled.Load(),
+			ApproxBufferedBytes: peak.Load() * 24, // pair header estimate
+		},
+	}, nil
+}

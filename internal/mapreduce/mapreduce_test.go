@@ -1,0 +1,236 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cloudburst/internal/apps"
+	"cloudburst/internal/gr"
+	"cloudburst/internal/workload"
+)
+
+func genChunks(gen workload.Generator, records int64, chunks int) [][]byte {
+	rs := int64(gen.RecordSize())
+	per := records / int64(chunks)
+	out := make([][]byte, 0, chunks)
+	var idx int64
+	for c := 0; c < chunks; c++ {
+		n := per
+		if c == chunks-1 {
+			n = records - idx
+		}
+		buf := make([]byte, n*rs)
+		for i := int64(0); i < n; i++ {
+			gen.Gen(idx+i, buf[i*rs:(i+1)*rs])
+		}
+		idx += n
+		out = append(out, buf)
+	}
+	return out
+}
+
+func TestWordCountWithAndWithoutCombiner(t *testing.T) {
+	gen := workload.Words{Width: 12, Vocab: 30, Seed: 8}
+	chunks := genChunks(gen, 5000, 8)
+
+	want := make(map[string]float64)
+	for i := int64(0); i < 5000; i++ {
+		want[gen.Word(gen.WordAt(i))]++
+	}
+
+	for _, combine := range []bool{false, true} {
+		res, err := Run(WordCountJob(12, combine), chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Values) != len(want) {
+			t.Fatalf("combine=%v: %d keys, want %d", combine, len(res.Values), len(want))
+		}
+		for k, v := range want {
+			if res.Values[k][0] != v {
+				t.Fatalf("combine=%v: %q = %v, want %v", combine, k, res.Values[k][0], v)
+			}
+		}
+		if res.Stats.PairsEmitted != 5000 {
+			t.Fatalf("combine=%v: emitted %d", combine, res.Stats.PairsEmitted)
+		}
+	}
+}
+
+func TestCombinerShrinksShuffle(t *testing.T) {
+	gen := workload.Words{Width: 12, Vocab: 20, Seed: 3}
+	chunks := genChunks(gen, 10_000, 4)
+
+	plain, err := Run(WordCountJob(12, false), chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combinedCfg := WordCountJob(12, true)
+	combinedCfg.FlushThreshold = 512 // periodic buffer flush (the paper's model)
+	combined, err := Run(combinedCfg, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined.Stats.PairsShuffled >= plain.Stats.PairsShuffled {
+		t.Fatalf("combiner did not shrink shuffle: %d vs %d",
+			combined.Stats.PairsShuffled, plain.Stats.PairsShuffled)
+	}
+	// Without a combiner every pair of a map task is buffered; with a
+	// flush threshold the peak is bounded near the threshold.
+	if combined.Stats.PeakBuffered > plain.Stats.PeakBuffered {
+		t.Fatalf("combiner increased peak buffer: %d vs %d",
+			combined.Stats.PeakBuffered, plain.Stats.PeakBuffered)
+	}
+}
+
+func TestKMeansMRMatchesGR(t *testing.T) {
+	app, err := apps.NewKMeans(apps.Params{"k": "6", "dims": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Points{Dims: 2, Seed: 44}
+	chunks := genChunks(gen, 3000, 5)
+
+	mr, err := Run(KMeansJob(app, true), chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// GR reference.
+	engine := gr.NewEngine(app, gr.EngineOptions{})
+	red := app.NewReduction()
+	for _, c := range chunks {
+		if _, err := engine.ProcessChunk(red, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type kmCounter interface{ Counts() []int64 }
+	counts := red.(kmCounter).Counts()
+
+	var mrTotal float64
+	for c := 0; c < app.K; c++ {
+		key := fmt.Sprintf("c%04d", c)
+		v, ok := mr.Values[key]
+		if !ok {
+			if counts[c] != 0 {
+				t.Fatalf("cluster %d missing from MR but GR counted %d", c, counts[c])
+			}
+			continue
+		}
+		if int64(v[app.Dims]) != counts[c] {
+			t.Fatalf("cluster %d: MR count %v, GR count %d", c, v[app.Dims], counts[c])
+		}
+		mrTotal += v[app.Dims]
+	}
+	if mrTotal != 3000 {
+		t.Fatalf("MR total points %v", mrTotal)
+	}
+}
+
+func TestKNNMRMatchesGR(t *testing.T) {
+	app, err := apps.NewKNN(apps.Params{"k": "15", "dims": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.Points{Dims: 2, Seed: 12, WithID: true}
+	chunks := genChunks(gen, 2000, 4)
+
+	mr, err := Run(KNNJob(app, true), chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mr.Values["knn"]
+	if len(got) != 2*15 {
+		t.Fatalf("knn result width %d", len(got))
+	}
+
+	engine := gr.NewEngine(app, gr.EngineOptions{})
+	red := app.NewReduction()
+	for _, c := range chunks {
+		engine.ProcessChunk(red, c)
+	}
+	type neighborer interface{ Neighbors() []gr.Scored }
+	ref := red.(neighborer).Neighbors()
+	for i, n := range ref {
+		if math.Abs(got[2*i]-n.Score) > 1e-12 {
+			t.Fatalf("neighbor %d: MR dist %v, GR dist %v", i, got[2*i], n.Score)
+		}
+	}
+}
+
+func TestKNNCombinerPrunesShuffle(t *testing.T) {
+	app, _ := apps.NewKNN(apps.Params{"k": "10", "dims": "2"})
+	gen := workload.Points{Dims: 2, Seed: 5, WithID: true}
+	chunks := genChunks(gen, 4000, 4)
+
+	plain, err := Run(KNNJob(app, false), chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Run(KNNJob(app, true), chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without combining, all 4000 pairs hit the single-key shuffle.
+	if plain.Stats.PairsShuffled != 4000 {
+		t.Fatalf("plain shuffle = %d", plain.Stats.PairsShuffled)
+	}
+	if pruned.Stats.PairsShuffled >= plain.Stats.PairsShuffled/2 {
+		t.Fatalf("combiner barely pruned: %d", pruned.Stats.PairsShuffled)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(Config{}, nil); err == nil {
+		t.Fatal("missing Map/Reduce accepted")
+	}
+	cfg := WordCountJob(12, false)
+	cfg.RecordSize = 0
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("zero record size accepted")
+	}
+	cfg = WordCountJob(12, false)
+	if _, err := Run(cfg, [][]byte{make([]byte, 13)}); err == nil {
+		t.Fatal("misaligned chunk accepted")
+	}
+}
+
+func TestRunPropagatesMapError(t *testing.T) {
+	cfg := Config{
+		RecordSize: 4,
+		Map: func(record []byte, emit func(string, []float64)) error {
+			return fmt.Errorf("map boom")
+		},
+		Reduce: sumReduce,
+	}
+	if _, err := Run(cfg, [][]byte{make([]byte, 16)}); err == nil {
+		t.Fatal("map error swallowed")
+	}
+}
+
+func TestRunPropagatesReduceError(t *testing.T) {
+	cfg := Config{
+		RecordSize: 4,
+		Map: func(record []byte, emit func(string, []float64)) error {
+			emit("k", []float64{1})
+			return nil
+		},
+		Reduce: func(key string, values [][]float64) ([]float64, error) {
+			return nil, fmt.Errorf("reduce boom")
+		},
+	}
+	if _, err := Run(cfg, [][]byte{make([]byte, 16)}); err == nil {
+		t.Fatal("reduce error swallowed")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res, err := Run(WordCountJob(12, true), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 0 || res.Stats.PairsEmitted != 0 {
+		t.Fatalf("empty input produced %+v", res)
+	}
+}

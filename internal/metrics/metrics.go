@@ -1,0 +1,210 @@
+// Package metrics defines the timing and counting instrumentation the
+// paper's evaluation reports: per-slave and per-cluster breakdowns of
+// processing time, data-retrieval time, and synchronization (barrier)
+// time, plus global-reduction time, end-of-run idle time, and job
+// accounting (processed vs. stolen). These feed Figures 3 and 4 and
+// Tables I and II directly.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Breakdown accumulates the per-worker timing decomposition used in
+// Figures 3 and 4. All durations are in emulated time. Breakdown is
+// safe for concurrent use.
+type Breakdown struct {
+	mu sync.Mutex
+
+	processing time.Duration // local reduction compute
+	retrieval  time.Duration // reading chunk data (local disk or remote store)
+	sync       time.Duration // waiting at barriers / for job responses at drain
+
+	jobsProcessed int // chunks fully reduced by this worker/cluster
+	jobsStolen    int // chunks whose data lived at another site
+	unitsReduced  int64
+	bytesRead     int64
+	bytesRemote   int64
+}
+
+// AddProcessing records emulated compute time.
+func (b *Breakdown) AddProcessing(d time.Duration) {
+	b.mu.Lock()
+	b.processing += d
+	b.mu.Unlock()
+}
+
+// AddRetrieval records emulated data-retrieval time, along with the
+// bytes read and whether they came from a remote site.
+func (b *Breakdown) AddRetrieval(d time.Duration, bytes int64, remote bool) {
+	b.mu.Lock()
+	b.retrieval += d
+	b.bytesRead += bytes
+	if remote {
+		b.bytesRemote += bytes
+	}
+	b.mu.Unlock()
+}
+
+// AddSync records emulated barrier/wait time.
+func (b *Breakdown) AddSync(d time.Duration) {
+	b.mu.Lock()
+	b.sync += d
+	b.mu.Unlock()
+}
+
+// CountJob records a completed job and whether its data was stolen
+// from a remote site, along with the units it contained.
+func (b *Breakdown) CountJob(stolen bool, units int64) {
+	b.mu.Lock()
+	b.jobsProcessed++
+	if stolen {
+		b.jobsStolen++
+	}
+	b.unitsReduced += units
+	b.mu.Unlock()
+}
+
+// Merge folds other into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	if other == nil {
+		return
+	}
+	o := other.Snapshot()
+	b.mu.Lock()
+	b.processing += o.Processing
+	b.retrieval += o.Retrieval
+	b.sync += o.Sync
+	b.jobsProcessed += o.JobsProcessed
+	b.jobsStolen += o.JobsStolen
+	b.unitsReduced += o.UnitsReduced
+	b.bytesRead += o.BytesRead
+	b.bytesRemote += o.BytesRemote
+	b.mu.Unlock()
+}
+
+// AddSnapshot folds a previously captured snapshot into b.
+func (b *Breakdown) AddSnapshot(s Snapshot) {
+	b.mu.Lock()
+	b.processing += s.Processing
+	b.retrieval += s.Retrieval
+	b.sync += s.Sync
+	b.jobsProcessed += s.JobsProcessed
+	b.jobsStolen += s.JobsStolen
+	b.unitsReduced += s.UnitsReduced
+	b.bytesRead += s.BytesRead
+	b.bytesRemote += s.BytesRemote
+	b.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current totals.
+func (b *Breakdown) Snapshot() Snapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Snapshot{
+		Processing:    b.processing,
+		Retrieval:     b.retrieval,
+		Sync:          b.sync,
+		JobsProcessed: b.jobsProcessed,
+		JobsStolen:    b.jobsStolen,
+		UnitsReduced:  b.unitsReduced,
+		BytesRead:     b.bytesRead,
+		BytesRemote:   b.bytesRemote,
+	}
+}
+
+// Snapshot is an immutable copy of a Breakdown.
+type Snapshot struct {
+	Processing    time.Duration
+	Retrieval     time.Duration
+	Sync          time.Duration
+	JobsProcessed int
+	JobsStolen    int
+	UnitsReduced  int64
+	BytesRead     int64
+	BytesRemote   int64
+}
+
+// Total returns the summed time components.
+func (s Snapshot) Total() time.Duration { return s.Processing + s.Retrieval + s.Sync }
+
+// Add returns the component-wise sum of two snapshots.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		Processing:    s.Processing + o.Processing,
+		Retrieval:     s.Retrieval + o.Retrieval,
+		Sync:          s.Sync + o.Sync,
+		JobsProcessed: s.JobsProcessed + o.JobsProcessed,
+		JobsStolen:    s.JobsStolen + o.JobsStolen,
+		UnitsReduced:  s.UnitsReduced + o.UnitsReduced,
+		BytesRead:     s.BytesRead + o.BytesRead,
+		BytesRemote:   s.BytesRemote + o.BytesRemote,
+	}
+}
+
+// DivideTimes returns a snapshot whose time components are divided by
+// n, used to average per-core breakdowns into a per-cluster figure the
+// way the paper's stacked bars do. Counters are left untouched.
+func (s Snapshot) DivideTimes(n int) Snapshot {
+	if n <= 0 {
+		return s
+	}
+	out := s
+	out.Processing /= time.Duration(n)
+	out.Retrieval /= time.Duration(n)
+	out.Sync /= time.Duration(n)
+	return out
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("proc=%v retr=%v sync=%v jobs=%d stolen=%d",
+		s.Processing.Round(time.Millisecond), s.Retrieval.Round(time.Millisecond),
+		s.Sync.Round(time.Millisecond), s.JobsProcessed, s.JobsStolen)
+}
+
+// ClusterReport is the per-cluster summary produced at the end of a
+// run: the aggregated worker breakdown plus cluster-level events.
+type ClusterReport struct {
+	Site string
+	// Workers is the per-core average time breakdown (paper bars).
+	Workers Snapshot
+	// Cores is the number of virtual cores the cluster ran.
+	Cores int
+	// IdleAtEnd is how long this cluster waited for the other cluster
+	// to finish before the global reduction could start (Table II).
+	IdleAtEnd time.Duration
+	// Wall is the cluster's total emulated wall time from start to its
+	// local-combine completion.
+	Wall time.Duration
+}
+
+// RunReport is the whole-run summary the harness renders tables from.
+type RunReport struct {
+	App         string
+	Env         string
+	Clusters    []ClusterReport
+	GlobalRed   time.Duration // head-side global reduction + transfer
+	TotalWall   time.Duration // emulated end-to-end execution time
+	FinalResult string        // application-rendered result digest
+}
+
+// Cluster returns the report for the named site, or nil.
+func (r *RunReport) Cluster(site string) *ClusterReport {
+	for i := range r.Clusters {
+		if r.Clusters[i].Site == site {
+			return &r.Clusters[i]
+		}
+	}
+	return nil
+}
+
+// JobsProcessed sums processed jobs across clusters.
+func (r *RunReport) JobsProcessed() int {
+	n := 0
+	for _, c := range r.Clusters {
+		n += c.Workers.JobsProcessed
+	}
+	return n
+}

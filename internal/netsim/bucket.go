@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token-bucket rate limiter operating in emulated time.
+// Tokens accrue at Rate tokens per emulated second up to Burst. Take
+// removes tokens, blocking (through the clock) when the bucket runs
+// dry. A Bucket may be shared between connections to model an
+// aggregate bandwidth cap (e.g. the total egress of the simulated S3
+// service), or owned by a single connection to model a per-stream cap.
+//
+// The zero value is not usable; construct with NewBucket. A nil
+// *Bucket is a valid "unlimited" limiter: all its methods are no-ops.
+type Bucket struct {
+	mu     sync.Mutex
+	clk    Clock
+	rate   float64 // tokens per emulated second
+	burst  float64
+	tokens float64
+	last   time.Time // wall time of last refill
+}
+
+// NewBucket returns a bucket producing rate tokens per emulated second
+// with the given burst capacity. The bucket starts full. A rate <= 0
+// returns nil, meaning unlimited.
+func NewBucket(clk Clock, rate float64, burst float64) *Bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Bucket{clk: clk, rate: rate, burst: burst, tokens: burst, last: clk.Now()}
+}
+
+// Rate returns the configured token rate per emulated second, or 0 for
+// an unlimited (nil) bucket.
+func (b *Bucket) Rate() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.rate
+}
+
+// refillLocked adds tokens for emulated time elapsed since last refill.
+func (b *Bucket) refillLocked(now time.Time) {
+	elapsed := b.clk.ToEmu(now.Sub(b.last))
+	b.last = now
+	if elapsed <= 0 {
+		return
+	}
+	b.tokens += elapsed.Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Take consumes n tokens, sleeping on the clock until the debt would
+// be repaid. Take allows the bucket to go negative (a single large
+// take larger than the burst is paid for by one proportional sleep),
+// which keeps large chunk transfers from being artificially serialized
+// into burst-sized pieces.
+func (b *Bucket) Take(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.refillLocked(b.clk.Now())
+	b.tokens -= float64(n)
+	var wait time.Duration
+	if b.tokens < 0 {
+		wait = time.Duration(-b.tokens / b.rate * float64(time.Second))
+	}
+	b.mu.Unlock()
+	if wait > 0 {
+		b.clk.Sleep(wait)
+	}
+}
+
+// TryTake consumes n tokens only if they are available now, returning
+// whether it succeeded. Used by tests and opportunistic senders.
+func (b *Bucket) TryTake(n int) bool {
+	if b == nil || n <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clk.Now())
+	if b.tokens < float64(n) {
+		return false
+	}
+	b.tokens -= float64(n)
+	return true
+}
+
+// Available reports the token balance right now (may be negative if a
+// large Take is still being paid off).
+func (b *Bucket) Available() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clk.Now())
+	return b.tokens
+}

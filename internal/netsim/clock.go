@@ -1,0 +1,84 @@
+// Package netsim provides the network and time emulation substrate used
+// to reproduce the paper's hybrid local-cluster / cloud environment on a
+// single machine.
+//
+// Three facilities live here:
+//
+//   - Clock: a scalable virtual clock. All pacing in the system (compute
+//     pacing, bandwidth shaping, latency injection) sleeps through a
+//     Clock, so a single scale factor compresses the paper's
+//     minutes-long runs into seconds without changing any ratios.
+//   - Bucket: a token-bucket rate limiter expressed in emulated time,
+//     used for per-connection and aggregate bandwidth caps.
+//   - Link / shaped connections: net.Conn wrappers that impose a link
+//     profile (latency + bandwidth) on all traffic crossing them.
+package netsim
+
+import (
+	"time"
+)
+
+// Clock abstracts time so that emulated durations can be compressed.
+// Durations handed to Sleep, buckets, and pacers are in emulated time;
+// Now always reports wall time (used only for measuring elapsed wall
+// durations, which callers convert back with ToEmu).
+type Clock interface {
+	// Now returns the current wall-clock time.
+	Now() time.Time
+	// Sleep blocks for the emulated duration d.
+	Sleep(d time.Duration)
+	// ToWall converts an emulated duration to the wall duration it
+	// occupies under this clock.
+	ToWall(d time.Duration) time.Duration
+	// ToEmu converts a measured wall duration back to emulated time.
+	ToEmu(d time.Duration) time.Duration
+}
+
+// ScaledClock is a Clock that runs emulated time at a fixed multiple of
+// wall time. Scale 1.0 is real time; Scale 0.01 makes one emulated
+// second take 10ms of wall time. Scale 0 disables pacing entirely
+// (Sleep returns immediately), which unit tests use to exercise logic
+// without waiting.
+type ScaledClock struct {
+	// Scale is the wall seconds consumed per emulated second.
+	Scale float64
+}
+
+// Real returns a real-time clock (scale 1.0).
+func Real() *ScaledClock { return &ScaledClock{Scale: 1.0} }
+
+// Scaled returns a clock that compresses emulated time by the given
+// factor (e.g. 0.01 runs 100x faster than real time).
+func Scaled(scale float64) *ScaledClock { return &ScaledClock{Scale: scale} }
+
+// Instant returns a clock whose sleeps return immediately. ToEmu on an
+// Instant clock returns 0 for any wall duration, as no wall time maps
+// back to emulated time meaningfully.
+func Instant() *ScaledClock { return &ScaledClock{Scale: 0} }
+
+// Now implements Clock.
+func (c *ScaledClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (c *ScaledClock) Sleep(d time.Duration) {
+	if c.Scale <= 0 || d <= 0 {
+		return
+	}
+	time.Sleep(c.ToWall(d))
+}
+
+// ToWall implements Clock.
+func (c *ScaledClock) ToWall(d time.Duration) time.Duration {
+	if c.Scale <= 0 || d <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) * c.Scale)
+}
+
+// ToEmu implements Clock.
+func (c *ScaledClock) ToEmu(d time.Duration) time.Duration {
+	if c.Scale <= 0 || d <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) / c.Scale)
+}

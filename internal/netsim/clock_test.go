@@ -1,0 +1,85 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScaledClockToWall(t *testing.T) {
+	c := Scaled(0.5)
+	if got := c.ToWall(2 * time.Second); got != time.Second {
+		t.Fatalf("ToWall(2s) at scale 0.5 = %v, want 1s", got)
+	}
+	if got := c.ToEmu(time.Second); got != 2*time.Second {
+		t.Fatalf("ToEmu(1s) at scale 0.5 = %v, want 2s", got)
+	}
+}
+
+func TestInstantClockNoops(t *testing.T) {
+	c := Instant()
+	start := time.Now()
+	c.Sleep(time.Hour)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("Instant clock slept")
+	}
+	if c.ToWall(time.Hour) != 0 {
+		t.Fatal("Instant ToWall should be 0")
+	}
+	if c.ToEmu(time.Hour) != 0 {
+		t.Fatal("Instant ToEmu should be 0")
+	}
+}
+
+func TestRealClockIsScaleOne(t *testing.T) {
+	c := Real()
+	if c.Scale != 1.0 {
+		t.Fatalf("Real clock scale = %v, want 1", c.Scale)
+	}
+	if got := c.ToWall(3 * time.Second); got != 3*time.Second {
+		t.Fatalf("Real ToWall(3s) = %v", got)
+	}
+}
+
+func TestScaledClockSleepApproximate(t *testing.T) {
+	c := Scaled(0.001) // 1 emulated second = 1ms wall
+	start := time.Now()
+	c.Sleep(10 * time.Second) // should be ~10ms wall
+	elapsed := time.Since(start)
+	if elapsed < 5*time.Millisecond {
+		t.Fatalf("scaled sleep too short: %v", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("scaled sleep too long: %v", elapsed)
+	}
+}
+
+func TestClockNegativeDurations(t *testing.T) {
+	c := Scaled(0.5)
+	if c.ToWall(-time.Second) != 0 {
+		t.Fatal("negative ToWall should clamp to 0")
+	}
+	if c.ToEmu(-time.Second) != 0 {
+		t.Fatal("negative ToEmu should clamp to 0")
+	}
+	c.Sleep(-time.Hour) // must not block
+}
+
+// Property: ToEmu(ToWall(d)) round-trips within rounding error for any
+// positive duration and positive scale.
+func TestClockRoundTripProperty(t *testing.T) {
+	f := func(ms uint16, scaleTenths uint8) bool {
+		scale := float64(scaleTenths%50+1) / 10.0
+		c := Scaled(scale)
+		d := time.Duration(ms) * time.Millisecond
+		rt := c.ToEmu(c.ToWall(d))
+		diff := rt - d
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Microsecond || float64(diff)/float64(d+1) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

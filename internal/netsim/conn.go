@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// ShapedConn wraps a net.Conn so that writes are paced by a link
+// profile: a one-way latency charged once per message burst, a
+// per-stream bandwidth bucket, and (optionally) a bucket shared with
+// other connections on the same link for an aggregate cap.
+//
+// Shaping is applied on the write side only; applying it on both sides
+// would double-charge every byte. Reads pass through untouched.
+type ShapedConn struct {
+	net.Conn
+
+	clk       Clock
+	latency   time.Duration
+	perStream *Bucket
+	aggregate *Bucket
+	// readPerStream, when non-nil, paces the read side too (duplex
+	// shaping for connections whose peer is not itself shaped).
+	readPerStream *Bucket
+	readLatency   time.Duration
+
+	mu        sync.Mutex
+	lastWrite time.Time
+	lastRead  time.Time
+}
+
+// Shape wraps conn with this shaper's link policy on the write side.
+func (s *Shaper) Shape(conn net.Conn) *ShapedConn {
+	return &ShapedConn{
+		Conn:      conn,
+		clk:       s.clk,
+		latency:   s.link.Latency,
+		perStream: NewBucket(s.clk, s.link.PerStream, s.link.burstFor(s.link.PerStream)),
+		aggregate: s.aggregate,
+	}
+}
+
+// ShapeBoth wraps conn with the link policy on both directions, for
+// use when only one endpoint of the connection is wrapped (e.g. a
+// client dialing an unshaped server): inbound traffic is paced on
+// delivery, outbound on send.
+func (s *Shaper) ShapeBoth(conn net.Conn) *ShapedConn {
+	c := s.Shape(conn)
+	c.readPerStream = NewBucket(s.clk, s.link.PerStream, s.link.burstFor(s.link.PerStream))
+	c.readLatency = s.link.Latency
+	return c
+}
+
+// Read paces inbound bytes when duplex shaping is enabled.
+func (c *ShapedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && (c.readPerStream != nil || c.readLatency > 0) {
+		if c.readLatency > 0 {
+			now := c.clk.Now()
+			c.mu.Lock()
+			idle := c.lastRead.IsZero() || c.clk.ToEmu(now.Sub(c.lastRead)) >= c.readLatency
+			c.mu.Unlock()
+			if idle {
+				c.clk.Sleep(c.readLatency)
+			}
+		}
+		c.readPerStream.Take(n)
+		c.aggregate.Take(n)
+		c.mu.Lock()
+		c.lastRead = c.clk.Now()
+		c.mu.Unlock()
+	}
+	return n, err
+}
+
+// DialerBoth is like Dialer but shapes both directions of the
+// resulting connections.
+func (s *Shaper) DialerBoth() func(network, addr string) (net.Conn, error) {
+	return func(network, addr string) (net.Conn, error) {
+		conn, err := net.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return s.ShapeBoth(conn), nil
+	}
+}
+
+// Write paces the payload through the link and then writes it to the
+// underlying connection. Latency is charged only when the connection
+// has been idle for at least one latency period: back-to-back writes
+// model a pipelined stream whose propagation delay is already hidden.
+func (c *ShapedConn) Write(p []byte) (int, error) {
+	if c.latency > 0 {
+		now := c.clk.Now()
+		c.mu.Lock()
+		idle := c.lastWrite.IsZero() || c.clk.ToEmu(now.Sub(c.lastWrite)) >= c.latency
+		c.mu.Unlock()
+		if idle {
+			c.clk.Sleep(c.latency)
+		}
+	}
+	c.perStream.Take(len(p))
+	c.aggregate.Take(len(p))
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.lastWrite = c.clk.Now()
+	c.mu.Unlock()
+	return n, err
+}
+
+// Dialer produces connections whose writes are shaped by this shaper.
+// It is shaped on the dialing side, so it models the client's uplink;
+// for symmetric paths wrap the accepting side too (see Listener).
+func (s *Shaper) Dialer() func(network, addr string) (net.Conn, error) {
+	return func(network, addr string) (net.Conn, error) {
+		conn, err := net.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return s.Shape(conn), nil
+	}
+}
+
+// Listener wraps l so every accepted connection is shaped by s (the
+// server's downlink toward each peer).
+func (s *Shaper) Listener(l net.Listener) net.Listener {
+	return &shapedListener{Listener: l, s: s}
+}
+
+type shapedListener struct {
+	net.Listener
+	s *Shaper
+}
+
+func (l *shapedListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.s.Shape(conn), nil
+}
+
+// Pipe returns an in-memory, buffered connection pair whose a->b and
+// b->a directions are both shaped by s. It is used by in-process
+// deployments and tests that do not want to open TCP sockets.
+func (s *Shaper) Pipe() (net.Conn, net.Conn) {
+	a, b := bufferedPipe()
+	return s.Shape(a), s.Shape(b)
+}

@@ -1,0 +1,339 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBufferedPipeRoundTrip(t *testing.T) {
+	a, b := bufferedPipe()
+	defer a.Close()
+	defer b.Close()
+
+	msg := []byte("hello over the pipe")
+	if _, err := a.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+func TestBufferedPipeWriteDoesNotBlock(t *testing.T) {
+	a, b := bufferedPipe()
+	defer a.Close()
+	defer b.Close()
+	// Unlike net.Pipe, a write with no pending reader must complete.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			if _, err := a.Write(make([]byte, 1024)); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("buffered pipe write blocked")
+	}
+}
+
+func TestBufferedPipeCloseUnblocksReader(t *testing.T) {
+	a, b := bufferedPipe()
+	errc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 10)
+		_, err := b.Read(buf)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if err != io.EOF {
+			t.Fatalf("read after close = %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader not unblocked by close")
+	}
+}
+
+func TestBufferedPipeBidirectional(t *testing.T) {
+	a, b := bufferedPipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		a.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		io.ReadFull(a, buf)
+		if string(buf) != "pong" {
+			t.Errorf("a read %q", buf)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 4)
+		io.ReadFull(b, buf)
+		if string(buf) != "ping" {
+			t.Errorf("b read %q", buf)
+		}
+		b.Write([]byte("pong"))
+	}()
+	wg.Wait()
+}
+
+func TestShapedConnDataIntegrity(t *testing.T) {
+	s := NewShaper(Instant(), Link{Name: "test", Latency: time.Millisecond, PerStream: 1 << 20})
+	a, b := s.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	payload := make([]byte, 128<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go func() {
+		a.Write(payload)
+		a.Close()
+	}()
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("shaped conn corrupted the payload")
+	}
+}
+
+func TestShapedConnBandwidthPacing(t *testing.T) {
+	// 1 MB per emulated second, scale 0.001: 4 MB should need >= ~3ms.
+	clk := Scaled(0.001)
+	s := NewShaper(clk, Link{Name: "slow", PerStream: 1 << 20, Burst: 64 << 10})
+	a, b := s.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go io.Copy(io.Discard, b)
+
+	start := time.Now()
+	chunk := make([]byte, 256<<10)
+	for sent := 0; sent < 4<<20; sent += len(chunk) {
+		if _, err := a.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("4MB through 1MB/s link finished in %v, too fast", elapsed)
+	}
+}
+
+func TestShapedConnLatencyOnIdle(t *testing.T) {
+	// 100 emulated ms latency at scale 0.01 = 1ms wall per idle burst.
+	clk := Scaled(0.01)
+	s := NewShaper(clk, Link{Name: "lagged", Latency: 100 * time.Millisecond})
+	a, b := s.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go io.Copy(io.Discard, b)
+
+	start := time.Now()
+	a.Write([]byte("x")) // idle -> pays latency
+	if elapsed := time.Since(start); elapsed < 500*time.Microsecond {
+		t.Fatalf("first write skipped latency: %v", elapsed)
+	}
+	// A back-to-back write should not pay latency again.
+	start = time.Now()
+	a.Write([]byte("y"))
+	if elapsed := time.Since(start); elapsed > 500*time.Microsecond {
+		t.Fatalf("pipelined write paid latency: %v", elapsed)
+	}
+}
+
+func TestShaperAggregateShared(t *testing.T) {
+	clk := Scaled(0.001)
+	link := Link{Name: "agg", Aggregate: 1 << 20, Burst: 32 << 10}
+	s := NewShaper(clk, link)
+	// Two independent conns share the aggregate bucket: pushing 2 MB
+	// on each (4 MB total) must take >= ~3 emulated seconds = 3ms.
+	a1, b1 := s.Pipe()
+	a2, b2 := s.Pipe()
+	defer a1.Close()
+	defer b1.Close()
+	defer a2.Close()
+	defer b2.Close()
+	go io.Copy(io.Discard, b1)
+	go io.Copy(io.Discard, b2)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, c := range []net.Conn{a1, a2} {
+		wg.Add(1)
+		go func(c net.Conn) {
+			defer wg.Done()
+			buf := make([]byte, 128<<10)
+			for sent := 0; sent < 2<<20; sent += len(buf) {
+				c.Write(buf)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("aggregate cap not enforced across conns: %v", elapsed)
+	}
+}
+
+func TestShaperTCPListener(t *testing.T) {
+	clk := Instant()
+	s := NewShaper(clk, DefaultLAN())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaped := s.Listener(ln)
+	defer shaped.Close()
+
+	go func() {
+		conn, err := shaped.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(conn, conn) // echo
+	}()
+
+	dial := s.Dialer()
+	conn, err := dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("echo me through shaped tcp")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+}
+
+func TestDefaultLinkProfiles(t *testing.T) {
+	lan, wan := DefaultLAN(), DefaultWAN()
+	s3i, s3e := DefaultS3Internal(), DefaultS3External()
+	if lan.Latency >= wan.Latency {
+		t.Fatal("LAN latency should be below WAN latency")
+	}
+	if lan.PerStream <= wan.PerStream {
+		t.Fatal("LAN per-stream bandwidth should exceed WAN")
+	}
+	if s3i.PerStream <= s3e.PerStream {
+		t.Fatal("S3-internal should be faster than S3-external")
+	}
+	for _, l := range []Link{lan, wan, s3i, s3e} {
+		if l.Name == "" {
+			t.Fatal("link profile missing name")
+		}
+		if b := l.burstFor(l.PerStream); b <= 0 {
+			t.Fatalf("link %s has non-positive burst", l.Name)
+		}
+	}
+}
+
+func TestShapeBothPacesReads(t *testing.T) {
+	// Duplex shaping: an unshaped writer's traffic is paced on the
+	// shaped reader's side (how deployments shape the head->master
+	// direction without wrapping the head's listener).
+	clk := Scaled(0.001)
+	s := NewShaper(clk, Link{Name: "duplex", PerStream: 1 << 20, Burst: 32 << 10})
+	a, b := bufferedPipe()
+	shaped := s.ShapeBoth(a)
+	defer shaped.Close()
+	defer b.Close()
+
+	go func() {
+		payload := make([]byte, 4<<20)
+		b.Write(payload) // unshaped sender
+	}()
+	start := time.Now()
+	got := 0
+	buf := make([]byte, 256<<10)
+	for got < 4<<20 {
+		n, err := shaped.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += n
+	}
+	// 4 MB at 1 MB/emulated-second, scale 0.001 -> >= ~3ms wall.
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("duplex read not paced: %v", elapsed)
+	}
+}
+
+func TestShapeBothPreservesData(t *testing.T) {
+	s := NewShaper(Instant(), Link{Latency: time.Millisecond, PerStream: 1 << 30})
+	a, b := bufferedPipe()
+	shaped := s.ShapeBoth(a)
+	defer shaped.Close()
+	defer b.Close()
+
+	want := make([]byte, 64<<10)
+	for i := range want {
+		want[i] = byte(i * 13)
+	}
+	go b.Write(want)
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(shaped, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("duplex shaping corrupted data")
+	}
+}
+
+func TestDialerBothTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(conn, conn)
+	}()
+	s := NewShaper(Instant(), DefaultLAN())
+	conn, err := s.DialerBoth()("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("duplex echo")
+	conn.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q", got)
+	}
+}

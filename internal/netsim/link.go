@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"time"
+)
+
+// Link describes the characteristics of a network path between two
+// sites. Bandwidth figures are bytes per emulated second; Latency is
+// the one-way emulated delay charged to a message burst.
+//
+// A Link with zero values everywhere imposes no shaping at all.
+type Link struct {
+	// Name identifies the link in logs and metrics ("lan", "wan", ...).
+	Name string
+	// Latency is the one-way delay added to the first write of a burst.
+	Latency time.Duration
+	// PerStream caps each individual connection, in bytes per emulated
+	// second. Zero means unlimited per stream.
+	PerStream float64
+	// Aggregate caps the sum of all connections sharing this link, in
+	// bytes per emulated second. Zero means unlimited.
+	Aggregate float64
+	// Burst is the token burst for both caps, in bytes. Zero picks a
+	// default of 64 KiB or 1/20th of a second of the rate, whichever is
+	// larger.
+	Burst float64
+}
+
+func (l Link) burstFor(rate float64) float64 {
+	if l.Burst > 0 {
+		return l.Burst
+	}
+	b := rate / 20
+	if b < 64<<10 {
+		b = 64 << 10
+	}
+	return b
+}
+
+// Shaper applies one Link's policy to any number of connections. The
+// aggregate bucket is shared by every connection attached to the
+// shaper; each connection additionally gets its own per-stream bucket.
+type Shaper struct {
+	clk       Clock
+	link      Link
+	aggregate *Bucket
+}
+
+// NewShaper builds a Shaper for the given link on the given clock.
+func NewShaper(clk Clock, link Link) *Shaper {
+	if clk == nil {
+		clk = Instant()
+	}
+	return &Shaper{
+		clk:       clk,
+		link:      link,
+		aggregate: NewBucket(clk, link.Aggregate, link.burstFor(link.Aggregate)),
+	}
+}
+
+// Link returns the link profile this shaper enforces.
+func (s *Shaper) Link() Link { return s.link }
+
+// Clock returns the clock the shaper paces on.
+func (s *Shaper) Clock() Clock { return s.clk }
+
+// Common link profiles, scaled down ~1000x from the paper's hardware
+// alongside the ~1000x dataset scale-down (120 GB -> ~120 MB), so the
+// retrieval:compute:communication ratios match the 2011 testbed:
+//
+//   - LAN: intra-cluster Infiniband / local disk path. Effectively
+//     unconstrained relative to the others.
+//   - WAN: the path between the local cluster and the cloud (used for
+//     head<->master control traffic, reduction-object exchange, and
+//     stolen-job data retrieval).
+//   - S3Internal: EC2 instances reading from S3 inside AWS.
+//   - S3External: the local cluster reading from S3 across the WAN.
+
+// DefaultLAN returns the intra-cluster link profile.
+func DefaultLAN() Link {
+	return Link{Name: "lan", Latency: 200 * time.Microsecond, PerStream: 400 << 20, Aggregate: 2 << 30}
+}
+
+// DefaultWAN returns the inter-site control/data link profile.
+func DefaultWAN() Link {
+	return Link{Name: "wan", Latency: 40 * time.Millisecond, PerStream: 16 << 20, Aggregate: 64 << 20}
+}
+
+// DefaultS3Internal returns the cloud-local S3 access profile.
+func DefaultS3Internal() Link {
+	return Link{Name: "s3-internal", Latency: 10 * time.Millisecond, PerStream: 24 << 20, Aggregate: 96 << 20}
+}
+
+// DefaultS3External returns the S3-over-WAN access profile used when
+// the local cluster steals jobs whose data lives in the cloud.
+func DefaultS3External() Link {
+	return Link{Name: "s3-external", Latency: 50 * time.Millisecond, PerStream: 10 << 20, Aggregate: 40 << 20}
+}

@@ -1,0 +1,57 @@
+package netsim
+
+import (
+	"time"
+)
+
+// Pacer models the compute throughput of one virtual core. The host
+// machine may have a single physical CPU, so the paper's 32-64 core
+// configurations cannot produce real parallel speedup here; instead
+// each slave worker computes its reduction for real (correctness) and
+// then pads the elapsed time so the group took exactly the emulated
+// duration implied by the application's per-unit compute cost.
+//
+// This makes processing time deterministic and proportional to the
+// configured per-core throughput while results stay exact.
+type Pacer struct {
+	clk Clock
+	// UnitCost is the emulated compute time one core spends on one
+	// data unit.
+	unitCost time.Duration
+}
+
+// NewPacer returns a pacer for a core that spends unitCost of emulated
+// time per data unit. A nil clock disables pacing.
+func NewPacer(clk Clock, unitCost time.Duration) *Pacer {
+	if clk == nil {
+		clk = Instant()
+	}
+	return &Pacer{clk: clk, unitCost: unitCost}
+}
+
+// UnitCost returns the configured emulated cost per unit.
+func (p *Pacer) UnitCost() time.Duration { return p.unitCost }
+
+// Begin marks the start of processing a group of units and returns a
+// token to pass to End.
+func (p *Pacer) Begin() time.Time { return p.clk.Now() }
+
+// End pads the wall time since start so that processing units data
+// units took at least the emulated duration units*UnitCost. It returns
+// the emulated duration charged for the group (the larger of the real
+// elapsed emulated time and the modeled cost).
+func (p *Pacer) End(start time.Time, units int) time.Duration {
+	modeled := time.Duration(units) * p.unitCost
+	elapsedWall := p.clk.Now().Sub(start)
+	targetWall := p.clk.ToWall(modeled)
+	if pad := targetWall - elapsedWall; pad > 0 {
+		time.Sleep(pad)
+		return modeled
+	}
+	emu := p.clk.ToEmu(elapsedWall)
+	if emu < modeled {
+		// Instant clock: no wall time maps back, charge the model.
+		return modeled
+	}
+	return emu
+}

@@ -1,0 +1,55 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPacerPadsToModeledCost(t *testing.T) {
+	clk := Scaled(0.001) // 1 emulated ms = 1 us wall
+	p := NewPacer(clk, time.Millisecond)
+	start := p.Begin()
+	charged := p.End(start, 5000) // 5 emulated s -> 5ms wall
+	if charged < 5*time.Second {
+		t.Fatalf("charged %v, want >= 5s emulated", charged)
+	}
+}
+
+func TestPacerChargesRealTimeWhenSlower(t *testing.T) {
+	clk := Scaled(1.0)
+	p := NewPacer(clk, time.Nanosecond) // model is ~free
+	start := p.Begin()
+	time.Sleep(5 * time.Millisecond) // real work dominates
+	charged := p.End(start, 1)
+	if charged < 4*time.Millisecond {
+		t.Fatalf("charged %v, want >= real elapsed ~5ms", charged)
+	}
+}
+
+func TestPacerNilClock(t *testing.T) {
+	p := NewPacer(nil, time.Second)
+	start := p.Begin()
+	wall := time.Now()
+	charged := p.End(start, 1000)
+	if time.Since(wall) > 100*time.Millisecond {
+		t.Fatal("instant-clock pacer slept")
+	}
+	if charged != 1000*time.Second {
+		t.Fatalf("instant pacer should charge the model: %v", charged)
+	}
+}
+
+func TestPacerUnitCostAccessor(t *testing.T) {
+	p := NewPacer(Instant(), 42*time.Microsecond)
+	if p.UnitCost() != 42*time.Microsecond {
+		t.Fatal("UnitCost accessor mismatch")
+	}
+}
+
+func TestPacerZeroUnits(t *testing.T) {
+	p := NewPacer(Scaled(0.001), time.Second)
+	start := p.Begin()
+	if charged := p.End(start, 0); charged < 0 {
+		t.Fatalf("zero units charged negative: %v", charged)
+	}
+}

@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// bufferedPipe returns a full-duplex in-memory connection pair. Unlike
+// net.Pipe, writes complete without waiting for a matching read, which
+// matches TCP semantics closely enough for protocol code that may have
+// both ends writing concurrently.
+func bufferedPipe() (net.Conn, net.Conn) {
+	ab := newPipeHalf()
+	ba := newPipeHalf()
+	a := &pipeConn{r: ba, w: ab, name: "pipe-a"}
+	b := &pipeConn{r: ab, w: ba, name: "pipe-b"}
+	return a, b
+}
+
+// pipeHalf is a one-directional byte queue.
+type pipeHalf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newPipeHalf() *pipeHalf {
+	h := &pipeHalf{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *pipeHalf) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, errors.New("netsim: write on closed pipe")
+	}
+	h.buf = append(h.buf, p...)
+	h.cond.Broadcast()
+	return len(p), nil
+}
+
+func (h *pipeHalf) read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.buf) == 0 && !h.closed {
+		h.cond.Wait()
+	}
+	if len(h.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, h.buf)
+	h.buf = h.buf[n:]
+	return n, nil
+}
+
+func (h *pipeHalf) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+type pipeConn struct {
+	r, w *pipeHalf
+	name string
+}
+
+func (c *pipeConn) Read(p []byte) (int, error)  { return c.r.read(p) }
+func (c *pipeConn) Write(p []byte) (int, error) { return c.w.write(p) }
+
+func (c *pipeConn) Close() error {
+	c.w.close()
+	c.r.close()
+	return nil
+}
+
+type pipeAddr string
+
+func (a pipeAddr) Network() string { return "pipe" }
+func (a pipeAddr) String() string  { return string(a) }
+
+func (c *pipeConn) LocalAddr() net.Addr                { return pipeAddr(c.name) }
+func (c *pipeConn) RemoteAddr() net.Addr               { return pipeAddr(c.name) }
+func (c *pipeConn) SetDeadline(t time.Time) error      { return nil }
+func (c *pipeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *pipeConn) SetWriteDeadline(t time.Time) error { return nil }

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// FetchOptions tune the multi-threaded ranged retrieval slaves use for
+// chunks whose data lives at another site (Section III-B, "each slave
+// retrieves jobs using multiple retrieval threads").
+type FetchOptions struct {
+	// Threads is the number of concurrent sub-range readers. Values
+	// below 1 mean 1 (sequential).
+	Threads int
+	// RangeSize is the bytes each sub-range request asks for. Values
+	// below 1 default to 256 KiB; the minimum honoured size is 512 B.
+	RangeSize int
+}
+
+// DefaultFetchOptions matches the paper's multi-threaded retrieval
+// configuration scaled to our chunk sizes.
+func DefaultFetchOptions() FetchOptions {
+	return FetchOptions{Threads: 8, RangeSize: 256 << 10}
+}
+
+func (o FetchOptions) normalize() FetchOptions {
+	if o.Threads < 1 {
+		o.Threads = 1
+	}
+	if o.RangeSize <= 0 {
+		o.RangeSize = 256 << 10
+	}
+	if o.RangeSize < 512 {
+		o.RangeSize = 512
+	}
+	return o
+}
+
+// Fetch reads [off, off+length) of the named object from st into a
+// freshly allocated buffer, splitting the range into RangeSize pieces
+// fetched by Threads concurrent readers. It returns an error if the
+// object ends before the requested range does.
+func Fetch(st Store, name string, off, length int64, opts FetchOptions) ([]byte, error) {
+	if length < 0 {
+		return nil, fmt.Errorf("store: negative fetch length %d", length)
+	}
+	opts = opts.normalize()
+	buf := make([]byte, length)
+	if length == 0 {
+		return buf, nil
+	}
+
+	type job struct{ start, end int64 } // offsets relative to off
+	jobs := make(chan job, opts.Threads)
+	errc := make(chan error, opts.Threads)
+	var wg sync.WaitGroup
+
+	for i := 0; i < opts.Threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				p := buf[j.start:j.end]
+				n, err := st.ReadAt(name, p, off+j.start)
+				if err != nil && err != io.EOF {
+					errc <- err
+					return
+				}
+				if int64(n) < j.end-j.start {
+					errc <- fmt.Errorf("store: short read of %s at %d: got %d of %d",
+						name, off+j.start, n, j.end-j.start)
+					return
+				}
+			}
+		}()
+	}
+
+	rangeSize := int64(opts.RangeSize)
+	for start := int64(0); start < length; start += rangeSize {
+		end := start + rangeSize
+		if end > length {
+			end = length
+		}
+		select {
+		case jobs <- job{start, end}:
+		case err := <-errc:
+			close(jobs)
+			wg.Wait()
+			return nil, err
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	return buf, nil
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFetchWholeObject(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(1<<20, 13)
+	m.Put("d", data)
+	got, err := Fetch(m, "d", 0, int64(len(data)), DefaultFetchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fetch mismatch")
+	}
+}
+
+func TestFetchSubRange(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(100_000, 4)
+	m.Put("d", data)
+	got, err := Fetch(m, "d", 12_345, 50_000, FetchOptions{Threads: 4, RangeSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[12_345:62_345]) {
+		t.Fatal("sub-range fetch mismatch")
+	}
+}
+
+func TestFetchSequentialFallback(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(10_000, 2)
+	m.Put("d", data)
+	got, err := Fetch(m, "d", 0, 10_000, FetchOptions{Threads: 0, RangeSize: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("sequential fetch mismatch")
+	}
+}
+
+func TestFetchZeroLength(t *testing.T) {
+	m := NewMem()
+	m.Put("d", fillPattern(10, 0))
+	got, err := Fetch(m, "d", 5, 0, DefaultFetchOptions())
+	if err != nil || len(got) != 0 {
+		t.Fatalf("zero fetch = %v, %v", got, err)
+	}
+	if _, err := Fetch(m, "d", 0, -1, DefaultFetchOptions()); err == nil {
+		t.Fatal("negative length should error")
+	}
+}
+
+func TestFetchPastEndErrors(t *testing.T) {
+	m := NewMem()
+	m.Put("d", fillPattern(1000, 0))
+	if _, err := Fetch(m, "d", 500, 1000, FetchOptions{Threads: 2, RangeSize: 4 << 10}); err == nil {
+		t.Fatal("fetch past end should error")
+	}
+}
+
+func TestFetchMissingObject(t *testing.T) {
+	m := NewMem()
+	if _, err := Fetch(m, "ghost", 0, 100, DefaultFetchOptions()); err == nil {
+		t.Fatal("fetch of missing object should error")
+	}
+}
+
+type flakyStore struct {
+	*Mem
+	failAfter int64 // error on reads at offset >= failAfter
+}
+
+func (f *flakyStore) ReadAt(name string, p []byte, off int64) (int, error) {
+	if off >= f.failAfter {
+		return 0, errors.New("injected failure")
+	}
+	return f.Mem.ReadAt(name, p, off)
+}
+
+func TestFetchPropagatesWorkerError(t *testing.T) {
+	m := NewMem()
+	m.Put("d", fillPattern(1<<20, 0))
+	f := &flakyStore{Mem: m, failAfter: 512 << 10}
+	_, err := Fetch(f, "d", 0, 1<<20, FetchOptions{Threads: 4, RangeSize: 64 << 10})
+	if err == nil || err.Error() != "injected failure" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: Fetch with arbitrary thread/range parameters equals the
+// backing bytes for arbitrary in-range windows.
+func TestFetchProperty(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(200_000, 77)
+	m.Put("d", data)
+	f := func(off uint16, length uint16, threads uint8, rangeKB uint8) bool {
+		o := int64(off) % 100_000
+		l := int64(length) % 100_000
+		got, err := Fetch(m, "d", o, l, FetchOptions{
+			Threads:   int(threads%8) + 1,
+			RangeSize: (int(rangeKB%32) + 1) << 10,
+		})
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data[o:o+l])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchFromRemoteStore(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(300_000, 21)
+	m.Put("d", data)
+	srv := startServer(t, m)
+	c := NewClient(srv.Addr(), nil)
+	defer c.Close()
+
+	got, err := Fetch(c, "d", 1000, 250_000, FetchOptions{Threads: 6, RangeSize: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[1000:251_000]) {
+		t.Fatal("remote fetch mismatch")
+	}
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cloudburst/internal/wire"
+)
+
+// Server exposes a Store over the wire protocol so remote sites can
+// read it through (shaped) network connections. Used by the cmd/
+// daemons and by integration tests; in-process deployments talk to
+// stores directly.
+type Server struct {
+	store Store
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving store on l and returns immediately; the server
+// owns the listener until Close.
+func Serve(l net.Listener, s Store) *Server {
+	srv := &Server{store: s, ln: l}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return srv
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(wire.NewConn(conn))
+		}()
+	}
+}
+
+func (s *Server) handle(c *wire.Conn) {
+	defer c.Close()
+	for {
+		req, err := c.Recv()
+		if err != nil {
+			return
+		}
+		var resp wire.Message
+		switch req.Kind {
+		case wire.KindReadAt:
+			buf := make([]byte, req.Len)
+			n, err := s.store.ReadAt(req.File, buf, req.Off)
+			if err != nil && err != io.EOF {
+				resp = wire.Message{Kind: wire.KindError, Err: err.Error()}
+			} else {
+				resp = wire.Message{Kind: wire.KindReadResp, Data: buf[:n], Done: err == io.EOF}
+			}
+		case wire.KindStat:
+			size, err := s.store.Size(req.File)
+			if err != nil {
+				resp = wire.Message{Kind: wire.KindError, Err: err.Error()}
+			} else {
+				resp = wire.Message{Kind: wire.KindStatResp, Len: size}
+			}
+		case wire.KindList:
+			names, err := s.store.List()
+			if err != nil {
+				resp = wire.Message{Kind: wire.KindError, Err: err.Error()}
+			} else {
+				resp = wire.Message{Kind: wire.KindListResp, Files: names}
+			}
+		default:
+			resp = wire.Message{Kind: wire.KindError, Err: fmt.Sprintf("store: unexpected %v", req.Kind)}
+		}
+		if err := c.Send(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Dialer opens a connection to a store server; netsim shapers supply
+// shaped dialers for cross-site access.
+type Dialer func(network, addr string) (net.Conn, error)
+
+// Client is a Store backed by a remote Server. It maintains a pool of
+// connections so the multi-threaded chunk fetcher's concurrent range
+// requests each travel on their own (individually shaped) stream.
+type Client struct {
+	addr string
+	dial Dialer
+
+	mu     sync.Mutex
+	idle   []*wire.Conn
+	closed bool
+}
+
+// NewClient returns a client for the server at addr. A nil dialer
+// uses net.Dial.
+func NewClient(addr string, dial Dialer) *Client {
+	if dial == nil {
+		dial = net.Dial
+	}
+	return &Client{addr: addr, dial: dial}
+}
+
+var errClientClosed = errors.New("store: client closed")
+
+func (c *Client) get() (*wire.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errClientClosed
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	raw, err := c.dial("tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	return wire.NewConn(raw), nil
+}
+
+func (c *Client) put(conn *wire.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= 64 {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+// Close tears down pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+func (c *Client) call(req *wire.Message) (*wire.Message, error) {
+	conn, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conn.Call(req)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.put(conn)
+	return resp, nil
+}
+
+// ReadAt implements Store.
+func (c *Client) ReadAt(name string, p []byte, off int64) (int, error) {
+	resp, err := c.call(&wire.Message{Kind: wire.KindReadAt, File: name, Off: off, Len: int64(len(p))})
+	if err != nil {
+		return 0, err
+	}
+	n := copy(p, resp.Data)
+	if resp.Done || n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Size implements Store.
+func (c *Client) Size(name string) (int64, error) {
+	resp, err := c.call(&wire.Message{Kind: wire.KindStat, File: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Len, nil
+}
+
+// List implements Store.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.call(&wire.Message{Kind: wire.KindList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Files, nil
+}

@@ -1,0 +1,145 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"cloudburst/internal/netsim"
+)
+
+func startServer(t *testing.T, s Store) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, s)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestRemoteReadAt(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(64<<10, 11)
+	m.Put("remote.bin", data)
+	srv := startServer(t, m)
+
+	c := NewClient(srv.Addr(), nil)
+	defer c.Close()
+
+	buf := make([]byte, 1000)
+	n, err := c.ReadAt("remote.bin", buf, 500)
+	if err != nil || n != 1000 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data[500:1500]) {
+		t.Fatal("remote data mismatch")
+	}
+}
+
+func TestRemoteEOFSemantics(t *testing.T) {
+	m := NewMem()
+	m.Put("small", fillPattern(100, 0))
+	srv := startServer(t, m)
+	c := NewClient(srv.Addr(), nil)
+	defer c.Close()
+
+	buf := make([]byte, 60)
+	if n, err := c.ReadAt("small", buf, 80); n != 20 || err != io.EOF {
+		t.Fatalf("crossing read = %d, %v", n, err)
+	}
+}
+
+func TestRemoteSizeListAndErrors(t *testing.T) {
+	m := NewMem()
+	m.Put("a.bin", fillPattern(7, 0))
+	m.Put("b.bin", fillPattern(9, 0))
+	srv := startServer(t, m)
+	c := NewClient(srv.Addr(), nil)
+	defer c.Close()
+
+	if size, err := c.Size("b.bin"); err != nil || size != 9 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	names, err := c.List()
+	if err != nil || len(names) != 2 {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if _, err := c.Size("ghost"); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("missing err = %v", err)
+	}
+	if _, err := c.ReadAt("ghost", make([]byte, 4), 0); err == nil {
+		t.Fatal("missing ReadAt should error")
+	}
+}
+
+func TestRemoteConcurrentClients(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(256<<10, 3)
+	m.Put("big", data)
+	srv := startServer(t, m)
+	c := NewClient(srv.Addr(), nil)
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			off := int64(i) * 10_000
+			buf := make([]byte, 10_000)
+			n, err := c.ReadAt("big", buf, off)
+			if err != nil && err != io.EOF {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(buf[:n], data[off:off+int64(n)]) {
+				t.Errorf("reader %d mismatch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestRemoteThroughShapedLink(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(32<<10, 8)
+	m.Put("x", data)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaper := netsim.NewShaper(netsim.Instant(), netsim.DefaultWAN())
+	srv := Serve(shaper.Listener(ln), m)
+	defer srv.Close()
+
+	c := NewClient(ln.Addr().String(), Dialer(shaper.Dialer()))
+	defer c.Close()
+	got, err := ReadAll(c, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("shaped remote read mismatch")
+	}
+}
+
+func TestClientClosedRejects(t *testing.T) {
+	m := NewMem()
+	srv := startServer(t, m)
+	c := NewClient(srv.Addr(), nil)
+	c.Close()
+	if _, err := c.List(); err == nil {
+		t.Fatal("closed client should error")
+	}
+}
+
+// newLocalListener is shared by tests and benchmarks.
+func newLocalListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"sync"
+	"time"
+
+	"cloudburst/internal/netsim"
+)
+
+// SimS3 wraps a backing store with the access characteristics of a
+// cloud object store as seen from one client site:
+//
+//   - every request pays a first-byte latency,
+//   - every request's stream is capped at a per-request bandwidth,
+//   - all clients of the service share an aggregate egress cap.
+//
+// This reproduces the incentive the paper's retrieval layer exploits:
+// a single reader cannot saturate the path to S3, so slaves fetch a
+// chunk with multiple concurrent sub-range readers, and concurrency
+// helps until the aggregate cap is reached.
+//
+// Distinct sites see the same objects through different SimS3 views
+// (e.g. cloud-internal vs. across the WAN) while sharing one aggregate
+// bucket; build such views with NewSimS3 using a shared *Service.
+type SimS3 struct {
+	backing   Store
+	clk       netsim.Clock
+	latency   time.Duration
+	perStream float64
+	aggregate *netsim.Bucket
+
+	// seekPenalty, when set, is charged on reads that do not continue
+	// one of the object's active read streams — a storage-node model
+	// with per-stream readahead, which is what makes the head's
+	// consecutive-job assignment worth anything. Object stores leave
+	// it zero: every ranged GET costs the same.
+	seekPenalty time.Duration
+	seekMu      sync.Mutex
+	// tails[name] holds the end offsets of recent sequential streams.
+	tails map[string][]int64
+}
+
+// maxSeekTails bounds the per-object stream tails tracked by the seek
+// model (a storage node's readahead contexts).
+const maxSeekTails = 64
+
+// Service is the shared, site-independent half of a simulated S3
+// deployment: the object bytes plus the service-wide egress cap.
+type Service struct {
+	// Objects holds the stored data.
+	Objects *Mem
+	clk     netsim.Clock
+	egress  *netsim.Bucket
+}
+
+// NewService creates a simulated S3 service with the given aggregate
+// egress bandwidth (bytes per emulated second; 0 = unlimited).
+func NewService(clk netsim.Clock, egress float64) *Service {
+	if clk == nil {
+		clk = netsim.Instant()
+	}
+	burst := egress / 20
+	if burst < 256<<10 {
+		burst = 256 << 10
+	}
+	return &Service{
+		Objects: NewMem(),
+		clk:     clk,
+		egress:  netsim.NewBucket(clk, egress, burst),
+	}
+}
+
+// View returns this service as seen across the given link: requests
+// pay the link's latency and are capped at its per-stream bandwidth,
+// while still sharing the service's aggregate egress budget.
+func (s *Service) View(link netsim.Link) *SimS3 {
+	return &SimS3{
+		backing:   s.Objects,
+		clk:       s.clk,
+		latency:   link.Latency,
+		perStream: link.PerStream,
+		aggregate: s.egress,
+	}
+}
+
+// NewSimS3 wraps an arbitrary backing store with S3-like shaping. Pass
+// a nil aggregate for no service-wide cap.
+func NewSimS3(backing Store, clk netsim.Clock, latency time.Duration, perStream float64, aggregate *netsim.Bucket) *SimS3 {
+	if clk == nil {
+		clk = netsim.Instant()
+	}
+	return &SimS3{backing: backing, clk: clk, latency: latency, perStream: perStream, aggregate: aggregate}
+}
+
+// WithSeekPenalty enables the disk seek model: reads that do not
+// continue one of the object's recent read streams pay the extra
+// penalty. It returns s for chaining.
+func (s *SimS3) WithSeekPenalty(d time.Duration) *SimS3 {
+	s.seekPenalty = d
+	s.tails = make(map[string][]int64)
+	return s
+}
+
+// seekCost reports the penalty for a read at off and records the new
+// stream position.
+func (s *SimS3) seekCost(name string, off int64, n int) time.Duration {
+	if s.seekPenalty <= 0 {
+		return 0
+	}
+	s.seekMu.Lock()
+	defer s.seekMu.Unlock()
+	tails := s.tails[name]
+	for i, tail := range tails {
+		if tail == off {
+			tails[i] = off + int64(n)
+			return 0
+		}
+	}
+	if len(tails) >= maxSeekTails {
+		tails = tails[1:]
+	}
+	s.tails[name] = append(tails, off+int64(n))
+	return s.seekPenalty
+}
+
+// ReadAt implements Store, charging the request's latency and
+// bandwidth before returning.
+func (s *SimS3) ReadAt(name string, p []byte, off int64) (int, error) {
+	start := s.clk.Now()
+	n, err := s.backing.ReadAt(name, p, off)
+	if n > 0 {
+		s.aggregate.Take(n)
+	}
+	// Enforce the per-request floor: latency (+ seek) + bytes/perStream,
+	// counting whatever time the aggregate bucket already consumed.
+	minEmu := s.latency + s.seekCost(name, off, n)
+	if s.perStream > 0 && n > 0 {
+		minEmu += time.Duration(float64(n) / s.perStream * float64(time.Second))
+	}
+	if elapsed := s.clk.ToEmu(s.clk.Now().Sub(start)); elapsed < minEmu {
+		s.clk.Sleep(minEmu - elapsed)
+	}
+	return n, err
+}
+
+// Size implements Store; metadata requests pay one latency.
+func (s *SimS3) Size(name string) (int64, error) {
+	s.clk.Sleep(s.latency)
+	return s.backing.Size(name)
+}
+
+// List implements Store; pays one latency.
+func (s *SimS3) List() ([]string, error) {
+	s.clk.Sleep(s.latency)
+	return s.backing.List()
+}

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudburst/internal/netsim"
+)
+
+func TestSimS3DataIntact(t *testing.T) {
+	svc := NewService(netsim.Instant(), 0)
+	data := fillPattern(2048, 5)
+	svc.Objects.Put("d", data)
+	view := svc.View(netsim.DefaultS3Internal())
+
+	got, err := ReadAll(view, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("SimS3 corrupted data")
+	}
+	if size, err := view.Size("d"); err != nil || size != 2048 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	names, err := view.List()
+	if err != nil || len(names) != 1 {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+}
+
+func TestSimS3RequestLatency(t *testing.T) {
+	clk := netsim.Scaled(0.01) // 1 emulated s = 10ms wall
+	svc := NewService(clk, 0)
+	svc.Objects.Put("d", fillPattern(10, 0))
+	view := svc.View(netsim.Link{Latency: 100 * time.Millisecond}) // 1ms wall
+
+	start := time.Now()
+	buf := make([]byte, 10)
+	view.ReadAt("d", buf, 0)
+	if elapsed := time.Since(start); elapsed < 500*time.Microsecond {
+		t.Fatalf("latency not charged: %v", elapsed)
+	}
+}
+
+func TestSimS3PerStreamFloor(t *testing.T) {
+	clk := netsim.Scaled(0.001)
+	svc := NewService(clk, 0)
+	data := fillPattern(1<<20, 0)
+	svc.Objects.Put("d", data)
+	// 1 MB at 1 MB/emulated-second = 1 emulated s = 1ms wall minimum.
+	view := svc.View(netsim.Link{PerStream: 1 << 20})
+	start := time.Now()
+	buf := make([]byte, 1<<20)
+	view.ReadAt("d", buf, 0)
+	if elapsed := time.Since(start); elapsed < 500*time.Microsecond {
+		t.Fatalf("per-stream cap not enforced: %v", elapsed)
+	}
+}
+
+func TestSimS3ConcurrencyBeatsSerial(t *testing.T) {
+	// With a per-stream cap far below the aggregate cap, 4 concurrent
+	// readers should finish much faster than 4 serial reads — the
+	// property the paper's multi-threaded retrieval relies on.
+	// Small buffers (cheap copies even under -race on one CPU) with a
+	// slow per-stream link, so emulated pacing dominates: serial = 4
+	// emulated s (~40ms wall), parallel = 1 emulated s (~10ms).
+	clk := netsim.Scaled(0.01)
+	mk := func() *SimS3 {
+		svc := NewService(clk, 64<<20)
+		svc.Objects.Put("d", fillPattern(256<<10, 0))
+		return svc.View(netsim.Link{PerStream: 64 << 10, Burst: 1})
+	}
+
+	serialView := mk()
+	buf := make([]byte, 64<<10)
+	serialStart := time.Now()
+	for i := 0; i < 4; i++ {
+		serialView.ReadAt("d", buf, int64(i)<<16)
+	}
+	serial := time.Since(serialStart)
+
+	parView := mk()
+	parStart := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := make([]byte, 64<<10)
+			parView.ReadAt("d", b, int64(i)<<16)
+		}(i)
+	}
+	wg.Wait()
+	parallel := time.Since(parStart)
+
+	if parallel >= serial*3/4 {
+		t.Fatalf("parallel reads (%v) not meaningfully faster than serial (%v)", parallel, serial)
+	}
+}
+
+func TestSimS3SharedAggregateAcrossViews(t *testing.T) {
+	// Two views (cloud-internal and WAN) share the service egress cap:
+	// together they cannot exceed it.
+	clk := netsim.Scaled(0.001)
+	svc := NewService(clk, 2<<20) // 2 MB per emulated second total
+	svc.Objects.Put("d", fillPattern(4<<20, 0))
+	internal := svc.View(netsim.Link{PerStream: 0})
+	external := svc.View(netsim.Link{PerStream: 0})
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, v := range []*SimS3{internal, external} {
+		wg.Add(1)
+		go func(v *SimS3) {
+			defer wg.Done()
+			b := make([]byte, 2<<20)
+			v.ReadAt("d", b, 0)
+		}(v)
+	}
+	wg.Wait()
+	// 4 MB total at 2 MB/s = ~2 emulated s = ~2ms wall (minus burst).
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("shared egress cap violated: %v", elapsed)
+	}
+}
+
+func TestSeekPenaltyChargesRandomAccess(t *testing.T) {
+	clk := netsim.Scaled(0.01) // 1 emulated s = 10ms wall
+	svc := NewService(clk, 0)
+	svc.Objects.Put("d", fillPattern(64<<10, 0))
+	view := svc.View(netsim.Link{}).WithSeekPenalty(200 * time.Millisecond)
+
+	buf := make([]byte, 4<<10)
+	// First read of a stream: one seek.
+	start := time.Now()
+	view.ReadAt("d", buf, 0)
+	first := time.Since(start)
+	if first < time.Millisecond {
+		t.Fatalf("first read paid no seek: %v", first)
+	}
+	// Sequential continuation: no seek.
+	start = time.Now()
+	view.ReadAt("d", buf, 4<<10)
+	if seq := time.Since(start); seq > first/2 {
+		t.Fatalf("sequential read paid a seek: %v vs %v", seq, first)
+	}
+	// Random jump: seek again.
+	start = time.Now()
+	view.ReadAt("d", buf, 32<<10)
+	if jump := time.Since(start); jump < time.Millisecond {
+		t.Fatalf("random read paid no seek: %v", jump)
+	}
+}
+
+func TestSeekPenaltyTracksMultipleStreams(t *testing.T) {
+	clk := netsim.Scaled(0.01)
+	svc := NewService(clk, 0)
+	svc.Objects.Put("d", fillPattern(64<<10, 0))
+	view := svc.View(netsim.Link{}).WithSeekPenalty(100 * time.Millisecond)
+
+	buf := make([]byte, 1<<10)
+	// Two interleaved sequential streams must both avoid seeks after
+	// their first read.
+	view.ReadAt("d", buf, 0)      // stream A seek
+	view.ReadAt("d", buf, 32<<10) // stream B seek
+	start := time.Now()
+	view.ReadAt("d", buf, 1<<10)  // A continues
+	view.ReadAt("d", buf, 33<<10) // B continues
+	view.ReadAt("d", buf, 2<<10)  // A continues
+	if elapsed := time.Since(start); elapsed > 2*time.Millisecond {
+		t.Fatalf("interleaved sequential streams paid seeks: %v", elapsed)
+	}
+}

@@ -1,0 +1,160 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func fillPattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*7 + seed
+	}
+	return b
+}
+
+func TestMemPutReadAt(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(1000, 3)
+	m.Put("obj", data)
+
+	buf := make([]byte, 100)
+	n, err := m.ReadAt("obj", buf, 50)
+	if err != nil || n != 100 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data[50:150]) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestMemReadAtEOFSemantics(t *testing.T) {
+	m := NewMem()
+	m.Put("obj", fillPattern(100, 0))
+
+	// Read ending exactly at EOF: full read, nil error.
+	buf := make([]byte, 50)
+	if n, err := m.ReadAt("obj", buf, 50); n != 50 || err != nil {
+		t.Fatalf("exact-end read = %d, %v", n, err)
+	}
+	// Read crossing EOF: partial + EOF.
+	if n, err := m.ReadAt("obj", buf, 80); n != 20 || err != io.EOF {
+		t.Fatalf("crossing read = %d, %v", n, err)
+	}
+	// Read past EOF: 0 + EOF.
+	if n, err := m.ReadAt("obj", buf, 200); n != 0 || err != io.EOF {
+		t.Fatalf("past-end read = %d, %v", n, err)
+	}
+	// Negative offset errors.
+	if _, err := m.ReadAt("obj", buf, -1); err == nil {
+		t.Fatal("negative offset should error")
+	}
+}
+
+func TestMemMissingObject(t *testing.T) {
+	m := NewMem()
+	if _, err := m.ReadAt("ghost", make([]byte, 1), 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Size("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Size err = %v", err)
+	}
+}
+
+func TestMemListSortedAndDelete(t *testing.T) {
+	m := NewMem()
+	m.Put("b", nil)
+	m.Put("a", nil)
+	m.Put("c", nil)
+	names, err := m.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("list = %v", names)
+	}
+	m.Delete("b")
+	names, _ = m.List()
+	if len(names) != 2 {
+		t.Fatalf("after delete: %v", names)
+	}
+}
+
+func TestLocalStore(t *testing.T) {
+	dir := t.TempDir()
+	data := fillPattern(4096, 9)
+	if err := os.WriteFile(filepath.Join(dir, "file-0.bin"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLocal(dir)
+	defer l.Close()
+
+	size, err := l.Size("file-0.bin")
+	if err != nil || size != 4096 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	buf := make([]byte, 256)
+	if n, err := l.ReadAt("file-0.bin", buf, 1024); n != 256 || err != nil {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data[1024:1280]) {
+		t.Fatal("local data mismatch")
+	}
+	names, err := l.List()
+	if err != nil || len(names) != 1 || names[0] != "file-0.bin" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+}
+
+func TestLocalStoreMissingAndTraversal(t *testing.T) {
+	l := NewLocal(t.TempDir())
+	defer l.Close()
+	if _, err := l.Size("missing.bin"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing err = %v", err)
+	}
+	for _, bad := range []string{"../etc/passwd", "a/b", `a\b`, "", ".", ".."} {
+		if _, err := l.Size(bad); err == nil {
+			t.Fatalf("name %q should be rejected", bad)
+		}
+	}
+}
+
+func TestReadAllHelper(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(10_000, 1)
+	m.Put("x", data)
+	got, err := ReadAll(m, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("ReadAll mismatch")
+	}
+	if _, err := ReadAll(m, "ghost"); err == nil {
+		t.Fatal("ReadAll of missing object should error")
+	}
+}
+
+// Property: any in-range read of Mem returns exactly the backing bytes.
+func TestMemReadAtProperty(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(5000, 42)
+	m.Put("p", data)
+	f := func(off uint16, length uint8) bool {
+		o := int64(off) % 5000
+		buf := make([]byte, int(length)+1)
+		n, err := m.ReadAt("p", buf, o)
+		if err != nil && err != io.EOF {
+			return false
+		}
+		return bytes.Equal(buf[:n], data[o:o+int64(n)])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"net"
+	"testing"
+)
+
+func benchPair(b *testing.B) (*Conn, *Conn) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	server := <-accepted
+	b.Cleanup(func() { client.Close(); server.Close() })
+	return NewConn(client), NewConn(server)
+}
+
+// BenchmarkCallSmall measures one control round trip (a job request).
+func BenchmarkCallSmall(b *testing.B) {
+	a, s := benchPair(b)
+	go func() {
+		for {
+			if _, err := s.Recv(); err != nil {
+				return
+			}
+			grant := wireGrant()
+			s.Send(&grant)
+		}
+	}()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Call(&Message{Kind: KindRequestJob, Max: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func wireGrant() Message {
+	return Message{Kind: KindJobGrant, Jobs: []JobAssign{{Chunk: 1, File: "f", Length: 131072}}}
+}
+
+// BenchmarkSendLargeObject measures shipping a pagerank-sized
+// reduction object (600 KB) through the framed codec.
+func BenchmarkSendLargeObject(b *testing.B) {
+	a, s := benchPair(b)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := s.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	payload := make([]byte, 600<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(&Message{Kind: KindClusterResult, Object: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package wire implements the framed message protocol spoken between
+// every pair of components in the system: head <-> master, master <->
+// slave, and store client <-> store server. Messages are gob-encoded
+// and carried in length-prefixed frames so that each logical message
+// maps to a single write on the connection — which is what lets the
+// netsim layer charge link latency per message burst the way a real
+// request/response protocol would pay it.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cloudburst/internal/metrics"
+)
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+// Message kinds for the cluster protocol (head/master/slave) and the
+// store protocol (client/server).
+const (
+	KindInvalid Kind = iota
+
+	// Cluster protocol.
+	KindRegisterMaster // master->head: Site, Cores
+	KindRequestJobs    // master->head: Site, Max, Completed
+	KindJobs           // head->master: Jobs, Done
+	KindClusterResult  // master->head: Site, Object, Stats
+	KindFinal          // head->master: Object (final reduction), Done
+	KindRegisterSlave  // slave->master: Site, Cores
+	KindRequestJob     // slave->master: Max, Completed
+	KindJobGrant       // master->slave: Jobs, Done
+	KindSlaveResult    // slave->master: Object, Stats
+	KindAck            // generic acknowledgement
+	KindError          // Err carries the message
+
+	// Store protocol.
+	KindReadAt   // client->server: File, Off, Len
+	KindReadResp // server->client: Data (or Err)
+	KindStat     // client->server: File
+	KindStatResp // server->client: Len = size
+	KindList     // client->server
+	KindListResp // server->client: Files
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid: "invalid", KindRegisterMaster: "register-master",
+	KindRequestJobs: "request-jobs", KindJobs: "jobs",
+	KindClusterResult: "cluster-result", KindFinal: "final",
+	KindRegisterSlave: "register-slave", KindRequestJob: "request-job",
+	KindJobGrant: "job-grant", KindSlaveResult: "slave-result",
+	KindAck: "ack", KindError: "error", KindReadAt: "read-at",
+	KindReadResp: "read-resp", KindStat: "stat", KindStatResp: "stat-resp",
+	KindList: "list", KindListResp: "list-resp",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// JobAssign describes one chunk assigned for processing. It carries
+// everything a slave needs to locate and read the chunk without
+// consulting the index again.
+type JobAssign struct {
+	// Chunk is the global chunk/job id.
+	Chunk int32
+	// File is the data file name holding the chunk.
+	File string
+	// Offset and Length locate the chunk inside the file.
+	Offset int64
+	Length int64
+	// Units is the number of data units in the chunk.
+	Units int64
+	// HomeSite names the site whose store holds File.
+	HomeSite string
+	// Stolen marks jobs assigned across sites (work stealing).
+	Stolen bool
+}
+
+// Stats mirrors the per-worker metrics carried back up the tree at the
+// end of a run.
+type Stats struct {
+	Breakdown metrics.Snapshot
+	// IdleEmu is cluster end-of-run idle time (master->head only).
+	IdleEmu int64 // time.Duration in ns; int64 keeps gob compact
+	// WallEmu is the sender's emulated wall time for the run.
+	WallEmu int64
+}
+
+// Message is the single on-wire envelope. Only the fields relevant to
+// a Kind are populated; gob omits zero values cheaply enough that a
+// single struct beats an interface registry for an internal protocol.
+type Message struct {
+	Kind Kind
+
+	Site      string
+	Cores     int
+	Max       int
+	Completed []int32
+	Jobs      []JobAssign
+	Done      bool
+	Object    []byte
+	Stats     Stats
+
+	File string
+	Off  int64
+	Len  int64
+	Data []byte
+
+	Files []string
+	Err   string
+}
+
+// MaxFrame bounds a single frame; larger frames indicate corruption.
+const MaxFrame = 1 << 30
+
+// Conn wraps a net.Conn with framed gob message I/O. Reads and writes
+// are independently serialized, so one goroutine may read while
+// another writes, but concurrent writers queue behind a mutex to keep
+// frames intact.
+type Conn struct {
+	c net.Conn
+
+	wmu sync.Mutex
+	rmu sync.Mutex
+}
+
+// NewConn wraps c.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr exposes the peer address for logging.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// Send encodes m and writes it as one frame (one underlying write).
+func (c *Conn) Send(m *Message) error {
+	var body bytes.Buffer
+	body.Write(make([]byte, 4)) // reserve length prefix
+	if err := gob.NewEncoder(&body).Encode(m); err != nil {
+		return fmt.Errorf("wire: encode %v: %w", m.Kind, err)
+	}
+	buf := body.Bytes()
+	payload := len(buf) - 4
+	if payload > MaxFrame {
+		return fmt.Errorf("wire: frame too large: %d", payload)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(payload))
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.c.Write(buf); err != nil {
+		return fmt.Errorf("wire: write %v: %w", m.Kind, err)
+	}
+	return nil
+}
+
+// Recv reads the next frame and decodes it.
+func (c *Conn) Recv() (*Message, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: oversized frame: %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.c, payload); err != nil {
+		return nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &m, nil
+}
+
+// Call sends m and waits for the next message, a convenience for
+// strict request/response exchanges on a connection owned by one
+// goroutine.
+func (c *Conn) Call(m *Message) (*Message, error) {
+	if err := c.Send(m); err != nil {
+		return nil, err
+	}
+	resp, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind == KindError {
+		return nil, fmt.Errorf("wire: remote error: %s", resp.Err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cloudburst/internal/metrics"
+)
+
+func connPair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var server net.Conn
+	done := make(chan struct{})
+	go func() {
+		server, _ = ln.Accept()
+		close(done)
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return NewConn(client), NewConn(server)
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	a, b := connPair(t)
+	want := &Message{
+		Kind:  KindJobs,
+		Site:  "local",
+		Cores: 16,
+		Jobs: []JobAssign{
+			{Chunk: 7, File: "data-03.bin", Offset: 4096, Length: 65536, Units: 2048, HomeSite: "cloud", Stolen: true},
+			{Chunk: 8, File: "data-03.bin", Offset: 69632, Length: 65536, Units: 2048, HomeSite: "cloud"},
+		},
+		Done:   false,
+		Object: []byte{1, 2, 3, 4},
+	}
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCallRequestResponse(t *testing.T) {
+	a, b := connPair(t)
+	go func() {
+		req, err := b.Recv()
+		if err != nil {
+			return
+		}
+		b.Send(&Message{Kind: KindStatResp, Len: 12345, File: req.File})
+	}()
+	resp, err := a.Call(&Message{Kind: KindStat, File: "data-00.bin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Len != 12345 || resp.File != "data-00.bin" {
+		t.Fatalf("bad response: %+v", resp)
+	}
+}
+
+func TestCallSurfacesRemoteError(t *testing.T) {
+	a, b := connPair(t)
+	go func() {
+		b.Recv()
+		b.Send(&Message{Kind: KindError, Err: "no such file"})
+	}()
+	_, err := a.Call(&Message{Kind: KindStat, File: "missing"})
+	if err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentSendersFramesIntact(t *testing.T) {
+	a, b := connPair(t)
+	const senders = 8
+	const perSender = 50
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				msg := &Message{Kind: KindAck, Cores: id, Max: j, Data: make([]byte, 1000+id)}
+				if err := a.Send(msg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	got := 0
+	recvDone := make(chan error, 1)
+	go func() {
+		for got < senders*perSender {
+			m, err := b.Recv()
+			if err != nil {
+				recvDone <- err
+				return
+			}
+			if m.Kind != KindAck || len(m.Data) != 1000+m.Cores {
+				recvDone <- &net.AddrError{Err: "corrupt frame", Addr: ""}
+				return
+			}
+			got++
+		}
+		recvDone <- nil
+	}()
+	wg.Wait()
+	select {
+	case err := <-recvDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("receiver stalled")
+	}
+}
+
+func TestRecvAfterCloseErrors(t *testing.T) {
+	a, b := connPair(t)
+	a.Close()
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("recv on closed conn should fail")
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	a, b := connPair(t)
+	want := &Message{
+		Kind: KindClusterResult,
+		Site: "cloud",
+		Stats: Stats{
+			Breakdown: metrics.Snapshot{
+				Processing:    90 * time.Second,
+				Retrieval:     30 * time.Second,
+				Sync:          5 * time.Second,
+				JobsProcessed: 480,
+				JobsStolen:    64,
+				UnitsReduced:  1 << 20,
+				BytesRead:     60 << 20,
+				BytesRemote:   20 << 20,
+			},
+			IdleEmu: int64(16 * time.Second),
+			WallEmu: int64(125 * time.Second),
+		},
+	}
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		t.Fatalf("stats mismatch:\n got %+v\nwant %+v", got.Stats, want.Stats)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindJobs.String() != "jobs" {
+		t.Errorf("KindJobs = %q", KindJobs)
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Errorf("unknown kind = %q", Kind(200))
+	}
+}
+
+// Property: any message with random payload fields survives the frame
+// codec bit-exactly.
+func TestMessageRoundTripProperty(t *testing.T) {
+	a, b := connPair(t)
+	f := func(site string, cores int32, data []byte, done bool, chunk int32, off int64) bool {
+		want := &Message{
+			Kind: KindReadResp, Site: site, Cores: int(cores), Data: data, Done: done,
+			Jobs: []JobAssign{{Chunk: chunk, Offset: off}},
+		}
+		if err := a.Send(want); err != nil {
+			return false
+		}
+		got, err := b.Recv()
+		if err != nil {
+			return false
+		}
+		// gob turns empty non-nil slices into nil; normalize.
+		if len(want.Data) == 0 {
+			want.Data = got.Data
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	a, b := connPair(t)
+	// Hand-craft a bogus header claiming a > MaxFrame frame.
+	raw := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	go a.c.Write(raw)
+	if _, err := b.Recv(); err == nil || !strings.Contains(err.Error(), "oversized") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,330 @@
+// Package workload generates the deterministic synthetic data sets the
+// experiments run on, standing in for the paper's 120 GB knn/kmeans
+// point sets and 50M-page web graph. Every byte of every record is a
+// pure function of (seed, record index), so data can be regenerated at
+// any site, sliced into arbitrary files, and validated in tests without
+// shipping data around.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"cloudburst/internal/chunk"
+	"cloudburst/internal/store"
+)
+
+// Generator produces record i of a data set into a caller-provided
+// buffer of exactly RecordSize bytes. Implementations must be pure
+// functions of (seed, i) and safe for concurrent use.
+type Generator interface {
+	// RecordSize is the fixed record length in bytes.
+	RecordSize() int
+	// Gen fills rec (len == RecordSize) with record i.
+	Gen(i int64, rec []byte)
+}
+
+// splitmix64 is the per-record PRNG: tiny, seedable, and statistically
+// good enough for uniform workloads.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a uint64 to [0,1).
+func unitFloat(x uint64) float32 {
+	return float32(x>>40) / float32(1<<24)
+}
+
+// Points generates d-dimensional float32 points, optionally prefixed
+// with a uint64 record id (knn needs ids to name its neighbors).
+type Points struct {
+	// Dims is the point dimensionality.
+	Dims int
+	// Seed namespaces the data set.
+	Seed uint64
+	// WithID prefixes each record with its uint64 index.
+	WithID bool
+}
+
+// RecordSize implements Generator.
+func (p Points) RecordSize() int {
+	n := 4 * p.Dims
+	if p.WithID {
+		n += 8
+	}
+	return n
+}
+
+// Gen implements Generator.
+func (p Points) Gen(i int64, rec []byte) {
+	off := 0
+	if p.WithID {
+		binary.LittleEndian.PutUint64(rec[:8], uint64(i))
+		off = 8
+	}
+	for d := 0; d < p.Dims; d++ {
+		v := unitFloat(splitmix64(p.Seed ^ uint64(i)*0x9e37 ^ uint64(d)<<32))
+		binary.LittleEndian.PutUint32(rec[off+4*d:], math.Float32bits(v))
+	}
+}
+
+// Coord returns coordinate d of point i, for reference computations.
+func (p Points) Coord(i int64, d int) float32 {
+	return unitFloat(splitmix64(p.Seed ^ uint64(i)*0x9e37 ^ uint64(d)<<32))
+}
+
+// Edges generates a link graph as fixed-size (src uint32, dst uint32)
+// records, enumerated page by page: page p contributes OutDegree(p)
+// consecutive edges. The out-degree is a pure function of the page id,
+// so PageRank workers can compute rank[src]/outdeg(src) from a record
+// alone without a degree table.
+type Edges struct {
+	// Pages is the number of vertices.
+	Pages int64
+	// MinDeg / MaxDeg bound per-page out-degrees.
+	MinDeg, MaxDeg int
+	// Seed namespaces the graph.
+	Seed uint64
+}
+
+// RecordSize implements Generator.
+func (Edges) RecordSize() int { return 8 }
+
+// OutDegree returns page p's out-degree.
+func (e Edges) OutDegree(p int64) int {
+	span := e.MaxDeg - e.MinDeg + 1
+	if span <= 1 {
+		return e.MinDeg
+	}
+	return e.MinDeg + int(splitmix64(e.Seed^0xdeadbeef^uint64(p))%uint64(span))
+}
+
+// TotalEdges returns the number of edge records in the graph.
+func (e Edges) TotalEdges() int64 {
+	var n int64
+	for p := int64(0); p < e.Pages; p++ {
+		n += int64(e.OutDegree(p))
+	}
+	return n
+}
+
+// pageOfEdge locates which page emits edge i; O(pages) cumulative scan
+// is avoided by caching boundaries in Gen callers via EdgeList; for
+// random access we binary-search the prefix sums built lazily.
+type edgeIndex struct {
+	prefix []int64 // prefix[p] = first edge id of page p; len = Pages+1
+}
+
+func (e Edges) buildIndex() *edgeIndex {
+	prefix := make([]int64, e.Pages+1)
+	for p := int64(0); p < e.Pages; p++ {
+		prefix[p+1] = prefix[p] + int64(e.OutDegree(p))
+	}
+	return &edgeIndex{prefix: prefix}
+}
+
+// Gen implements Generator. For random access it lazily builds (once)
+// a prefix-sum index keyed by the generator's parameters.
+func (e Edges) Gen(i int64, rec []byte) {
+	idx := e.sharedIndex()
+	// Binary search: find p with prefix[p] <= i < prefix[p+1].
+	lo, hi := int64(0), e.Pages
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if idx.prefix[mid+1] <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	p := lo
+	j := i - idx.prefix[p]
+	dst := int64(splitmix64(e.Seed^uint64(p)<<20^uint64(j)) % uint64(e.Pages))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(p))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(dst))
+}
+
+var edgeIndexCache struct {
+	mu    sync.Mutex
+	key   Edges
+	index *edgeIndex
+}
+
+func (e Edges) sharedIndex() *edgeIndex {
+	edgeIndexCache.mu.Lock()
+	defer edgeIndexCache.mu.Unlock()
+	if edgeIndexCache.index == nil || edgeIndexCache.key != e {
+		edgeIndexCache.key = e
+		edgeIndexCache.index = e.buildIndex()
+	}
+	return edgeIndexCache.index
+}
+
+// RangeGenerator is an optional fast path: fill a whole run of
+// consecutive records at once. Generators whose random access is
+// costlier than sequential enumeration (Edges binary-searches the
+// page boundaries per record) implement it.
+type RangeGenerator interface {
+	Generator
+	// GenRange fills buf (a multiple of RecordSize) with records
+	// start, start+1, ...
+	GenRange(start int64, buf []byte)
+}
+
+// GenInto fills buf with records [start, start+len(buf)/RecordSize),
+// using the generator's range fast path when available.
+func GenInto(gen Generator, start int64, buf []byte) {
+	if rg, ok := gen.(RangeGenerator); ok {
+		rg.GenRange(start, buf)
+		return
+	}
+	rs := gen.RecordSize()
+	for off := 0; off < len(buf); off += rs {
+		gen.Gen(start, buf[off:off+rs])
+		start++
+	}
+}
+
+// GenRange implements RangeGenerator: edges are enumerated by walking
+// pages sequentially from the page containing edge `start`, avoiding a
+// per-record binary search.
+func (e Edges) GenRange(start int64, buf []byte) {
+	idx := e.sharedIndex()
+	// Locate the page containing edge `start`.
+	lo, hi := int64(0), e.Pages
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if idx.prefix[mid+1] <= start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	p := lo
+	j := start - idx.prefix[p]
+	for off := 0; off < len(buf); off += 8 {
+		for p < e.Pages && j >= int64(e.OutDegree(p)) {
+			p++
+			j = 0
+		}
+		dst := int64(splitmix64(e.Seed^uint64(p)<<20^uint64(j)) % uint64(e.Pages))
+		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(p))
+		binary.LittleEndian.PutUint32(buf[off+4:off+8], uint32(dst))
+		j++
+	}
+}
+
+// Words generates fixed-width text records drawn from a Zipf-ish
+// vocabulary, for word-count style applications.
+type Words struct {
+	// Width is the record byte width (word padded with spaces).
+	Width int
+	// Vocab is the vocabulary size.
+	Vocab int
+	// Seed namespaces the data set.
+	Seed uint64
+}
+
+// RecordSize implements Generator.
+func (w Words) RecordSize() int { return w.Width }
+
+// WordAt returns the vocabulary index of record i. Skew: index is the
+// min of two uniforms, biasing toward low indices.
+func (w Words) WordAt(i int64) int {
+	a := splitmix64(w.Seed^uint64(i)) % uint64(w.Vocab)
+	b := splitmix64(w.Seed^uint64(i)^0xabcdef) % uint64(w.Vocab)
+	if b < a {
+		a = b
+	}
+	return int(a)
+}
+
+// Word renders vocabulary index v as text ("w000123").
+func (w Words) Word(v int) string { return fmt.Sprintf("w%06d", v) }
+
+// Gen implements Generator.
+func (w Words) Gen(i int64, rec []byte) {
+	s := w.Word(w.WordAt(i))
+	n := copy(rec, s)
+	for ; n < len(rec); n++ {
+		rec[n] = ' '
+	}
+}
+
+// Spec describes a materialized data set: how many records, split into
+// how many files, and how files are distributed across two sites.
+type Spec struct {
+	// Records is the total record count.
+	Records int64
+	// Files is how many files the data set is divided into.
+	Files int
+	// LocalFiles of the Files are placed at the local site (the
+	// paper's data-distribution skew: env-50/50 = half, env-17/83 ≈
+	// a sixth, ...). The rest go to the cloud site.
+	LocalFiles int
+	// LocalSite / CloudSite name the sites (default "local"/"cloud").
+	LocalSite, CloudSite string
+	// NamePrefix prefixes file names (default "data").
+	NamePrefix string
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.LocalSite == "" {
+		s.LocalSite = "local"
+	}
+	if s.CloudSite == "" {
+		s.CloudSite = "cloud"
+	}
+	if s.NamePrefix == "" {
+		s.NamePrefix = "data"
+	}
+	if s.Files <= 0 {
+		s.Files = 1
+	}
+	return s
+}
+
+// Materialize generates the data set into per-site Mem stores and
+// returns the file metadata in order (local files first). Records are
+// split as evenly as possible across files, each file holding a
+// contiguous record range.
+func Materialize(gen Generator, spec Spec, stores map[string]*store.Mem) ([]chunk.FileMeta, error) {
+	spec = spec.withDefaults()
+	if spec.Records < int64(spec.Files) {
+		return nil, fmt.Errorf("workload: %d records cannot fill %d files", spec.Records, spec.Files)
+	}
+	if spec.LocalFiles < 0 || spec.LocalFiles > spec.Files {
+		return nil, fmt.Errorf("workload: local files %d out of range [0,%d]", spec.LocalFiles, spec.Files)
+	}
+	rs := gen.RecordSize()
+	per := spec.Records / int64(spec.Files)
+	extra := spec.Records % int64(spec.Files)
+	var metas []chunk.FileMeta
+	var next int64
+	for f := 0; f < spec.Files; f++ {
+		n := per
+		if int64(f) < extra {
+			n++
+		}
+		buf := make([]byte, n*int64(rs))
+		GenInto(gen, next, buf)
+		site := spec.CloudSite
+		if f < spec.LocalFiles {
+			site = spec.LocalSite
+		}
+		st, ok := stores[site]
+		if !ok {
+			return nil, fmt.Errorf("workload: no store for site %q", site)
+		}
+		name := fmt.Sprintf("%s-%02d.bin", spec.NamePrefix, f)
+		st.Put(name, buf)
+		metas = append(metas, chunk.FileMeta{Name: name, Site: site, Size: int64(len(buf))})
+		next += n
+	}
+	return metas, nil
+}

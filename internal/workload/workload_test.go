@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cloudburst/internal/store"
+)
+
+func TestPointsDeterministic(t *testing.T) {
+	p := Points{Dims: 4, Seed: 7, WithID: true}
+	a := make([]byte, p.RecordSize())
+	b := make([]byte, p.RecordSize())
+	p.Gen(123, a)
+	p.Gen(123, b)
+	if string(a) != string(b) {
+		t.Fatal("Gen not deterministic")
+	}
+	if id := binary.LittleEndian.Uint64(a[:8]); id != 123 {
+		t.Fatalf("id = %d", id)
+	}
+	// Coord must agree with the serialized record.
+	for d := 0; d < 4; d++ {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(a[8+4*d:]))
+		if got != p.Coord(123, d) {
+			t.Fatalf("coord %d mismatch: %v vs %v", d, got, p.Coord(123, d))
+		}
+	}
+}
+
+func TestPointsRecordSize(t *testing.T) {
+	if (Points{Dims: 3}).RecordSize() != 12 {
+		t.Fatal("no-id record size")
+	}
+	if (Points{Dims: 3, WithID: true}).RecordSize() != 20 {
+		t.Fatal("id record size")
+	}
+}
+
+func TestPointsInUnitRange(t *testing.T) {
+	p := Points{Dims: 2, Seed: 3}
+	f := func(i uint16, d uint8) bool {
+		v := p.Coord(int64(i), int(d%2))
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointsDifferentSeedsDiffer(t *testing.T) {
+	a := Points{Dims: 2, Seed: 1}
+	b := Points{Dims: 2, Seed: 2}
+	same := 0
+	for i := int64(0); i < 100; i++ {
+		if a.Coord(i, 0) == b.Coord(i, 0) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("seeds produce %d/100 identical coords", same)
+	}
+}
+
+func TestEdgesDegreesAndTotal(t *testing.T) {
+	e := Edges{Pages: 100, MinDeg: 2, MaxDeg: 8, Seed: 5}
+	var sum int64
+	for p := int64(0); p < 100; p++ {
+		d := e.OutDegree(p)
+		if d < 2 || d > 8 {
+			t.Fatalf("page %d degree %d out of range", p, d)
+		}
+		sum += int64(d)
+	}
+	if e.TotalEdges() != sum {
+		t.Fatalf("TotalEdges = %d, want %d", e.TotalEdges(), sum)
+	}
+}
+
+func TestEdgesGenConsistentWithDegrees(t *testing.T) {
+	e := Edges{Pages: 50, MinDeg: 1, MaxDeg: 5, Seed: 11}
+	total := e.TotalEdges()
+	counts := make(map[uint32]int64)
+	rec := make([]byte, 8)
+	for i := int64(0); i < total; i++ {
+		e.Gen(i, rec)
+		src := binary.LittleEndian.Uint32(rec[0:4])
+		dst := binary.LittleEndian.Uint32(rec[4:8])
+		if int64(src) >= 50 || int64(dst) >= 50 {
+			t.Fatalf("edge %d out of range: %d->%d", i, src, dst)
+		}
+		counts[src]++
+	}
+	for p := int64(0); p < 50; p++ {
+		if counts[uint32(p)] != int64(e.OutDegree(p)) {
+			t.Fatalf("page %d emitted %d edges, degree %d", p, counts[uint32(p)], e.OutDegree(p))
+		}
+	}
+}
+
+func TestEdgesSrcMonotone(t *testing.T) {
+	// Edges are enumerated page by page: src must be non-decreasing.
+	e := Edges{Pages: 30, MinDeg: 1, MaxDeg: 4, Seed: 2}
+	rec := make([]byte, 8)
+	prev := uint32(0)
+	for i := int64(0); i < e.TotalEdges(); i++ {
+		e.Gen(i, rec)
+		src := binary.LittleEndian.Uint32(rec[0:4])
+		if src < prev {
+			t.Fatalf("edge %d: src %d < previous %d", i, src, prev)
+		}
+		prev = src
+	}
+}
+
+func TestWordsFixedWidthAndVocab(t *testing.T) {
+	w := Words{Width: 12, Vocab: 50, Seed: 9}
+	rec := make([]byte, 12)
+	for i := int64(0); i < 500; i++ {
+		w.Gen(i, rec)
+		s := strings.TrimRight(string(rec), " ")
+		if !strings.HasPrefix(s, "w") || len(s) != 7 {
+			t.Fatalf("record %d = %q", i, s)
+		}
+		if v := w.WordAt(i); v < 0 || v >= 50 {
+			t.Fatalf("vocab index %d", v)
+		}
+		if w.Word(w.WordAt(i)) != s {
+			t.Fatalf("record %d text %q != WordAt %q", i, s, w.Word(w.WordAt(i)))
+		}
+	}
+}
+
+func TestWordsSkewedTowardLowIndices(t *testing.T) {
+	w := Words{Width: 12, Vocab: 100, Seed: 4}
+	low := 0
+	const n = 2000
+	for i := int64(0); i < n; i++ {
+		if w.WordAt(i) < 50 {
+			low++
+		}
+	}
+	// min-of-two-uniforms gives P(low half) = 0.75.
+	if low < n/2+n/10 {
+		t.Fatalf("low-half frequency %d/%d not skewed", low, n)
+	}
+}
+
+func TestMaterializeSplitsAndSites(t *testing.T) {
+	gen := Points{Dims: 2, Seed: 1}
+	stores := map[string]*store.Mem{"local": store.NewMem(), "cloud": store.NewMem()}
+	metas, err := Materialize(gen, Spec{Records: 103, Files: 4, LocalFiles: 1}, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 4 {
+		t.Fatalf("files = %d", len(metas))
+	}
+	if metas[0].Site != "local" || metas[3].Site != "cloud" {
+		t.Fatalf("site split wrong: %+v", metas)
+	}
+	var total int64
+	for _, m := range metas {
+		st := stores[m.Site]
+		size, err := st.Size(m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != m.Size || size%int64(gen.RecordSize()) != 0 {
+			t.Fatalf("file %s size %d", m.Name, size)
+		}
+		total += size
+	}
+	if total != 103*int64(gen.RecordSize()) {
+		t.Fatalf("total bytes = %d", total)
+	}
+}
+
+func TestMaterializeContentMatchesGenerator(t *testing.T) {
+	gen := Points{Dims: 1, Seed: 8, WithID: true}
+	stores := map[string]*store.Mem{"local": store.NewMem(), "cloud": store.NewMem()}
+	metas, err := Materialize(gen, Spec{Records: 10, Files: 3, LocalFiles: 3}, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Files hold contiguous record ranges: ids must run 0..9 in order.
+	var next uint64
+	for _, m := range metas {
+		data, err := store.ReadAll(stores[m.Site], m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := gen.RecordSize()
+		for off := 0; off < len(data); off += rs {
+			if id := binary.LittleEndian.Uint64(data[off:]); id != next {
+				t.Fatalf("record id %d, want %d", id, next)
+			}
+			next++
+		}
+	}
+	if next != 10 {
+		t.Fatalf("saw %d records", next)
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	gen := Points{Dims: 1}
+	stores := map[string]*store.Mem{"local": store.NewMem(), "cloud": store.NewMem()}
+	if _, err := Materialize(gen, Spec{Records: 2, Files: 5}, stores); err == nil {
+		t.Fatal("too few records should error")
+	}
+	if _, err := Materialize(gen, Spec{Records: 10, Files: 2, LocalFiles: 3}, stores); err == nil {
+		t.Fatal("local file overflow should error")
+	}
+	if _, err := Materialize(gen, Spec{Records: 10, Files: 2, LocalFiles: 1, LocalSite: "mars"}, stores); err == nil {
+		t.Fatal("unknown site should error")
+	}
+}
+
+func TestEdgesGenRangeMatchesGen(t *testing.T) {
+	e := Edges{Pages: 80, MinDeg: 1, MaxDeg: 6, Seed: 9}
+	total := e.TotalEdges()
+	rs := e.RecordSize()
+	whole := make([]byte, total*int64(rs))
+	GenInto(e, 0, whole)
+	one := make([]byte, rs)
+	for i := int64(0); i < total; i++ {
+		e.Gen(i, one)
+		if string(one) != string(whole[i*int64(rs):(i+1)*int64(rs)]) {
+			t.Fatalf("GenRange differs from Gen at edge %d", i)
+		}
+	}
+	// A mid-stream range must match too.
+	mid := make([]byte, 40*rs)
+	GenInto(e, 17, mid)
+	if string(mid) != string(whole[17*int64(rs):57*int64(rs)]) {
+		t.Fatal("mid-stream GenRange mismatch")
+	}
+}
+
+func TestGenIntoFallback(t *testing.T) {
+	p := Points{Dims: 2, Seed: 4, WithID: true}
+	buf := make([]byte, 5*p.RecordSize())
+	GenInto(p, 3, buf)
+	one := make([]byte, p.RecordSize())
+	for i := 0; i < 5; i++ {
+		p.Gen(int64(3+i), one)
+		if string(one) != string(buf[i*p.RecordSize():(i+1)*p.RecordSize()]) {
+			t.Fatalf("GenInto fallback differs at %d", i)
+		}
+	}
+}
