@@ -39,6 +39,7 @@ import (
 	"cloudburst/internal/chunk"
 	"cloudburst/internal/cluster"
 	"cloudburst/internal/driver"
+	"cloudburst/internal/faults"
 	"cloudburst/internal/gr"
 	"cloudburst/internal/metrics"
 	"cloudburst/internal/netsim"
@@ -139,6 +140,51 @@ type (
 // Deploy executes one complete job across the configured sites and
 // returns the globally reduced result with its run report.
 func Deploy(cfg DeployConfig) (*RunResult, error) { return cluster.Run(cfg) }
+
+// Fault injection and recovery.
+type (
+	// FaultPlan is a seeded, deterministic fault-injection plan
+	// consulted by simulated stores, store servers, and shaped links.
+	FaultPlan = faults.Plan
+	// FaultSpec selects which requests fault and how.
+	FaultSpec = faults.Spec
+	// FaultKind is a fault class (transient, reset, stall, slowdown).
+	FaultKind = faults.Kind
+	// RetryPolicy retries transient store failures with capped
+	// exponential backoff and deterministic jitter.
+	RetryPolicy = store.RetryPolicy
+	// SimS3 is the simulated object store view (latency, per-stream
+	// and aggregate bandwidth shaping, optional fault injection).
+	SimS3 = store.SimS3
+	// FaultReport summarizes injection and recovery for a run.
+	FaultReport = metrics.FaultReport
+)
+
+// Fault kinds.
+const (
+	FaultTransient = faults.Transient
+	FaultReset     = faults.Reset
+	FaultStall     = faults.Stall
+	FaultSlowDown  = faults.SlowDown
+)
+
+// NewFaultPlan builds a reproducible fault plan: the same seed and
+// specs always produce the same fault sequence.
+func NewFaultPlan(seed int64, specs ...FaultSpec) *FaultPlan {
+	return faults.NewPlan(seed, specs...)
+}
+
+// NewSimS3 wraps a backing store with object-store access shaping;
+// chain WithFaults to inject failures from a plan.
+var NewSimS3 = store.NewSimS3
+
+// DefaultRetryPolicy is a sensible retrieval retry policy: 4 attempts,
+// 20 ms base backoff, 1 s cap.
+func DefaultRetryPolicy() RetryPolicy { return store.DefaultRetryPolicy() }
+
+// Retryable reports whether an error is worth retrying (injected
+// transients, S3-style SlowDown throttles, timeouts, resets).
+func Retryable(err error) bool { return store.Retryable(err) }
 
 // Iterative algorithms.
 type (

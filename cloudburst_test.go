@@ -140,6 +140,41 @@ func TestPublicAPIShapedDeploy(t *testing.T) {
 	}
 }
 
+func TestPublicAPIFaultInjectionRecovers(t *testing.T) {
+	// The documented fault-injection flow: a faulty simulated object
+	// store, retrieval retries, heartbeats — and an exact result.
+	app, idx, stores := twoSiteFixture(t, 20_000, 4)
+	plan := cloudburst.NewFaultPlan(42,
+		cloudburst.FaultSpec{Kind: cloudburst.FaultTransient, FirstN: 2, Prob: 0.02},
+		cloudburst.FaultSpec{Kind: cloudburst.FaultSlowDown, Prob: 0.02},
+	)
+	s3 := cloudburst.NewSimS3(stores["cloud"], nil, 0, 0, nil).WithFaults(plan, "cloud")
+	retry := cloudburst.RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Microsecond}
+	res, err := cloudburst.Deploy(cloudburst.DeployConfig{
+		App: app, Index: idx,
+		Sites: []cloudburst.SiteSpec{
+			{Name: "local", Cores: 2, HomeStore: stores["local"],
+				RemoteStores: map[string]cloudburst.Store{"cloud": s3}},
+			{Name: "cloud", Cores: 2, HomeStore: s3, HomeFetch: true,
+				RemoteStores: map[string]cloudburst.Store{"local": stores["local"]}},
+		},
+		Fetch:             cloudburst.FetchOptions{Threads: 4, RangeSize: 2 << 10, Retry: retry},
+		HeartbeatInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Report.FinalResult, "20000 words") {
+		t.Fatalf("digest = %q", res.Report.FinalResult)
+	}
+	if plan.Total() == 0 {
+		t.Fatal("plan injected nothing")
+	}
+	if res.Report.Faults.Retries == 0 {
+		t.Fatalf("no retries recorded: %+v", res.Report.Faults)
+	}
+}
+
 // byteSum is the minimal custom application for the public-API test.
 type byteSumApp struct{}
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cloudburst/internal/bench"
 )
@@ -26,10 +27,15 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost")
+			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos")
 		scale   = flag.Float64("scale", 0, "clock scale override (wall s per emulated s)")
 		divisor = flag.Int64("records-divisor", 1, "shrink data sets (and jobs) by this factor")
 		verbose = flag.Bool("v", false, "log cluster progress")
+
+		faultSeed      = flag.Int64("fault-seed", 42, "chaos: fault plan seed")
+		faultTransient = flag.Float64("fault-transient", 0.02, "chaos: per-request transient fault probability")
+		faultSlowdown  = flag.Float64("fault-slowdown", 0.02, "chaos: per-request SlowDown throttle probability")
+		heartbeat      = flag.Duration("heartbeat", 50*time.Millisecond, "chaos: liveness heartbeat interval (0 disables)")
 	)
 	flag.Parse()
 
@@ -130,9 +136,26 @@ func main() {
 		fmt.Println(bench.RenderAblation("dynamic pooling vs static partition under ±60% core jitter (kmeans, env-50/50)", rows))
 	}
 
+	runChaos := func() {
+		params := bench.DefaultChaos(*faultSeed)
+		params.TransientProb = *faultTransient
+		params.SlowDownProb = *faultSlowdown
+		params.Heartbeat = *heartbeat
+		r, err := bench.Chaos(specs["a"], sim, params, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderChaos(r))
+		if !r.Match {
+			fatal(fmt.Errorf("chaos run diverged from clean run"))
+		}
+	}
+
 	switch strings.ToLower(*experiment) {
 	case "ablation":
 		runAblations()
+	case "chaos":
+		runChaos()
 	case "cost":
 		results := runFig3("a")
 		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))

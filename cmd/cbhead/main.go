@@ -28,6 +28,7 @@ func main() {
 		params    = flag.String("params", "", "application parameters, k=v,k2=v2")
 		clusters  = flag.Int("clusters", 2, "number of masters expected")
 		listen    = flag.String("listen", ":7070", "listen address")
+		heartbeat = flag.Duration("heartbeat", 0, "declare a silent master lost after 3 missed intervals (0 disables)")
 		quiet     = flag.Bool("q", false, "suppress progress logging")
 	)
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 	head, err := cluster.NewHead(cluster.HeadConfig{
 		App: app, Index: idx, Clusters: *clusters,
 		Clock: netsim.Real(), Logf: logf,
+		HeartbeatInterval: *heartbeat,
 	})
 	if err != nil {
 		fatal(err)

@@ -30,6 +30,7 @@ func main() {
 		slaves   = flag.Int("slaves", 1, "slave worker connections expected (sum of slave -cores)")
 		cores    = flag.Int("cores", 0, "total cores (reported to the head; defaults to -slaves)")
 		batch    = flag.Int("batch", 0, "jobs per head request (default 2x cores)")
+		beat     = flag.Duration("heartbeat", 0, "heartbeat the head and declare silent slaves lost after 3 missed intervals (0 disables)")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
 	)
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 	master, err := cluster.NewMaster(cluster.MasterConfig{
 		Site: *site, App: app, Cores: *cores, Slaves: *slaves, Batch: *batch,
 		Clock: netsim.Real(), Logf: logf,
+		HeartbeatInterval: *beat,
 	})
 	if err != nil {
 		fatal(err)

@@ -35,6 +35,8 @@ func main() {
 		remotes    = flag.String("remote", "", "remote stores, site=host:port,...")
 		threads    = flag.Int("fetch-threads", 8, "retrieval threads for remote chunks")
 		rangeKB    = flag.Int("fetch-range-kb", 256, "range size per remote request (KiB)")
+		retries    = flag.Int("fetch-retries", 4, "attempts per sub-range before a retrieval fails (1 disables retry)")
+		beat       = flag.Duration("heartbeat", 0, "heartbeat the master at this interval (0 disables)")
 	)
 	flag.Parse()
 	if *site == "" || *masterAddr == "" || *appName == "" || *dataDir == "" {
@@ -62,11 +64,16 @@ func main() {
 	home := store.NewLocal(*dataDir)
 	defer home.Close()
 
+	retry := store.DefaultRetryPolicy()
+	retry.MaxAttempts = *retries
 	slave, err := cluster.NewSlave(cluster.SlaveConfig{
 		Site: *site, App: app, Cores: *cores,
 		HomeStore: home, RemoteStores: remoteStores,
-		Fetch: store.FetchOptions{Threads: *threads, RangeSize: *rangeKB << 10},
-		Clock: netsim.Real(),
+		Fetch: store.FetchOptions{
+			Threads: *threads, RangeSize: *rangeKB << 10, Retry: retry,
+		},
+		HeartbeatInterval: *beat,
+		Clock:             netsim.Real(),
 	})
 	if err != nil {
 		fatal(err)

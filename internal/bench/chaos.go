@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChaosResult pairs a fault-free run with its faulted twin. The
+// scenario's claim is the paper's fault-tolerance claim: injected
+// failures cost time, never correctness — the faulted run must compute
+// the identical reduction.
+type ChaosResult struct {
+	Params   ChaosParams
+	Baseline *EnvResult
+	Faulted  *EnvResult
+	// Match reports whether the two runs produced the same result
+	// digest.
+	Match bool
+}
+
+// Chaos runs the hybrid env-50/50 configuration twice — once clean,
+// once under the given fault plan — and compares the results. The
+// faulted run exercises the whole recovery stack: injected transients
+// and throttles on the S3 views, per-sub-range retries with backoff,
+// and heartbeat-based stall detection.
+func Chaos(spec AppSpec, sim SimParams, params ChaosParams, logf func(string, ...any)) (*ChaosResult, error) {
+	spec = spec.withDefaults()
+	rc := RunConfig{
+		Spec: spec, LocalPct: 50,
+		LocalCores: 4, CloudCores: 4,
+		Sim: sim, Logf: logf,
+	}
+	baseline, err := Execute(rc)
+	if err != nil {
+		return nil, fmt.Errorf("bench: chaos baseline: %w", err)
+	}
+	rc.Chaos = &params
+	faulted, err := Execute(rc)
+	if err != nil {
+		return nil, fmt.Errorf("bench: chaos run: %w", err)
+	}
+	return &ChaosResult{
+		Params:   params,
+		Baseline: baseline,
+		Faulted:  faulted,
+		Match:    baseline.Report.FinalResult == faulted.Report.FinalResult,
+	}, nil
+}
+
+// RenderChaos prints the chaos scenario's outcome: both digests, the
+// slowdown, and the recovery counters.
+func RenderChaos(r *ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos — %s, %s: fault injection vs clean run (emulated seconds)\n",
+		r.Faulted.App, r.Faulted.Env)
+	fmt.Fprintf(&b, "  fault plan: seed=%d firstN=%d transient=%.1f%% slowdown=%.1f%% heartbeat=%v\n",
+		r.Params.Seed, r.Params.FirstN,
+		100*r.Params.TransientProb, 100*r.Params.SlowDownProb, r.Params.Heartbeat)
+	fmt.Fprintf(&b, "  %-10s %12s  %s\n", "run", "total", "result")
+	fmt.Fprintf(&b, "  %-10s %12.1f  %s\n", "clean",
+		secs(r.Baseline.Report.TotalWall), r.Baseline.Report.FinalResult)
+	fmt.Fprintf(&b, "  %-10s %12.1f  %s\n", "faulted",
+		secs(r.Faulted.Report.TotalWall), r.Faulted.Report.FinalResult)
+	f := r.Faulted.Report.Faults
+	fmt.Fprintf(&b, "  injected: %d  retries: %d  backoff: %.2fs  heartbeat misses: %d\n",
+		f.Injected, f.Retries, secs(f.BackoffEmu), f.HeartbeatMisses)
+	if r.Match {
+		b.WriteString("  results match: faults cost time, not correctness\n")
+	} else {
+		b.WriteString("  RESULTS DIVERGE: fault recovery corrupted the reduction\n")
+	}
+	return b.String()
+}

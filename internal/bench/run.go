@@ -3,10 +3,12 @@ package bench
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"cloudburst/internal/apps"
 	"cloudburst/internal/chunk"
 	"cloudburst/internal/cluster"
+	"cloudburst/internal/faults"
 	"cloudburst/internal/gr"
 	"cloudburst/internal/metrics"
 	"cloudburst/internal/netsim"
@@ -106,6 +108,63 @@ func CachedDataset(spec AppSpec) (*Dataset, error) {
 	return d, nil
 }
 
+// ChaosParams turns a run into a chaos scenario: every S3-backed
+// store view consults a seeded fault plan, slaves retry transient
+// failures with capped exponential backoff, and heartbeats detect
+// stalled peers. The local storage node stays fault-free — the faults
+// model object-store flakiness (throttles, dropped connections), not
+// disk corruption.
+type ChaosParams struct {
+	// Seed makes the injected fault sequence reproducible.
+	Seed int64
+	// TransientProb / SlowDownProb are per-request fault probabilities
+	// on the S3 views, applied after FirstN guaranteed transients.
+	TransientProb float64
+	SlowDownProb  float64
+	// FirstN fires that many transient faults up front per (site,
+	// object), so even tiny runs see injection.
+	FirstN int
+	// Heartbeat is the liveness interval (wall time; zero disables
+	// stall detection); Misses silent intervals declare a peer lost
+	// (default 3).
+	Heartbeat time.Duration
+	Misses    int
+	// Retry overrides the retrieval retry policy; the zero value uses
+	// DefaultRetryPolicy seeded from Seed.
+	Retry store.RetryPolicy
+}
+
+// DefaultChaos returns a moderate chaos configuration: a few
+// guaranteed transients, 2% transient and 2% throttle probability,
+// and 50 ms heartbeats.
+func DefaultChaos(seed int64) ChaosParams {
+	return ChaosParams{
+		Seed:          seed,
+		TransientProb: 0.02,
+		SlowDownProb:  0.02,
+		FirstN:        4,
+		Heartbeat:     50 * time.Millisecond,
+	}
+}
+
+// plan builds the seeded fault plan the S3 views consult.
+func (p ChaosParams) plan() *faults.Plan {
+	return faults.NewPlan(p.Seed,
+		faults.Spec{Kind: faults.Transient, FirstN: p.FirstN, Prob: p.TransientProb},
+		faults.Spec{Kind: faults.SlowDown, Prob: p.SlowDownProb},
+	)
+}
+
+// retry resolves the retrieval retry policy.
+func (p ChaosParams) retry() store.RetryPolicy {
+	if p.Retry.Enabled() {
+		return p.Retry
+	}
+	r := store.DefaultRetryPolicy()
+	r.Seed = uint64(p.Seed)
+	return r
+}
+
 // RunConfig describes one experiment run.
 type RunConfig struct {
 	Spec AppSpec
@@ -129,7 +188,9 @@ type RunConfig struct {
 	// CloudJitter spreads cloud core speeds by ±CloudJitter, modeling
 	// EC2 performance variability.
 	CloudJitter float64
-	Logf        func(format string, args ...any)
+	// Chaos, when set, injects faults into the run (see ChaosParams).
+	Chaos *ChaosParams
+	Logf  func(format string, args ...any)
 }
 
 // EnvResult is one configuration's outcome.
@@ -209,6 +270,21 @@ func Execute(cfg RunConfig) (*EnvResult, error) {
 		return nil, err
 	}
 
+	// Chaos runs inject faults into every S3-backed view (the paths
+	// that model a flaky object store) and enable retries + liveness.
+	var plan *faults.Plan
+	fetch := store.FetchOptions{
+		Threads: cfg.Sim.FetchThreads, RangeSize: cfg.Sim.FetchRange,
+	}
+	var heartbeat time.Duration
+	misses := 0
+	if cfg.Chaos != nil {
+		plan = cfg.Chaos.plan()
+		fetch.Retry = cfg.Chaos.retry()
+		heartbeat = cfg.Chaos.Heartbeat
+		misses = cfg.Chaos.Misses
+	}
+
 	var sites []cluster.SiteSpec
 	if cfg.LocalCores > 0 {
 		sites = append(sites, cluster.SiteSpec{
@@ -218,7 +294,7 @@ func Execute(cfg RunConfig) (*EnvResult, error) {
 			// bound; stolen jobs cross to S3 over the WAN.
 			HomeStore: localSvc.View(cfg.Sim.LocalDisk).WithSeekPenalty(cfg.Sim.LocalSeek),
 			RemoteStores: map[string]store.Store{
-				"cloud": s3Svc.View(cfg.Sim.S3External),
+				"cloud": s3Svc.View(cfg.Sim.S3External).WithFaults(plan, "local"),
 			},
 			HeadLink:  cfg.Sim.HeadLAN,
 			SlaveLink: cfg.Sim.SlaveLAN,
@@ -235,7 +311,7 @@ func Execute(cfg RunConfig) (*EnvResult, error) {
 			// EC2 reads S3 with concurrent range requests even for its
 			// own jobs; stolen jobs pull from the local storage node
 			// across the WAN.
-			HomeStore: s3Svc.View(cfg.Sim.S3Internal),
+			HomeStore: s3Svc.View(cfg.Sim.S3Internal).WithFaults(plan, "cloud"),
 			HomeFetch: true,
 			RemoteStores: map[string]store.Store{
 				"local": localSvc.View(cfg.Sim.LocalFromCloud),
@@ -249,19 +325,22 @@ func Execute(cfg RunConfig) (*EnvResult, error) {
 
 	res, err := cluster.Run(cluster.DeployConfig{
 		App: app, Index: idx, Sites: sites, Clock: clk,
-		GroupUnits: cfg.Sim.GroupUnits,
-		Fetch: store.FetchOptions{
-			Threads: cfg.Sim.FetchThreads, RangeSize: cfg.Sim.FetchRange,
-		},
-		Scatter:        cfg.Scatter,
-		Batch:          cfg.Batch,
-		JobsPerRequest: cfg.JobsPerRequest,
-		Logf:           cfg.Logf,
+		GroupUnits:        cfg.Sim.GroupUnits,
+		Fetch:             fetch,
+		Scatter:           cfg.Scatter,
+		Batch:             cfg.Batch,
+		JobsPerRequest:    cfg.JobsPerRequest,
+		HeartbeatInterval: heartbeat,
+		HeartbeatMisses:   misses,
+		Logf:              cfg.Logf,
 	})
 	if err != nil {
 		return nil, err
 	}
 	res.Report.Env = envName(cfg)
+	if plan != nil {
+		res.Report.Faults.Injected = plan.Total()
+	}
 	return &EnvResult{
 		Env: res.Report.Env, App: spec.Name,
 		LocalCores: cfg.LocalCores, CloudCores: cfg.CloudCores,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"cloudburst/internal/chunk"
 	"cloudburst/internal/gr"
@@ -57,6 +58,13 @@ type DeployConfig struct {
 	Fetch          store.FetchOptions
 	// Scatter disables consecutive-job assignment (ablation knob).
 	Scatter bool
+	// HeartbeatInterval enables stall detection throughout the tree:
+	// slaves heartbeat masters, masters heartbeat the head, and each
+	// server side declares a peer lost after HeartbeatMisses silent
+	// intervals. Zero disables liveness (crash detection still works
+	// through connection closes).
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
 
 	Logf func(format string, args ...any)
 }
@@ -85,6 +93,7 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 	head, err := NewHead(HeadConfig{
 		App: cfg.App, Index: cfg.Index, Clusters: len(cfg.Sites),
 		Scatter: cfg.Scatter, Clock: cfg.Clock, Logf: cfg.Logf,
+		HeartbeatInterval: cfg.HeartbeatInterval, HeartbeatMisses: cfg.HeartbeatMisses,
 	})
 	if err != nil {
 		return nil, err
@@ -106,6 +115,7 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 			Site: site.Name, App: cfg.App, Cores: site.Cores, Slaves: site.Cores,
 			Batch: cfg.Batch, Watermark: cfg.Watermark,
 			Clock: cfg.Clock, Logf: cfg.Logf,
+			HeartbeatInterval: cfg.HeartbeatInterval, HeartbeatMisses: cfg.HeartbeatMisses,
 		})
 		if err != nil {
 			headLn.Close()
@@ -138,8 +148,9 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 			Fetch: cfg.Fetch, GroupUnits: cfg.GroupUnits,
 			JobsPerRequest: cfg.JobsPerRequest,
 			HomeFetch:      site.HomeFetch, UnitCostScale: site.UnitCostScale,
-			CostJitter: site.CostJitter,
-			Clock:      cfg.Clock, Logf: cfg.Logf,
+			CostJitter:        site.CostJitter,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			Clock:             cfg.Clock, Logf: cfg.Logf,
 		})
 		if err != nil {
 			headLn.Close()

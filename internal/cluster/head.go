@@ -32,6 +32,14 @@ type HeadConfig struct {
 	Scatter bool
 	// Clock converts measured wall time back to emulated durations.
 	Clock netsim.Clock
+	// HeartbeatInterval, when positive, requires each registered master
+	// to show traffic (requests or heartbeats) at least every
+	// HeartbeatInterval * HeartbeatMisses; a silent master is declared
+	// stalled and its cluster re-executed elsewhere.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals count as a stall
+	// (default 3).
+	HeartbeatMisses int
 	// Logf receives progress logging; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +63,7 @@ type Head struct {
 	sendsDone   int
 	broadcastT  time.Time // when the last Final send completed
 	mergeEmu    time.Duration
+	faults      metrics.Breakdown // head-side stall detections
 
 	// mergeReady is closed when the global reduction has produced the
 	// final object (or failed); handlers then broadcast it.
@@ -90,6 +99,9 @@ func NewHead(cfg HeadConfig) (*Head, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.HeartbeatMisses < 1 {
+		cfg.HeartbeatMisses = 3
 	}
 	return &Head{
 		cfg:        cfg,
@@ -156,12 +168,13 @@ func (h *Head) fail(err error) {
 // register -> (request-jobs)* -> cluster-result -> final.
 func (h *Head) handleMaster(c *wire.Conn) error {
 	defer c.Close()
+	addr := c.RemoteAddr()
 	reg, err := c.Recv()
 	if err != nil {
-		return fmt.Errorf("cluster: head: master register: %w", err)
+		return fmt.Errorf("cluster: head: master %v register: %w", addr, err)
 	}
 	if reg.Kind != wire.KindRegisterMaster || reg.Site == "" {
-		return fmt.Errorf("cluster: head: expected register-master, got %v", reg.Kind)
+		return fmt.Errorf("cluster: head: master %v: expected register-master, got %v", addr, reg.Kind)
 	}
 	site := reg.Site
 	h.mu.Lock()
@@ -169,16 +182,29 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 	n := h.registered
 	h.mu.Unlock()
 	if n > h.cfg.Clusters {
-		return fmt.Errorf("cluster: head: unexpected extra master %q", site)
+		return fmt.Errorf("cluster: head: unexpected extra master %q (%v)", site, addr)
 	}
 	h.cfg.Logf("head: master %s registered (%d cores)", site, reg.Cores)
 	if err := c.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
 		return err
 	}
+	if h.cfg.HeartbeatInterval > 0 {
+		window := h.cfg.HeartbeatInterval * time.Duration(h.cfg.HeartbeatMisses)
+		c.SetIdleTimeout(window)
+		c.SetWriteTimeout(window)
+	}
 
 	for {
 		req, err := c.Recv()
 		if err != nil {
+			if wire.IsTimeout(err) {
+				// Open connection, silent master: a stall. Recovery is
+				// identical to a crashed master.
+				h.faults.CountHeartbeatMiss()
+				h.cfg.Logf("head: master %s (%v) stalled (no traffic for %v), declaring lost",
+					site, addr, h.cfg.HeartbeatInterval*time.Duration(h.cfg.HeartbeatMisses))
+				err = fmt.Errorf("cluster: head: master %s (%v) heartbeat timeout: %w", site, addr, err)
+			}
 			// A master dying mid-run: requeue its outstanding jobs so
 			// surviving clusters pick them up, and stop expecting a
 			// result from this site (fault-tolerance extension; the
@@ -187,6 +213,9 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 			return nil
 		}
 		switch req.Kind {
+		case wire.KindHeartbeat:
+			continue // liveness only; Recv re-armed the idle deadline
+
 		case wire.KindRequestJobs:
 			if len(req.Completed) > 0 {
 				if err := h.pool.Complete(req.Completed); err != nil {
@@ -236,8 +265,13 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 			// into the socket buffer long before the shaped link
 			// finished carrying the object.
 			err = c.Send(&wire.Message{Kind: wire.KindFinal, Object: enc, Done: true})
-			if err == nil {
-				_, err = c.Recv() // delivery ack
+			for err == nil {
+				// Wait for the delivery ack, discarding any heartbeats
+				// the master queued while the broadcast was in flight.
+				var ack *wire.Message
+				if ack, err = c.Recv(); err == nil && ack.Kind != wire.KindHeartbeat {
+					break
+				}
 			}
 			if err != nil {
 				// The cluster's result is already merged; losing the
@@ -358,7 +392,13 @@ func (h *Head) publish() {
 			IdleAtEnd: h.cfg.Clock.ToEmu(h.lastArrival.Sub(t)),
 			Wall:      time.Duration(st.WallEmu),
 		})
+		report.Faults.Retries += st.Breakdown.Retries
+		report.Faults.BackoffEmu += st.Breakdown.BackoffEmu
+		report.Faults.HeartbeatMisses += st.Breakdown.HeartbeatMisses
 	}
+	// The head's own stall detections (masters that went silent) are not
+	// inside any surviving cluster's stats.
+	report.Faults.HeartbeatMisses += h.faults.Snapshot().HeartbeatMisses
 	if s, ok := h.cfg.App.(gr.Summarizer); ok {
 		if digest, err := s.Summarize(h.finalObj); err == nil {
 			report.FinalResult = digest

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cloudburst/internal/gr"
+	"cloudburst/internal/metrics"
 	"cloudburst/internal/netsim"
 	"cloudburst/internal/store"
 	"cloudburst/internal/wire"
@@ -32,11 +33,23 @@ type MasterConfig struct {
 	Watermark int
 	// Clock converts wall time to emulated durations.
 	Clock netsim.Clock
+	// HeartbeatInterval, when positive, enables liveness: the master
+	// heartbeats the head at this period and expects slave traffic
+	// (requests or heartbeats) at least every HeartbeatInterval *
+	// HeartbeatMisses. A slave that stays silent longer is declared
+	// stalled and treated exactly like a dead one: its jobs requeue.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals count as a stall
+	// (default 3).
+	HeartbeatMisses int
 	// Logf receives progress logging; nil silences it.
 	Logf func(format string, args ...any)
 }
 
 func (c MasterConfig) withDefaults() MasterConfig {
+	if c.HeartbeatMisses < 1 {
+		c.HeartbeatMisses = 3
+	}
 	if c.Batch < 1 {
 		c.Batch = 2 * c.Cores
 		if c.Batch < 8 {
@@ -78,6 +91,7 @@ type Master struct {
 	slaveObjs  []gr.Reduction
 	slaveStats []wire.Stats
 	started    time.Time
+	faults     metrics.Breakdown // master-side stall detections
 
 	wg sync.WaitGroup
 	ln net.Listener
@@ -113,7 +127,13 @@ func (m *Master) Run(headAddr string, dial store.Dialer, l net.Listener) (gr.Red
 	if _, err := m.head.Call(&wire.Message{
 		Kind: wire.KindRegisterMaster, Site: m.cfg.Site, Cores: m.cfg.Cores,
 	}); err != nil {
-		return nil, fmt.Errorf("cluster: master %s: register: %w", m.cfg.Site, err)
+		return nil, fmt.Errorf("cluster: master %s: register with head %s: %w", m.cfg.Site, headAddr, err)
+	}
+	if m.cfg.HeartbeatInterval > 0 {
+		// Keep the head convinced we are alive through the long quiet
+		// stretches (local combine, waiting for slow slaves).
+		stop := wire.Heartbeats(m.head, m.cfg.HeartbeatInterval)
+		defer stop()
 	}
 	m.mu.Lock()
 	m.started = m.cfg.Clock.Now()
@@ -223,15 +243,25 @@ func (m *Master) refillLoop() error {
 // even "completed" jobs must be re-executed.
 func (m *Master) handleSlave(c *wire.Conn) error {
 	defer c.Close()
+	addr := c.RemoteAddr()
 	reg, err := c.Recv()
 	if err != nil {
-		return fmt.Errorf("cluster: master %s: slave register: %w", m.cfg.Site, err)
+		return fmt.Errorf("cluster: master %s: slave %v register: %w", m.cfg.Site, addr, err)
 	}
 	if reg.Kind != wire.KindRegisterSlave {
-		return fmt.Errorf("cluster: master %s: expected register-slave, got %v", m.cfg.Site, reg.Kind)
+		return fmt.Errorf("cluster: master %s: slave %v: expected register-slave, got %v",
+			m.cfg.Site, addr, reg.Kind)
 	}
 	if err := c.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
 		return err
+	}
+	if m.cfg.HeartbeatInterval > 0 {
+		// A registered slave must show signs of life — a request or a
+		// heartbeat — within every miss window, or Recv times out and
+		// the slave is declared stalled.
+		window := m.cfg.HeartbeatInterval * time.Duration(m.cfg.HeartbeatMisses)
+		c.SetIdleTimeout(window)
+		c.SetWriteTimeout(window)
 	}
 
 	granted := make(map[int32]wire.JobAssign)
@@ -240,10 +270,21 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 	for {
 		req, err := c.Recv()
 		if err != nil {
+			if wire.IsTimeout(err) {
+				// The connection is still open but the slave went
+				// silent: a stall, not a crash. Same recovery path —
+				// everything it held is re-executed.
+				m.faults.CountHeartbeatMiss()
+				m.cfg.Logf("master %s: slave %v stalled (no traffic for %v), declaring lost",
+					m.cfg.Site, addr, m.cfg.HeartbeatInterval*time.Duration(m.cfg.HeartbeatMisses))
+			}
 			m.slaveLost(granted)
 			return nil
 		}
 		switch req.Kind {
+		case wire.KindHeartbeat:
+			continue // liveness only; Recv re-armed the idle deadline
+
 		case wire.KindRequestJob:
 			completed = append(completed, req.Completed...)
 			jobs, done := m.takeJobs(max(req.Max, 1))
@@ -258,12 +299,12 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 		case wire.KindSlaveResult:
 			completed = append(completed, req.Completed...)
 			if len(completed) != len(granted) {
-				return fmt.Errorf("cluster: master %s: slave completed %d of %d granted jobs",
-					m.cfg.Site, len(completed), len(granted))
+				return fmt.Errorf("cluster: master %s: slave %v completed %d of %d granted jobs",
+					m.cfg.Site, addr, len(completed), len(granted))
 			}
 			obj, err := gr.DecodeReduction(m.cfg.App, req.Object)
 			if err != nil {
-				return fmt.Errorf("cluster: master %s: decode slave result: %w", m.cfg.Site, err)
+				return fmt.Errorf("cluster: master %s: decode slave %v result: %w", m.cfg.Site, addr, err)
 			}
 			if err := c.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
 				return err
@@ -280,7 +321,7 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 			return nil
 
 		default:
-			return fmt.Errorf("cluster: master %s: unexpected %v from slave", m.cfg.Site, req.Kind)
+			return fmt.Errorf("cluster: master %s: unexpected %v from slave %v", m.cfg.Site, req.Kind, addr)
 		}
 	}
 }
@@ -360,6 +401,9 @@ func (m *Master) combineAndReport() (gr.Reduction, error) {
 	for _, s := range stats {
 		agg.Breakdown = agg.Breakdown.Add(s.Breakdown)
 	}
+	// Fold in the master's own stall detections so they reach the run
+	// report alongside the workers' retry counters.
+	agg.Breakdown = agg.Breakdown.Add(m.faults.Snapshot())
 	agg.WallEmu = int64(m.cfg.Clock.ToEmu(m.cfg.Clock.Now().Sub(started)))
 
 	m.cfg.Logf("master %s: local combine done, %d jobs, shipping %d-byte object",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"cloudburst/internal/gr"
 	"cloudburst/internal/metrics"
@@ -47,6 +48,9 @@ type SlaveConfig struct {
 	// in [1-CostJitter, 1+CostJitter]. The paper observes that the
 	// pooling-based load balancer normalizes exactly this.
 	CostJitter float64
+	// HeartbeatInterval, when positive, makes each worker heartbeat its
+	// master connection so long retrievals are not mistaken for stalls.
+	HeartbeatInterval time.Duration
 	// Clock paces compute and converts wall to emulated time.
 	Clock netsim.Clock
 	// Logf receives progress logging; nil silences it.
@@ -154,6 +158,10 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	if _, err := conn.Call(&wire.Message{Kind: wire.KindRegisterSlave, Site: s.cfg.Site}); err != nil {
 		return zero, err
 	}
+	if s.cfg.HeartbeatInterval > 0 {
+		stop := wire.Heartbeats(conn, s.cfg.HeartbeatInterval)
+		defer stop()
+	}
 
 	scale := s.cfg.UnitCostScale
 	if scale <= 0 {
@@ -214,24 +222,32 @@ func (s *Slave) processJob(engine *gr.Engine, red gr.Reduction, job wire.JobAssi
 		data []byte
 		err  error
 	)
+	// Per-job copy of the fetch options, carrying this worker's stats
+	// sink and clock so retries and backoff land in the run report.
+	opts := s.cfg.Fetch
+	opts.Stats = stats
+	opts.Clock = s.cfg.Clock
 	retrStart := s.cfg.Clock.Now()
 	if job.HomeSite == s.cfg.Site {
 		if s.cfg.HomeFetch {
 			// Object-store home data (the cloud cluster): concurrent
 			// range requests, same as stolen jobs.
-			data, err = store.Fetch(s.cfg.HomeStore, job.File, job.Offset, job.Length, s.cfg.Fetch)
+			data, err = store.Fetch(s.cfg.HomeStore, job.File, job.Offset, job.Length, opts)
 		} else {
-			// Local disk data: one continuous sequential read.
+			// Local disk data: one continuous sequential read, retried
+			// as a whole on transient failure.
 			data = make([]byte, job.Length)
-			var n int
-			n, err = s.cfg.HomeStore.ReadAt(job.File, data, job.Offset)
-			if err == io.EOF && int64(n) == job.Length {
-				err = nil
-			}
-			if err == nil && int64(n) != job.Length {
-				err = fmt.Errorf("cluster: slave %s: short local read of %s: %d of %d",
-					s.cfg.Site, job.File, n, job.Length)
-			}
+			err = opts.Retry.Do(s.cfg.Clock, fmt.Sprintf("%s@%d", job.File, job.Offset), func() error {
+				n, err := s.cfg.HomeStore.ReadAt(job.File, data, job.Offset)
+				if err == io.EOF && int64(n) == job.Length {
+					err = nil
+				}
+				if err == nil && int64(n) != job.Length {
+					err = fmt.Errorf("cluster: slave %s: short local read of %s: %d of %d",
+						s.cfg.Site, job.File, n, job.Length)
+				}
+				return err
+			}, stats.AddRetry)
 		}
 	} else {
 		// Stolen job: multi-threaded ranged retrieval from the remote
@@ -240,7 +256,7 @@ func (s *Slave) processJob(engine *gr.Engine, red gr.Reduction, job wire.JobAssi
 		if !ok {
 			return fmt.Errorf("cluster: slave %s: no remote store for site %q", s.cfg.Site, job.HomeSite)
 		}
-		data, err = store.Fetch(st, job.File, job.Offset, job.Length, s.cfg.Fetch)
+		data, err = store.Fetch(st, job.File, job.Offset, job.Length, opts)
 	}
 	if err != nil {
 		return fmt.Errorf("cluster: slave %s: retrieve job %d: %w", s.cfg.Site, job.Chunk, err)

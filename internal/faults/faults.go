@@ -1,0 +1,228 @@
+// Package faults provides a seeded, deterministic fault-injection plan
+// for the storage and network layers. Real object stores throttle
+// (S3's SlowDown), return transient errors, reset connections, and
+// stall under load; a Plan reproduces those behaviours on demand so
+// the retry/heartbeat machinery can be exercised — and any failing run
+// replayed — from a single seed.
+//
+// A Plan is consulted at each injection point (SimS3 reads, the store
+// wire server, shaped connections) with a (site, object) pair and
+// answers with a Decision. Decisions depend only on the plan's seed,
+// its specs, and a per-(site, object) request counter, so the multiset
+// of faults a run experiences is reproducible regardless of goroutine
+// scheduling.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// None is the zero Decision: no fault.
+	None Kind = iota
+	// Transient makes the request fail with a retryable error.
+	Transient
+	// Reset abruptly closes the underlying connection (wire-level
+	// injection points only; stores treat it as Transient).
+	Reset
+	// Stall delays the request by the spec's Stall duration without
+	// failing it — a read that hangs rather than errors.
+	Stall
+	// SlowDown makes the request fail with a throttle error, modeling
+	// S3's 503 SlowDown responses under load.
+	SlowDown
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{"none", "transient", "reset", "stall", "slowdown"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Spec describes one class of fault the plan injects.
+type Spec struct {
+	// Kind is the fault class.
+	Kind Kind
+	// Site restricts the spec to one site's injection points; empty
+	// matches every site.
+	Site string
+	// Object restricts the spec to objects with this name prefix;
+	// empty matches every object.
+	Object string
+	// FirstN fails the first N matching requests deterministically —
+	// the "first N attempts fail" pattern retry tests are built on.
+	FirstN int
+	// Prob is the per-request fault probability applied after FirstN,
+	// in [0, 1].
+	Prob float64
+	// Stall is how long a Stall fault delays the request (emulated
+	// time; ignored by other kinds).
+	Stall time.Duration
+}
+
+func (s Spec) matches(site, object string) bool {
+	if s.Site != "" && s.Site != site {
+		return false
+	}
+	if s.Object != "" && !strings.HasPrefix(object, s.Object) {
+		return false
+	}
+	return true
+}
+
+// Decision is a Plan's answer for one request.
+type Decision struct {
+	Kind  Kind
+	Stall time.Duration
+}
+
+// Plan is a reproducible fault schedule. A nil *Plan injects nothing,
+// so injection points can hold one unconditionally.
+type Plan struct {
+	seed  uint64
+	specs []Spec
+
+	mu       sync.Mutex
+	seen     map[string]uint64
+	injected [kindCount]int64
+}
+
+// NewPlan builds a plan over the given specs. The same seed and specs
+// always produce the same decision stream per (site, object) pair.
+func NewPlan(seed int64, specs ...Spec) *Plan {
+	return &Plan{
+		seed:  splitmix64(uint64(seed) + 0x9e3779b97f4a7c15),
+		specs: specs,
+		seen:  make(map[string]uint64),
+	}
+}
+
+// Decide consults the plan for one request against object at site.
+// Specs are evaluated in order; the first that matches and fires wins.
+func (p *Plan) Decide(site, object string) Decision {
+	if p == nil || len(p.specs) == 0 {
+		return Decision{}
+	}
+	key := site + "\x00" + object
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.seen[key]
+	p.seen[key] = n + 1
+	for i, s := range p.specs {
+		if !s.matches(site, object) {
+			continue
+		}
+		fire := n < uint64(s.FirstN)
+		if !fire && s.Prob > 0 {
+			h := splitmix64(p.seed ^ hashString(key) ^ (uint64(i+1) << 56) ^ (n * 0xbf58476d1ce4e5b9))
+			fire = float64(h>>11)/float64(1<<53) < s.Prob
+		}
+		if fire {
+			p.injected[s.Kind]++
+			return Decision{Kind: s.Kind, Stall: s.Stall}
+		}
+	}
+	return Decision{}
+}
+
+// Injected returns how many faults of each kind the plan has injected
+// so far.
+func (p *Plan) Injected() map[Kind]int64 {
+	out := make(map[Kind]int64)
+	if p == nil {
+		return out
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, n := range p.injected {
+		if n > 0 {
+			out[Kind(k)] = n
+		}
+	}
+	return out
+}
+
+// Total returns the total number of injected faults.
+func (p *Plan) Total() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var sum int64
+	for _, n := range p.injected {
+		sum += n
+	}
+	return sum
+}
+
+// faultError is the error type behind every injected request failure.
+// Its Transient method is the marker the store retry layer classifies
+// on; the wire server flattens it to a string, so the message text is
+// also a classification surface (see store.Retryable).
+type faultError struct {
+	msg string
+}
+
+func (e *faultError) Error() string   { return e.msg }
+func (e *faultError) Transient() bool { return true }
+
+// ErrTransient and ErrSlowDown are the sentinel injected errors;
+// injection points wrap them with request context via %w.
+var (
+	ErrTransient = error(&faultError{"faults: injected transient error"})
+	ErrSlowDown  = error(&faultError{"faults: SlowDown: request throttled"})
+	ErrReset     = error(&faultError{"faults: injected connection reset"})
+)
+
+// RequestError converts a Decision into the error the faulted request
+// should return, with site/object context. Stall and None return nil:
+// they delay rather than fail.
+func RequestError(d Decision, site, object string) error {
+	switch d.Kind {
+	case Transient:
+		return fmt.Errorf("%w (site=%s object=%s)", ErrTransient, site, object)
+	case SlowDown:
+		return fmt.Errorf("%w (site=%s object=%s)", ErrSlowDown, site, object)
+	case Reset:
+		return fmt.Errorf("%w (site=%s object=%s)", ErrReset, site, object)
+	default:
+		return nil
+	}
+}
+
+// IsInjected reports whether err originated from a Plan (directly, not
+// across a wire round-trip).
+func IsInjected(err error) bool {
+	var fe *faultError
+	return errors.As(err, &fe)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a, inlined to keep the package dependency-free.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

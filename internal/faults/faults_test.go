@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	for i := 0; i < 100; i++ {
+		if d := p.Decide("local", "a.bin"); d.Kind != None {
+			t.Fatalf("nil plan injected %v", d.Kind)
+		}
+	}
+	if p.Total() != 0 {
+		t.Fatal("nil plan counted injections")
+	}
+}
+
+func TestFirstNPattern(t *testing.T) {
+	p := NewPlan(1, Spec{Kind: Transient, FirstN: 3})
+	var kinds []Kind
+	for i := 0; i < 6; i++ {
+		kinds = append(kinds, p.Decide("local", "a.bin").Kind)
+	}
+	want := []Kind{Transient, Transient, Transient, None, None, None}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("request %d: got %v want %v (all: %v)", i, kinds[i], k, kinds)
+		}
+	}
+	// A different object has its own counter.
+	if d := p.Decide("local", "b.bin"); d.Kind != Transient {
+		t.Fatalf("fresh object skipped FirstN: %v", d.Kind)
+	}
+}
+
+func TestSiteAndObjectFilters(t *testing.T) {
+	p := NewPlan(2,
+		Spec{Kind: SlowDown, Site: "cloud", FirstN: 1},
+		Spec{Kind: Stall, Object: "big-", FirstN: 1, Stall: time.Second},
+	)
+	if d := p.Decide("local", "x.bin"); d.Kind != None {
+		t.Fatalf("site filter leaked: %v", d.Kind)
+	}
+	if d := p.Decide("cloud", "x.bin"); d.Kind != SlowDown {
+		t.Fatalf("cloud request not throttled: %v", d.Kind)
+	}
+	d := p.Decide("local", "big-00.bin")
+	if d.Kind != Stall || d.Stall != time.Second {
+		t.Fatalf("object-prefix stall not applied: %+v", d)
+	}
+}
+
+func TestProbabilisticInjectionIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []Kind {
+		p := NewPlan(seed, Spec{Kind: Transient, Prob: 0.3})
+		var out []Kind
+		for i := 0; i < 200; i++ {
+			out = append(out, p.Decide("local", "a.bin").Kind)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+	var faults int
+	for _, k := range a {
+		if k == Transient {
+			faults++
+		}
+	}
+	if faults < 30 || faults > 90 {
+		t.Fatalf("prob 0.3 over 200 requests injected %d faults", faults)
+	}
+	c := run(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestDecideConcurrentTotalsDeterministic(t *testing.T) {
+	// The total injected per key depends only on the number of
+	// requests, not on which goroutine issues them.
+	totals := func() int64 {
+		p := NewPlan(9, Spec{Kind: Transient, Prob: 0.25})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					p.Decide("local", "a.bin")
+				}
+			}()
+		}
+		wg.Wait()
+		return p.Total()
+	}
+	if a, b := totals(), totals(); a != b {
+		t.Fatalf("concurrent totals diverged: %d vs %d", a, b)
+	}
+}
+
+func TestRequestErrorClassification(t *testing.T) {
+	err := RequestError(Decision{Kind: SlowDown}, "cloud", "a.bin")
+	if !errors.Is(err, ErrSlowDown) {
+		t.Fatalf("SlowDown error lost its sentinel: %v", err)
+	}
+	if !IsInjected(err) {
+		t.Fatal("injected error not recognized")
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatal("injected error not marked transient")
+	}
+	if RequestError(Decision{Kind: Stall}, "s", "o") != nil {
+		t.Fatal("stall decisions must not produce an error")
+	}
+	if RequestError(Decision{}, "s", "o") != nil {
+		t.Fatal("none decisions must not produce an error")
+	}
+}
+
+func TestInjectedCounts(t *testing.T) {
+	p := NewPlan(3,
+		Spec{Kind: Transient, FirstN: 2},
+		Spec{Kind: SlowDown, Site: "cloud", FirstN: 1},
+	)
+	p.Decide("local", "a") // transient (FirstN)
+	p.Decide("local", "a") // transient (FirstN)
+	p.Decide("local", "a") // none
+	p.Decide("cloud", "b") // transient (first spec matches first)
+	got := p.Injected()
+	if got[Transient] != 3 {
+		t.Fatalf("transient count = %d", got[Transient])
+	}
+	if p.Total() != 3 {
+		t.Fatalf("total = %d", p.Total())
+	}
+}

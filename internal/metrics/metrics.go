@@ -27,6 +27,10 @@ type Breakdown struct {
 	unitsReduced  int64
 	bytesRead     int64
 	bytesRemote   int64
+
+	retries         int           // retried store/wire requests
+	backoff         time.Duration // emulated time spent backing off
+	heartbeatMisses int           // peers declared stalled via heartbeat
 }
 
 // AddProcessing records emulated compute time.
@@ -55,6 +59,23 @@ func (b *Breakdown) AddSync(d time.Duration) {
 	b.mu.Unlock()
 }
 
+// AddRetry records one retried request and the emulated backoff spent
+// before the retry.
+func (b *Breakdown) AddRetry(backoff time.Duration) {
+	b.mu.Lock()
+	b.retries++
+	b.backoff += backoff
+	b.mu.Unlock()
+}
+
+// CountHeartbeatMiss records a peer declared stalled after missing its
+// heartbeat deadline.
+func (b *Breakdown) CountHeartbeatMiss() {
+	b.mu.Lock()
+	b.heartbeatMisses++
+	b.mu.Unlock()
+}
+
 // CountJob records a completed job and whether its data was stolen
 // from a remote site, along with the units it contained.
 func (b *Breakdown) CountJob(stolen bool, units int64) {
@@ -72,17 +93,7 @@ func (b *Breakdown) Merge(other *Breakdown) {
 	if other == nil {
 		return
 	}
-	o := other.Snapshot()
-	b.mu.Lock()
-	b.processing += o.Processing
-	b.retrieval += o.Retrieval
-	b.sync += o.Sync
-	b.jobsProcessed += o.JobsProcessed
-	b.jobsStolen += o.JobsStolen
-	b.unitsReduced += o.UnitsReduced
-	b.bytesRead += o.BytesRead
-	b.bytesRemote += o.BytesRemote
-	b.mu.Unlock()
+	b.AddSnapshot(other.Snapshot())
 }
 
 // AddSnapshot folds a previously captured snapshot into b.
@@ -96,6 +107,9 @@ func (b *Breakdown) AddSnapshot(s Snapshot) {
 	b.unitsReduced += s.UnitsReduced
 	b.bytesRead += s.BytesRead
 	b.bytesRemote += s.BytesRemote
+	b.retries += s.Retries
+	b.backoff += s.BackoffEmu
+	b.heartbeatMisses += s.HeartbeatMisses
 	b.mu.Unlock()
 }
 
@@ -104,14 +118,17 @@ func (b *Breakdown) Snapshot() Snapshot {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return Snapshot{
-		Processing:    b.processing,
-		Retrieval:     b.retrieval,
-		Sync:          b.sync,
-		JobsProcessed: b.jobsProcessed,
-		JobsStolen:    b.jobsStolen,
-		UnitsReduced:  b.unitsReduced,
-		BytesRead:     b.bytesRead,
-		BytesRemote:   b.bytesRemote,
+		Processing:      b.processing,
+		Retrieval:       b.retrieval,
+		Sync:            b.sync,
+		JobsProcessed:   b.jobsProcessed,
+		JobsStolen:      b.jobsStolen,
+		UnitsReduced:    b.unitsReduced,
+		BytesRead:       b.bytesRead,
+		BytesRemote:     b.bytesRemote,
+		Retries:         b.retries,
+		BackoffEmu:      b.backoff,
+		HeartbeatMisses: b.heartbeatMisses,
 	}
 }
 
@@ -125,6 +142,10 @@ type Snapshot struct {
 	UnitsReduced  int64
 	BytesRead     int64
 	BytesRemote   int64
+
+	Retries         int
+	BackoffEmu      time.Duration
+	HeartbeatMisses int
 }
 
 // Total returns the summed time components.
@@ -133,14 +154,17 @@ func (s Snapshot) Total() time.Duration { return s.Processing + s.Retrieval + s.
 // Add returns the component-wise sum of two snapshots.
 func (s Snapshot) Add(o Snapshot) Snapshot {
 	return Snapshot{
-		Processing:    s.Processing + o.Processing,
-		Retrieval:     s.Retrieval + o.Retrieval,
-		Sync:          s.Sync + o.Sync,
-		JobsProcessed: s.JobsProcessed + o.JobsProcessed,
-		JobsStolen:    s.JobsStolen + o.JobsStolen,
-		UnitsReduced:  s.UnitsReduced + o.UnitsReduced,
-		BytesRead:     s.BytesRead + o.BytesRead,
-		BytesRemote:   s.BytesRemote + o.BytesRemote,
+		Processing:      s.Processing + o.Processing,
+		Retrieval:       s.Retrieval + o.Retrieval,
+		Sync:            s.Sync + o.Sync,
+		JobsProcessed:   s.JobsProcessed + o.JobsProcessed,
+		JobsStolen:      s.JobsStolen + o.JobsStolen,
+		UnitsReduced:    s.UnitsReduced + o.UnitsReduced,
+		BytesRead:       s.BytesRead + o.BytesRead,
+		BytesRemote:     s.BytesRemote + o.BytesRemote,
+		Retries:         s.Retries + o.Retries,
+		BackoffEmu:      s.BackoffEmu + o.BackoffEmu,
+		HeartbeatMisses: s.HeartbeatMisses + o.HeartbeatMisses,
 	}
 }
 
@@ -180,6 +204,22 @@ type ClusterReport struct {
 	Wall time.Duration
 }
 
+// FaultReport aggregates fault-recovery activity over a run: what the
+// fault plan injected (filled by the harness), and what the retry and
+// heartbeat machinery did about it (filled by the head from worker and
+// master stats plus its own stall detections).
+type FaultReport struct {
+	Injected        int64         // faults the plan injected (harness-filled)
+	Retries         int           // retried store/wire requests
+	BackoffEmu      time.Duration // emulated time spent in retry backoff
+	HeartbeatMisses int           // peers declared stalled and re-executed
+}
+
+// Any reports whether any fault-path activity was recorded.
+func (f FaultReport) Any() bool {
+	return f.Injected > 0 || f.Retries > 0 || f.BackoffEmu > 0 || f.HeartbeatMisses > 0
+}
+
 // RunReport is the whole-run summary the harness renders tables from.
 type RunReport struct {
 	App         string
@@ -188,6 +228,7 @@ type RunReport struct {
 	GlobalRed   time.Duration // head-side global reduction + transfer
 	TotalWall   time.Duration // emulated end-to-end execution time
 	FinalResult string        // application-rendered result digest
+	Faults      FaultReport   // fault-injection and recovery counters
 }
 
 // Cluster returns the report for the named site, or nil.

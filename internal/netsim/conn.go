@@ -4,6 +4,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"cloudburst/internal/faults"
 )
 
 // ShapedConn wraps a net.Conn so that writes are paced by a link
@@ -25,6 +27,10 @@ type ShapedConn struct {
 	readPerStream *Bucket
 	readLatency   time.Duration
 
+	faultPlan *faults.Plan
+	faultSite string
+	faultObj  string
+
 	mu        sync.Mutex
 	lastWrite time.Time
 	lastRead  time.Time
@@ -38,6 +44,9 @@ func (s *Shaper) Shape(conn net.Conn) *ShapedConn {
 		latency:   s.link.Latency,
 		perStream: NewBucket(s.clk, s.link.PerStream, s.link.burstFor(s.link.PerStream)),
 		aggregate: s.aggregate,
+		faultPlan: s.faultPlan,
+		faultSite: s.faultSite,
+		faultObj:  s.link.Name,
 	}
 }
 
@@ -91,6 +100,19 @@ func (s *Shaper) DialerBoth() func(network, addr string) (net.Conn, error) {
 // has been idle for at least one latency period: back-to-back writes
 // model a pipelined stream whose propagation delay is already hidden.
 func (c *ShapedConn) Write(p []byte) (int, error) {
+	if d := c.faultPlan.Decide(c.faultSite, c.faultObj); d.Kind != faults.None {
+		switch d.Kind {
+		case faults.Stall:
+			c.clk.Sleep(d.Stall)
+		case faults.Reset:
+			// Sever the path abruptly: the peer sees EOF, this side an
+			// error — the shape of a mid-stream connection reset.
+			c.Conn.Close()
+			return 0, faults.RequestError(d, c.faultSite, c.faultObj)
+		default:
+			return 0, faults.RequestError(d, c.faultSite, c.faultObj)
+		}
+	}
 	if c.latency > 0 {
 		now := c.clk.Now()
 		c.mu.Lock()

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"testing"
+
+	"cloudburst/internal/faults"
 	"time"
 )
 
@@ -335,5 +337,53 @@ func TestDialerBothTCP(t *testing.T) {
 	}
 	if !bytes.Equal(got, msg) {
 		t.Fatalf("echo = %q", got)
+	}
+}
+
+func TestShaperInjectFaults(t *testing.T) {
+	plan := faults.NewPlan(4,
+		faults.Spec{Kind: faults.Transient, FirstN: 1},
+	)
+	s := NewShaper(Instant(), Link{Name: "wan"}).InjectFaults(plan, "local")
+	a, b := s.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	// First write fails with a retryable error; the next goes through.
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("first write should be failed by the plan")
+	} else if !faults.IsInjected(err) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+	msg := []byte("second write")
+	if _, err := a.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("post-fault write corrupted")
+	}
+	if plan.Total() != 1 {
+		t.Fatalf("injected = %d", plan.Total())
+	}
+}
+
+func TestShaperInjectReset(t *testing.T) {
+	plan := faults.NewPlan(8, faults.Spec{Kind: faults.Reset, FirstN: 1})
+	s := NewShaper(Instant(), Link{Name: "wan"}).InjectFaults(plan, "local")
+	a, b := s.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("reset write should error")
+	}
+	// The peer sees the severed connection as EOF.
+	buf := make([]byte, 1)
+	if _, err := b.Read(buf); err == nil {
+		t.Fatal("peer of a reset conn should see EOF")
 	}
 }

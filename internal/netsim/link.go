@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"time"
+
+	"cloudburst/internal/faults"
 )
 
 // Link describes the characteristics of a network path between two
@@ -44,6 +46,20 @@ type Shaper struct {
 	clk       Clock
 	link      Link
 	aggregate *Bucket
+
+	faultPlan *faults.Plan
+	faultSite string
+}
+
+// InjectFaults makes every connection subsequently shaped by s consult
+// plan on writes, with faults attributed to site and keyed by the link
+// name. Reset decisions sever the connection; Stall decisions freeze
+// the write for the spec's duration; Transient and SlowDown fail the
+// write with a retryable error. Returns s for chaining.
+func (s *Shaper) InjectFaults(plan *faults.Plan, site string) *Shaper {
+	s.faultPlan = plan
+	s.faultSite = site
+	return s
 }
 
 // NewShaper builds a Shaper for the given link on the given clock.

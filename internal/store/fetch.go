@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"cloudburst/internal/metrics"
+	"cloudburst/internal/netsim"
 )
 
 // FetchOptions tune the multi-threaded ranged retrieval slaves use for
@@ -16,6 +19,13 @@ type FetchOptions struct {
 	// RangeSize is the bytes each sub-range request asks for. Values
 	// below 1 default to 256 KiB; the minimum honoured size is 512 B.
 	RangeSize int
+	// Retry governs per-sub-range retries of transient failures. The
+	// zero policy disables retries.
+	Retry RetryPolicy
+	// Clock paces retry backoff in emulated time; nil means no pacing.
+	Clock netsim.Clock
+	// Stats, when set, receives retry/backoff counters.
+	Stats *metrics.Breakdown
 }
 
 // DefaultFetchOptions matches the paper's multi-threaded retrieval
@@ -55,21 +65,32 @@ func Fetch(st Store, name string, off, length int64, opts FetchOptions) ([]byte,
 	jobs := make(chan job, opts.Threads)
 	errc := make(chan error, opts.Threads)
 	var wg sync.WaitGroup
+	onBackoff := retryStats(opts.Stats)
 
 	for i := 0; i < opts.Threads; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				p := buf[j.start:j.end]
-				n, err := st.ReadAt(name, p, off+j.start)
-				if err != nil && err != io.EOF {
+				// Each sub-range retries independently: a transient
+				// failure costs one range's backoff, not the whole
+				// chunk. Short reads stay fatal — the object really is
+				// shorter than the index said.
+				key := fmt.Sprintf("%s@%d", name, off+j.start)
+				err := opts.Retry.Do(opts.Clock, key, func() error {
+					p := buf[j.start:j.end]
+					n, err := st.ReadAt(name, p, off+j.start)
+					if err != nil && err != io.EOF {
+						return err
+					}
+					if int64(n) < j.end-j.start {
+						return fmt.Errorf("store: short read of %s at %d: got %d of %d",
+							name, off+j.start, n, j.end-j.start)
+					}
+					return nil
+				}, onBackoff)
+				if err != nil {
 					errc <- err
-					return
-				}
-				if int64(n) < j.end-j.start {
-					errc <- fmt.Errorf("store: short read of %s at %d: got %d of %d",
-						name, off+j.start, n, j.end-j.start)
 					return
 				}
 			}

@@ -3,8 +3,13 @@ package store
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"cloudburst/internal/faults"
+	"cloudburst/internal/metrics"
 )
 
 func TestFetchWholeObject(t *testing.T) {
@@ -115,6 +120,124 @@ func TestFetchProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// faultAtOffset fails reads starting at a given offset until the
+// failure budget is used up, then serves normally.
+type faultAtOffset struct {
+	*Mem
+	off   int64
+	fails int
+	calls int
+}
+
+func (f *faultAtOffset) ReadAt(name string, p []byte, off int64) (int, error) {
+	if off == f.off && f.fails > 0 {
+		f.fails--
+		return 0, faults.ErrTransient
+	}
+	f.calls++
+	return f.Mem.ReadAt(name, p, off)
+}
+
+func TestFetchZeroLengthAgainstFaultyStore(t *testing.T) {
+	// A zero-length fetch issues no requests, so even a store that
+	// fails every request cannot fail it.
+	m := NewMem()
+	m.Put("d", fillPattern(1000, 1))
+	s3 := NewSimS3(m, nil, 0, 0, nil).WithFaults(
+		faults.NewPlan(1, faults.Spec{Kind: faults.Transient, FirstN: 1 << 20}), "site")
+	got, err := Fetch(s3, "d", 100, 0, FetchOptions{Threads: 4, Retry: DefaultRetryPolicy()})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("zero-length fetch = %v, %v", got, err)
+	}
+}
+
+func TestFetchRetriesFaultOnLastSubRange(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(10_000, 9)
+	m.Put("d", data)
+	// 10000 bytes at RangeSize 4096 -> sub-ranges at 0, 4096, 8192; the
+	// last one fails twice before succeeding.
+	f := &faultAtOffset{Mem: m, off: 8192, fails: 2}
+	got, err := Fetch(f, "d", 0, 10_000, FetchOptions{
+		Threads: 1, RangeSize: 4096,
+		Retry: RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after retried last sub-range")
+	}
+}
+
+func TestFetchLastSubRangeExhaustsRetries(t *testing.T) {
+	m := NewMem()
+	m.Put("d", fillPattern(10_000, 9))
+	f := &faultAtOffset{Mem: m, off: 8192, fails: 1 << 30}
+	_, err := Fetch(f, "d", 0, 10_000, FetchOptions{
+		Threads: 2, RangeSize: 4096,
+		Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond},
+	})
+	if err == nil {
+		t.Fatal("exhausted retries must surface an error")
+	}
+	if !strings.Contains(err.Error(), "attempts exhausted") || !errors.Is(err, faults.ErrTransient) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFetchEveryAttemptFailsReturnsClassifiedError(t *testing.T) {
+	// Every request against every range fails: Fetch must return the
+	// classified error promptly, not hang or spin.
+	m := NewMem()
+	m.Put("d", fillPattern(100_000, 5))
+	s3 := NewSimS3(m, nil, 0, 0, nil).WithFaults(
+		faults.NewPlan(2, faults.Spec{Kind: faults.SlowDown, Prob: 1}), "cloud")
+	done := make(chan error, 1)
+	go func() {
+		_, err := Fetch(s3, "d", 0, 100_000, FetchOptions{
+			Threads: 4, RangeSize: 16 << 10,
+			Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond},
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, faults.ErrSlowDown) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Fetch hung with an always-failing store")
+	}
+}
+
+func TestFetchWithFaultPlanRecordsRetries(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(64<<10, 17)
+	m.Put("d", data)
+	plan := faults.NewPlan(3, faults.Spec{Kind: faults.Transient, FirstN: 2})
+	s3 := NewSimS3(m, nil, 0, 0, nil).WithFaults(plan, "cloud")
+	var b metrics.Breakdown
+	got, err := Fetch(s3, "d", 0, 64<<10, FetchOptions{
+		Threads: 4, RangeSize: 8 << 10,
+		Retry: RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Microsecond},
+		Stats: &b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch")
+	}
+	snap := b.Snapshot()
+	if snap.Retries < 2 || snap.BackoffEmu <= 0 {
+		t.Fatalf("retries not recorded: %+v", snap)
+	}
+	if plan.Total() < 2 {
+		t.Fatalf("plan injected %d", plan.Total())
 	}
 }
 

@@ -6,9 +6,22 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"cloudburst/internal/faults"
+	"cloudburst/internal/netsim"
 	"cloudburst/internal/wire"
 )
+
+// ServerOptions configure fault injection on a store server: when
+// Faults is set, each incoming request is checked against the plan
+// (attributed to Site) before it touches the store. Clock paces
+// injected stalls in emulated time.
+type ServerOptions struct {
+	Faults *faults.Plan
+	Site   string
+	Clock  netsim.Clock
+}
 
 // Server exposes a Store over the wire protocol so remote sites can
 // read it through (shaped) network connections. Used by the cmd/
@@ -16,6 +29,7 @@ import (
 // stores directly.
 type Server struct {
 	store Store
+	opts  ServerOptions
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -26,7 +40,15 @@ type Server struct {
 // Serve starts serving store on l and returns immediately; the server
 // owns the listener until Close.
 func Serve(l net.Listener, s Store) *Server {
-	srv := &Server{store: s, ln: l}
+	return ServeWith(l, s, ServerOptions{})
+}
+
+// ServeWith is Serve with fault-injection options.
+func ServeWith(l net.Listener, s Store, opts ServerOptions) *Server {
+	if opts.Clock == nil {
+		opts.Clock = netsim.Instant()
+	}
+	srv := &Server{store: s, opts: opts, ln: l}
 	srv.wg.Add(1)
 	go srv.acceptLoop()
 	return srv
@@ -47,11 +69,26 @@ func (s *Server) Close() error {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := 5 * time.Millisecond
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return
+			// Transient accept failures (EMFILE, aborted handshakes)
+			// must not kill the server; back off and keep listening.
+			// Exit only when the listener itself is gone.
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
 		}
+		backoff = 5 * time.Millisecond
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -66,6 +103,24 @@ func (s *Server) handle(c *wire.Conn) {
 		req, err := c.Recv()
 		if err != nil {
 			return
+		}
+		if s.opts.Faults != nil && req.Kind == wire.KindReadAt {
+			if d := s.opts.Faults.Decide(s.opts.Site, req.File); d.Kind != faults.None {
+				switch d.Kind {
+				case faults.Reset:
+					// Drop the connection mid-exchange; the client sees
+					// a transport error and retries on a fresh stream.
+					return
+				case faults.Stall:
+					s.opts.Clock.Sleep(d.Stall)
+				default:
+					ferr := faults.RequestError(d, s.opts.Site, req.File)
+					if err := c.Send(&wire.Message{Kind: wire.KindError, Err: ferr.Error()}); err != nil {
+						return
+					}
+					continue
+				}
+			}
 		}
 		var resp wire.Message
 		switch req.Kind {
@@ -172,12 +227,24 @@ func (c *Client) Close() error {
 func (c *Client) call(req *wire.Message) (*wire.Message, error) {
 	conn, err := c.get()
 	if err != nil {
-		return nil, err
+		if errors.Is(err, errClientClosed) {
+			return nil, err // deliberate shutdown: fatal
+		}
+		return nil, &transportError{addr: c.addr, err: err}
 	}
 	resp, err := conn.Call(req)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			// The server answered with an error: pass it through so the
+			// retry layer classifies it by content (a SlowDown retries,
+			// a not-found does not).
+			return nil, err
+		}
+		// Transport failure: the pooled stream is broken, but a retry
+		// travels a freshly dialed one, so mark it transient.
+		return nil, &transportError{addr: c.addr, err: err}
 	}
 	c.put(conn)
 	return resp, nil

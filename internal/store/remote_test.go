@@ -7,7 +7,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"cloudburst/internal/faults"
+	"cloudburst/internal/metrics"
 	"cloudburst/internal/netsim"
 )
 
@@ -142,4 +145,131 @@ func TestClientClosedRejects(t *testing.T) {
 // newLocalListener is shared by tests and benchmarks.
 func newLocalListener() (net.Listener, error) {
 	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+// flakyListener fails the first n Accept calls with a transient error.
+type flakyListener struct {
+	net.Listener
+	mu    sync.Mutex
+	fails int
+}
+
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "accept: too many open files" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.fails > 0 {
+		l.fails--
+		l.mu.Unlock()
+		return nil, tempErr{}
+	}
+	l.mu.Unlock()
+	return l.Listener.Accept()
+}
+
+func TestServerSurvivesTransientAcceptErrors(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(4<<10, 6)
+	m.Put("x", data)
+	ln, err := newLocalListener()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(&flakyListener{Listener: ln, fails: 3}, m)
+	defer srv.Close()
+
+	// Despite three failed accepts, the server must still be serving.
+	c := NewClient(ln.Addr().String(), nil)
+	defer c.Close()
+	got, err := ReadAll(c, "x")
+	if err != nil {
+		t.Fatalf("read after accept errors: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestServerInjectedTransientRetriedByFetch(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(64<<10, 12)
+	m.Put("d", data)
+	ln, err := newLocalListener()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(11, faults.Spec{Kind: faults.Transient, FirstN: 2})
+	srv := ServeWith(ln, m, ServerOptions{Faults: plan, Site: "cloud"})
+	defer srv.Close()
+
+	c := NewClient(srv.Addr(), nil)
+	defer c.Close()
+	var b metrics.Breakdown
+	got, err := Fetch(c, "d", 0, 64<<10, FetchOptions{
+		Threads: 2, RangeSize: 16 << 10,
+		Retry: RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Microsecond},
+		Stats: &b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch")
+	}
+	if snap := b.Snapshot(); snap.Retries < 2 {
+		t.Fatalf("server-injected faults not retried: %+v", snap)
+	}
+	if plan.Injected()[faults.Transient] != 2 {
+		t.Fatalf("injected = %v", plan.Injected())
+	}
+}
+
+func TestServerInjectedResetIsTransientTransportError(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(8<<10, 4)
+	m.Put("d", data)
+	ln, err := newLocalListener()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(13, faults.Spec{Kind: faults.Reset, FirstN: 1})
+	srv := ServeWith(ln, m, ServerOptions{Faults: plan, Site: "cloud"})
+	defer srv.Close()
+
+	c := NewClient(srv.Addr(), nil)
+	defer c.Close()
+	// First request is severed mid-exchange: the client must surface a
+	// retryable transport error, and a retry on a fresh stream succeeds.
+	_, err = c.ReadAt("d", make([]byte, 100), 0)
+	if err == nil {
+		t.Fatal("severed request should error")
+	}
+	if !Retryable(err) {
+		t.Fatalf("reset not classified transient: %v", err)
+	}
+	got, err := Fetch(c, "d", 0, 8<<10, FetchOptions{
+		Threads: 1,
+		Retry:   RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after reset recovery")
+	}
+}
+
+func TestRemoteNotFoundStaysFatal(t *testing.T) {
+	m := NewMem()
+	srv := startServer(t, m)
+	c := NewClient(srv.Addr(), nil)
+	defer c.Close()
+	_, err := c.Size("ghost")
+	if err == nil || Retryable(err) {
+		t.Fatalf("not-found must be fatal, got %v", err)
+	}
 }

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"syscall"
+	"time"
+
+	"cloudburst/internal/metrics"
+	"cloudburst/internal/netsim"
+)
+
+// RetryPolicy retries failed store requests with capped exponential
+// backoff and deterministic jitter. Backoff is emulated time, paced
+// through a netsim.Clock, so retry behaviour compresses with the rest
+// of the simulation. The zero policy (MaxAttempts 0 or 1) disables
+// retries, preserving single-shot semantics.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (1 initial + retries).
+	// Values below 2 mean "no retries".
+	MaxAttempts int
+	// BaseBackoff is the emulated backoff before the first retry; each
+	// subsequent retry doubles it, capped at MaxBackoff. Zero defaults
+	// to 20ms when retries are enabled.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero defaults to 1s.
+	MaxBackoff time.Duration
+	// Seed perturbs the deterministic jitter so independent callers
+	// sharing a policy do not back off in lockstep.
+	Seed uint64
+}
+
+// DefaultRetryPolicy matches S3 client practice scaled to the
+// simulation: 4 attempts, 20ms emulated base, 1s cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 20 * time.Millisecond, MaxBackoff: time.Second}
+}
+
+// Enabled reports whether the policy performs any retries.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// Backoff returns the emulated delay before retry number retry
+// (1-based) of the request identified by key. Jitter is a
+// deterministic function of (Seed, key, retry): full-jitter style,
+// uniform in [base/2, base].
+func (p RetryPolicy) Backoff(key string, retry int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 20 * time.Millisecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = time.Second
+	}
+	d := base
+	for i := 1; i < retry && d < maxB; i++ {
+		d *= 2
+	}
+	if d > maxB {
+		d = maxB
+	}
+	h := mix64(p.Seed ^ hash64(key) ^ uint64(retry)*0x9e3779b97f4a7c15)
+	frac := float64(h>>11) / float64(1<<53)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// Do runs fn until it succeeds, fails fatally, or the policy is
+// exhausted. key identifies the request for jitter and error context;
+// onBackoff (may be nil) observes each emulated backoff before it is
+// slept, for metrics. Exhaustion returns the final classified error
+// wrapped with the attempt count — never a hang.
+func (p RetryPolicy) Do(clk netsim.Clock, key string, fn func() error, onBackoff func(time.Duration)) error {
+	if clk == nil {
+		clk = netsim.Instant()
+	}
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if !Retryable(err) {
+			return err
+		}
+		if attempt >= attempts {
+			return fmt.Errorf("store: %s: %d attempts exhausted: %w", key, attempts, err)
+		}
+		d := p.Backoff(key, attempt)
+		if onBackoff != nil {
+			onBackoff(d)
+		}
+		clk.Sleep(d)
+	}
+}
+
+// Retryable classifies an error as transient (worth retrying) or
+// fatal. Transient errors are: anything carrying the Transient()
+// marker (injected faults, transport failures), network timeouts,
+// reset/closed connections, and throttle or transient markers that
+// crossed the wire as flattened strings. Application errors — not
+// found, short object, protocol violations — are fatal.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var tr interface{ Transient() bool }
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	// Server-side injected faults arrive as KindError strings; real S3
+	// throttle responses would arrive the same way.
+	msg := err.Error()
+	for _, marker := range []string{"SlowDown", "injected transient", "injected connection reset",
+		"connection reset", "broken pipe"} {
+		if strings.Contains(msg, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// transportError marks a store client transport failure (dial, send,
+// or receive) as transient: the connection pool replaces the broken
+// connection, so a retry travels a fresh stream.
+type transportError struct {
+	addr string
+	err  error
+}
+
+func (e *transportError) Error() string   { return fmt.Sprintf("store: remote %s: %v", e.addr, e.err) }
+func (e *transportError) Unwrap() error   { return e.err }
+func (e *transportError) Transient() bool { return true }
+
+// retryStats adapts an optional *metrics.Breakdown into an onBackoff
+// callback.
+func retryStats(b *metrics.Breakdown) func(time.Duration) {
+	if b == nil {
+		return nil
+	}
+	return b.AddRetry
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

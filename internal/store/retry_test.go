@@ -1,0 +1,132 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudburst/internal/faults"
+	"cloudburst/internal/metrics"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{io.EOF, false},
+		{errors.New("store: object ghost not found"), false},
+		{faults.ErrTransient, true},
+		{faults.ErrSlowDown, true},
+		{fmt.Errorf("wrapped: %w", faults.ErrTransient), true},
+		{&transportError{addr: "x", err: errors.New("broken")}, true},
+		// Server-reported injected faults arrive flattened to strings.
+		{errors.New("wire: remote error: faults: SlowDown: request throttled"), true},
+		{errors.New("wire: remote error: faults: injected transient error (site=s object=o)"), true},
+		{errors.New("read tcp: connection reset by peer"), true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryDoFirstNThenSuccess(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Microsecond, MaxBackoff: time.Millisecond}
+	calls := 0
+	var backoffs []time.Duration
+	err := p.Do(nil, "k", func() error {
+		calls++
+		if calls <= 2 {
+			return faults.ErrTransient
+		}
+		return nil
+	}, func(d time.Duration) { backoffs = append(backoffs, d) })
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 3 || len(backoffs) != 2 {
+		t.Fatalf("calls=%d backoffs=%d", calls, len(backoffs))
+	}
+}
+
+func TestRetryDoFatalErrorNotRetried(t *testing.T) {
+	p := DefaultRetryPolicy()
+	calls := 0
+	fatal := errors.New("store: object ghost not found")
+	err := p.Do(nil, "k", func() error { calls++; return fatal }, nil)
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryDoExhaustionWrapsError(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond}
+	calls := 0
+	err := p.Do(nil, "obj@0", func() error { calls++; return faults.ErrSlowDown }, nil)
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if err == nil || !errors.Is(err, faults.ErrSlowDown) {
+		t.Fatalf("exhaustion err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "3 attempts exhausted") {
+		t.Fatalf("missing attempt count: %v", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("exhausted error lost its classification")
+	}
+}
+
+func TestRetryBackoffCappedAndDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Seed: 5}
+	for retry := 1; retry <= 9; retry++ {
+		d := p.Backoff("k", retry)
+		if d > 80*time.Millisecond {
+			t.Fatalf("retry %d backoff %v exceeds cap", retry, d)
+		}
+		if d < 5*time.Millisecond {
+			t.Fatalf("retry %d backoff %v below base/2", retry, d)
+		}
+		if d != p.Backoff("k", retry) {
+			t.Fatalf("retry %d backoff not deterministic", retry)
+		}
+	}
+	if p.Backoff("k", 1) == p.Backoff("other", 1) && p.Backoff("k", 2) == p.Backoff("other", 2) {
+		t.Fatal("jitter ignores the request key")
+	}
+}
+
+func TestRetryZeroPolicySingleShot(t *testing.T) {
+	var p RetryPolicy
+	calls := 0
+	err := p.Do(nil, "k", func() error { calls++; return faults.ErrTransient }, nil)
+	if calls != 1 || err == nil {
+		t.Fatalf("zero policy: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryStatsRecorded(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond}
+	var b metrics.Breakdown
+	calls := 0
+	err := p.Do(nil, "k", func() error {
+		calls++
+		if calls == 1 {
+			return faults.ErrTransient
+		}
+		return nil
+	}, retryStats(&b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := b.Snapshot()
+	if snap.Retries != 1 || snap.BackoffEmu <= 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"cloudburst/internal/faults"
 	"cloudburst/internal/netsim"
 )
 
@@ -28,6 +29,10 @@ type SimS3 struct {
 	latency   time.Duration
 	perStream float64
 	aggregate *netsim.Bucket
+
+	// plan, when set, injects faults into reads on behalf of site.
+	plan *faults.Plan
+	site string
 
 	// seekPenalty, when set, is charged on reads that do not continue
 	// one of the object's active read streams — a storage-node model
@@ -101,6 +106,18 @@ func (s *SimS3) WithSeekPenalty(d time.Duration) *SimS3 {
 	return s
 }
 
+// WithFaults consults plan on every read, injecting faults attributed
+// to site. Transient, SlowDown, and Reset decisions fail the read with
+// a retryable error after charging the request latency (the failed
+// round-trip still costs a round-trip); Stall decisions delay the read
+// by the spec's duration and then let it proceed. It returns s for
+// chaining.
+func (s *SimS3) WithFaults(plan *faults.Plan, site string) *SimS3 {
+	s.plan = plan
+	s.site = site
+	return s
+}
+
 // seekCost reports the penalty for a read at off and records the new
 // stream position.
 func (s *SimS3) seekCost(name string, off int64, n int) time.Duration {
@@ -126,6 +143,15 @@ func (s *SimS3) seekCost(name string, off int64, n int) time.Duration {
 // ReadAt implements Store, charging the request's latency and
 // bandwidth before returning.
 func (s *SimS3) ReadAt(name string, p []byte, off int64) (int, error) {
+	if d := s.plan.Decide(s.site, name); d.Kind != faults.None {
+		switch d.Kind {
+		case faults.Stall:
+			s.clk.Sleep(d.Stall)
+		default:
+			s.clk.Sleep(s.latency)
+			return 0, faults.RequestError(d, s.site, name)
+		}
+	}
 	start := s.clk.Now()
 	n, err := s.backing.ReadAt(name, p, off)
 	if n > 0 {

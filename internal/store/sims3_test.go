@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"cloudburst/internal/faults"
 	"cloudburst/internal/netsim"
 )
 
@@ -172,5 +173,47 @@ func TestSeekPenaltyTracksMultipleStreams(t *testing.T) {
 	view.ReadAt("d", buf, 2<<10)  // A continues
 	if elapsed := time.Since(start); elapsed > 2*time.Millisecond {
 		t.Fatalf("interleaved sequential streams paid seeks: %v", elapsed)
+	}
+}
+
+func TestSimS3StallFaultDelaysButSucceeds(t *testing.T) {
+	clk := netsim.Scaled(0.01) // 1 emulated s = 10ms wall
+	svc := NewService(clk, 0)
+	data := fillPattern(100, 3)
+	svc.Objects.Put("d", data)
+	view := svc.View(netsim.Link{}).WithFaults(
+		faults.NewPlan(5, faults.Spec{Kind: faults.Stall, FirstN: 1, Stall: 200 * time.Millisecond}),
+		"cloud")
+
+	start := time.Now()
+	buf := make([]byte, 100)
+	n, err := view.ReadAt("d", buf, 0)
+	if err != nil || n != 100 {
+		t.Fatalf("stalled read = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("stalled read corrupted data")
+	}
+	// 200ms emulated at 0.01 scale = 2ms wall.
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("stall not charged: %v", elapsed)
+	}
+	// Second read is fault-free and fast.
+	if _, err := view.ReadAt("d", buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimS3FaultErrorsAreTransient(t *testing.T) {
+	svc := NewService(netsim.Instant(), 0)
+	svc.Objects.Put("d", fillPattern(10, 0))
+	view := svc.View(netsim.Link{}).WithFaults(
+		faults.NewPlan(6, faults.Spec{Kind: faults.SlowDown, FirstN: 1}), "cloud")
+	_, err := view.ReadAt("d", make([]byte, 10), 0)
+	if err == nil || !Retryable(err) {
+		t.Fatalf("injected SlowDown = %v", err)
+	}
+	if n, err := view.ReadAt("d", make([]byte, 10), 0); err != nil || n != 10 {
+		t.Fatalf("post-fault read = %d, %v", n, err)
 	}
 }

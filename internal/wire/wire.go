@@ -11,10 +11,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cloudburst/internal/metrics"
 )
@@ -47,6 +50,11 @@ const (
 	KindStatResp // server->client: Len = size
 	KindList     // client->server
 	KindListResp // server->client: Files
+
+	// Liveness. Heartbeats flow one way — from the requesting side
+	// (slave->master, master->head) — and are never answered, so they
+	// interleave safely with the strict request/response exchanges.
+	KindHeartbeat
 )
 
 var kindNames = map[Kind]string{
@@ -57,7 +65,7 @@ var kindNames = map[Kind]string{
 	KindJobGrant: "job-grant", KindSlaveResult: "slave-result",
 	KindAck: "ack", KindError: "error", KindReadAt: "read-at",
 	KindReadResp: "read-resp", KindStat: "stat", KindStatResp: "stat-resp",
-	KindList: "list", KindListResp: "list-resp",
+	KindList: "list", KindListResp: "list-resp", KindHeartbeat: "heartbeat",
 }
 
 func (k Kind) String() string {
@@ -130,6 +138,12 @@ const MaxFrame = 1 << 30
 type Conn struct {
 	c net.Conn
 
+	// idle and writeTimeout arm per-operation deadlines (stall
+	// detection); they are stored atomically so a heartbeater may run
+	// while the owner reconfigures.
+	idle         atomic.Int64 // read deadline per Recv, ns; 0 = none
+	writeTimeout atomic.Int64 // write deadline per Send, ns; 0 = none
+
 	wmu sync.Mutex
 	rmu sync.Mutex
 }
@@ -142,6 +156,56 @@ func (c *Conn) Close() error { return c.c.Close() }
 
 // RemoteAddr exposes the peer address for logging.
 func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// SetIdleTimeout arms a read deadline of d on every subsequent Recv: a
+// peer that stays silent (or stalls mid-frame) for longer than d makes
+// Recv fail with a timeout error instead of hanging forever. Zero
+// disables the deadline.
+func (c *Conn) SetIdleTimeout(d time.Duration) { c.idle.Store(int64(d)) }
+
+// SetWriteTimeout arms a write deadline of d on every subsequent Send,
+// so a peer that stops draining its socket cannot wedge the sender.
+// Zero disables the deadline.
+func (c *Conn) SetWriteTimeout(d time.Duration) { c.writeTimeout.Store(int64(d)) }
+
+// IsTimeout reports whether err is a deadline-exceeded (stall) error,
+// as opposed to a closed or reset connection.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// RemoteError is returned by Call when the peer answered with
+// KindError: the request reached the other side and was rejected
+// there, which callers classify differently from a transport failure.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
+
+// Heartbeats starts a goroutine that sends KindHeartbeat on c every
+// interval until the returned stop function is called or a send fails.
+// Heartbeats are one-way: the receiver resets its idle deadline and
+// discards them, so they coexist with request/response traffic (frame
+// writes are serialized by the connection's write mutex).
+func Heartbeats(c *Conn, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := c.Send(&Message{Kind: KindHeartbeat}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
 
 // Send encodes m and writes it as one frame (one underlying write).
 func (c *Conn) Send(m *Message) error {
@@ -159,6 +223,9 @@ func (c *Conn) Send(m *Message) error {
 
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if d := c.writeTimeout.Load(); d > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(time.Duration(d)))
+	}
 	if _, err := c.c.Write(buf); err != nil {
 		return fmt.Errorf("wire: write %v: %w", m.Kind, err)
 	}
@@ -169,6 +236,9 @@ func (c *Conn) Send(m *Message) error {
 func (c *Conn) Recv() (*Message, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
+	if d := c.idle.Load(); d > 0 {
+		c.c.SetReadDeadline(time.Now().Add(time.Duration(d)))
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
 		return nil, err
@@ -200,7 +270,7 @@ func (c *Conn) Call(m *Message) (*Message, error) {
 		return nil, err
 	}
 	if resp.Kind == KindError {
-		return nil, fmt.Errorf("wire: remote error: %s", resp.Err)
+		return nil, &RemoteError{Msg: resp.Err}
 	}
 	return resp, nil
 }

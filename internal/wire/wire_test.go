@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"net"
 	"reflect"
 	"strings"
@@ -218,5 +219,70 @@ func TestOversizedFrameRejected(t *testing.T) {
 	go a.c.Write(raw)
 	if _, err := b.Recv(); err == nil || !strings.Contains(err.Error(), "oversized") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIdleTimeoutTripsRecv(t *testing.T) {
+	a, b := connPair(t)
+	_ = a
+	b.SetIdleTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, err := b.Recv()
+	if err == nil {
+		t.Fatal("Recv on a silent peer should time out")
+	}
+	if !IsTimeout(err) {
+		t.Fatalf("expected timeout classification, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout fired far too late")
+	}
+}
+
+func TestHeartbeatsKeepIdleConnAlive(t *testing.T) {
+	a, b := connPair(t)
+	b.SetIdleTimeout(120 * time.Millisecond)
+	stop := Heartbeats(a, 30*time.Millisecond)
+	defer stop()
+
+	// The sender issues no requests, but the heartbeats must keep every
+	// Recv within the idle window for several windows in a row.
+	deadline := time.Now().Add(400 * time.Millisecond)
+	beats := 0
+	for time.Now().Before(deadline) {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("idle conn with heartbeats timed out after %d beats: %v", beats, err)
+		}
+		if m.Kind != KindHeartbeat {
+			t.Fatalf("unexpected %v", m.Kind)
+		}
+		beats++
+	}
+	if beats < 3 {
+		t.Fatalf("only %d heartbeats in 400ms at 30ms interval", beats)
+	}
+}
+
+func TestHeartbeatsStopIsIdempotent(t *testing.T) {
+	a, _ := connPair(t)
+	stop := Heartbeats(a, time.Hour)
+	stop()
+	stop()
+}
+
+func TestCallReturnsTypedRemoteError(t *testing.T) {
+	a, b := connPair(t)
+	go func() {
+		b.Recv()
+		b.Send(&Message{Kind: KindError, Err: "faults: SlowDown: request throttled"})
+	}()
+	_, err := a.Call(&Message{Kind: KindStat, File: "x"})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *RemoteError, got %T: %v", err, err)
+	}
+	if !strings.Contains(re.Msg, "SlowDown") {
+		t.Fatalf("message lost: %q", re.Msg)
 	}
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification: build, vet, all tests, plus a race pass over the
+# concurrency-heavy packages (cluster, store). This is a superset of
+# the tier-1 gate in ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/cluster/ ./internal/store/
+echo "verify: ok"
