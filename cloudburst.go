@@ -115,6 +115,18 @@ type (
 	LocalStore = store.Local
 	// FetchOptions tune multi-threaded ranged retrieval.
 	FetchOptions = store.FetchOptions
+	// ChunkCache is a byte-capped, refcounted LRU over fetched chunks;
+	// install one per site (SiteSpec.Cache) to keep chunks warm across
+	// the iterations of a multi-pass algorithm.
+	ChunkCache = store.ChunkCache
+	// ChunkKey identifies one cached chunk (site, file, offset, length).
+	ChunkKey = store.ChunkKey
+	// CacheStats counts cache hits, misses, evictions, and bytes saved.
+	CacheStats = store.CacheStats
+	// BufferPool recycles fetch buffers through size-classed sync.Pools.
+	BufferPool = store.BufferPool
+	// PoolStats counts buffer-pool gets, misses, and puts.
+	PoolStats = store.PoolStats
 )
 
 // NewMemStore returns an empty in-memory store.
@@ -122,6 +134,16 @@ func NewMemStore() *MemStore { return store.NewMem() }
 
 // NewLocalStore returns a store over the files in dir.
 func NewLocalStore(dir string) *LocalStore { return store.NewLocal(dir) }
+
+// NewChunkCache builds a chunk cache holding at most capBytes of chunk
+// data; evicted and released buffers recycle through pool (nil is
+// fine). A cap below one disables caching but keeps recycling.
+func NewChunkCache(capBytes int64, pool *BufferPool) *ChunkCache {
+	return store.NewChunkCache(capBytes, pool)
+}
+
+// NewBufferPool builds an empty size-classed buffer pool.
+func NewBufferPool() *BufferPool { return store.NewBufferPool() }
 
 // Cluster runtime.
 type (
@@ -135,6 +157,9 @@ type (
 	RunReport = metrics.RunReport
 	// ClusterReport is one cluster's metrics.
 	ClusterReport = metrics.ClusterReport
+	// RetrievalReport summarizes retrieval-pipeline activity (cache,
+	// prefetch overlap, buffer pooling) for a run.
+	RetrievalReport = metrics.RetrievalReport
 )
 
 // Deploy executes one complete job across the configured sites and

@@ -9,12 +9,14 @@
 //	cbbench -experiment fig3a            # knn panel only
 //	cbbench -experiment fig4b -scale 0.001
 //	cbbench -experiment table2 -records-divisor 10
+//	cbbench -experiment overlap -records-divisor 10 -json BENCH_overlap.json
 //
 // The -records-divisor flag shrinks every data set (and job count) by
 // the given factor for quick runs; shapes are preserved.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,10 +29,13 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos")
+			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap")
 		scale   = flag.Float64("scale", 0, "clock scale override (wall s per emulated s)")
 		divisor = flag.Int64("records-divisor", 1, "shrink data sets (and jobs) by this factor")
 		verbose = flag.Bool("v", false, "log cluster progress")
+
+		overlapIters = flag.Int("overlap-iters", 3, "overlap: pagerank power iterations")
+		jsonPath     = flag.String("json", "", "overlap: also write results as JSON to this file")
 
 		faultSeed      = flag.Int64("fault-seed", 42, "chaos: fault plan seed")
 		faultTransient = flag.Float64("fault-transient", 0.02, "chaos: per-request transient fault probability")
@@ -136,6 +141,34 @@ func main() {
 		fmt.Println(bench.RenderAblation("dynamic pooling vs static partition under ±60% core jitter (kmeans, env-50/50)", rows))
 	}
 
+	runOverlap := func() {
+		knn, err := bench.OverlapSinglePass(specs["a"], sim, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderOverlap("knn single pass, all data in S3", knn))
+		pr, err := bench.OverlapPageRank(specs["c"], sim, *overlapIters, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderOverlap("pagerank power iterations, all data in S3", pr))
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(map[string]*bench.OverlapResult{
+				"knn": knn, "pagerank": pr,
+			}, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("overlap results written to %s\n", *jsonPath)
+		}
+		if !knn.Match || !pr.Match {
+			fatal(fmt.Errorf("overlap variants diverged from the baseline result"))
+		}
+	}
+
 	runChaos := func() {
 		params := bench.DefaultChaos(*faultSeed)
 		params.TransientProb = *faultTransient
@@ -156,6 +189,8 @@ func main() {
 		runAblations()
 	case "chaos":
 		runChaos()
+	case "overlap":
+		runOverlap()
 	case "cost":
 		results := runFig3("a")
 		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))

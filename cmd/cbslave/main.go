@@ -37,6 +37,9 @@ func main() {
 		rangeKB    = flag.Int("fetch-range-kb", 256, "range size per remote request (KiB)")
 		retries    = flag.Int("fetch-retries", 4, "attempts per sub-range before a retrieval fails (1 disables retry)")
 		beat       = flag.Duration("heartbeat", 0, "heartbeat the master at this interval (0 disables)")
+		prefetch   = flag.Bool("prefetch", false, "pipeline retrieval: fetch the next grant while the current one reduces")
+		budgetMB   = flag.Int64("prefetch-budget-mb", 0, "cap on in-flight prefetched data (0 = default 64 MiB, negative = unlimited)")
+		cacheMB    = flag.Int64("cache-mb", 0, "chunk cache size (0 disables; useful for re-running over the same data)")
 	)
 	flag.Parse()
 	if *site == "" || *masterAddr == "" || *appName == "" || *dataDir == "" {
@@ -66,12 +69,22 @@ func main() {
 
 	retry := store.DefaultRetryPolicy()
 	retry.MaxAttempts = *retries
+	var cache *store.ChunkCache
+	if *cacheMB > 0 {
+		cache = store.NewChunkCache(*cacheMB<<20, store.NewBufferPool())
+	}
+	budget := *budgetMB
+	if budget > 0 {
+		budget <<= 20
+	}
 	slave, err := cluster.NewSlave(cluster.SlaveConfig{
 		Site: *site, App: app, Cores: *cores,
 		HomeStore: home, RemoteStores: remoteStores,
 		Fetch: store.FetchOptions{
 			Threads: *threads, RangeSize: *rangeKB << 10, Retry: retry,
 		},
+		Prefetch: *prefetch, PrefetchBudget: budget,
+		Cache:             cache,
 		HeartbeatInterval: *beat,
 		Clock:             netsim.Real(),
 	})
@@ -88,6 +101,11 @@ func main() {
 		s.JobsProcessed, s.JobsStolen, s.UnitsReduced,
 		s.Processing.Round(time.Millisecond), s.Retrieval.Round(time.Millisecond),
 		s.Sync.Round(time.Millisecond))
+	if s.PrefetchedJobs > 0 || s.CacheHits > 0 || s.CacheMisses > 0 {
+		fmt.Printf("cbslave: pipeline: prefetched=%d hidden=%v skips=%d cache=%d/%d\n",
+			s.PrefetchedJobs, s.PrefetchSavedEmu.Round(time.Millisecond),
+			s.PrefetchSkips, s.CacheHits, s.CacheHits+s.CacheMisses)
+	}
 }
 
 func fatal(err error) {

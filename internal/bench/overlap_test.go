@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOverlapSinglePassGrid(t *testing.T) {
+	res, err := OverlapSinglePass(tinySpec(), tinySim(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 || res.Env != "env-cloud" {
+		t.Fatalf("res = %+v", res)
+	}
+	if !res.Match {
+		t.Fatalf("variants diverged: %+v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if !strings.Contains(r.Digest, "20000 words") {
+			t.Fatalf("%s computed wrong result: %q", r.Label, r.Digest)
+		}
+		if r.Prefetch && r.Retrieval.PrefetchedJobs == 0 && r.Retrieval.PrefetchSkips == 0 {
+			t.Fatalf("%s recorded no pipeline activity: %+v", r.Label, r.Retrieval)
+		}
+		if !r.Prefetch && r.Retrieval.PrefetchedJobs != 0 {
+			t.Fatalf("%s prefetched without the pipeline: %+v", r.Label, r.Retrieval)
+		}
+		if r.Cache && r.Retrieval.CacheMisses == 0 {
+			t.Fatalf("%s cache saw no traffic: %+v", r.Label, r.Retrieval)
+		}
+	}
+}
+
+func TestOverlapPageRankWarmsCache(t *testing.T) {
+	spec := AppSpec{
+		Name:   "pagerank",
+		Params: map[string]string{"pages": "400", "mindeg": "2", "maxdeg": "4", "cost": "0s"},
+		Files:  4, Jobs: 16,
+	}
+	res, err := OverlapPageRank(spec, tinySim(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match {
+		t.Fatalf("variants diverged: %+v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r.Iterations != 3 {
+			t.Fatalf("%s ran %d iterations", r.Label, r.Iterations)
+		}
+		if r.Cache {
+			// The first pass misses; the two warm passes must hit.
+			if r.Retrieval.CacheHits == 0 || r.Retrieval.CacheBytesSaved == 0 {
+				t.Fatalf("%s never warmed: %+v", r.Label, r.Retrieval)
+			}
+			if r.Retrieval.CacheHits != 2*r.Retrieval.CacheMisses {
+				t.Fatalf("%s hits/misses = %d/%d, want 2:1 over 3 passes",
+					r.Label, r.Retrieval.CacheHits, r.Retrieval.CacheMisses)
+			}
+		} else if r.Retrieval.CacheHits != 0 {
+			t.Fatalf("%s hit a cache that should not exist: %+v", r.Label, r.Retrieval)
+		}
+	}
+	out := RenderOverlap("pagerank", res)
+	if !strings.Contains(out, "identical across all variants") {
+		t.Fatalf("render = %q", out)
+	}
+}

@@ -188,6 +188,16 @@ type RunConfig struct {
 	// CloudJitter spreads cloud core speeds by ±CloudJitter, modeling
 	// EC2 performance variability.
 	CloudJitter float64
+	// Prefetch turns on the slave retrieval pipeline: each core
+	// requests and fetches its next grant while the current one
+	// reduces, hiding retrieval behind compute.
+	Prefetch bool
+	// PrefetchBudget caps per-slave in-flight prefetched bytes (zero
+	// picks the slave default, negative is unlimited).
+	PrefetchBudget int64
+	// CacheBytes gives every site a chunk cache of this many bytes
+	// (zero disables caching).
+	CacheBytes int64
 	// Chaos, when set, injects faults into the run (see ChaosParams).
 	Chaos *ChaosParams
 	Logf  func(format string, args ...any)
@@ -202,10 +212,20 @@ type EnvResult struct {
 	Report     *metrics.RunReport
 }
 
-// Execute runs one configuration through the full middleware stack:
-// workload placement, index generation, head/master/slave deployment
-// over shaped loopback links, and global reduction.
-func Execute(cfg RunConfig) (*EnvResult, error) {
+// Deployment is everything BuildDeploy derives from a RunConfig:
+// the cluster deployment ready for cluster.Run (or an iterative
+// driver), plus the fault plan behind its S3 views for reporting.
+type Deployment struct {
+	Deploy cluster.DeployConfig
+	Plan   *faults.Plan
+}
+
+// BuildDeploy assembles the full middleware stack for one
+// configuration — workload placement, index generation, shaped store
+// views, site specs — without running it. Execute feeds the result to
+// cluster.Run; iterative experiments hand it to a driver instead so
+// one placement serves many passes.
+func BuildDeploy(cfg RunConfig) (*Deployment, error) {
 	spec := cfg.Spec.withDefaults()
 	if cfg.LocalCores == 0 && cfg.CloudCores == 0 {
 		return nil, fmt.Errorf("bench: no cores configured")
@@ -323,26 +343,43 @@ func Execute(cfg RunConfig) (*EnvResult, error) {
 		})
 	}
 
-	res, err := cluster.Run(cluster.DeployConfig{
-		App: app, Index: idx, Sites: sites, Clock: clk,
-		GroupUnits:        cfg.Sim.GroupUnits,
-		Fetch:             fetch,
-		Scatter:           cfg.Scatter,
-		Batch:             cfg.Batch,
-		JobsPerRequest:    cfg.JobsPerRequest,
-		HeartbeatInterval: heartbeat,
-		HeartbeatMisses:   misses,
-		Logf:              cfg.Logf,
-	})
+	return &Deployment{
+		Deploy: cluster.DeployConfig{
+			App: app, Index: idx, Sites: sites, Clock: clk,
+			GroupUnits:        cfg.Sim.GroupUnits,
+			Fetch:             fetch,
+			Scatter:           cfg.Scatter,
+			Batch:             cfg.Batch,
+			JobsPerRequest:    cfg.JobsPerRequest,
+			Prefetch:          cfg.Prefetch,
+			PrefetchBudget:    cfg.PrefetchBudget,
+			CacheBytes:        cfg.CacheBytes,
+			HeartbeatInterval: heartbeat,
+			HeartbeatMisses:   misses,
+			Logf:              cfg.Logf,
+		},
+		Plan: plan,
+	}, nil
+}
+
+// Execute runs one configuration through the full middleware stack:
+// workload placement, index generation, head/master/slave deployment
+// over shaped loopback links, and global reduction.
+func Execute(cfg RunConfig) (*EnvResult, error) {
+	dep, err := BuildDeploy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.Run(dep.Deploy)
 	if err != nil {
 		return nil, err
 	}
 	res.Report.Env = envName(cfg)
-	if plan != nil {
-		res.Report.Faults.Injected = plan.Total()
+	if dep.Plan != nil {
+		res.Report.Faults.Injected = dep.Plan.Total()
 	}
 	return &EnvResult{
-		Env: res.Report.Env, App: spec.Name,
+		Env: res.Report.Env, App: cfg.Spec.withDefaults().Name,
 		LocalCores: cfg.LocalCores, CloudCores: cfg.CloudCores,
 		Report: res.Report,
 	}, nil

@@ -32,6 +32,11 @@ type SiteSpec struct {
 	// HomeFetch makes home reads use multi-threaded ranged retrieval
 	// (the cloud cluster reading its object store).
 	HomeFetch bool
+	// Cache, when non-nil, is this site's chunk cache. It outlives the
+	// run: the iterative driver installs one per site so multi-pass
+	// algorithms keep chunks warm between iterations. When nil,
+	// DeployConfig.CacheBytes > 0 builds a fresh per-run cache.
+	Cache *store.ChunkCache
 	// UnitCostScale adjusts this site's per-core compute speed.
 	UnitCostScale float64
 	// CostJitter spreads per-core speeds by ±CostJitter (EC2-style
@@ -56,6 +61,16 @@ type DeployConfig struct {
 	GroupUnits     int
 	JobsPerRequest int
 	Fetch          store.FetchOptions
+	// Prefetch turns on the slave retrieval pipeline: each core
+	// requests its next grant and fetches its chunks while the current
+	// grant reduces.
+	Prefetch bool
+	// PrefetchBudget caps each slave's in-flight prefetched bytes;
+	// zero picks the slave default (64 MiB), negative is unlimited.
+	PrefetchBudget int64
+	// CacheBytes gives each site without an explicit SiteSpec.Cache a
+	// per-run chunk cache of this many bytes; zero disables caching.
+	CacheBytes int64
 	// Scatter disables consecutive-job assignment (ablation knob).
 	Scatter bool
 	// HeartbeatInterval enables stall detection throughout the tree:
@@ -142,13 +157,27 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 			mu.Unlock()
 		}(site)
 
+		// A persistent site cache brings its own pool (so recycled
+		// buffers keep flowing across iterations); otherwise the slave
+		// gets a per-run pool, and a per-run cache when CacheBytes asks
+		// for one.
+		cache := site.Cache
+		pool := cache.Pool()
+		if pool == nil {
+			pool = store.NewBufferPool()
+		}
+		if cache == nil && cfg.CacheBytes > 0 {
+			cache = store.NewChunkCache(cfg.CacheBytes, pool)
+		}
 		slave, err := NewSlave(SlaveConfig{
 			Site: site.Name, App: cfg.App, Cores: site.Cores,
 			HomeStore: site.HomeStore, RemoteStores: site.RemoteStores,
 			Fetch: cfg.Fetch, GroupUnits: cfg.GroupUnits,
 			JobsPerRequest: cfg.JobsPerRequest,
 			HomeFetch:      site.HomeFetch, UnitCostScale: site.UnitCostScale,
-			CostJitter:        site.CostJitter,
+			CostJitter: site.CostJitter,
+			Prefetch:   cfg.Prefetch, PrefetchBudget: cfg.PrefetchBudget,
+			Cache: cache, Pool: pool,
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			Clock:             cfg.Clock, Logf: cfg.Logf,
 		})

@@ -395,6 +395,7 @@ func (h *Head) publish() {
 		report.Faults.Retries += st.Breakdown.Retries
 		report.Faults.BackoffEmu += st.Breakdown.BackoffEmu
 		report.Faults.HeartbeatMisses += st.Breakdown.HeartbeatMisses
+		report.Retrieval.AddSnapshot(st.Breakdown)
 	}
 	// The head's own stall detections (masters that went silent) are not
 	// inside any surviving cluster's stats.

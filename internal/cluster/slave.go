@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"io"
 	"sync"
 	"time"
 
@@ -39,6 +38,22 @@ type SlaveConfig struct {
 	// object store, which rewards concurrent range requests just like
 	// stolen data does.
 	HomeFetch bool
+	// Prefetch overlaps retrieval with compute: while a core reduces
+	// its current grant, a background goroutine requests the next
+	// grant and fetches its chunk data (double buffering).
+	Prefetch bool
+	// PrefetchBudget caps the slave-wide bytes of prefetched chunk
+	// data held ahead of compute (all cores together), so the pipeline
+	// cannot silently inflate memory or egress. Zero picks 64 MiB;
+	// negative means unlimited.
+	PrefetchBudget int64
+	// Cache serves repeated chunk retrievals from memory. Nil gets a
+	// zero-capacity cache that never caches but still recycles fetch
+	// buffers into Pool.
+	Cache *store.ChunkCache
+	// Pool recycles chunk buffers between fetches; nil gets a fresh
+	// pool private to this slave.
+	Pool *store.BufferPool
 	// UnitCostScale multiplies the app's per-unit compute cost for
 	// this slave's cores (cloud instances slower than local Xeons).
 	// Zero means 1.
@@ -67,6 +82,15 @@ func (c SlaveConfig) withDefaults() SlaveConfig {
 	if c.Fetch.Threads == 0 && c.Fetch.RangeSize == 0 {
 		c.Fetch = store.DefaultFetchOptions()
 	}
+	if c.Pool == nil {
+		c.Pool = store.NewBufferPool()
+	}
+	if c.Cache == nil {
+		c.Cache = store.NewChunkCache(0, c.Pool)
+	}
+	if c.Prefetch && c.PrefetchBudget == 0 {
+		c.PrefetchBudget = 64 << 20
+	}
 	if c.Clock == nil {
 		c.Clock = netsim.Instant()
 	}
@@ -84,8 +108,14 @@ func (c SlaveConfig) withDefaults() SlaveConfig {
 // jobs), and run local reduction in cache-sized unit groups. When the
 // pool drains, the workers' objects are merged and shipped to the
 // master as this slave's result.
+//
+// With Prefetch on, each worker double-buffers: a background goroutine
+// requests the next grant and retrieves its chunks while the current
+// grant reduces, so remote-read latency hides behind compute instead
+// of landing on the critical path.
 type Slave struct {
-	cfg SlaveConfig
+	cfg    SlaveConfig
+	budget *byteBudget // caps in-flight prefetched bytes; nil = unlimited
 }
 
 // NewSlave builds a slave node.
@@ -97,7 +127,11 @@ func NewSlave(cfg SlaveConfig) (*Slave, error) {
 	if cfg.HomeStore == nil {
 		return nil, fmt.Errorf("cluster: slave needs a home store")
 	}
-	return &Slave{cfg: cfg}, nil
+	s := &Slave{cfg: cfg}
+	if cfg.Prefetch && cfg.PrefetchBudget > 0 {
+		s.budget = &byteBudget{avail: cfg.PrefetchBudget}
+	}
+	return s, nil
 }
 
 // Run connects every virtual core to the master, processes jobs until
@@ -129,6 +163,65 @@ func (s *Slave) Run(masterAddr string, dial store.Dialer) (*metrics.Breakdown, e
 		total.AddSnapshot(o.stats)
 	}
 	return total, nil
+}
+
+// byteBudget caps the slave's total in-flight prefetched bytes across
+// all cores. A nil budget admits everything.
+type byteBudget struct {
+	mu    sync.Mutex
+	avail int64
+}
+
+// tryAcquire claims n bytes without blocking; a denial means the
+// caller should skip prefetching and fetch on demand instead.
+func (b *byteBudget) tryAcquire(n int64) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n > b.avail {
+		return false
+	}
+	b.avail -= n
+	return true
+}
+
+func (b *byteBudget) release(n int64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.avail += n
+	b.mu.Unlock()
+}
+
+// jobItem is one granted job plus, when prefetched, its chunk bytes.
+type jobItem struct {
+	job     wire.JobAssign
+	data    []byte // non-nil once a prefetch delivered the chunk
+	release func() // hands the bytes back (cache reference / pool)
+	budget  int64  // bytes still held against the prefetch budget
+
+	fetchEmu   time.Duration // background retrieval time (emulated)
+	exposedEmu time.Duration // part of fetchEmu the foreground waited out
+	savedEmu   time.Duration // part of fetchEmu hidden behind compute
+}
+
+// grantResult is one master response, possibly produced ahead of time
+// by the prefetch goroutine.
+type grantResult struct {
+	resp  *wire.Message
+	items []*jobItem
+	err   error
+}
+
+func makeItems(jobs []wire.JobAssign) []*jobItem {
+	items := make([]*jobItem, len(jobs))
+	for i, job := range jobs {
+		items[i] = &jobItem{job: job}
+	}
+	return items
 }
 
 // jitterFactor derives worker w's deterministic speed factor in
@@ -178,27 +271,169 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	red := s.cfg.App.NewReduction()
 	var pending []int32 // completions not yet reported
 
-	for {
-		waitStart := s.cfg.Clock.Now()
-		resp, err := conn.Call(&wire.Message{
-			Kind: wire.KindRequestJob, Max: s.cfg.JobsPerRequest, Completed: pending,
+	request := func(completed []int32) (*wire.Message, error) {
+		return conn.Call(&wire.Message{
+			Kind: wire.KindRequestJob, Max: s.cfg.JobsPerRequest, Completed: completed,
 		})
-		stats.AddSync(s.cfg.Clock.ToEmu(s.cfg.Clock.Now().Sub(waitStart)))
-		if err != nil {
-			return zero, fmt.Errorf("cluster: slave %s: request job: %w", s.cfg.Site, err)
+	}
+
+	// At most one grant is in flight on the prefetch goroutine; the
+	// foreground never touches the connection while one is out, which
+	// is the strict alternation that keeps the single master
+	// connection request/response clean.
+	nextCh := make(chan *grantResult, 1)
+	inflight := false
+	var cur *grantResult
+
+	releaseItems := func(items []*jobItem) {
+		for _, it := range items {
+			if it.budget > 0 {
+				s.budget.release(it.budget)
+				it.budget = 0
+			}
+			if it.release != nil {
+				it.release()
+				it.release, it.data = nil, nil
+			}
 		}
-		pending = nil
-		if resp.Kind != wire.KindJobGrant {
-			return zero, fmt.Errorf("cluster: slave %s: unexpected %v", s.cfg.Site, resp.Kind)
+	}
+	defer func() {
+		// Error exits: wait out any in-flight prefetch and hand every
+		// unprocessed chunk's buffer (and budget bytes) back.
+		if inflight {
+			releaseItems((<-nextCh).items)
 		}
-		if resp.Done && len(resp.Jobs) == 0 {
-			break
+		if cur != nil {
+			releaseItems(cur.items)
 		}
-		for _, job := range resp.Jobs {
-			if err := s.processJob(engine, red, job, stats); err != nil {
+	}()
+
+	// prefetchGrant requests the next grant and retrieves its chunks
+	// ahead of compute, within the slave's byte budget. Denied items
+	// stay data-less and are fetched on demand at processing time.
+	prefetchGrant := func(completed []int32) {
+		g := &grantResult{}
+		g.resp, g.err = request(completed)
+		if g.err != nil {
+			g.err = fmt.Errorf("cluster: slave %s: request job: %w", s.cfg.Site, g.err)
+		} else if g.resp.Kind == wire.KindJobGrant {
+			g.items = makeItems(g.resp.Jobs)
+			for _, it := range g.items {
+				if !s.budget.tryAcquire(it.job.Length) {
+					stats.CountPrefetchSkip()
+					continue
+				}
+				f0 := s.cfg.Clock.Now()
+				data, release, err := s.fetchJob(it.job, stats)
+				if err != nil {
+					s.budget.release(it.job.Length)
+					g.err = fmt.Errorf("cluster: slave %s: prefetch job %d: %w",
+						s.cfg.Site, it.job.Chunk, err)
+					break
+				}
+				it.data, it.release = data, release
+				it.budget = it.job.Length
+				it.fetchEmu = s.cfg.Clock.ToEmu(s.cfg.Clock.Now().Sub(f0))
+			}
+		}
+		nextCh <- g
+	}
+
+	// receive waits for the in-flight grant and attributes the exposed
+	// wait: the part that overlaps background retrieval counts as
+	// retrieval (spread over the prefetched items in proportion to
+	// their fetch times), the remainder as sync. Whatever retrieval
+	// time compute hid is recorded as the prefetch's win.
+	receive := func() *grantResult {
+		w0 := s.cfg.Clock.Now()
+		g := <-nextCh
+		inflight = false
+		exposed := s.cfg.Clock.ToEmu(s.cfg.Clock.Now().Sub(w0))
+		var totalFetch time.Duration
+		for _, it := range g.items {
+			if it.data != nil {
+				totalFetch += it.fetchEmu
+			}
+		}
+		exposedFetch := exposed
+		if exposedFetch > totalFetch {
+			exposedFetch = totalFetch
+		}
+		stats.AddSync(exposed - exposedFetch)
+		if totalFetch > 0 {
+			for _, it := range g.items {
+				if it.data == nil {
+					continue
+				}
+				frac := float64(it.fetchEmu) / float64(totalFetch)
+				it.exposedEmu = time.Duration(frac * float64(exposedFetch))
+				it.savedEmu = it.fetchEmu - it.exposedEmu
+			}
+		}
+		return g
+	}
+
+	// The first grant is always requested synchronously; with Prefetch
+	// on, every later grant is requested — and its chunks fetched —
+	// while the current one reduces.
+	waitStart := s.cfg.Clock.Now()
+	resp, err := request(nil)
+	stats.AddSync(s.cfg.Clock.ToEmu(s.cfg.Clock.Now().Sub(waitStart)))
+	if err != nil {
+		return zero, fmt.Errorf("cluster: slave %s: request job: %w", s.cfg.Site, err)
+	}
+	cur = &grantResult{resp: resp, items: makeItems(resp.Jobs)}
+
+	for {
+		if cur.err != nil {
+			return zero, cur.err
+		}
+		if cur.resp.Kind != wire.KindJobGrant {
+			return zero, fmt.Errorf("cluster: slave %s: unexpected %v", s.cfg.Site, cur.resp.Kind)
+		}
+		done := cur.resp.Done && len(cur.resp.Jobs) == 0
+		if !done && s.cfg.Prefetch {
+			// Snapshot the completions now: the request they ride on
+			// goes out concurrently with this grant's compute. Jobs of
+			// the current grant are reported once they finish, on the
+			// next request (or the final result message).
+			carry := pending
+			pending = nil
+			inflight = true
+			go prefetchGrant(carry)
+		}
+		for _, it := range cur.items {
+			if it.budget > 0 {
+				// Handing the bytes to compute frees their budget: they
+				// are no longer "in flight ahead of the core".
+				s.budget.release(it.budget)
+				it.budget = 0
+			}
+			if it.data != nil {
+				stats.AddRetrieval(it.exposedEmu, it.job.Length, it.job.Stolen)
+				stats.AddPrefetch(it.savedEmu)
+			}
+			err := s.processJob(engine, red, it, stats)
+			it.release, it.data = nil, nil
+			if err != nil {
 				return zero, err
 			}
-			pending = append(pending, job.Chunk)
+			pending = append(pending, it.job.Chunk)
+		}
+		if done {
+			break
+		}
+		if s.cfg.Prefetch {
+			cur = receive()
+		} else {
+			waitStart := s.cfg.Clock.Now()
+			resp, err := request(pending)
+			stats.AddSync(s.cfg.Clock.ToEmu(s.cfg.Clock.Now().Sub(waitStart)))
+			if err != nil {
+				return zero, fmt.Errorf("cluster: slave %s: request job: %w", s.cfg.Site, err)
+			}
+			pending = nil
+			cur = &grantResult{resp: resp, items: makeItems(resp.Jobs)}
 		}
 	}
 
@@ -216,57 +451,71 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	return snap, nil
 }
 
-// processJob retrieves one chunk and locally reduces it.
-func (s *Slave) processJob(engine *gr.Engine, red gr.Reduction, job wire.JobAssign, stats *metrics.Breakdown) error {
-	var (
-		data []byte
-		err  error
-	)
-	// Per-job copy of the fetch options, carrying this worker's stats
-	// sink and clock so retries and backoff land in the run report.
-	opts := s.cfg.Fetch
-	opts.Stats = stats
-	opts.Clock = s.cfg.Clock
-	retrStart := s.cfg.Clock.Now()
-	if job.HomeSite == s.cfg.Site {
-		if s.cfg.HomeFetch {
-			// Object-store home data (the cloud cluster): concurrent
-			// range requests, same as stolen jobs.
-			data, err = store.Fetch(s.cfg.HomeStore, job.File, job.Offset, job.Length, opts)
-		} else {
-			// Local disk data: one continuous sequential read, retried
-			// as a whole on transient failure.
-			data = make([]byte, job.Length)
-			err = opts.Retry.Do(s.cfg.Clock, fmt.Sprintf("%s@%d", job.File, job.Offset), func() error {
-				n, err := s.cfg.HomeStore.ReadAt(job.File, data, job.Offset)
-				if err == io.EOF && int64(n) == job.Length {
-					err = nil
-				}
-				if err == nil && int64(n) != job.Length {
-					err = fmt.Errorf("cluster: slave %s: short local read of %s: %d of %d",
-						s.cfg.Site, job.File, n, job.Length)
-				}
-				return err
-			}, stats.AddRetry)
+// processJob reduces one job, first retrieving its chunk unless a
+// prefetch already delivered it.
+func (s *Slave) processJob(engine *gr.Engine, red gr.Reduction, it *jobItem, stats *metrics.Breakdown) error {
+	data, release := it.data, it.release
+	if data == nil {
+		retrStart := s.cfg.Clock.Now()
+		var err error
+		data, release, err = s.fetchJob(it.job, stats)
+		if err != nil {
+			return fmt.Errorf("cluster: slave %s: retrieve job %d: %w", s.cfg.Site, it.job.Chunk, err)
 		}
-	} else {
-		// Stolen job: multi-threaded ranged retrieval from the remote
-		// site's store.
-		st, ok := s.cfg.RemoteStores[job.HomeSite]
-		if !ok {
-			return fmt.Errorf("cluster: slave %s: no remote store for site %q", s.cfg.Site, job.HomeSite)
-		}
-		data, err = store.Fetch(st, job.File, job.Offset, job.Length, opts)
+		stats.AddRetrieval(s.cfg.Clock.ToEmu(s.cfg.Clock.Now().Sub(retrStart)), it.job.Length, it.job.Stolen)
 	}
-	if err != nil {
-		return fmt.Errorf("cluster: slave %s: retrieve job %d: %w", s.cfg.Site, job.Chunk, err)
-	}
-	stats.AddRetrieval(s.cfg.Clock.ToEmu(s.cfg.Clock.Now().Sub(retrStart)), job.Length, job.Stolen)
-
+	defer release()
 	units, err := engine.ProcessChunk(red, data)
 	if err != nil {
 		return err
 	}
-	stats.CountJob(job.Stolen, int64(units))
+	stats.CountJob(it.job.Stolen, int64(units))
 	return nil
+}
+
+// fetchJob resolves one job's chunk bytes through the slave's chunk
+// cache — a byte-capped LRU shared by every core and, when the driver
+// installs a persistent per-site cache, across iterations. The
+// returned release must be called exactly once after the bytes have
+// been reduced.
+func (s *Slave) fetchJob(job wire.JobAssign, stats *metrics.Breakdown) ([]byte, func(), error) {
+	key := store.ChunkKey{Site: job.HomeSite, File: job.File, Off: job.Offset, Len: job.Length}
+	data, release, hit, err := s.cfg.Cache.GetOrFetch(key, func() ([]byte, error) {
+		return s.rawFetch(job, stats)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.cfg.Cache.Enabled() {
+		stats.CountCache(hit, job.Length)
+	}
+	return data, release, nil
+}
+
+// rawFetch reads one chunk from its store: the home store for local
+// jobs (a single sequential read for disk data; ranged concurrent
+// requests when the site's data lives in an object store) or the
+// shaped remote store for stolen jobs. Buffers come from the slave's
+// pool.
+func (s *Slave) rawFetch(job wire.JobAssign, stats *metrics.Breakdown) ([]byte, error) {
+	opts := s.cfg.Fetch
+	opts.Stats = stats
+	opts.Clock = s.cfg.Clock
+	opts.Pool = s.cfg.Pool
+	st := s.cfg.HomeStore
+	if job.HomeSite == s.cfg.Site {
+		if !s.cfg.HomeFetch {
+			// Local disk data: one continuous sequential read, retried
+			// as a whole on transient failure.
+			opts.Threads = 1
+			opts.RangeSize = int(job.Length)
+		}
+	} else {
+		var ok bool
+		st, ok = s.cfg.RemoteStores[job.HomeSite]
+		if !ok {
+			return nil, fmt.Errorf("cluster: slave %s: no remote store for site %q", s.cfg.Site, job.HomeSite)
+		}
+	}
+	return store.Fetch(st, job.File, job.Offset, job.Length, opts)
 }

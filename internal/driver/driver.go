@@ -13,6 +13,7 @@ import (
 	"cloudburst/internal/cluster"
 	"cloudburst/internal/gr"
 	"cloudburst/internal/metrics"
+	"cloudburst/internal/store"
 )
 
 // StepFunc consumes one iteration's final reduction object, installs
@@ -31,6 +32,12 @@ type Iterative struct {
 	Step StepFunc
 	// MaxIterations bounds the run (default 50).
 	MaxIterations int
+	// CacheBytes, when positive, installs a persistent per-site chunk
+	// cache of that many bytes before the first iteration, so every
+	// pass after the first reads warm chunks instead of re-paying
+	// object-store/WAN retrieval. Sites that already carry a cache are
+	// left alone.
+	CacheBytes int64
 	// OnIteration, if set, observes each iteration's report.
 	OnIteration func(iter int, delta float64, report *metrics.RunReport)
 }
@@ -53,6 +60,13 @@ func (it *Iterative) Run() (*Result, error) {
 	maxIter := it.MaxIterations
 	if maxIter <= 0 {
 		maxIter = 50
+	}
+	if it.CacheBytes > 0 {
+		for i := range it.Deploy.Sites {
+			if it.Deploy.Sites[i].Cache == nil {
+				it.Deploy.Sites[i].Cache = store.NewChunkCache(it.CacheBytes, store.NewBufferPool())
+			}
+		}
 	}
 	res := &Result{}
 	for iter := 1; iter <= maxIter; iter++ {

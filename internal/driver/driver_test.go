@@ -223,6 +223,58 @@ func TestDriverStepErrorPropagates(t *testing.T) {
 	}
 }
 
+func TestDriverPersistentCacheWarmsAcrossIterations(t *testing.T) {
+	// With CacheBytes set, the driver installs one chunk cache per site
+	// that survives cluster.Run: the first pass fills it (all misses),
+	// every later pass reads warm chunks (all hits, nothing refetched).
+	app, _ := apps.NewWordCount(apps.Params{"cost": "0s"})
+	gen := workload.Words{Width: 12, Vocab: 10, Seed: 1}
+	deploy := deployFor(t, app, gen, 5000)
+	// One site only: with two, work stealing may re-home chunks between
+	// passes and the per-site caches would legitimately miss. The local
+	// site can still reach the cloud store for stolen chunks.
+	deploy.Sites = deploy.Sites[:1]
+	var reports []*metrics.RunReport
+	it := &Iterative{
+		Deploy: deploy,
+		Step: func(final gr.Reduction) (float64, bool, error) {
+			return 1, false, nil
+		},
+		MaxIterations: 3,
+		CacheBytes:    32 << 20,
+		OnIteration: func(iter int, delta float64, report *metrics.RunReport) {
+			reports = append(reports, report)
+		},
+	}
+	res, err := it.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 3 || len(reports) != 3 {
+		t.Fatalf("iterations = %d, reports = %d", res.Iterations, len(reports))
+	}
+	first := reports[0].Retrieval
+	if first.CacheHits != 0 || first.CacheMisses == 0 {
+		t.Fatalf("first pass must be all misses: %+v", first)
+	}
+	jobs := reports[0].JobsProcessed()
+	for i, r := range reports[1:] {
+		warm := r.Retrieval
+		if warm.CacheMisses != 0 {
+			t.Fatalf("pass %d refetched %d chunks despite a warm cache", i+2, warm.CacheMisses)
+		}
+		if warm.CacheHits != jobs {
+			t.Fatalf("pass %d: %d hits for %d jobs", i+2, warm.CacheHits, jobs)
+		}
+		if warm.CacheBytesSaved == 0 {
+			t.Fatalf("pass %d saved no bytes: %+v", i+2, warm)
+		}
+		if r.FinalResult != reports[0].FinalResult {
+			t.Fatalf("pass %d digest diverged under caching", i+2)
+		}
+	}
+}
+
 func TestDriverMaxIterationsRespected(t *testing.T) {
 	app, _ := apps.NewWordCount(apps.Params{"cost": "0s"})
 	gen := workload.Words{Width: 12, Vocab: 10, Seed: 1}

@@ -31,6 +31,15 @@ type Breakdown struct {
 	retries         int           // retried store/wire requests
 	backoff         time.Duration // emulated time spent backing off
 	heartbeatMisses int           // peers declared stalled via heartbeat
+
+	cacheHits     int           // chunk retrievals served from the cache
+	cacheMisses   int           // chunk retrievals that went to the store
+	cacheBytes    int64         // bytes served from cache instead of refetched
+	prefetched    int           // jobs whose chunk arrived via prefetch
+	prefetchSaved time.Duration // retrieval time hidden behind compute
+	prefetchSkips int           // prefetches skipped (byte budget exhausted)
+	poolGets      int64         // fetch buffers handed out by the pool
+	poolMisses    int64         // pool gets that had to allocate
 }
 
 // AddProcessing records emulated compute time.
@@ -76,6 +85,45 @@ func (b *Breakdown) CountHeartbeatMiss() {
 	b.mu.Unlock()
 }
 
+// CountCache records one chunk retrieval's cache outcome; bytes is
+// the chunk size served from cache on a hit.
+func (b *Breakdown) CountCache(hit bool, bytes int64) {
+	b.mu.Lock()
+	if hit {
+		b.cacheHits++
+		b.cacheBytes += bytes
+	} else {
+		b.cacheMisses++
+	}
+	b.mu.Unlock()
+}
+
+// AddPrefetch records one job whose chunk data was prefetched while a
+// previous job computed; saved is the retrieval time the overlap hid
+// from the critical path.
+func (b *Breakdown) AddPrefetch(saved time.Duration) {
+	b.mu.Lock()
+	b.prefetched++
+	b.prefetchSaved += saved
+	b.mu.Unlock()
+}
+
+// CountPrefetchSkip records a prefetch forgone because the slave's
+// in-flight byte budget was exhausted.
+func (b *Breakdown) CountPrefetchSkip() {
+	b.mu.Lock()
+	b.prefetchSkips++
+	b.mu.Unlock()
+}
+
+// AddPool folds buffer-pool counters (gets and allocation misses) in.
+func (b *Breakdown) AddPool(gets, misses int64) {
+	b.mu.Lock()
+	b.poolGets += gets
+	b.poolMisses += misses
+	b.mu.Unlock()
+}
+
 // CountJob records a completed job and whether its data was stolen
 // from a remote site, along with the units it contained.
 func (b *Breakdown) CountJob(stolen bool, units int64) {
@@ -110,6 +158,14 @@ func (b *Breakdown) AddSnapshot(s Snapshot) {
 	b.retries += s.Retries
 	b.backoff += s.BackoffEmu
 	b.heartbeatMisses += s.HeartbeatMisses
+	b.cacheHits += s.CacheHits
+	b.cacheMisses += s.CacheMisses
+	b.cacheBytes += s.CacheBytesSaved
+	b.prefetched += s.PrefetchedJobs
+	b.prefetchSaved += s.PrefetchSavedEmu
+	b.prefetchSkips += s.PrefetchSkips
+	b.poolGets += s.PoolGets
+	b.poolMisses += s.PoolMisses
 	b.mu.Unlock()
 }
 
@@ -118,17 +174,25 @@ func (b *Breakdown) Snapshot() Snapshot {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return Snapshot{
-		Processing:      b.processing,
-		Retrieval:       b.retrieval,
-		Sync:            b.sync,
-		JobsProcessed:   b.jobsProcessed,
-		JobsStolen:      b.jobsStolen,
-		UnitsReduced:    b.unitsReduced,
-		BytesRead:       b.bytesRead,
-		BytesRemote:     b.bytesRemote,
-		Retries:         b.retries,
-		BackoffEmu:      b.backoff,
-		HeartbeatMisses: b.heartbeatMisses,
+		Processing:       b.processing,
+		Retrieval:        b.retrieval,
+		Sync:             b.sync,
+		JobsProcessed:    b.jobsProcessed,
+		JobsStolen:       b.jobsStolen,
+		UnitsReduced:     b.unitsReduced,
+		BytesRead:        b.bytesRead,
+		BytesRemote:      b.bytesRemote,
+		Retries:          b.retries,
+		BackoffEmu:       b.backoff,
+		HeartbeatMisses:  b.heartbeatMisses,
+		CacheHits:        b.cacheHits,
+		CacheMisses:      b.cacheMisses,
+		CacheBytesSaved:  b.cacheBytes,
+		PrefetchedJobs:   b.prefetched,
+		PrefetchSavedEmu: b.prefetchSaved,
+		PrefetchSkips:    b.prefetchSkips,
+		PoolGets:         b.poolGets,
+		PoolMisses:       b.poolMisses,
 	}
 }
 
@@ -146,6 +210,15 @@ type Snapshot struct {
 	Retries         int
 	BackoffEmu      time.Duration
 	HeartbeatMisses int
+
+	CacheHits        int
+	CacheMisses      int
+	CacheBytesSaved  int64
+	PrefetchedJobs   int
+	PrefetchSavedEmu time.Duration
+	PrefetchSkips    int
+	PoolGets         int64
+	PoolMisses       int64
 }
 
 // Total returns the summed time components.
@@ -154,17 +227,25 @@ func (s Snapshot) Total() time.Duration { return s.Processing + s.Retrieval + s.
 // Add returns the component-wise sum of two snapshots.
 func (s Snapshot) Add(o Snapshot) Snapshot {
 	return Snapshot{
-		Processing:      s.Processing + o.Processing,
-		Retrieval:       s.Retrieval + o.Retrieval,
-		Sync:            s.Sync + o.Sync,
-		JobsProcessed:   s.JobsProcessed + o.JobsProcessed,
-		JobsStolen:      s.JobsStolen + o.JobsStolen,
-		UnitsReduced:    s.UnitsReduced + o.UnitsReduced,
-		BytesRead:       s.BytesRead + o.BytesRead,
-		BytesRemote:     s.BytesRemote + o.BytesRemote,
-		Retries:         s.Retries + o.Retries,
-		BackoffEmu:      s.BackoffEmu + o.BackoffEmu,
-		HeartbeatMisses: s.HeartbeatMisses + o.HeartbeatMisses,
+		Processing:       s.Processing + o.Processing,
+		Retrieval:        s.Retrieval + o.Retrieval,
+		Sync:             s.Sync + o.Sync,
+		JobsProcessed:    s.JobsProcessed + o.JobsProcessed,
+		JobsStolen:       s.JobsStolen + o.JobsStolen,
+		UnitsReduced:     s.UnitsReduced + o.UnitsReduced,
+		BytesRead:        s.BytesRead + o.BytesRead,
+		BytesRemote:      s.BytesRemote + o.BytesRemote,
+		Retries:          s.Retries + o.Retries,
+		BackoffEmu:       s.BackoffEmu + o.BackoffEmu,
+		HeartbeatMisses:  s.HeartbeatMisses + o.HeartbeatMisses,
+		CacheHits:        s.CacheHits + o.CacheHits,
+		CacheMisses:      s.CacheMisses + o.CacheMisses,
+		CacheBytesSaved:  s.CacheBytesSaved + o.CacheBytesSaved,
+		PrefetchedJobs:   s.PrefetchedJobs + o.PrefetchedJobs,
+		PrefetchSavedEmu: s.PrefetchSavedEmu + o.PrefetchSavedEmu,
+		PrefetchSkips:    s.PrefetchSkips + o.PrefetchSkips,
+		PoolGets:         s.PoolGets + o.PoolGets,
+		PoolMisses:       s.PoolMisses + o.PoolMisses,
 	}
 }
 
@@ -220,15 +301,61 @@ func (f FaultReport) Any() bool {
 	return f.Injected > 0 || f.Retries > 0 || f.BackoffEmu > 0 || f.HeartbeatMisses > 0
 }
 
+// RetrievalReport aggregates the retrieval-pipeline activity over a
+// run: chunk-cache effectiveness, prefetch overlap, and buffer-pool
+// reuse, summed across every worker of every cluster.
+type RetrievalReport struct {
+	CacheHits        int           // chunk retrievals served from cache
+	CacheMisses      int           // chunk retrievals that hit the store
+	CacheBytesSaved  int64         // bytes not re-read from any store
+	PrefetchedJobs   int           // jobs whose chunk arrived via prefetch
+	PrefetchSavedEmu time.Duration // retrieval time hidden behind compute
+	PrefetchSkips    int           // prefetches denied by the byte budget
+	PoolGets         int64         // fetch buffers handed out by pools
+	PoolMisses       int64         // pool gets that had to allocate
+}
+
+// Any reports whether any pipeline activity was recorded.
+func (r RetrievalReport) Any() bool {
+	return r.CacheHits > 0 || r.CacheMisses > 0 || r.PrefetchedJobs > 0 ||
+		r.PrefetchSkips > 0 || r.PoolGets > 0
+}
+
+// Add folds another report in (summing a run sequence, e.g. the
+// iterations of a multi-pass algorithm).
+func (r *RetrievalReport) Add(o RetrievalReport) {
+	r.CacheHits += o.CacheHits
+	r.CacheMisses += o.CacheMisses
+	r.CacheBytesSaved += o.CacheBytesSaved
+	r.PrefetchedJobs += o.PrefetchedJobs
+	r.PrefetchSavedEmu += o.PrefetchSavedEmu
+	r.PrefetchSkips += o.PrefetchSkips
+	r.PoolGets += o.PoolGets
+	r.PoolMisses += o.PoolMisses
+}
+
+// AddSnapshot folds one worker snapshot's pipeline counters in.
+func (r *RetrievalReport) AddSnapshot(s Snapshot) {
+	r.CacheHits += s.CacheHits
+	r.CacheMisses += s.CacheMisses
+	r.CacheBytesSaved += s.CacheBytesSaved
+	r.PrefetchedJobs += s.PrefetchedJobs
+	r.PrefetchSavedEmu += s.PrefetchSavedEmu
+	r.PrefetchSkips += s.PrefetchSkips
+	r.PoolGets += s.PoolGets
+	r.PoolMisses += s.PoolMisses
+}
+
 // RunReport is the whole-run summary the harness renders tables from.
 type RunReport struct {
 	App         string
 	Env         string
 	Clusters    []ClusterReport
-	GlobalRed   time.Duration // head-side global reduction + transfer
-	TotalWall   time.Duration // emulated end-to-end execution time
-	FinalResult string        // application-rendered result digest
-	Faults      FaultReport   // fault-injection and recovery counters
+	GlobalRed   time.Duration   // head-side global reduction + transfer
+	TotalWall   time.Duration   // emulated end-to-end execution time
+	FinalResult string          // application-rendered result digest
+	Faults      FaultReport     // fault-injection and recovery counters
+	Retrieval   RetrievalReport // cache / prefetch / buffer-pool counters
 }
 
 // Cluster returns the report for the named site, or nil.

@@ -1,0 +1,240 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ChunkKey identifies one chunk's bytes: the owning site's file plus
+// the exact [Off, Off+Len) window. Identical keys always denote
+// identical bytes (data files are immutable for a run — and, for
+// iterative drivers, across a whole multi-pass computation).
+type ChunkKey struct {
+	Site string
+	File string
+	Off  int64
+	Len  int64
+}
+
+// ChunkCache is a byte-capped LRU over fetched chunk data, shared by
+// all workers of a slave and — when installed into a persistent
+// SiteSpec — across driver iterations, so multi-pass algorithms stop
+// re-paying object-store retrieval for the same chunks every pass.
+//
+// Entries are reference counted: GetOrFetch hands out the cached slice
+// together with a release func, and an entry evicted while readers
+// still hold it is only recycled into the buffer pool after the last
+// release. Concurrent misses on one key fetch once (singleflight);
+// the remaining callers wait and share the result.
+type ChunkCache struct {
+	mu       sync.Mutex
+	capBytes int64
+	size     int64
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	entries  map[ChunkKey]*list.Element
+	inflight map[ChunkKey]*cacheFlight
+	pool     *BufferPool // receives evicted buffers; may be nil
+
+	hits       int64
+	misses     int64
+	evictions  int64
+	bytesSaved int64 // bytes served from cache instead of the store
+}
+
+type cacheEntry struct {
+	key  ChunkKey
+	data []byte
+	refs int  // readers currently holding data
+	dead bool // evicted; recycle the buffer when refs hits 0
+}
+
+// cacheFlight is one in-progress fetch other callers wait on.
+type cacheFlight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// NewChunkCache returns a cache holding at most capBytes of chunk
+// data. Evicted (and uncacheably large) buffers are returned to pool
+// when it is non-nil. A capBytes below 1 disables caching entirely —
+// GetOrFetch degrades to calling fetch — so a zero-config cache is
+// safe to thread through unconditionally.
+func NewChunkCache(capBytes int64, pool *BufferPool) *ChunkCache {
+	return &ChunkCache{
+		capBytes: capBytes,
+		lru:      list.New(),
+		entries:  make(map[ChunkKey]*list.Element),
+		inflight: make(map[ChunkKey]*cacheFlight),
+		pool:     pool,
+	}
+}
+
+// GetOrFetch returns the chunk's bytes and whether they came from the
+// cache. On a miss it runs fetch (outside the cache lock), caches the
+// result, and returns it. The returned release func MUST be called
+// exactly once when the caller is done reading data, and data must not
+// be read after release; release is never nil. The fetch callback must
+// return a buffer the cache may own (pooled buffers are recycled on
+// eviction).
+func (c *ChunkCache) GetOrFetch(key ChunkKey, fetch func() ([]byte, error)) (data []byte, release func(), hit bool, err error) {
+	if c == nil || c.capBytes < 1 {
+		data, err = fetch()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return data, func() { c.recycle(data) }, false, nil
+	}
+
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			e := el.Value.(*cacheEntry)
+			c.lru.MoveToFront(el)
+			e.refs++
+			c.hits++
+			c.bytesSaved += int64(len(e.data))
+			c.mu.Unlock()
+			return e.data, func() { c.release(e) }, true, nil
+		}
+		if fl, ok := c.inflight[key]; ok {
+			// Another worker is fetching this chunk; share its result.
+			c.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return nil, nil, false, fl.err
+			}
+			// The winner inserted the entry; loop to take a reference.
+			// (It may already have been evicted under pressure — then we
+			// fetch it ourselves.)
+			c.mu.Lock()
+			if el, ok := c.entries[key]; ok {
+				e := el.Value.(*cacheEntry)
+				c.lru.MoveToFront(el)
+				e.refs++
+				c.hits++
+				c.bytesSaved += int64(len(e.data))
+				c.mu.Unlock()
+				return e.data, func() { c.release(e) }, true, nil
+			}
+			c.mu.Unlock()
+			continue
+		}
+		fl := &cacheFlight{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.misses++
+		c.mu.Unlock()
+
+		fl.data, fl.err = fetch()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if fl.err != nil {
+			c.mu.Unlock()
+			close(fl.done)
+			return nil, nil, false, fl.err
+		}
+		e := c.insertLocked(key, fl.data)
+		c.mu.Unlock()
+		close(fl.done)
+		if e == nil {
+			// Too large to cache: the caller owns the buffer alone.
+			data := fl.data
+			return data, func() { c.recycle(data) }, false, nil
+		}
+		return e.data, func() { c.release(e) }, false, nil
+	}
+}
+
+// insertLocked adds a fetched chunk, evicting LRU entries to fit, and
+// returns the entry holding one reference for the caller. Chunks
+// larger than the cap are not cached (nil return).
+func (c *ChunkCache) insertLocked(key ChunkKey, data []byte) *cacheEntry {
+	n := int64(len(data))
+	if n > c.capBytes {
+		return nil
+	}
+	for c.size+n > c.capBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.evictLocked(back)
+	}
+	e := &cacheEntry{key: key, data: data, refs: 1}
+	c.entries[key] = c.lru.PushFront(e)
+	c.size += n
+	return e
+}
+
+// evictLocked removes one entry from the LRU; its buffer is recycled
+// now if unreferenced, otherwise when the last reader releases.
+func (c *ChunkCache) evictLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.size -= int64(len(e.data))
+	c.evictions++
+	e.dead = true
+	if e.refs == 0 {
+		c.recycle(e.data)
+		e.data = nil
+	}
+}
+
+// release drops one reader reference.
+func (c *ChunkCache) release(e *cacheEntry) {
+	c.mu.Lock()
+	e.refs--
+	free := e.dead && e.refs == 0
+	data := e.data
+	if free {
+		e.data = nil
+	}
+	c.mu.Unlock()
+	if free {
+		c.recycle(data)
+	}
+}
+
+func (c *ChunkCache) recycle(data []byte) {
+	if c != nil && c.pool != nil {
+		c.pool.Put(data)
+	}
+}
+
+// Pool returns the buffer pool evicted chunks recycle into (nil for a
+// nil cache), so callers can fetch with the same pool the cache fills.
+func (c *ChunkCache) Pool() *BufferPool {
+	if c == nil {
+		return nil
+	}
+	return c.pool
+}
+
+// Enabled reports whether the cache actually retains chunks (non-nil
+// with a positive byte cap), as opposed to the pass-through degraded
+// modes.
+func (c *ChunkCache) Enabled() bool { return c != nil && c.capBytes > 0 }
+
+// CacheStats is a point-in-time snapshot of the cache's counters.
+type CacheStats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	BytesSaved int64 // bytes served from cache instead of refetched
+	Bytes      int64 // resident chunk bytes
+	Entries    int
+}
+
+// Stats returns the cache's counters.
+func (c *ChunkCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		BytesSaved: c.bytesSaved, Bytes: c.size, Entries: len(c.entries),
+	}
+}

@@ -24,8 +24,13 @@ type FetchOptions struct {
 	Retry RetryPolicy
 	// Clock paces retry backoff in emulated time; nil means no pacing.
 	Clock netsim.Clock
-	// Stats, when set, receives retry/backoff counters.
+	// Stats, when set, receives retry/backoff and buffer-pool counters.
 	Stats *metrics.Breakdown
+	// Pool, when set, supplies the destination buffer instead of a
+	// fresh allocation. The caller owns the returned buffer and must
+	// eventually hand it back with Pool.Put (directly, or by letting a
+	// ChunkCache built over the same pool own it).
+	Pool *BufferPool
 }
 
 // DefaultFetchOptions matches the paper's multi-threaded retrieval
@@ -48,26 +53,49 @@ func (o FetchOptions) normalize() FetchOptions {
 }
 
 // Fetch reads [off, off+length) of the named object from st into a
-// freshly allocated buffer, splitting the range into RangeSize pieces
-// fetched by Threads concurrent readers. It returns an error if the
-// object ends before the requested range does.
+// buffer (pooled when opts.Pool is set, freshly allocated otherwise),
+// splitting the range into RangeSize pieces fetched by concurrent
+// readers — at most Threads, never more than there are sub-ranges. It
+// returns an error if the object ends before the requested range does;
+// with multiple failing sub-ranges, the error of the lowest offset is
+// returned, deterministically.
 func Fetch(st Store, name string, off, length int64, opts FetchOptions) ([]byte, error) {
 	if length < 0 {
 		return nil, fmt.Errorf("store: negative fetch length %d", length)
 	}
 	opts = opts.normalize()
-	buf := make([]byte, length)
+	buf, miss := opts.Pool.get(length)
+	if opts.Pool != nil && opts.Stats != nil {
+		var m int64
+		if miss {
+			m = 1
+		}
+		opts.Stats.AddPool(1, m)
+	}
 	if length == 0 {
 		return buf, nil
 	}
 
+	rangeSize := int64(opts.RangeSize)
+	subRanges := (length + rangeSize - 1) / rangeSize
+	threads := int64(opts.Threads)
+	if threads > subRanges {
+		// Spawning more readers than sub-ranges buys nothing; the
+		// surplus goroutines would only park on the channel.
+		threads = subRanges
+	}
+
 	type job struct{ start, end int64 } // offsets relative to off
-	jobs := make(chan job, opts.Threads)
-	errc := make(chan error, opts.Threads)
+	type rangeErr struct {
+		start int64
+		err   error
+	}
+	jobs := make(chan job, threads)
+	errc := make(chan rangeErr, threads)
 	var wg sync.WaitGroup
 	onBackoff := retryStats(opts.Stats)
 
-	for i := 0; i < opts.Threads; i++ {
+	for i := int64(0); i < threads; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -90,14 +118,14 @@ func Fetch(st Store, name string, off, length int64, opts FetchOptions) ([]byte,
 					return nil
 				}, onBackoff)
 				if err != nil {
-					errc <- err
+					errc <- rangeErr{j.start, err}
 					return
 				}
 			}
 		}()
 	}
 
-	rangeSize := int64(opts.RangeSize)
+producer:
 	for start := int64(0); start < length; start += rangeSize {
 		end := start + rangeSize
 		if end > length {
@@ -105,18 +133,34 @@ func Fetch(st Store, name string, off, length int64, opts FetchOptions) ([]byte,
 		}
 		select {
 		case jobs <- job{start, end}:
-		case err := <-errc:
-			close(jobs)
-			wg.Wait()
-			return nil, err
+		case re := <-errc:
+			// A worker failed; stop producing, but keep its error for
+			// the deterministic lowest-offset selection below.
+			errc <- re
+			break producer
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errc:
-		return nil, err
-	default:
+	// Every worker has exited; drain all buffered errors and surface
+	// the lowest-offset one so the reported failure does not depend on
+	// goroutine scheduling.
+	var first *rangeErr
+	for {
+		select {
+		case re := <-errc:
+			if first == nil || re.start < first.start {
+				re := re
+				first = &re
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if first != nil {
+		opts.Pool.Put(buf)
+		return nil, first.err
 	}
 	return buf, nil
 }

@@ -3,7 +3,10 @@ package store
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -238,6 +241,137 @@ func TestFetchWithFaultPlanRecordsRetries(t *testing.T) {
 	}
 	if plan.Total() < 2 {
 		t.Fatalf("plan injected %d", plan.Total())
+	}
+}
+
+// offsetTaggedErrors fails every read with an error naming its offset.
+type offsetTaggedErrors struct{ *Mem }
+
+func (f *offsetTaggedErrors) ReadAt(name string, p []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("boom@%d", off)
+}
+
+func TestFetchReturnsLowestOffsetErrorDeterministically(t *testing.T) {
+	// With several workers failing on different sub-ranges, the error
+	// surfaced must always be the lowest-offset one, independent of
+	// goroutine scheduling.
+	m := NewMem()
+	m.Put("d", fillPattern(64<<10, 3))
+	f := &offsetTaggedErrors{Mem: m}
+	for round := 0; round < 50; round++ {
+		_, err := Fetch(f, "d", 0, 64<<10, FetchOptions{Threads: 4, RangeSize: 1 << 10})
+		if err == nil || err.Error() != "boom@0" {
+			t.Fatalf("round %d: err = %v, want boom@0", round, err)
+		}
+	}
+}
+
+// maxConcurrency tracks the peak number of simultaneous readers.
+type maxConcurrency struct {
+	*Mem
+	active, peak atomic.Int64
+}
+
+func (m *maxConcurrency) ReadAt(name string, p []byte, off int64) (int, error) {
+	n := m.active.Add(1)
+	for {
+		old := m.peak.Load()
+		if n <= old || m.peak.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	defer m.active.Add(-1)
+	return m.Mem.ReadAt(name, p, off)
+}
+
+func TestFetchSpawnsNoMoreReadersThanSubRanges(t *testing.T) {
+	m := NewMem()
+	data := fillPattern(8<<10, 11)
+	m.Put("d", data)
+	mc := &maxConcurrency{Mem: m}
+	// 8 KiB at 4 KiB ranges = 2 sub-ranges; Threads 16 must not put
+	// more than 2 readers on the store.
+	got, err := Fetch(mc, "d", 0, 8<<10, FetchOptions{Threads: 16, RangeSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fetch mismatch")
+	}
+	if peak := mc.peak.Load(); peak > 2 {
+		t.Fatalf("peak concurrent readers = %d, want <= 2", peak)
+	}
+}
+
+func TestFetchPooledBuffersRoundTrip(t *testing.T) {
+	// Fetches through a shared pool must never alias live buffers:
+	// each result stays intact while later fetches reuse returned
+	// buffers. Run under -race in CI.
+	m := NewMem()
+	objs := make([][]byte, 8)
+	for i := range objs {
+		objs[i] = fillPattern(32<<10, byte(i+1))
+		m.Put(fmt.Sprintf("o%d", i), objs[i])
+	}
+	pool := NewBufferPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 30; round++ {
+				i := (g + round) % len(objs)
+				got, err := Fetch(m, fmt.Sprintf("o%d", i), 0, 32<<10, FetchOptions{
+					Threads: 3, RangeSize: 8 << 10, Pool: pool,
+				})
+				if err != nil {
+					panic(err)
+				}
+				if !bytes.Equal(got, objs[i]) {
+					panic("pooled fetch corrupted data")
+				}
+				pool.Put(got)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := pool.Stats()
+	if st.Gets != 8*30 || st.Puts != 8*30 {
+		t.Fatalf("pool stats = %+v", st)
+	}
+	if st.Misses == 8*30 {
+		t.Fatal("pool never reused a buffer")
+	}
+}
+
+func TestFetchErrorReturnsBufferToPool(t *testing.T) {
+	m := NewMem()
+	m.Put("d", fillPattern(1000, 0))
+	pool := NewBufferPool()
+	if _, err := Fetch(m, "d", 500, 1000, FetchOptions{Threads: 2, RangeSize: 512, Pool: pool}); err == nil {
+		t.Fatal("fetch past end should error")
+	}
+	if st := pool.Stats(); st.Puts != 1 {
+		t.Fatalf("failed fetch must recycle its buffer: %+v", st)
+	}
+}
+
+func TestFetchCountsPoolStats(t *testing.T) {
+	m := NewMem()
+	m.Put("d", fillPattern(4<<10, 1))
+	pool := NewBufferPool()
+	var b metrics.Breakdown
+	got, err := Fetch(m, "d", 0, 4<<10, FetchOptions{Threads: 2, RangeSize: 1 << 10, Pool: pool, Stats: &b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(got)
+	if _, err := Fetch(m, "d", 0, 4<<10, FetchOptions{Threads: 2, RangeSize: 1 << 10, Pool: pool, Stats: &b}); err != nil {
+		t.Fatal(err)
+	}
+	snap := b.Snapshot()
+	if snap.PoolGets != 2 || snap.PoolMisses != 1 {
+		t.Fatalf("pool counters = gets %d misses %d, want 2/1", snap.PoolGets, snap.PoolMisses)
 	}
 }
 

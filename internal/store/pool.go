@@ -1,0 +1,105 @@
+package store
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// BufferPool recycles chunk buffers through size-classed sync.Pools,
+// killing the per-fetch make([]byte, length) churn on the slave hot
+// path. Buffers are handed out with exactly the requested length but
+// are backed by power-of-two capacity classes, so a returned buffer
+// serves any later request that fits its class. A BufferPool is safe
+// for concurrent use; the zero-value-nil pool degrades every Get into
+// a fresh allocation.
+type BufferPool struct {
+	classes [poolClasses]sync.Pool
+
+	gets   atomic.Int64 // buffers handed out
+	misses atomic.Int64 // gets served by a fresh allocation
+	puts   atomic.Int64 // buffers returned
+}
+
+// poolClasses covers capacities 1<<minPoolShift .. 1<<(minPoolShift+
+// poolClasses-1); requests outside the range allocate directly.
+const (
+	minPoolShift = 9  // 512 B — the minimum honoured fetch range
+	poolClasses  = 18 // up to 64 MiB
+)
+
+// NewBufferPool returns an empty pool.
+func NewBufferPool() *BufferPool { return &BufferPool{} }
+
+// class maps a byte count to its size class, or -1 when the count is
+// outside the pooled range.
+func class(n int64) int {
+	if n <= 0 {
+		return -1
+	}
+	c := bits.Len64(uint64(n-1)) - minPoolShift
+	if c < 0 {
+		c = 0
+	}
+	if c >= poolClasses {
+		return -1
+	}
+	return c
+}
+
+// Get returns a buffer of length n. The buffer's contents are
+// unspecified — callers overwrite every byte. A nil pool allocates.
+func (p *BufferPool) Get(n int64) []byte {
+	buf, _ := p.get(n)
+	return buf
+}
+
+// get additionally reports whether the request was served by a fresh
+// allocation (a pool miss); Fetch uses it for per-worker stats.
+func (p *BufferPool) get(n int64) ([]byte, bool) {
+	if p == nil {
+		return make([]byte, n), true
+	}
+	p.gets.Add(1)
+	c := class(n)
+	if c < 0 {
+		p.misses.Add(1)
+		return make([]byte, n), true
+	}
+	if v := p.classes[c].Get(); v != nil {
+		return (*v.(*[]byte))[:n], false
+	}
+	p.misses.Add(1)
+	return make([]byte, n, 1<<(c+minPoolShift)), true
+}
+
+// Put returns a buffer obtained from Get. Callers must not touch buf
+// afterwards: it will be handed to a future Get. Foreign or oversized
+// buffers are dropped.
+func (p *BufferPool) Put(buf []byte) {
+	if p == nil || buf == nil {
+		return
+	}
+	c := class(int64(cap(buf)))
+	if c < 0 || cap(buf) != 1<<(c+minPoolShift) {
+		return // not one of ours; let GC take it
+	}
+	p.puts.Add(1)
+	full := buf[:cap(buf)]
+	p.classes[c].Put(&full)
+}
+
+// PoolStats is a point-in-time counter snapshot.
+type PoolStats struct {
+	Gets   int64 // buffers handed out
+	Misses int64 // gets that had to allocate
+	Puts   int64 // buffers returned for reuse
+}
+
+// Stats returns the pool's counters.
+func (p *BufferPool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return PoolStats{Gets: p.gets.Load(), Misses: p.misses.Load(), Puts: p.puts.Load()}
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproduce the retrieval-pipeline ablation and leave a machine-readable
+# record: runs `cbbench -experiment overlap` (prefetch on/off x chunk
+# cache on/off, on knn single-pass and pagerank power iterations, all
+# data in S3) and writes BENCH_overlap.json next to the table output.
+#
+# Usage:
+#   scripts/bench.sh                # default: -records-divisor 10
+#   DIVISOR=1 scripts/bench.sh      # full-size (slow, paced run)
+#   DIVISOR=50 ITERS=5 scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIVISOR="${DIVISOR:-10}"
+ITERS="${ITERS:-3}"
+OUT="${OUT:-BENCH_overlap.json}"
+
+go run ./cmd/cbbench -experiment overlap \
+	-records-divisor "$DIVISOR" \
+	-overlap-iters "$ITERS" \
+	-json "$OUT"
