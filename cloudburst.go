@@ -127,6 +127,13 @@ type (
 	BufferPool = store.BufferPool
 	// PoolStats counts buffer-pool gets, misses, and puts.
 	PoolStats = store.PoolStats
+	// Autotuner is the per-link AIMD controller over retrieval thread
+	// counts; install one via FetchOptions.Tuner (shared by every fetch
+	// on the same link) or let the cluster layer do it with
+	// SlaveConfig.FetchAutotune / DeployConfig.FetchAutotune.
+	Autotuner = store.Autotuner
+	// AutotuneStats is a point-in-time controller snapshot.
+	AutotuneStats = store.AutotuneStats
 )
 
 // NewMemStore returns an empty in-memory store.
@@ -144,6 +151,11 @@ func NewChunkCache(capBytes int64, pool *BufferPool) *ChunkCache {
 
 // NewBufferPool builds an empty size-classed buffer pool.
 func NewBufferPool() *BufferPool { return store.NewBufferPool() }
+
+// NewAutotuner builds an AIMD fetch autotuner starting at initial
+// concurrent readers and growing to at most max (values below 1 pick
+// defaults; see store.NewAutotuner).
+func NewAutotuner(initial, max int) *Autotuner { return store.NewAutotuner(initial, max) }
 
 // Cluster runtime.
 type (

@@ -29,13 +29,14 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap")
+			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune")
 		scale   = flag.Float64("scale", 0, "clock scale override (wall s per emulated s)")
 		divisor = flag.Int64("records-divisor", 1, "shrink data sets (and jobs) by this factor")
 		verbose = flag.Bool("v", false, "log cluster progress")
 
 		overlapIters = flag.Int("overlap-iters", 3, "overlap: pagerank power iterations")
-		jsonPath     = flag.String("json", "", "overlap: also write results as JSON to this file")
+		jsonPath     = flag.String("json", "", "overlap/autotune: also write results as JSON to this file")
+		checkWin     = flag.Bool("check-win", false, "autotune: fail unless the controller meets its acceptance ratios")
 
 		faultSeed      = flag.Int64("fault-seed", 42, "chaos: fault plan seed")
 		faultTransient = flag.Float64("fault-transient", 0.02, "chaos: per-request transient fault probability")
@@ -169,6 +170,52 @@ func main() {
 		}
 	}
 
+	runAutotune := func() {
+		res, err := bench.AutotuneGrid(specs["a"], sim, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderAutotune("knn, static thread counts vs AIMD controller", res))
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("autotune results written to %s\n", *jsonPath)
+		}
+		if !res.Match() {
+			fatal(fmt.Errorf("autotune variants diverged from the baseline result"))
+		}
+		if *checkWin {
+			cell := res.Cell("env-cloud")
+			if cell == nil {
+				fatal(fmt.Errorf("autotune grid has no env-cloud cell"))
+			}
+			auto := cell.Row("autotune")
+			s2, s8 := cell.Row("static-2"), cell.Row("static-8")
+			if auto == nil || s2 == nil || s8 == nil {
+				fatal(fmt.Errorf("autotune grid is missing rows"))
+			}
+			best := s2.Seconds()
+			if s8.Seconds() < best {
+				best = s8.Seconds()
+			}
+			if auto.Seconds() > best/0.95 {
+				fatal(fmt.Errorf("autotune %.1fs is worse than 0.95x the best static %.1fs",
+					auto.Seconds(), best))
+			}
+			if auto.Seconds()*1.2 > s2.Seconds() {
+				fatal(fmt.Errorf("autotune %.1fs is not 1.2x faster than static-2 %.1fs",
+					auto.Seconds(), s2.Seconds()))
+			}
+			fmt.Printf("autotune win check: %.1fs vs best static %.1fs (%.2fx) and static-2 %.1fs (%.2fx) ✓\n",
+				auto.Seconds(), best, best/auto.Seconds(), s2.Seconds(), s2.Seconds()/auto.Seconds())
+		}
+	}
+
 	runChaos := func() {
 		params := bench.DefaultChaos(*faultSeed)
 		params.TransientProb = *faultTransient
@@ -191,6 +238,8 @@ func main() {
 		runChaos()
 	case "overlap":
 		runOverlap()
+	case "autotune":
+		runAutotune()
 	case "cost":
 		results := runFig3("a")
 		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))

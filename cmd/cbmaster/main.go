@@ -30,6 +30,7 @@ func main() {
 		slaves   = flag.Int("slaves", 1, "slave worker connections expected (sum of slave -cores)")
 		cores    = flag.Int("cores", 0, "total cores (reported to the head; defaults to -slaves)")
 		batch    = flag.Int("batch", 0, "jobs per head request (default 2x cores)")
+		hints    = flag.Int("hint-depth", 0, "piggyback up to this many likely-next jobs as prefetch hints on every grant (0 disables)")
 		beat     = flag.Duration("heartbeat", 0, "heartbeat the head and declare silent slaves lost after 3 missed intervals (0 disables)")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
 	)
@@ -57,6 +58,7 @@ func main() {
 	}
 	master, err := cluster.NewMaster(cluster.MasterConfig{
 		Site: *site, App: app, Cores: *cores, Slaves: *slaves, Batch: *batch,
+		HintDepth: *hints,
 		Clock: netsim.Real(), Logf: logf,
 		HeartbeatInterval: *beat,
 	})

@@ -34,6 +34,7 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "directory holding this site's data files (required)")
 		remotes    = flag.String("remote", "", "remote stores, site=host:port,...")
 		threads    = flag.Int("fetch-threads", 8, "retrieval threads for remote chunks")
+		autotune   = flag.Bool("fetch-autotune", false, "adapt the retrieval thread count per link with an AIMD controller (-fetch-threads seeds it)")
 		rangeKB    = flag.Int("fetch-range-kb", 256, "range size per remote request (KiB)")
 		retries    = flag.Int("fetch-retries", 4, "attempts per sub-range before a retrieval fails (1 disables retry)")
 		beat       = flag.Duration("heartbeat", 0, "heartbeat the master at this interval (0 disables)")
@@ -83,7 +84,8 @@ func main() {
 		Fetch: store.FetchOptions{
 			Threads: *threads, RangeSize: *rangeKB << 10, Retry: retry,
 		},
-		Prefetch: *prefetch, PrefetchBudget: budget,
+		FetchAutotune: *autotune,
+		Prefetch:      *prefetch, PrefetchBudget: budget,
 		Cache:             cache,
 		HeartbeatInterval: *beat,
 		Clock:             netsim.Real(),
@@ -105,6 +107,11 @@ func main() {
 		fmt.Printf("cbslave: pipeline: prefetched=%d hidden=%v skips=%d cache=%d/%d\n",
 			s.PrefetchedJobs, s.PrefetchSavedEmu.Round(time.Millisecond),
 			s.PrefetchSkips, s.CacheHits, s.CacheHits+s.CacheMisses)
+	}
+	if s.AutotuneSamples > 0 || s.HintsReceived > 0 {
+		fmt.Printf("cbslave: adaptive: tuned=%d raises=%d drops=%d hints=%d warmed=%d denied=%d\n",
+			s.AutotuneSamples, s.AutotuneRaises, s.AutotuneDrops,
+			s.HintsReceived, s.HintsWarmed, s.HintsDenied)
 	}
 }
 

@@ -195,6 +195,12 @@ type RunConfig struct {
 	// PrefetchBudget caps per-slave in-flight prefetched bytes (zero
 	// picks the slave default, negative is unlimited).
 	PrefetchBudget int64
+	// FetchAutotune replaces the static Sim.FetchThreads with per-link
+	// AIMD controllers on every slave (Sim.FetchThreads seeds them).
+	FetchAutotune bool
+	// HintDepth piggybacks up to this many likely-next jobs as
+	// prefetch hints on every master grant (zero disables hints).
+	HintDepth int
 	// CacheBytes gives every site a chunk cache of this many bytes
 	// (zero disables caching).
 	CacheBytes int64
@@ -353,6 +359,8 @@ func BuildDeploy(cfg RunConfig) (*Deployment, error) {
 			JobsPerRequest:    cfg.JobsPerRequest,
 			Prefetch:          cfg.Prefetch,
 			PrefetchBudget:    cfg.PrefetchBudget,
+			FetchAutotune:     cfg.FetchAutotune,
+			HintDepth:         cfg.HintDepth,
 			CacheBytes:        cfg.CacheBytes,
 			HeartbeatInterval: heartbeat,
 			HeartbeatMisses:   misses,

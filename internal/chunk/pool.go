@@ -32,6 +32,16 @@ type Pool struct {
 	assigned map[int32]string
 	// remaining counts pending + assigned jobs.
 	remaining int
+
+	// resident[site] is the latest reported set of chunk IDs warm in
+	// that site's chunk caches. The steal heuristic prefers granting a
+	// thief chunks that are cold at the victim, leaving warm chunks for
+	// the victim's own (cheap, cache-hit) processing.
+	resident map[string]map[int32]bool
+	// stealsCold / stealsWarm count stolen grants by whether the chunk
+	// was cold or warm in the victim's reported cache set.
+	stealsCold int
+	stealsWarm int
 }
 
 // PoolOptions tune the assignment policy.
@@ -54,6 +64,7 @@ func NewPoolWith(idx *Index, opts PoolOptions) *Pool {
 		pending:  make([][]int32, len(idx.Files)),
 		readers:  make([]int, len(idx.Files)),
 		assigned: make(map[int32]string),
+		resident: make(map[string]map[int32]bool),
 	}
 	for _, c := range idx.Chunks {
 		p.pending[c.File] = append(p.pending[c.File], c.ID)
@@ -140,20 +151,71 @@ func (p *Pool) takeLocked(f int, site string, max int, stolen bool) []Assignment
 		}
 		p.pending[f] = rest
 	} else {
+		// Consecutive run from the front — except for stolen grants,
+		// where the run starts at the first chunk that is cold in the
+		// victim's cache and extends only through cold chunks: warm
+		// chunks stay home where they are cache hits.
+		start := 0
+		cold := map[int32]bool(nil)
+		if stolen {
+			cold = p.resident[p.idx.Files[f].Site]
+			for start < len(ids) && cold[ids[start]] {
+				start++
+			}
+			if start == len(ids) {
+				start = 0 // everything warm: fall back to the front
+				cold = nil
+			}
+		}
 		n := 1
-		for n < max && n < len(ids) && ids[n] == ids[n-1]+1 {
+		for n < max && start+n < len(ids) && ids[start+n] == ids[start+n-1]+1 &&
+			!cold[ids[start+n]] {
 			n++
 		}
-		granted = ids[:n]
-		p.pending[f] = ids[n:]
+		granted = ids[start : start+n]
+		p.pending[f] = append(ids[:start:start], ids[start+n:]...)
 	}
+	victim := p.resident[p.idx.Files[f].Site]
 	out := make([]Assignment, 0, len(granted))
 	for _, id := range granted {
 		p.assigned[id] = site
 		p.readers[f]++
+		if stolen {
+			if victim[id] {
+				p.stealsWarm++
+			} else {
+				p.stealsCold++
+			}
+		}
 		out = append(out, Assignment{Chunk: p.idx.Chunks[id], Stolen: stolen})
 	}
 	return out
+}
+
+// SetResident replaces the reported set of cache-resident chunk IDs
+// for site. Slaves report residency with each job request; the head
+// folds the per-cluster union here so stolen grants can steer away
+// from chunks the victim already has warm. Nil or empty clears it.
+func (p *Pool) SetResident(site string, ids []int32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(ids) == 0 {
+		delete(p.resident, site)
+		return
+	}
+	set := make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	p.resident[site] = set
+}
+
+// StealStats reports how many stolen grants took chunks that were cold
+// vs. warm in the victim site's reported cache set.
+func (p *Pool) StealStats() (cold, warm int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stealsCold, p.stealsWarm
 }
 
 // Complete acknowledges finished jobs, releasing their reader counts.

@@ -1,0 +1,104 @@
+package chunk
+
+import "testing"
+
+// drainOwnJobs acquires until site has no pending local work left,
+// failing the test if anything granted along the way was stolen.
+func drainOwnJobs(t *testing.T, p *Pool, site string) {
+	t.Helper()
+	for p.PendingAt(site) > 0 {
+		for _, a := range p.Acquire(site, 8) {
+			if a.Stolen {
+				t.Fatalf("stole chunk %d while %s jobs remained", a.Chunk.ID, site)
+			}
+		}
+	}
+}
+
+// cloudChunkIDs returns the chunk IDs homed at "cloud", grouped by
+// file, in pending order.
+func cloudChunkIDs(idx *Index) map[int32][]int32 {
+	byFile := make(map[int32][]int32)
+	for _, c := range idx.Chunks {
+		if idx.Files[c.File].Site == "cloud" {
+			byFile[c.File] = append(byFile[c.File], c.ID)
+		}
+	}
+	return byFile
+}
+
+func TestPoolStealAvoidsVictimWarmChunks(t *testing.T) {
+	p, idx := poolFixture(t)
+	drainOwnJobs(t, p, "local")
+
+	// Mark the front 3 chunks of every cloud file warm in the victim's
+	// reported cache set; whichever file the steal heuristic picks, the
+	// grant must start past them.
+	warm := make(map[int32]bool)
+	var reported []int32
+	for _, ids := range cloudChunkIDs(idx) {
+		for _, id := range ids[:3] {
+			warm[id] = true
+			reported = append(reported, id)
+		}
+	}
+	p.SetResident("cloud", reported)
+
+	got := p.Acquire("local", 4)
+	if len(got) == 0 {
+		t.Fatal("no stolen jobs granted")
+	}
+	for _, a := range got {
+		if !a.Stolen {
+			t.Fatalf("remote grant %d not marked stolen", a.Chunk.ID)
+		}
+		if warm[a.Chunk.ID] {
+			t.Fatalf("stolen grant took chunk %d, warm in the victim's cache", a.Chunk.ID)
+		}
+	}
+	cold, warmN := p.StealStats()
+	if cold != len(got) || warmN != 0 {
+		t.Fatalf("steal stats cold=%d warm=%d, want %d / 0", cold, warmN, len(got))
+	}
+}
+
+func TestPoolStealAllWarmFallsBackToFront(t *testing.T) {
+	p, idx := poolFixture(t)
+	drainOwnJobs(t, p, "local")
+
+	// Every cloud chunk reported warm: progress beats cache affinity, so
+	// the thief still gets a grant — from the front — and the stats
+	// record the warm steals.
+	var all []int32
+	for _, ids := range cloudChunkIDs(idx) {
+		all = append(all, ids...)
+	}
+	p.SetResident("cloud", all)
+
+	got := p.Acquire("local", 4)
+	if len(got) == 0 {
+		t.Fatal("fully-warm victim starved the thief")
+	}
+	for _, a := range got {
+		if !a.Stolen {
+			t.Fatal("remote grant not marked stolen")
+		}
+	}
+	cold, warmN := p.StealStats()
+	if warmN != len(got) || cold != 0 {
+		t.Fatalf("steal stats cold=%d warm=%d, want 0 / %d", cold, warmN, len(got))
+	}
+
+	// Clearing residency (a slave whose cache emptied reports nothing)
+	// returns stealing to cold-first accounting.
+	p.SetResident("cloud", nil)
+	more := p.Acquire("local", 2)
+	if len(more) == 0 {
+		t.Fatal("no further steals after residency cleared")
+	}
+	cold2, warm2 := p.StealStats()
+	if cold2 != len(more) || warm2 != warmN {
+		t.Fatalf("post-clear stats cold=%d warm=%d, want %d / %d",
+			cold2, warm2, len(more), warmN)
+	}
+}

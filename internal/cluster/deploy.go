@@ -68,6 +68,15 @@ type DeployConfig struct {
 	// PrefetchBudget caps each slave's in-flight prefetched bytes;
 	// zero picks the slave default (64 MiB), negative is unlimited.
 	PrefetchBudget int64
+	// FetchAutotune replaces the static fetch thread count with
+	// per-link AIMD controllers on every slave (see
+	// SlaveConfig.FetchAutotune); Fetch.Threads seeds the controllers.
+	FetchAutotune bool
+	// HintDepth makes masters piggyback up to this many likely-next
+	// jobs as prefetch hints on every grant, so slaves warm their
+	// caches deeper than one grant. Zero disables hints; effective only
+	// with Prefetch and a cache.
+	HintDepth int
 	// CacheBytes gives each site without an explicit SiteSpec.Cache a
 	// per-run chunk cache of this many bytes; zero disables caching.
 	CacheBytes int64
@@ -128,7 +137,7 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 	for _, site := range cfg.Sites {
 		master, err := NewMaster(MasterConfig{
 			Site: site.Name, App: cfg.App, Cores: site.Cores, Slaves: site.Cores,
-			Batch: cfg.Batch, Watermark: cfg.Watermark,
+			Batch: cfg.Batch, Watermark: cfg.Watermark, HintDepth: cfg.HintDepth,
 			Clock: cfg.Clock, Logf: cfg.Logf,
 			HeartbeatInterval: cfg.HeartbeatInterval, HeartbeatMisses: cfg.HeartbeatMisses,
 		})
@@ -172,7 +181,8 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 		slave, err := NewSlave(SlaveConfig{
 			Site: site.Name, App: cfg.App, Cores: site.Cores,
 			HomeStore: site.HomeStore, RemoteStores: site.RemoteStores,
-			Fetch: cfg.Fetch, GroupUnits: cfg.GroupUnits,
+			Fetch: cfg.Fetch, FetchAutotune: cfg.FetchAutotune,
+			GroupUnits:     cfg.GroupUnits,
 			JobsPerRequest: cfg.JobsPerRequest,
 			HomeFetch:      site.HomeFetch, UnitCostScale: site.UnitCostScale,
 			CostJitter: site.CostJitter,

@@ -222,6 +222,11 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 					return err
 				}
 			}
+			if req.Resident != nil {
+				// The cluster's reported cache residency steers stealing:
+				// thieves are granted this site's cold chunks first.
+				h.pool.SetResident(site, req.Resident)
+			}
 			grants := h.pool.Acquire(site, req.Max)
 			resp := &wire.Message{Kind: wire.KindJobs, Done: len(grants) == 0}
 			for _, g := range grants {
@@ -400,6 +405,9 @@ func (h *Head) publish() {
 	// The head's own stall detections (masters that went silent) are not
 	// inside any surviving cluster's stats.
 	report.Faults.HeartbeatMisses += h.faults.Snapshot().HeartbeatMisses
+	// Steal residency outcomes live in the head's pool, not in any
+	// worker snapshot.
+	report.Retrieval.StealsCold, report.Retrieval.StealsWarm = h.pool.StealStats()
 	if s, ok := h.cfg.App.(gr.Summarizer); ok {
 		if digest, err := s.Summarize(h.finalObj); err == nil {
 			report.FinalResult = digest

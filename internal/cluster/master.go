@@ -31,6 +31,13 @@ type MasterConfig struct {
 	// Watermark refills the pool when it drops below this many jobs
 	// (default: half the batch).
 	Watermark int
+	// HintDepth piggybacks up to this many "likely next" jobs — the
+	// front of the local queue — as prefetch hints on every job grant,
+	// so slaves can warm their chunk cache deeper than one grant. Zero
+	// disables hints. Hinted jobs may still be granted to a different
+	// slave; every slave at a site shares one cache, so the warming
+	// pays either way.
+	HintDepth int
 	// Clock converts wall time to emulated durations.
 	Clock netsim.Clock
 	// HeartbeatInterval, when positive, enables liveness: the master
@@ -93,6 +100,13 @@ type Master struct {
 	started    time.Time
 	faults     metrics.Breakdown // master-side stall detections
 
+	// resident holds each slave connection's latest reported set of
+	// cache-resident chunk ids; the refill loop folds the union into
+	// its upstream requests so the head can steer stealing away from
+	// chunks this cluster already has warm.
+	resident map[int][]int32
+	nextConn int // slave connection ids for the resident map
+
 	wg sync.WaitGroup
 	ln net.Listener
 
@@ -108,7 +122,8 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if cfg.Slaves <= 0 {
 		return nil, fmt.Errorf("cluster: master needs a positive slave count")
 	}
-	m := &Master{cfg: cfg, expected: cfg.Slaves, doneCh: make(chan error, 1)}
+	m := &Master{cfg: cfg, expected: cfg.Slaves, doneCh: make(chan error, 1),
+		resident: make(map[int][]int32)}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
 }
@@ -205,11 +220,12 @@ func (m *Master) refillLoop() error {
 		}
 		completed := m.completed
 		m.completed = nil
+		resident := m.residentUnionLocked()
 		m.mu.Unlock()
 
 		resp, err := m.head.Call(&wire.Message{
 			Kind: wire.KindRequestJobs, Site: m.cfg.Site,
-			Max: m.cfg.Batch, Completed: completed,
+			Max: m.cfg.Batch, Completed: completed, Resident: resident,
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: master %s: request jobs: %w", m.cfg.Site, err)
@@ -267,6 +283,16 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 	granted := make(map[int32]wire.JobAssign)
 	var completed []int32
 
+	m.mu.Lock()
+	connID := m.nextConn
+	m.nextConn++
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.resident, connID)
+		m.mu.Unlock()
+	}()
+
 	for {
 		req, err := c.Recv()
 		if err != nil {
@@ -287,11 +313,18 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 
 		case wire.KindRequestJob:
 			completed = append(completed, req.Completed...)
-			jobs, done := m.takeJobs(max(req.Max, 1))
+			if req.Resident != nil {
+				m.mu.Lock()
+				m.resident[connID] = req.Resident
+				m.mu.Unlock()
+			}
+			jobs, hints, done := m.takeJobs(max(req.Max, 1))
 			for _, j := range jobs {
 				granted[j.Chunk] = j
 			}
-			if err := c.Send(&wire.Message{Kind: wire.KindJobGrant, Jobs: jobs, Done: done}); err != nil {
+			if err := c.Send(&wire.Message{
+				Kind: wire.KindJobGrant, Jobs: jobs, Hints: hints, Done: done,
+			}); err != nil {
 				m.slaveLost(granted)
 				return nil
 			}
@@ -353,27 +386,53 @@ func (m *Master) slaveLost(granted map[int32]wire.JobAssign) {
 
 // takeJobs pops up to max jobs, blocking while the pool is being
 // refilled; done is true only when the head has no more jobs AND the
-// local queue is empty.
-func (m *Master) takeJobs(max int) ([]wire.JobAssign, bool) {
+// local queue is empty. hints is a copy of the queue front after the
+// pop — the jobs most likely to be granted next — capped at HintDepth.
+func (m *Master) takeJobs(max int) (jobs, hints []wire.JobAssign, done bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.queue) == 0 && !m.headDone && m.failed == nil {
 		m.cond.Wait()
 	}
 	if len(m.queue) == 0 {
-		return nil, true
+		return nil, nil, true
 	}
 	n := len(m.queue)
 	if max < n {
 		n = max
 	}
-	jobs := append([]wire.JobAssign(nil), m.queue[:n]...)
+	jobs = append([]wire.JobAssign(nil), m.queue[:n]...)
 	m.queue = m.queue[n:]
+	if h := m.cfg.HintDepth; h > 0 && len(m.queue) > 0 {
+		if h > len(m.queue) {
+			h = len(m.queue)
+		}
+		hints = append([]wire.JobAssign(nil), m.queue[:h]...)
+	}
 	// Dropping below the watermark wakes the refill loop.
 	if len(m.queue) < m.cfg.Watermark {
 		m.cond.Broadcast()
 	}
-	return jobs, false
+	return jobs, hints, false
+}
+
+// residentUnionLocked merges every slave connection's latest reported
+// cache-resident chunk ids into one deduplicated set for the head.
+func (m *Master) residentUnionLocked() []int32 {
+	if len(m.resident) == 0 {
+		return nil
+	}
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, ids := range m.resident {
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
 }
 
 // combineAndReport performs the intra-cluster combine, ships the

@@ -28,6 +28,13 @@ type SlaveConfig struct {
 	RemoteStores map[string]store.Store
 	// Fetch tunes the multi-threaded remote retrieval.
 	Fetch store.FetchOptions
+	// FetchAutotune replaces the static Fetch.Threads with a per-link
+	// AIMD controller: one store.Autotuner per remote site (plus one
+	// for the home object store when HomeFetch is set), shared by every
+	// core, grows the reader count while added threads pay and backs
+	// off when the link's aggregate cap binds. Fetch.Threads seeds each
+	// controller. The sequential local-disk path is never tuned.
+	FetchAutotune bool
 	// GroupUnits is the cache-sized unit group for local reduction.
 	GroupUnits int
 	// JobsPerRequest is how many jobs a worker asks the master for at
@@ -116,6 +123,18 @@ func (c SlaveConfig) withDefaults() SlaveConfig {
 type Slave struct {
 	cfg    SlaveConfig
 	budget *byteBudget // caps in-flight prefetched bytes; nil = unlimited
+
+	// tuners holds one AIMD controller per retrieval link (keyed by the
+	// chunk's home site), shared by every core so each controller sees
+	// the aggregate concurrency its decisions cause.
+	tunersMu sync.Mutex
+	tuners   map[string]*store.Autotuner
+
+	// chunkIDs remembers each seen chunk's global id by cache key, so
+	// cache residency (keyed by ChunkKey) can be reported upstream as
+	// the chunk ids the head's steal heuristic speaks.
+	idsMu    sync.Mutex
+	chunkIDs map[store.ChunkKey]int32
 }
 
 // NewSlave builds a slave node.
@@ -127,11 +146,57 @@ func NewSlave(cfg SlaveConfig) (*Slave, error) {
 	if cfg.HomeStore == nil {
 		return nil, fmt.Errorf("cluster: slave needs a home store")
 	}
-	s := &Slave{cfg: cfg}
+	s := &Slave{
+		cfg:      cfg,
+		tuners:   make(map[string]*store.Autotuner),
+		chunkIDs: make(map[store.ChunkKey]int32),
+	}
 	if cfg.Prefetch && cfg.PrefetchBudget > 0 {
 		s.budget = &byteBudget{avail: cfg.PrefetchBudget}
 	}
 	return s, nil
+}
+
+// tunerFor returns the shared AIMD controller for the link to site,
+// creating it on first use seeded from the configured thread count.
+func (s *Slave) tunerFor(site string) *store.Autotuner {
+	s.tunersMu.Lock()
+	defer s.tunersMu.Unlock()
+	t, ok := s.tuners[site]
+	if !ok {
+		t = store.NewAutotuner(s.cfg.Fetch.Threads, 0)
+		s.tuners[site] = t
+	}
+	return t
+}
+
+// noteChunk remembers a job's cache-key -> chunk-id mapping for
+// residency reporting.
+func (s *Slave) noteChunk(job wire.JobAssign) {
+	key := store.ChunkKey{Site: job.HomeSite, File: job.File, Off: job.Offset, Len: job.Length}
+	s.idsMu.Lock()
+	s.chunkIDs[key] = job.Chunk
+	s.idsMu.Unlock()
+}
+
+// residentIDs translates the cache's currently resident keys into
+// chunk ids. Keys from before this slave saw their job (e.g. warmed by
+// a driver across iterations) are skipped; they will be reported once
+// a job or hint names them.
+func (s *Slave) residentIDs() []int32 {
+	keys := s.cfg.Cache.ResidentKeys()
+	if len(keys) == 0 {
+		return nil
+	}
+	s.idsMu.Lock()
+	defer s.idsMu.Unlock()
+	out := make([]int32, 0, len(keys))
+	for _, k := range keys {
+		if id, ok := s.chunkIDs[k]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Run connects every virtual core to the master, processes jobs until
@@ -272,9 +337,44 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	var pending []int32 // completions not yet reported
 
 	request := func(completed []int32) (*wire.Message, error) {
+		var resident []int32
+		if s.cfg.Cache.Enabled() {
+			resident = s.residentIDs()
+		}
 		return conn.Call(&wire.Message{
-			Kind: wire.KindRequestJob, Max: s.cfg.JobsPerRequest, Completed: completed,
+			Kind: wire.KindRequestJob, Max: s.cfg.JobsPerRequest,
+			Completed: completed, Resident: resident,
 		})
+	}
+
+	// Hint warming runs beside compute: chunks the master expects to
+	// grant soon are fetched into the shared cache, each admission
+	// charged against the prefetch byte budget while its fetch is in
+	// flight (once cached, the cache's own cap bounds retention). A
+	// denied or failed hint degrades silently to an on-demand fetch.
+	var warmWG sync.WaitGroup
+	defer warmWG.Wait() // warming writes stats; finish before snapshot
+	warmHints := func(hints []wire.JobAssign) {
+		defer warmWG.Done()
+		for _, job := range hints {
+			s.noteChunk(job)
+			key := store.ChunkKey{Site: job.HomeSite, File: job.File, Off: job.Offset, Len: job.Length}
+			if !s.budget.tryAcquire(job.Length) {
+				stats.CountHint(false)
+				continue
+			}
+			job := job
+			_, release, _, err := s.cfg.Cache.GetOrFetch(key, func() ([]byte, error) {
+				return s.rawFetch(job, stats)
+			})
+			s.budget.release(job.Length)
+			if err != nil {
+				stats.CountHint(false)
+				continue
+			}
+			release()
+			stats.CountHint(true)
+		}
 	}
 
 	// At most one grant is in flight on the prefetch goroutine; the
@@ -392,6 +492,10 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 			return zero, fmt.Errorf("cluster: slave %s: unexpected %v", s.cfg.Site, cur.resp.Kind)
 		}
 		done := cur.resp.Done && len(cur.resp.Jobs) == 0
+		if len(cur.resp.Hints) > 0 && s.cfg.Prefetch && s.cfg.Cache.Enabled() {
+			warmWG.Add(1)
+			go warmHints(cur.resp.Hints)
+		}
 		if !done && s.cfg.Prefetch {
 			// Snapshot the completions now: the request they ride on
 			// goes out concurrently with this grant's compute. Jobs of
@@ -441,6 +545,7 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	if err != nil {
 		return zero, err
 	}
+	warmWG.Wait() // hint warmers write stats; their counters ship too
 	snap := stats.Snapshot()
 	if _, err := conn.Call(&wire.Message{
 		Kind: wire.KindSlaveResult, Object: enc, Completed: pending,
@@ -479,6 +584,7 @@ func (s *Slave) processJob(engine *gr.Engine, red gr.Reduction, it *jobItem, sta
 // returned release must be called exactly once after the bytes have
 // been reduced.
 func (s *Slave) fetchJob(job wire.JobAssign, stats *metrics.Breakdown) ([]byte, func(), error) {
+	s.noteChunk(job)
 	key := store.ChunkKey{Site: job.HomeSite, File: job.File, Off: job.Offset, Len: job.Length}
 	data, release, hit, err := s.cfg.Cache.GetOrFetch(key, func() ([]byte, error) {
 		return s.rawFetch(job, stats)
@@ -503,12 +609,14 @@ func (s *Slave) rawFetch(job wire.JobAssign, stats *metrics.Breakdown) ([]byte, 
 	opts.Clock = s.cfg.Clock
 	opts.Pool = s.cfg.Pool
 	st := s.cfg.HomeStore
+	ranged := true
 	if job.HomeSite == s.cfg.Site {
 		if !s.cfg.HomeFetch {
 			// Local disk data: one continuous sequential read, retried
 			// as a whole on transient failure.
 			opts.Threads = 1
 			opts.RangeSize = int(job.Length)
+			ranged = false
 		}
 	} else {
 		var ok bool
@@ -516,6 +624,9 @@ func (s *Slave) rawFetch(job wire.JobAssign, stats *metrics.Breakdown) ([]byte, 
 		if !ok {
 			return nil, fmt.Errorf("cluster: slave %s: no remote store for site %q", s.cfg.Site, job.HomeSite)
 		}
+	}
+	if s.cfg.FetchAutotune && ranged {
+		opts.Tuner = s.tunerFor(job.HomeSite)
 	}
 	return store.Fetch(st, job.File, job.Offset, job.Length, opts)
 }

@@ -40,6 +40,14 @@ type Breakdown struct {
 	prefetchSkips int           // prefetches skipped (byte budget exhausted)
 	poolGets      int64         // fetch buffers handed out by the pool
 	poolMisses    int64         // pool gets that had to allocate
+
+	autotuneSamples int // fetches observed by an AIMD fetch autotuner
+	autotuneRaises  int // autotuner additive thread-count increases
+	autotuneDrops   int // autotuner multiplicative back-offs
+
+	hintsReceived int // prefetch-hint jobs received from the master
+	hintsWarmed   int // hint chunks fetched into the cache ahead of a grant
+	hintsDenied   int // hints skipped (byte budget exhausted)
 }
 
 // AddProcessing records emulated compute time.
@@ -116,6 +124,33 @@ func (b *Breakdown) CountPrefetchSkip() {
 	b.mu.Unlock()
 }
 
+// CountAutotune records one fetch observed by an AIMD autotuner and
+// the controller decision it closed: dec > 0 is an additive increase,
+// dec < 0 a multiplicative back-off, 0 no epoch boundary.
+func (b *Breakdown) CountAutotune(dec int) {
+	b.mu.Lock()
+	b.autotuneSamples++
+	if dec > 0 {
+		b.autotuneRaises++
+	} else if dec < 0 {
+		b.autotuneDrops++
+	}
+	b.mu.Unlock()
+}
+
+// CountHint records one prefetch-hint job received from the master and
+// its outcome: warmed into the cache, or denied by the byte budget.
+func (b *Breakdown) CountHint(warmed bool) {
+	b.mu.Lock()
+	b.hintsReceived++
+	if warmed {
+		b.hintsWarmed++
+	} else {
+		b.hintsDenied++
+	}
+	b.mu.Unlock()
+}
+
 // AddPool folds buffer-pool counters (gets and allocation misses) in.
 func (b *Breakdown) AddPool(gets, misses int64) {
 	b.mu.Lock()
@@ -166,6 +201,12 @@ func (b *Breakdown) AddSnapshot(s Snapshot) {
 	b.prefetchSkips += s.PrefetchSkips
 	b.poolGets += s.PoolGets
 	b.poolMisses += s.PoolMisses
+	b.autotuneSamples += s.AutotuneSamples
+	b.autotuneRaises += s.AutotuneRaises
+	b.autotuneDrops += s.AutotuneDrops
+	b.hintsReceived += s.HintsReceived
+	b.hintsWarmed += s.HintsWarmed
+	b.hintsDenied += s.HintsDenied
 	b.mu.Unlock()
 }
 
@@ -193,6 +234,12 @@ func (b *Breakdown) Snapshot() Snapshot {
 		PrefetchSkips:    b.prefetchSkips,
 		PoolGets:         b.poolGets,
 		PoolMisses:       b.poolMisses,
+		AutotuneSamples:  b.autotuneSamples,
+		AutotuneRaises:   b.autotuneRaises,
+		AutotuneDrops:    b.autotuneDrops,
+		HintsReceived:    b.hintsReceived,
+		HintsWarmed:      b.hintsWarmed,
+		HintsDenied:      b.hintsDenied,
 	}
 }
 
@@ -219,6 +266,13 @@ type Snapshot struct {
 	PrefetchSkips    int
 	PoolGets         int64
 	PoolMisses       int64
+
+	AutotuneSamples int
+	AutotuneRaises  int
+	AutotuneDrops   int
+	HintsReceived   int
+	HintsWarmed     int
+	HintsDenied     int
 }
 
 // Total returns the summed time components.
@@ -246,6 +300,12 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		PrefetchSkips:    s.PrefetchSkips + o.PrefetchSkips,
 		PoolGets:         s.PoolGets + o.PoolGets,
 		PoolMisses:       s.PoolMisses + o.PoolMisses,
+		AutotuneSamples:  s.AutotuneSamples + o.AutotuneSamples,
+		AutotuneRaises:   s.AutotuneRaises + o.AutotuneRaises,
+		AutotuneDrops:    s.AutotuneDrops + o.AutotuneDrops,
+		HintsReceived:    s.HintsReceived + o.HintsReceived,
+		HintsWarmed:      s.HintsWarmed + o.HintsWarmed,
+		HintsDenied:      s.HintsDenied + o.HintsDenied,
 	}
 }
 
@@ -313,12 +373,22 @@ type RetrievalReport struct {
 	PrefetchSkips    int           // prefetches denied by the byte budget
 	PoolGets         int64         // fetch buffers handed out by pools
 	PoolMisses       int64         // pool gets that had to allocate
+
+	AutotuneSamples int // fetches observed by AIMD fetch autotuners
+	AutotuneRaises  int // autotuner additive thread-count increases
+	AutotuneDrops   int // autotuner multiplicative back-offs
+	HintsReceived   int // master prefetch hints received by slaves
+	HintsWarmed     int // hint chunks warmed into caches ahead of grants
+	HintsDenied     int // hints denied by the prefetch byte budget
+	StealsCold      int // stolen grants whose chunks were cache-cold at the victim
+	StealsWarm      int // stolen grants that took cache-warm victim chunks
 }
 
 // Any reports whether any pipeline activity was recorded.
 func (r RetrievalReport) Any() bool {
 	return r.CacheHits > 0 || r.CacheMisses > 0 || r.PrefetchedJobs > 0 ||
-		r.PrefetchSkips > 0 || r.PoolGets > 0
+		r.PrefetchSkips > 0 || r.PoolGets > 0 || r.AutotuneSamples > 0 ||
+		r.HintsReceived > 0 || r.StealsCold > 0 || r.StealsWarm > 0
 }
 
 // Add folds another report in (summing a run sequence, e.g. the
@@ -332,6 +402,14 @@ func (r *RetrievalReport) Add(o RetrievalReport) {
 	r.PrefetchSkips += o.PrefetchSkips
 	r.PoolGets += o.PoolGets
 	r.PoolMisses += o.PoolMisses
+	r.AutotuneSamples += o.AutotuneSamples
+	r.AutotuneRaises += o.AutotuneRaises
+	r.AutotuneDrops += o.AutotuneDrops
+	r.HintsReceived += o.HintsReceived
+	r.HintsWarmed += o.HintsWarmed
+	r.HintsDenied += o.HintsDenied
+	r.StealsCold += o.StealsCold
+	r.StealsWarm += o.StealsWarm
 }
 
 // AddSnapshot folds one worker snapshot's pipeline counters in.
@@ -344,6 +422,12 @@ func (r *RetrievalReport) AddSnapshot(s Snapshot) {
 	r.PrefetchSkips += s.PrefetchSkips
 	r.PoolGets += s.PoolGets
 	r.PoolMisses += s.PoolMisses
+	r.AutotuneSamples += s.AutotuneSamples
+	r.AutotuneRaises += s.AutotuneRaises
+	r.AutotuneDrops += s.AutotuneDrops
+	r.HintsReceived += s.HintsReceived
+	r.HintsWarmed += s.HintsWarmed
+	r.HintsDenied += s.HintsDenied
 }
 
 // RunReport is the whole-run summary the harness renders tables from.

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+// feedEpoch folds one full decision window of identical samples and
+// returns the decision the epoch boundary produced.
+func feedEpoch(tu *Autotuner, running int, bytes int64, emu time.Duration) int {
+	dec := 0
+	for i := 0; i < autotuneWindow; i++ {
+		if d := tu.Observe(running, bytes, emu); d != 0 {
+			dec = d
+		}
+	}
+	return dec
+}
+
+func TestNewAutotunerDefaults(t *testing.T) {
+	cases := []struct {
+		initial, max         int
+		wantThreads, wantMax int
+	}{
+		{0, 0, 8, 32},    // both defaulted: seed from DefaultFetchOptions
+		{-1, -1, 8, 32},  // negatives behave like zero
+		{2, 0, 2, 32},    // 4x initial below the 32 floor
+		{16, 0, 16, 64},  // 4x initial above the floor
+		{8, 4, 8, 8},     // ceiling below seed: clamp up to the seed
+		{3, 12, 3, 12},   // both explicit
+	}
+	for _, c := range cases {
+		tu := NewAutotuner(c.initial, c.max)
+		if tu.Threads() != c.wantThreads || tu.Max() != c.wantMax {
+			t.Errorf("NewAutotuner(%d, %d) = threads %d max %d, want %d / %d",
+				c.initial, c.max, tu.Threads(), tu.Max(), c.wantThreads, c.wantMax)
+		}
+	}
+}
+
+func TestAutotunerNilIsInert(t *testing.T) {
+	var tu *Autotuner
+	if tu.Threads() != 0 || tu.Max() != 0 {
+		t.Fatal("nil tuner must report zero threads")
+	}
+	if dec := tu.Observe(4, 1<<10, time.Second); dec != 0 {
+		t.Fatalf("nil Observe = %d", dec)
+	}
+	if tu.Stats() != (AutotuneStats{}) {
+		t.Fatal("nil Stats must be zero")
+	}
+}
+
+func TestAutotunerSlowStartDoublesToCeiling(t *testing.T) {
+	tu := NewAutotuner(2, 16)
+	// A steady per-stream rate means the link has headroom: slow start
+	// doubles the decision every epoch until the ceiling.
+	for _, want := range []int{4, 8, 16} {
+		if dec := feedEpoch(tu, tu.Threads(), 8<<10, time.Second); dec != 1 {
+			t.Fatalf("steady epoch toward %d returned %d, want +1", want, dec)
+		}
+		if got := tu.Threads(); got != want {
+			t.Fatalf("threads = %d, want %d", got, want)
+		}
+	}
+	// At the ceiling the controller holds even though the rate is good.
+	if dec := feedEpoch(tu, tu.Threads(), 8<<10, time.Second); dec != 0 {
+		t.Fatalf("epoch at ceiling returned %d, want 0", dec)
+	}
+	st := tu.Stats()
+	if st.Raises != 3 || st.Drops != 0 || st.Observed != 4*autotuneWindow {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAutotunerAchievedGuardHoldsDecision(t *testing.T) {
+	// The pool only ran 2 readers (sub-range scarcity); raising past a
+	// target the fetch never reached would drift the decision away from
+	// anything the controller has actually measured.
+	tu := NewAutotuner(4, 32)
+	if dec := feedEpoch(tu, 2, 8<<10, time.Second); dec != 0 {
+		t.Fatalf("capped epoch returned %d, want 0", dec)
+	}
+	if got := tu.Threads(); got != 4 {
+		t.Fatalf("threads drifted to %d under the achieved guard", got)
+	}
+	if st := tu.Stats(); st.Raises != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAutotunerBackoffEndsSlowStart(t *testing.T) {
+	tu := NewAutotuner(2, 32)
+	// Epoch 1: steady rate, slow start doubles 2 -> 4.
+	if dec := feedEpoch(tu, 2, 8<<10, time.Second); dec != 1 || tu.Threads() != 4 {
+		t.Fatalf("dec=%d threads=%d after steady epoch", dec, tu.Threads())
+	}
+	// Epoch 2: per-stream rate collapses far below the unsaturated
+	// baseline -> multiplicative decrease (4 * 0.8 -> 3).
+	if dec := feedEpoch(tu, 4, 1<<10, time.Second); dec != -1 || tu.Threads() != 3 {
+		t.Fatalf("dec=%d threads=%d after collapsed epoch", dec, tu.Threads())
+	}
+	// Epoch 3: rate recovers. Slow start ended for good at the drop, so
+	// the raise is additive (3 -> 4), not another doubling.
+	if dec := feedEpoch(tu, 3, 8<<10, time.Second); dec != 1 || tu.Threads() != 4 {
+		t.Fatalf("dec=%d threads=%d after recovery epoch, want additive raise to 4",
+			dec, tu.Threads())
+	}
+	st := tu.Stats()
+	if st.Raises != 2 || st.Drops != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAutotunerBackoffClampsAtMin(t *testing.T) {
+	tu := NewAutotuner(2, 8)
+	// Establish a baseline rate (and one slow-start raise to 4).
+	if dec := feedEpoch(tu, 2, 8<<10, time.Second); dec != 1 {
+		t.Fatalf("baseline epoch dec = %d", dec)
+	}
+	// Sustained collapse walks the decision down: 4 -> 3 -> 2 -> 1.
+	for _, want := range []int{3, 2, 1} {
+		if dec := feedEpoch(tu, tu.Threads(), 1, time.Second); dec != -1 || tu.Threads() != want {
+			t.Fatalf("dec=%d threads=%d, want drop to %d", dec, tu.Threads(), want)
+		}
+	}
+	// At the floor, further collapse changes nothing.
+	if dec := feedEpoch(tu, 1, 1, time.Second); dec != 0 || tu.Threads() != 1 {
+		t.Fatalf("dec=%d threads=%d at floor", dec, tu.Threads())
+	}
+	if st := tu.Stats(); st.Drops != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAutotunerSkipsUnusableSamples(t *testing.T) {
+	// Zero-byte and zero-duration observations carry no goodput signal;
+	// they count as observed but never close an epoch or move the
+	// decision.
+	tu := NewAutotuner(2, 8)
+	for i := 0; i < 3*autotuneWindow; i++ {
+		if dec := tu.Observe(2, 0, time.Second); dec != 0 {
+			t.Fatalf("zero-byte sample decided %d", dec)
+		}
+		if dec := tu.Observe(2, 1<<10, 0); dec != 0 {
+			t.Fatalf("zero-duration sample decided %d", dec)
+		}
+	}
+	st := tu.Stats()
+	if st.Observed != int64(6*autotuneWindow) {
+		t.Fatalf("observed = %d, want %d", st.Observed, 6*autotuneWindow)
+	}
+	if st.Raises != 0 || st.Drops != 0 || tu.Threads() != 2 {
+		t.Fatalf("unusable samples moved the controller: %+v threads=%d", st, tu.Threads())
+	}
+}

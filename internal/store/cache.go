@@ -211,6 +211,22 @@ func (c *ChunkCache) Pool() *BufferPool {
 	return c.pool
 }
 
+// ResidentKeys returns the keys of every chunk currently resident,
+// most recently used first. Slaves report these upstream so the head
+// can steer work stealing away from chunks already warm here.
+func (c *ChunkCache) ResidentKeys() []ChunkKey {
+	if c == nil || c.capBytes < 1 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ChunkKey, 0, len(c.entries))
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}
+
 // Enabled reports whether the cache actually retains chunks (non-nil
 // with a positive byte cap), as opposed to the pass-through degraded
 // modes.

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -224,6 +225,56 @@ func TestChunkCacheEvictionDefersRecycleToLastReader(t *testing.T) {
 	release()
 	if pool.Stats().Puts != 1 {
 		t.Fatalf("last release must recycle: %+v", pool.Stats())
+	}
+}
+
+func TestChunkCacheConcurrentEvictionVsLateRelease(t *testing.T) {
+	// A cache sized for 2 chunks hammered with 8 distinct keys keeps
+	// eviction running constantly while readers still hold references;
+	// releases routinely land after the entry has already been evicted.
+	// Under -race this exercises the refcount hand-off between the
+	// eviction path and the last reader's Release: the buffer must stay
+	// intact until that release, then recycle exactly once.
+	pool := NewBufferPool()
+	c := NewChunkCache(2<<10, pool)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 200; round++ {
+				i := (g*3 + round) % 8
+				data, release, _, err := c.GetOrFetch(cacheKey(i), func() ([]byte, error) {
+					buf := pool.Get(1 << 10)
+					copy(buf, chunkBytes(i))
+					return buf, nil
+				})
+				if err != nil {
+					panic(err)
+				}
+				// Widen the window between eviction (by the other
+				// goroutines) and this reader's release.
+				runtime.Gosched()
+				if !bytes.Equal(data, chunkBytes(i)) {
+					panic(fmt.Sprintf("chunk %d corrupted under eviction pressure", i))
+				}
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("cache too large to exercise the race: %+v", st)
+	}
+	if st.Bytes > 2<<10 {
+		t.Fatalf("resident bytes %d exceed cap after churn", st.Bytes)
+	}
+	// Every buffer is out of reader hands now; recycled puts can never
+	// exceed the pool's handed-out buffers.
+	ps := pool.Stats()
+	if ps.Puts > ps.Gets {
+		t.Fatalf("pool recycled more buffers than it issued: %+v", ps)
 	}
 }
 

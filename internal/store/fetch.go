@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"cloudburst/internal/metrics"
 	"cloudburst/internal/netsim"
@@ -31,6 +32,13 @@ type FetchOptions struct {
 	// eventually hand it back with Pool.Put (directly, or by letting a
 	// ChunkCache built over the same pool own it).
 	Pool *BufferPool
+	// Tuner, when set, overrides Threads with the controller's current
+	// AIMD decision and feeds the fetch's observed goodput back into
+	// it. Share one Tuner across every fetch travelling the same
+	// (site, link) so the controller sees the aggregate behaviour it
+	// causes. Requires Clock for the goodput timings; Threads then only
+	// seeds the controller (see NewAutotuner).
+	Tuner *Autotuner
 }
 
 // DefaultFetchOptions matches the paper's multi-threaded retrieval
@@ -63,6 +71,9 @@ func Fetch(st Store, name string, off, length int64, opts FetchOptions) ([]byte,
 	if length < 0 {
 		return nil, fmt.Errorf("store: negative fetch length %d", length)
 	}
+	if opts.Tuner != nil {
+		opts.Threads = opts.Tuner.Threads()
+	}
 	opts = opts.normalize()
 	buf, miss := opts.Pool.get(length)
 	if opts.Pool != nil && opts.Stats != nil {
@@ -84,80 +95,141 @@ func Fetch(st Store, name string, off, length int64, opts FetchOptions) ([]byte,
 		// surplus goroutines would only park on the channel.
 		threads = subRanges
 	}
+	maxWorkers := threads
+	if opts.Tuner != nil {
+		// The controller may raise its decision mid-fetch; readers can
+		// grow up to its ceiling (still never past the sub-range count).
+		if m := int64(opts.Tuner.Max()); m > maxWorkers {
+			maxWorkers = m
+		}
+		if maxWorkers > subRanges {
+			maxWorkers = subRanges
+		}
+	}
+	tuned := opts.Tuner != nil && opts.Clock != nil
 
 	type job struct{ start, end int64 } // offsets relative to off
 	type rangeErr struct {
 		start int64
 		err   error
 	}
-	jobs := make(chan job, threads)
-	errc := make(chan rangeErr, threads)
-	var wg sync.WaitGroup
-	onBackoff := retryStats(opts.Stats)
-
-	for i := int64(0); i < threads; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				// Each sub-range retries independently: a transient
-				// failure costs one range's backoff, not the whole
-				// chunk. Short reads stay fatal — the object really is
-				// shorter than the index said.
-				key := fmt.Sprintf("%s@%d", name, off+j.start)
-				err := opts.Retry.Do(opts.Clock, key, func() error {
-					p := buf[j.start:j.end]
-					n, err := st.ReadAt(name, p, off+j.start)
-					if err != nil && err != io.EOF {
-						return err
-					}
-					if int64(n) < j.end-j.start {
-						return fmt.Errorf("store: short read of %s at %d: got %d of %d",
-							name, off+j.start, n, j.end-j.start)
-					}
-					return nil
-				}, onBackoff)
-				if err != nil {
-					errc <- rangeErr{j.start, err}
-					return
-				}
-			}
-		}()
-	}
-
-producer:
+	// Every sub-range is enqueued up front so no producer can block on
+	// a shrinking worker pool; workers bail out early once any range
+	// has failed for good.
+	jobs := make(chan job, subRanges)
 	for start := int64(0); start < length; start += rangeSize {
 		end := start + rangeSize
 		if end > length {
 			end = length
 		}
-		select {
-		case jobs <- job{start, end}:
-		case re := <-errc:
-			// A worker failed; stop producing, but keep its error for
-			// the deterministic lowest-offset selection below.
-			errc <- re
-			break producer
-		}
+		jobs <- job{start, end}
 	}
 	close(jobs)
-	wg.Wait()
-	// Every worker has exited; drain all buffered errors and surface
-	// the lowest-offset one so the reported failure does not depend on
-	// goroutine scheduling.
-	var first *rangeErr
-	for {
-		select {
-		case re := <-errc:
-			if first == nil || re.start < first.start {
-				re := re
-				first = &re
-			}
-			continue
-		default:
+
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first *rangeErr // lowest-offset failure among attempted ranges
+	)
+	fail := func(start int64, err error) {
+		errMu.Lock()
+		if first == nil || start < first.start {
+			first = &rangeErr{start, err}
 		}
-		break
+		errMu.Unlock()
 	}
+	// After a failure, ranges above it are skipped (fail fast) but
+	// ranges below it are still attempted, so the surfaced error is
+	// always the lowest-offset failure regardless of scheduling.
+	skip := func(start int64) bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return first != nil && start > first.start
+	}
+	onBackoff := retryStats(opts.Stats)
+
+	// The reader pool. With a Tuner installed it is dynamic: each
+	// completed sub-range feeds the controller, and the pool grows or
+	// shrinks toward the current decision mid-fetch — a reader retires
+	// after finishing a range when the pool is over target.
+	var (
+		poolMu  sync.Mutex
+		running int64
+		spawn   func() // requires poolMu
+	)
+	worker := func() {
+		defer wg.Done()
+		defer func() {
+			poolMu.Lock()
+			running--
+			poolMu.Unlock()
+		}()
+		for j := range jobs {
+			if skip(j.start) {
+				continue
+			}
+			var t0 time.Time
+			if tuned {
+				t0 = opts.Clock.Now()
+			}
+			// Each sub-range retries independently: a transient
+			// failure costs one range's backoff, not the whole
+			// chunk. Short reads stay fatal — the object really is
+			// shorter than the index said. The retry key is derived
+			// lazily — the clean path never formats it.
+			err := opts.Retry.DoRanged(opts.Clock, name, off+j.start, func() error {
+				p := buf[j.start:j.end]
+				n, err := st.ReadAt(name, p, off+j.start)
+				if err != nil && err != io.EOF {
+					return err
+				}
+				if int64(n) < j.end-j.start {
+					return fmt.Errorf("store: short read of %s at %d: got %d of %d",
+						name, off+j.start, n, j.end-j.start)
+				}
+				return nil
+			}, onBackoff)
+			if err != nil {
+				fail(j.start, err)
+				return
+			}
+			if tuned {
+				poolMu.Lock()
+				cur := running
+				poolMu.Unlock()
+				dec := opts.Tuner.Observe(int(cur), j.end-j.start,
+					opts.Clock.ToEmu(opts.Clock.Now().Sub(t0)))
+				if opts.Stats != nil {
+					opts.Stats.CountAutotune(dec)
+				}
+				target := int64(opts.Tuner.Threads())
+				if target > maxWorkers {
+					target = maxWorkers
+				}
+				poolMu.Lock()
+				if running > target && running > 1 {
+					poolMu.Unlock()
+					return // over target: this reader retires
+				}
+				for running < target {
+					spawn()
+				}
+				poolMu.Unlock()
+			}
+		}
+	}
+	spawn = func() {
+		running++
+		wg.Add(1)
+		go worker()
+	}
+	poolMu.Lock()
+	for i := int64(0); i < threads; i++ {
+		spawn()
+	}
+	poolMu.Unlock()
+	wg.Wait()
+
 	if first != nil {
 		opts.Pool.Put(buf)
 		return nil, first.err

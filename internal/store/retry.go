@@ -46,6 +46,13 @@ func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
 // deterministic function of (Seed, key, retry): full-jitter style,
 // uniform in [base/2, base].
 func (p RetryPolicy) Backoff(key string, retry int) time.Duration {
+	return p.backoffHashed(hash64(key), retry)
+}
+
+// backoffHashed is Backoff over an already-hashed key, so hot callers
+// can derive the jitter input numerically without building the key
+// string at all.
+func (p RetryPolicy) backoffHashed(keyHash uint64, retry int) time.Duration {
 	base := p.BaseBackoff
 	if base <= 0 {
 		base = 20 * time.Millisecond
@@ -61,7 +68,7 @@ func (p RetryPolicy) Backoff(key string, retry int) time.Duration {
 	if d > maxB {
 		d = maxB
 	}
-	h := mix64(p.Seed ^ hash64(key) ^ uint64(retry)*0x9e3779b97f4a7c15)
+	h := mix64(p.Seed ^ keyHash ^ uint64(retry)*0x9e3779b97f4a7c15)
 	frac := float64(h>>11) / float64(1<<53)
 	return d/2 + time.Duration(frac*float64(d/2))
 }
@@ -72,6 +79,20 @@ func (p RetryPolicy) Backoff(key string, retry int) time.Duration {
 // slept, for metrics. Exhaustion returns the final classified error
 // wrapped with the attempt count — never a hang.
 func (p RetryPolicy) Do(clk netsim.Clock, key string, fn func() error, onBackoff func(time.Duration)) error {
+	return p.do(clk, hash64(key), func() string { return key }, fn, onBackoff)
+}
+
+// DoRanged is Do for a sub-range request identified by (name, off).
+// The "%s@%d" retry key is derived lazily: jitter comes from a numeric
+// hash of the pair, and the key string is only materialized when an
+// exhaustion error actually needs it — the success path, which is
+// every sub-range of every clean fetch, never formats it.
+func (p RetryPolicy) DoRanged(clk netsim.Clock, name string, off int64, fn func() error, onBackoff func(time.Duration)) error {
+	return p.do(clk, hash64(name)^mix64(uint64(off)),
+		func() string { return fmt.Sprintf("%s@%d", name, off) }, fn, onBackoff)
+}
+
+func (p RetryPolicy) do(clk netsim.Clock, keyHash uint64, key func() string, fn func() error, onBackoff func(time.Duration)) error {
 	if clk == nil {
 		clk = netsim.Instant()
 	}
@@ -88,9 +109,9 @@ func (p RetryPolicy) Do(clk netsim.Clock, key string, fn func() error, onBackoff
 			return err
 		}
 		if attempt >= attempts {
-			return fmt.Errorf("store: %s: %d attempts exhausted: %w", key, attempts, err)
+			return fmt.Errorf("store: %s: %d attempts exhausted: %w", key(), attempts, err)
 		}
-		d := p.Backoff(key, attempt)
+		d := p.backoffHashed(keyHash, attempt)
 		if onBackoff != nil {
 			onBackoff(d)
 		}

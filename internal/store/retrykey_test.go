@@ -1,0 +1,43 @@
+// The allocation assertion is meaningless under the race detector,
+// which perturbs escape analysis and allocation accounting.
+//go:build !race
+
+package store
+
+import (
+	"testing"
+
+	"cloudburst/internal/netsim"
+)
+
+// TestFetchRetryKeyLazyNoAlloc pins the lazy retry-key contract: the
+// success path of a ranged retry — every sub-range of every clean
+// fetch — must not heap-allocate. The "%s@%d" key only materializes
+// when an exhaustion error needs it.
+func TestFetchRetryKeyLazyNoAlloc(t *testing.T) {
+	p := DefaultRetryPolicy()
+	clk := netsim.Instant()
+	fn := func() error { return nil }
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := p.DoRanged(clk, "data/part-00001", 7<<20, fn, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DoRanged clean path allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkFetchRetryKey measures the per-sub-range retry wrapper on
+// the clean path; run with -benchmem to see the 0 allocs/op.
+func BenchmarkFetchRetryKey(b *testing.B) {
+	p := DefaultRetryPolicy()
+	clk := netsim.Instant()
+	fn := func() error { return nil }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.DoRanged(clk, "data/part-00001", int64(i)<<10, fn, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

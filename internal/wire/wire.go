@@ -119,6 +119,20 @@ type Message struct {
 	Object    []byte
 	Stats     Stats
 
+	// Hints piggybacks "likely next chunks" on a KindJobGrant: jobs the
+	// master expects to hand this slave soon, so its prefetch pipeline
+	// can warm the chunk cache deeper than the one granted batch. Hints
+	// are advisory — the slave may drop any or all of them (byte budget,
+	// cache disabled) and the master may grant the chunks elsewhere.
+	Hints []JobAssign
+
+	// Resident piggybacks cache-resident chunk ids upstream: slaves
+	// attach the chunk ids currently warm in their cache to
+	// KindRequestJob, masters fold the union into KindRequestJobs, and
+	// the head steers work stealing away from chunks a victim already
+	// has warm (stealing those would waste the victim's cache).
+	Resident []int32
+
 	File string
 	Off  int64
 	Len  int64

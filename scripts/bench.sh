@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Reproduce the retrieval-pipeline ablation and leave a machine-readable
-# record: runs `cbbench -experiment overlap` (prefetch on/off x chunk
-# cache on/off, on knn single-pass and pagerank power iterations, all
-# data in S3) and writes BENCH_overlap.json next to the table output.
+# Reproduce the retrieval-pipeline experiments and leave machine-
+# readable records:
+#
+#   - `cbbench -experiment overlap` (prefetch on/off x chunk cache
+#     on/off, on knn single-pass and pagerank power iterations, all
+#     data in S3) -> BENCH_overlap.json
+#   - `cbbench -experiment autotune` (static-2 / static-8 fetch threads
+#     vs the AIMD controller, env-cloud and split deployments,
+#     digest-checked, with the controller's win ratios enforced)
+#     -> BENCH_autotune.json
 #
 # Usage:
 #   scripts/bench.sh                # default: -records-divisor 10
@@ -14,8 +20,14 @@ cd "$(dirname "$0")/.."
 DIVISOR="${DIVISOR:-10}"
 ITERS="${ITERS:-3}"
 OUT="${OUT:-BENCH_overlap.json}"
+AUTOTUNE_OUT="${AUTOTUNE_OUT:-BENCH_autotune.json}"
 
 go run ./cmd/cbbench -experiment overlap \
 	-records-divisor "$DIVISOR" \
 	-overlap-iters "$ITERS" \
 	-json "$OUT"
+
+go run ./cmd/cbbench -experiment autotune \
+	-records-divisor "$DIVISOR" \
+	-check-win \
+	-json "$AUTOTUNE_OUT"

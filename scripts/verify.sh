@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Full verification: build, vet, all tests, plus a race pass over the
-# concurrency-heavy packages (cluster, store, driver) and a smoke run
-# of the overlap ablation (heavily shrunk) to prove the retrieval
-# pipeline end-to-end. This is a superset of the tier-1 gate in
-# ROADMAP.md.
+# concurrency-heavy packages (cluster, store, chunk, driver) and smoke
+# runs of the overlap ablation and the autotune grid (heavily shrunk)
+# to prove the retrieval pipeline and the AIMD fetch controller
+# end-to-end. This is a superset of the tier-1 gate in ROADMAP.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/cluster/ ./internal/store/ ./internal/driver/
+go test -race ./internal/cluster/ ./internal/store/ ./internal/chunk/ ./internal/driver/
 go run ./cmd/cbbench -experiment overlap -records-divisor 100 -scale 0.0001 >/dev/null
+# Digest invariance across the autotune grid; win ratios are asserted
+# by scripts/bench.sh at full benchmark scale, not at smoke scale.
+go run ./cmd/cbbench -experiment autotune -records-divisor 100 -scale 0.0001 >/dev/null
 echo "verify: ok"
