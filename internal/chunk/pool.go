@@ -156,20 +156,20 @@ func (p *Pool) takeLocked(f int, site string, max int, stolen bool) []Assignment
 		// victim's cache and extends only through cold chunks: warm
 		// chunks stay home where they are cache hits.
 		start := 0
-		cold := map[int32]bool(nil)
+		warm := map[int32]bool(nil)
 		if stolen {
-			cold = p.resident[p.idx.Files[f].Site]
-			for start < len(ids) && cold[ids[start]] {
+			warm = p.resident[p.idx.Files[f].Site]
+			for start < len(ids) && warm[ids[start]] {
 				start++
 			}
 			if start == len(ids) {
 				start = 0 // everything warm: fall back to the front
-				cold = nil
+				warm = nil
 			}
 		}
 		n := 1
 		for n < max && start+n < len(ids) && ids[start+n] == ids[start+n-1]+1 &&
-			!cold[ids[start+n]] {
+			!warm[ids[start+n]] {
 			n++
 		}
 		granted = ids[start : start+n]

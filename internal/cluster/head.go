@@ -222,9 +222,11 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 					return err
 				}
 			}
-			if req.Resident != nil {
+			if req.HasResident {
 				// The cluster's reported cache residency steers stealing:
-				// thieves are granted this site's cold chunks first.
+				// thieves are granted this site's cold chunks first. An
+				// empty report runs SetResident's delete path so a
+				// drained cache sheds its stale warm set.
 				h.pool.SetResident(site, req.Resident)
 			}
 			grants := h.pool.Acquire(site, req.Max)

@@ -220,12 +220,13 @@ func (m *Master) refillLoop() error {
 		}
 		completed := m.completed
 		m.completed = nil
-		resident := m.residentUnionLocked()
+		resident, hasResident := m.residentUnionLocked()
 		m.mu.Unlock()
 
 		resp, err := m.head.Call(&wire.Message{
 			Kind: wire.KindRequestJobs, Site: m.cfg.Site,
-			Max: m.cfg.Batch, Completed: completed, Resident: resident,
+			Max: m.cfg.Batch, Completed: completed,
+			Resident: resident, HasResident: hasResident,
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: master %s: request jobs: %w", m.cfg.Site, err)
@@ -313,7 +314,9 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 
 		case wire.KindRequestJob:
 			completed = append(completed, req.Completed...)
-			if req.Resident != nil {
+			if req.HasResident {
+				// An empty report still replaces the previous one: a
+				// drained cache must clear its stale warm set.
 				m.mu.Lock()
 				m.resident[connID] = req.Resident
 				m.mu.Unlock()
@@ -417,10 +420,13 @@ func (m *Master) takeJobs(max int) (jobs, hints []wire.JobAssign, done bool) {
 }
 
 // residentUnionLocked merges every slave connection's latest reported
-// cache-resident chunk ids into one deduplicated set for the head.
-func (m *Master) residentUnionLocked() []int32 {
+// cache-resident chunk ids into one deduplicated set for the head. The
+// second return is false only when no slave has reported at all; an
+// empty union from drained caches still reports true so the head
+// clears the site's stale warm set.
+func (m *Master) residentUnionLocked() ([]int32, bool) {
 	if len(m.resident) == 0 {
-		return nil
+		return nil, false
 	}
 	seen := make(map[int32]bool)
 	var out []int32
@@ -432,7 +438,7 @@ func (m *Master) residentUnionLocked() []int32 {
 			}
 		}
 	}
-	return out
+	return out, true
 }
 
 // combineAndReport performs the intra-cluster combine, ships the

@@ -338,12 +338,13 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 
 	request := func(completed []int32) (*wire.Message, error) {
 		var resident []int32
-		if s.cfg.Cache.Enabled() {
+		hasResident := s.cfg.Cache.Enabled()
+		if hasResident {
 			resident = s.residentIDs()
 		}
 		return conn.Call(&wire.Message{
 			Kind: wire.KindRequestJob, Max: s.cfg.JobsPerRequest,
-			Completed: completed, Resident: resident,
+			Completed: completed, Resident: resident, HasResident: hasResident,
 		})
 	}
 

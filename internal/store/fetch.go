@@ -159,18 +159,29 @@ func Fetch(st Store, name string, off, length int64, opts FetchOptions) ([]byte,
 	)
 	worker := func() {
 		defer wg.Done()
+		retired := false
 		defer func() {
-			poolMu.Lock()
-			running--
-			poolMu.Unlock()
+			// The failure-return and channel-drained exits decrement
+			// here; a retiring reader already decremented under the lock
+			// at the moment it decided, so the `running > 1` survivor
+			// guarantee holds.
+			if !retired {
+				poolMu.Lock()
+				running--
+				poolMu.Unlock()
+			}
 		}()
 		for j := range jobs {
 			if skip(j.start) {
 				continue
 			}
 			var t0 time.Time
+			var issued int64
 			if tuned {
 				t0 = opts.Clock.Now()
+				poolMu.Lock()
+				issued = running
+				poolMu.Unlock()
 			}
 			// Each sub-range retries independently: a transient
 			// failure costs one range's backoff, not the whole
@@ -194,10 +205,7 @@ func Fetch(st Store, name string, off, length int64, opts FetchOptions) ([]byte,
 				return
 			}
 			if tuned {
-				poolMu.Lock()
-				cur := running
-				poolMu.Unlock()
-				dec := opts.Tuner.Observe(int(cur), j.end-j.start,
+				dec := opts.Tuner.Observe(int(issued), j.end-j.start,
 					opts.Clock.ToEmu(opts.Clock.Now().Sub(t0)))
 				if opts.Stats != nil {
 					opts.Stats.CountAutotune(dec)
@@ -208,6 +216,12 @@ func Fetch(st Store, name string, off, length int64, opts FetchOptions) ([]byte,
 				}
 				poolMu.Lock()
 				if running > target && running > 1 {
+					// Decide and decrement atomically: releasing the lock
+					// before the decrement would let a second reader see
+					// the stale count and retire too, draining the pool
+					// with sub-ranges still queued.
+					running--
+					retired = true
 					poolMu.Unlock()
 					return // over target: this reader retires
 				}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"math"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -113,6 +114,43 @@ func TestFetchTunedPoolGrowsMidFetch(t *testing.T) {
 	}
 	if peak > 8 {
 		t.Fatalf("pool exceeded the controller ceiling: peak = %d", peak)
+	}
+}
+
+func TestFetchTunedShrinkKeepsSurvivor(t *testing.T) {
+	// Regression: a reader's retirement decision and its running-count
+	// decrement must happen atomically under poolMu. They used to be
+	// split (decrement in a deferred func after the unlock), so when the
+	// controller collapsed toward 1 reader, two readers could both see
+	// the stale count, both pass `running > 1`, and both retire — the
+	// pool hit zero with sub-ranges still queued and Fetch returned a
+	// partially-filled buffer with no error. The tuner here is rigged to
+	// back off on every epoch (bestRate pinned far above anything the
+	// store can achieve), driving 8 readers down to 1 mid-fetch.
+	m := NewMem()
+	data := fillPattern(64<<10, 7)
+	m.Put("d", data)
+	for i := 0; i < 30; i++ {
+		mc := &pacedConcurrency{Mem: m, delay: 50 * time.Microsecond}
+		tu := &Autotuner{
+			threads: 8, min: 1, max: 8, window: 1,
+			eps: autotuneEps, beta: autotuneBeta,
+			bestRate: math.MaxFloat64 / 4,
+		}
+		got, err := Fetch(mc, "d", 0, int64(len(data)), FetchOptions{
+			RangeSize: 512, // 128 sub-ranges: the shrink happens mid-flight
+			Clock:     netsim.Real(),
+			Tuner:     tu,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("iteration %d: shrinking pool dropped queued sub-ranges", i)
+		}
+		if st := tu.Stats(); st.Drops < 1 {
+			t.Fatalf("iteration %d: tuner never backed off: %+v", i, st)
+		}
 	}
 }
 

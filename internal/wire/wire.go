@@ -132,6 +132,12 @@ type Message struct {
 	// the head steers work stealing away from chunks a victim already
 	// has warm (stealing those would waste the victim's cache).
 	Resident []int32
+	// HasResident marks that Resident carries a report, even an empty
+	// one. Gob drops zero-length slices in transit, so without the flag
+	// a drained cache ("resident: nothing") is indistinguishable from a
+	// disabled one ("no report") and stale warm sets could never be
+	// cleared upstream.
+	HasResident bool
 
 	File string
 	Off  int64

@@ -60,6 +60,28 @@ func TestSendRecvRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEmptyResidentReportSurvivesGob(t *testing.T) {
+	// Gob drops zero-length slices in transit, so an empty residency
+	// report ("cache enabled but drained") rides on the HasResident
+	// flag; without it the report would decode identically to "no
+	// cache" and a drained cache could never clear its stale warm set
+	// upstream.
+	a, b := connPair(t)
+	if err := a.Send(&Message{Kind: KindRequestJob, Resident: []int32{}, HasResident: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasResident {
+		t.Fatal("HasResident flag lost in transit")
+	}
+	if len(got.Resident) != 0 {
+		t.Fatalf("Resident = %v, want empty", got.Resident)
+	}
+}
+
 func TestCallRequestResponse(t *testing.T) {
 	a, b := connPair(t)
 	go func() {
