@@ -39,6 +39,7 @@ import (
 	"cloudburst/internal/chunk"
 	"cloudburst/internal/cluster"
 	"cloudburst/internal/driver"
+	"cloudburst/internal/elastic"
 	"cloudburst/internal/faults"
 	"cloudburst/internal/gr"
 	"cloudburst/internal/metrics"
@@ -177,6 +178,35 @@ type (
 // Deploy executes one complete job across the configured sites and
 // returns the globally reduced result with its run report.
 func Deploy(cfg DeployConfig) (*RunResult, error) { return cluster.Run(cfg) }
+
+// Elastic bursting: deadline/cost-driven dynamic provisioning.
+type (
+	// ElasticConfig parameterizes the head-side scaling controller;
+	// install one via DeployConfig.Elastic to scale a site's worker
+	// count against a run deadline and cost model mid-run.
+	ElasticConfig = elastic.Config
+	// ElasticController watches per-site progress and issues scale-up
+	// (boot) and scale-down (drain) decisions.
+	ElasticController = elastic.Controller
+	// ScaleDecision is one scaling action (Delta > 0 boots workers,
+	// Delta < 0 drains them).
+	ScaleDecision = elastic.Decision
+	// ElasticReport summarizes a run's membership churn, deadline
+	// outcome, and cost accounting.
+	ElasticReport = metrics.ElasticReport
+	// ScaleEvent records one controller decision.
+	ScaleEvent = metrics.ScaleEvent
+)
+
+// NewElasticController builds a scaling controller; the cluster layer
+// calls this itself when DeployConfig.Elastic is set.
+func NewElasticController(cfg ElasticConfig) *ElasticController { return elastic.New(cfg) }
+
+// ElasticCost prices instance time (emulated seconds, per-second
+// billing) and cross-site egress under the given rates.
+func ElasticCost(instanceSecs float64, egressBytes int64, instanceRate, egressRate float64) (instUSD, egressUSD, totalUSD float64) {
+	return elastic.Cost(instanceSecs, egressBytes, instanceRate, egressRate)
+}
 
 // Fault injection and recovery.
 type (

@@ -29,14 +29,14 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune")
+			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune, elastic")
 		scale   = flag.Float64("scale", 0, "clock scale override (wall s per emulated s)")
 		divisor = flag.Int64("records-divisor", 1, "shrink data sets (and jobs) by this factor")
 		verbose = flag.Bool("v", false, "log cluster progress")
 
 		overlapIters = flag.Int("overlap-iters", 3, "overlap: pagerank power iterations")
-		jsonPath     = flag.String("json", "", "overlap/autotune: also write results as JSON to this file")
-		checkWin     = flag.Bool("check-win", false, "autotune: fail unless the controller meets its acceptance ratios")
+		jsonPath     = flag.String("json", "", "overlap/autotune/elastic: also write results as JSON to this file")
+		checkWin     = flag.Bool("check-win", false, "autotune/elastic: fail unless the controller meets its acceptance criteria")
 
 		faultSeed      = flag.Int64("fault-seed", 42, "chaos: fault plan seed")
 		faultTransient = flag.Float64("fault-transient", 0.02, "chaos: per-request transient fault probability")
@@ -216,6 +216,66 @@ func main() {
 		}
 	}
 
+	runElastic := func() {
+		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))
+		res, err := bench.ElasticSweep(specs["a"], sim, scaleUp, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderElastic("knn, deadline-driven cloud provisioning", res))
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("elastic results written to %s\n", *jsonPath)
+		}
+		if !res.Match {
+			fatal(fmt.Errorf("elastic variants diverged from the baseline result"))
+		}
+		if *checkWin {
+			local := res.Row("local-only")
+			static := res.Row("static-over")
+			el := res.Row("elastic")
+			drain := res.Row("elastic-drain")
+			if local == nil || static == nil || el == nil || drain == nil {
+				fatal(fmt.Errorf("elastic sweep is missing rows"))
+			}
+			if local.MetDeadline {
+				fatal(fmt.Errorf("local-only met the %.1fs deadline (%.1fs) — deadline is not binding",
+					res.Deadline.Seconds(), local.Seconds()))
+			}
+			if !static.MetDeadline {
+				fatal(fmt.Errorf("static-over missed the %.1fs deadline (%.1fs)",
+					res.Deadline.Seconds(), static.Seconds()))
+			}
+			if !el.MetDeadline {
+				fatal(fmt.Errorf("elastic missed the %.1fs deadline (%.1fs)",
+					res.Deadline.Seconds(), el.Seconds()))
+			}
+			if el.Boots == 0 {
+				fatal(fmt.Errorf("elastic booted no workers — the controller never scaled up"))
+			}
+			if el.TotalUSD >= static.TotalUSD {
+				fatal(fmt.Errorf("elastic cost $%.4f is not below static-over $%.4f",
+					el.TotalUSD, static.TotalUSD))
+			}
+			if drain.Drains == 0 {
+				fatal(fmt.Errorf("elastic-drain drained no workers — the controller never scaled down"))
+			}
+			if !drain.MetDeadline {
+				fatal(fmt.Errorf("elastic-drain missed the %.1fs deadline (%.1fs)",
+					res.Deadline.Seconds(), drain.Seconds()))
+			}
+			fmt.Printf("elastic win check: local-only %.1fs misses, elastic %.1fs at $%.4f beats static-over %.1fs at $%.4f, drain variant sheds %d ✓\n",
+				local.Seconds(), el.Seconds(), el.TotalUSD,
+				static.Seconds(), static.TotalUSD, drain.Drains)
+		}
+	}
+
 	runChaos := func() {
 		params := bench.DefaultChaos(*faultSeed)
 		params.TransientProb = *faultTransient
@@ -240,6 +300,8 @@ func main() {
 		runOverlap()
 	case "autotune":
 		runAutotune()
+	case "elastic":
+		runElastic()
 	case "cost":
 		results := runFig3("a")
 		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))

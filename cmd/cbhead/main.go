@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"time"
 
 	_ "cloudburst/internal/apps" // register built-in applications
 	"cloudburst/internal/cli"
 	"cloudburst/internal/cluster"
+	"cloudburst/internal/elastic"
 	"cloudburst/internal/gr"
 	"cloudburst/internal/netsim"
 )
@@ -30,6 +32,15 @@ func main() {
 		listen    = flag.String("listen", ":7070", "listen address")
 		heartbeat = flag.Duration("heartbeat", 0, "declare a silent master lost after 3 missed intervals (0 disables)")
 		quiet     = flag.Bool("q", false, "suppress progress logging")
+
+		deadline     = flag.Duration("deadline", 0, "run deadline; enables the elastic scaling controller (0 disables)")
+		elasticSite  = flag.String("elastic-site", "cloud", "site the elastic controller scales")
+		elasticMin   = flag.Int("elastic-min", 1, "elastic: minimum workers at the scaled site")
+		elasticMax   = flag.Int("elastic-max", 16, "elastic: maximum workers at the scaled site")
+		elasticBoot  = flag.Duration("elastic-boot", 60*time.Second, "elastic: boot latency assumed for new instances")
+		elasticWork  = flag.String("elastic-workers", "", "elastic: initial workers per site, site=count,... (required with -deadline)")
+		instanceRate = flag.Float64("elastic-instance-rate", 0.17, "elastic: USD per worker-hour")
+		egressRate   = flag.Float64("elastic-egress-rate", 0.12, "elastic: USD per GiB crossing sites")
 	)
 	flag.Parse()
 	if *appName == "" {
@@ -55,11 +66,41 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
-	head, err := cluster.NewHead(cluster.HeadConfig{
+	cfg := cluster.HeadConfig{
 		App: app, Index: idx, Clusters: *clusters,
 		Clock: netsim.Real(), Logf: logf,
 		HeartbeatInterval: *heartbeat,
-	})
+	}
+	if *deadline > 0 {
+		workers, err := cli.ParseParams(*elasticWork)
+		if err != nil || len(workers) == 0 {
+			fatal(fmt.Errorf("-deadline requires -elastic-workers site=count,... (%v)", err))
+		}
+		wmap := make(map[string]int, len(workers))
+		for s, v := range workers {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				fatal(fmt.Errorf("-elastic-workers %s=%q: not a worker count", s, v))
+			}
+			wmap[s] = n
+		}
+		cfg.Elastic = elastic.New(elastic.Config{
+			Site: *elasticSite, Deadline: *deadline,
+			MinWorkers: *elasticMin, MaxWorkers: *elasticMax,
+			BootLatency:  *elasticBoot,
+			InstanceRate: *instanceRate, EgressRate: *egressRate,
+			Workers: wmap, Logf: logf,
+		})
+		// The head cannot boot machines itself: surface scale-up
+		// decisions as operator instructions. Scale-downs need no
+		// operator action — the site's master drains the surplus and
+		// the drained cbslave processes exit on their own.
+		cfg.ScaleUp = func(site string, n int) {
+			fmt.Printf("cbhead: ELASTIC: start %d more worker(s) at site %s: cbslave -join -site %s -master <%s master addr> ...\n",
+				n, site, site, site)
+		}
+	}
+	head, err := cluster.NewHead(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -84,6 +125,9 @@ func main() {
 			c.Workers.Retrieval.Round(time.Millisecond),
 			c.Workers.Sync.Round(time.Millisecond),
 			c.IdleAtEnd.Round(time.Millisecond))
+	}
+	if report.Elastic != nil {
+		fmt.Println("cbhead:", elastic.String(report.Elastic))
 	}
 	if report.FinalResult != "" {
 		fmt.Println("cbhead: result:", report.FinalResult)

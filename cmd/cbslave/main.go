@@ -41,6 +41,7 @@ func main() {
 		prefetch   = flag.Bool("prefetch", false, "pipeline retrieval: fetch the next grant while the current one reduces")
 		budgetMB   = flag.Int64("prefetch-budget-mb", 0, "cap on in-flight prefetched data (0 = default 64 MiB, negative = unlimited)")
 		cacheMB    = flag.Int64("cache-mb", 0, "chunk cache size (0 disables; useful for re-running over the same data)")
+		join       = flag.Bool("join", false, "join a running cluster mid-run (elastic scale-up) instead of counting against the deploy-time membership")
 	)
 	flag.Parse()
 	if *site == "" || *masterAddr == "" || *appName == "" || *dataDir == "" {
@@ -88,6 +89,7 @@ func main() {
 		Prefetch:      *prefetch, PrefetchBudget: budget,
 		Cache:             cache,
 		HeartbeatInterval: *beat,
+		Join:              *join,
 		Clock:             netsim.Real(),
 	})
 	if err != nil {
@@ -112,6 +114,9 @@ func main() {
 		fmt.Printf("cbslave: adaptive: tuned=%d raises=%d drops=%d hints=%d warmed=%d denied=%d\n",
 			s.AutotuneSamples, s.AutotuneRaises, s.AutotuneDrops,
 			s.HintsReceived, s.HintsWarmed, s.HintsDenied)
+	}
+	if chunks, bytes := slave.HintWaste(); chunks > 0 {
+		fmt.Printf("cbslave: hint waste: %d chunk(s), %d bytes warmed but never granted\n", chunks, bytes)
 	}
 }
 

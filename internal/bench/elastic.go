@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cloudburst/internal/elastic"
+	"cloudburst/internal/metrics"
+)
+
+// The elastic experiment is the deadline sweep: the same workload under
+// a run deadline, with the cloud site provisioned three different ways.
+// local-only keeps everything in-house and misses the deadline;
+// static-over provisions enough cloud cores up front to meet it, paying
+// for the full fleet wall-to-wall; elastic starts from a token cloud
+// presence and lets the controller boot capacity mid-run until the ETA
+// fits, meeting the deadline at lower cost; elastic-drain starts
+// over-provisioned under the same deadline and must shed the surplus
+// mid-run through the drain protocol. Results must be digest-identical
+// across every variant — membership churn reshuffles who computes what,
+// never what is computed.
+
+const (
+	// elasticLocalCores is the fixed in-house capacity every variant
+	// keeps; the deadline is derived from its solo run.
+	elasticLocalCores = 8
+	// elasticCloudOver is the static over-provisioned fleet (and the
+	// controller's MaxWorkers); elasticCloudSeed is the token presence
+	// the elastic variant starts from. 24 cores sit past the knee of
+	// the measured wall-vs-cores curve (the S3 link and WAN stealing
+	// saturate around 16), so the static fleet pays for capacity that
+	// buys almost no time — the over-provisioning the controller's
+	// minimal-fleet search avoids.
+	elasticCloudOver = 24
+	elasticCloudSeed = 2
+	// elasticStepUp caps workers booted per controller decision; a
+	// steep ramp keeps the seed fleet's head start from eating the
+	// deadline slack.
+	elasticStepUp = 8
+	// elasticDeadlineFrac sets the deadline as a fraction of the
+	// measured local-only wall: tight enough that in-house capacity
+	// cannot meet it, loose enough that a burst fleet can.
+	elasticDeadlineFrac = 0.85
+	// elasticBootFrac sets the emulated instance boot latency as a
+	// fraction of the local-only wall, keeping the boot-vs-run-length
+	// ratio invariant across workload shrink factors.
+	elasticBootFrac = 0.05
+	// elasticBatch / elasticJobsPer shrink the master refill batches:
+	// the head's scale pushes and the masters' progress gauges both
+	// ride the refill exchange, so small batches keep the control loop
+	// live for the whole run instead of the masters hoovering the pool
+	// up front and going silent.
+	elasticBatch   = 4
+	elasticJobsPer = 1
+)
+
+// ElasticRow is one provisioning variant's outcome under the deadline.
+type ElasticRow struct {
+	Label string
+	// CloudCores is the variant's initial cloud worker count; Elastic
+	// marks the scaling controller as active.
+	CloudCores int
+	Elastic    bool
+	TotalEmu   time.Duration
+	// MetDeadline records TotalEmu against the shared deadline.
+	MetDeadline bool
+	// Membership churn (zero for static variants).
+	Boots, Drains, WastedBoots int
+	// Peak is the largest commanded cloud worker count.
+	Peak int
+	// InstanceSecs integrates commanded cloud workers over emulated
+	// seconds (static variants: cores x wall). EgressGiB is cross-site
+	// traffic projected to paper scale.
+	InstanceSecs float64
+	EgressGiB    float64
+	InstanceUSD  float64
+	EgressUSD    float64
+	TotalUSD     float64
+	// Events is the controller's decision trace (elastic variants).
+	Events []metrics.ScaleEvent
+	// Digest is the application result digest.
+	Digest string
+}
+
+// Seconds is TotalEmu in emulated seconds (for JSON consumers).
+func (r ElasticRow) Seconds() float64 { return r.TotalEmu.Seconds() }
+
+// ElasticResult is the whole sweep for one application.
+type ElasticResult struct {
+	App        string
+	LocalCores int
+	// BaselineEmu is the measured local-only wall the deadline derives
+	// from; Deadline = elasticDeadlineFrac x BaselineEmu.
+	BaselineEmu time.Duration
+	Deadline    time.Duration
+	Rows        []ElasticRow
+	// Match is true when every row produced the same digest.
+	Match bool
+}
+
+// Row returns the row with the given label, or nil.
+func (e *ElasticResult) Row(label string) *ElasticRow {
+	for i := range e.Rows {
+		if e.Rows[i].Label == label {
+			return &e.Rows[i]
+		}
+	}
+	return nil
+}
+
+// finish verifies digest invariance and fills the Match flag.
+func (e *ElasticResult) finish() {
+	e.Match = true
+	for _, r := range e.Rows[1:] {
+		if r.Digest != e.Rows[0].Digest {
+			e.Match = false
+		}
+	}
+}
+
+// ElasticSweep measures the local-only baseline, derives the deadline
+// from it, and runs the static-over / elastic / elastic-drain variants
+// against that deadline. scaleUp projects egress bytes back to paper
+// scale for the dollar figures (instance time needs no projection:
+// emulated seconds already read at paper scale). Cloud instance time is
+// priced per emulated second — AWS moved to per-second billing after
+// the paper's 2011 testbed, and full-hour rounding would flatten every
+// sub-hour scaling decision this experiment exists to compare.
+func ElasticSweep(spec AppSpec, sim SimParams, scaleUp float64, logf func(string, ...any)) (*ElasticResult, error) {
+	spec = spec.withDefaults()
+	prices := AWS2011()
+	coreRate := prices.InstancePerHour / float64(prices.CoresPerInstance)
+
+	base := RunConfig{
+		Spec: spec, LocalPct: 100, LocalCores: elasticLocalCores,
+		Sim: sim, Batch: elasticBatch, JobsPerRequest: elasticJobsPer,
+		Logf: logf,
+	}
+	out := &ElasticResult{App: spec.Name, LocalCores: elasticLocalCores}
+
+	res, err := Execute(base)
+	if err != nil {
+		return nil, fmt.Errorf("bench: elastic %s local-only: %w", spec.Name, err)
+	}
+	out.BaselineEmu = res.Report.TotalWall
+	out.Deadline = time.Duration(float64(out.BaselineEmu) * elasticDeadlineFrac)
+	boot := time.Duration(float64(out.BaselineEmu) * elasticBootFrac)
+	out.Rows = append(out.Rows, staticElasticRow("local-only", res, out.Deadline, scaleUp, coreRate, prices.EgressPerGB))
+
+	// Workers is left nil: the deployment seeds it from the site specs,
+	// so each variant's initial cloud cores become the starting target.
+	ctrl := func() *elastic.Config {
+		return &elastic.Config{
+			Site:         "cloud",
+			Deadline:     out.Deadline,
+			MinWorkers:   1,
+			MaxWorkers:   elasticCloudOver,
+			StepUp:       elasticStepUp,
+			BootLatency:  boot,
+			InstanceRate: coreRate,
+			EgressRate:   prices.EgressPerGB,
+			Logf:         logf,
+		}
+	}
+	variants := []struct {
+		label      string
+		cloudCores int
+		elastic    bool
+	}{
+		{"static-over", elasticCloudOver, false},
+		{"elastic", elasticCloudSeed, true},
+		{"elastic-drain", elasticCloudOver, true},
+	}
+	for _, v := range variants {
+		cfg := RunConfig{
+			Spec: spec, LocalPct: 50, LocalCores: elasticLocalCores,
+			CloudCores: v.cloudCores, Sim: sim,
+			Batch: elasticBatch, JobsPerRequest: elasticJobsPer,
+			Logf: logf,
+		}
+		if v.elastic {
+			cfg.Elastic = ctrl()
+		}
+		res, err := Execute(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: elastic %s %s: %w", spec.Name, v.label, err)
+		}
+		if v.elastic {
+			el := res.Report.Elastic
+			if el == nil {
+				return nil, fmt.Errorf("bench: elastic %s %s: run produced no elastic report", spec.Name, v.label)
+			}
+			row := ElasticRow{
+				Label: v.label, CloudCores: v.cloudCores, Elastic: true,
+				TotalEmu:    res.Report.TotalWall,
+				MetDeadline: res.Report.TotalWall <= out.Deadline,
+				Boots:       el.Boots, Drains: el.Drains,
+				WastedBoots: el.WastedBoots, Peak: el.Peak,
+				Events: el.Events,
+				Digest: res.Report.FinalResult,
+			}
+			fillElasticCost(&row, el.InstanceSecs, egressBytes(res.Report), scaleUp, coreRate, prices.EgressPerGB)
+			out.Rows = append(out.Rows, row)
+		} else {
+			out.Rows = append(out.Rows, staticElasticRow(v.label, res, out.Deadline, scaleUp, coreRate, prices.EgressPerGB))
+		}
+	}
+	out.finish()
+	return out, nil
+}
+
+// staticElasticRow prices a fixed-membership run the same way the
+// controller prices itself: cloud cores billed wall-to-wall.
+func staticElasticRow(label string, res *EnvResult, deadline time.Duration, scaleUp, coreRate, egressRate float64) ElasticRow {
+	row := ElasticRow{
+		Label: label, CloudCores: res.CloudCores,
+		TotalEmu:    res.Report.TotalWall,
+		MetDeadline: res.Report.TotalWall <= deadline,
+		Peak:        res.CloudCores,
+		Digest:      res.Report.FinalResult,
+	}
+	instSecs := float64(res.CloudCores) * res.Report.TotalWall.Seconds()
+	fillElasticCost(&row, instSecs, egressBytes(res.Report), scaleUp, coreRate, egressRate)
+	return row
+}
+
+// egressBytes sums cross-site traffic over every cluster, matching the
+// head's own egress accounting for the in-run elastic report.
+func egressBytes(rep *metrics.RunReport) int64 {
+	var total int64
+	for _, c := range rep.Clusters {
+		total += c.Workers.BytesRemote
+	}
+	return total
+}
+
+func fillElasticCost(row *ElasticRow, instSecs float64, egress int64, scaleUp, coreRate, egressRate float64) {
+	scaled := int64(float64(egress) * scaleUp)
+	row.InstanceSecs = instSecs
+	row.EgressGiB = float64(scaled) / (1 << 30)
+	row.InstanceUSD, row.EgressUSD, row.TotalUSD = elastic.Cost(instSecs, scaled, coreRate, egressRate)
+}
+
+// RenderElastic prints the deadline sweep with each variant's
+// membership churn and projected dollar cost.
+func RenderElastic(title string, res *ElasticResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Deadline sweep — %s (local %d cores; deadline %.1fs = %.0f%% of local-only %.1fs)\n",
+		title, res.LocalCores, res.Deadline.Seconds(),
+		elasticDeadlineFrac*100, res.BaselineEmu.Seconds())
+	fmt.Fprintf(&b, "  %-14s %6s %8s %9s %6s %7s %5s %8s %8s %8s %9s\n",
+		"variant", "cloud", "total", "deadline", "boots", "drains", "peak", "inst-s", "inst $", "egress $", "total $")
+	for _, r := range res.Rows {
+		met := "met ✓"
+		if !r.MetDeadline {
+			met = "MISS ✗"
+		}
+		fmt.Fprintf(&b, "  %-14s %6d %8.1f %9s %6d %7d %5d %8.0f %8.4f %8.4f %9.4f\n",
+			r.Label, r.CloudCores, r.TotalEmu.Seconds(), met,
+			r.Boots, r.Drains, r.Peak, r.InstanceSecs,
+			r.InstanceUSD, r.EgressUSD, r.TotalUSD)
+	}
+	for _, r := range res.Rows {
+		if len(r.Events) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s decisions:", r.Label)
+		for _, ev := range r.Events {
+			fmt.Fprintf(&b, " [%.1fs %d→%d %s]",
+				ev.AtEmu.Seconds(), ev.From, ev.To, ev.Reason)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if res.Match {
+		fmt.Fprintf(&b, "  result digests: identical across all variants ✓\n")
+	} else {
+		fmt.Fprintf(&b, "  result digests: DIVERGED — membership churn changed results\n")
+		for _, r := range res.Rows {
+			fmt.Fprintf(&b, "    %-14s %s\n", r.Label+":", r.Digest)
+		}
+	}
+	return b.String()
+}

@@ -8,6 +8,7 @@ import (
 	"cloudburst/internal/apps"
 	"cloudburst/internal/chunk"
 	"cloudburst/internal/cluster"
+	"cloudburst/internal/elastic"
 	"cloudburst/internal/faults"
 	"cloudburst/internal/gr"
 	"cloudburst/internal/metrics"
@@ -206,7 +207,10 @@ type RunConfig struct {
 	CacheBytes int64
 	// Chaos, when set, injects faults into the run (see ChaosParams).
 	Chaos *ChaosParams
-	Logf  func(format string, args ...any)
+	// Elastic, when set, runs the deadline/cost scaling controller for
+	// one site (see cluster.DeployConfig.Elastic).
+	Elastic *elastic.Config
+	Logf    func(format string, args ...any)
 }
 
 // EnvResult is one configuration's outcome.
@@ -364,6 +368,7 @@ func BuildDeploy(cfg RunConfig) (*Deployment, error) {
 			CacheBytes:        cfg.CacheBytes,
 			HeartbeatInterval: heartbeat,
 			HeartbeatMisses:   misses,
+			Elastic:           cfg.Elastic,
 			Logf:              cfg.Logf,
 		},
 		Plan: plan,

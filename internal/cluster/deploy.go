@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cloudburst/internal/chunk"
+	"cloudburst/internal/elastic"
 	"cloudburst/internal/gr"
 	"cloudburst/internal/metrics"
 	"cloudburst/internal/netsim"
@@ -90,6 +91,13 @@ type DeployConfig struct {
 	HeartbeatInterval time.Duration
 	HeartbeatMisses   int
 
+	// Elastic enables the deadline/cost scaling controller for one
+	// site: the head observes progress and issues decisions, a
+	// provisioner boots 1-core join slaves after Elastic.BootLatency of
+	// emulated time, and the site's master drains surplus workers. The
+	// named site's SiteSpec.Cores seeds the initial membership.
+	Elastic *elastic.Config
+
 	Logf func(format string, args ...any)
 }
 
@@ -103,6 +111,59 @@ type RunResult struct {
 	PerSiteFinal map[string]gr.Reduction
 }
 
+// provisioner boots additional 1-core slaves for the elastic site,
+// each paying the configured emulated boot latency before it can dial
+// in and join. Provisioned workers never fail the run: a worker lost
+// after joining re-executes through the slave-lost path, and a boot
+// that lands after the run ends is merely wasted money.
+type provisioner struct {
+	clock netsim.Clock
+	boot  time.Duration
+	logf  func(format string, args ...any)
+
+	mu      sync.Mutex
+	stopped bool
+	spawn   func() error // set once the elastic site's master listens
+	slaves  []*Slave     // every provisioned slave (hint-waste folding)
+	wasted  int          // boots that arrived after the run ended
+	wg      sync.WaitGroup
+}
+
+// ScaleUp implements HeadConfig.ScaleUp; it returns immediately and
+// boots n workers in the background.
+func (p *provisioner) ScaleUp(site string, n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.clock.Sleep(p.boot) // simulated instance boot
+			p.mu.Lock()
+			spawn, stopped := p.spawn, p.stopped
+			p.mu.Unlock()
+			if stopped || spawn == nil {
+				p.noteWasted()
+				return
+			}
+			if err := spawn(); err != nil {
+				p.noteWasted()
+				p.logf("provisioner: %s worker boot wasted: %v", site, err)
+			}
+		}()
+	}
+}
+
+func (p *provisioner) noteWasted() {
+	p.mu.Lock()
+	p.wasted++
+	p.mu.Unlock()
+}
+
+func (p *provisioner) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+}
+
 // Run executes one complete job: it starts the head, masters, and
 // slaves, processes every chunk of the index, performs local and
 // global reductions, and returns the merged result and the run report.
@@ -113,11 +174,38 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = netsim.Instant()
 	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	var ctrl *elastic.Controller
+	var prov *provisioner
+	if cfg.Elastic != nil {
+		ecfg := *cfg.Elastic
+		if ecfg.Workers == nil {
+			ecfg.Workers = make(map[string]int, len(cfg.Sites))
+			for _, s := range cfg.Sites {
+				ecfg.Workers[s.Name] = s.Cores
+			}
+		}
+		if ecfg.Logf == nil {
+			ecfg.Logf = cfg.Logf
+		}
+		ctrl = elastic.New(ecfg)
+		prov = &provisioner{clock: cfg.Clock, boot: ecfg.BootLatency, logf: logf}
+	}
 
 	head, err := NewHead(HeadConfig{
 		App: cfg.App, Index: cfg.Index, Clusters: len(cfg.Sites),
 		Scatter: cfg.Scatter, Clock: cfg.Clock, Logf: cfg.Logf,
 		HeartbeatInterval: cfg.HeartbeatInterval, HeartbeatMisses: cfg.HeartbeatMisses,
+		Elastic: ctrl, ScaleUp: func() func(string, int) {
+			if prov == nil {
+				return nil
+			}
+			return prov.ScaleUp
+		}(),
 	})
 	if err != nil {
 		return nil, err
@@ -132,6 +220,7 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 	result := &RunResult{PerSiteFinal: make(map[string]gr.Reduction)}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	var slaves []*Slave // every static slave (hint-waste folding)
 	errs := make(chan error, 2*len(cfg.Sites))
 
 	for _, site := range cfg.Sites {
@@ -195,6 +284,7 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 			headLn.Close()
 			return nil, err
 		}
+		slaves = append(slaves, slave)
 		wg.Add(1)
 		go func(site SiteSpec, addr string) {
 			defer wg.Done()
@@ -202,9 +292,50 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 				errs <- err
 			}
 		}(site, masterLn.Addr().String())
+
+		// The elastic site's provisioner spawns 1-core join slaves that
+		// share the site's cache, pool, and shaped master link.
+		if prov != nil && site.Name == cfg.Elastic.Site {
+			spawnCfg := SlaveConfig{
+				Site: site.Name, App: cfg.App, Cores: 1, Join: true,
+				HomeStore: site.HomeStore, RemoteStores: site.RemoteStores,
+				Fetch: cfg.Fetch, FetchAutotune: cfg.FetchAutotune,
+				GroupUnits:     cfg.GroupUnits,
+				JobsPerRequest: cfg.JobsPerRequest,
+				HomeFetch:      site.HomeFetch, UnitCostScale: site.UnitCostScale,
+				CostJitter: site.CostJitter,
+				Prefetch:   cfg.Prefetch, PrefetchBudget: cfg.PrefetchBudget,
+				Cache: cache, Pool: pool,
+				HeartbeatInterval: cfg.HeartbeatInterval,
+				Clock:             cfg.Clock, Logf: cfg.Logf,
+			}
+			masterAddr := masterLn.Addr().String()
+			dial := store.Dialer(slaveShaper.DialerBoth())
+			prov.mu.Lock()
+			prov.spawn = func() error {
+				js, err := NewSlave(spawnCfg)
+				if err != nil {
+					return err
+				}
+				prov.mu.Lock()
+				prov.slaves = append(prov.slaves, js)
+				prov.mu.Unlock()
+				_, err = js.Run(masterAddr, dial)
+				return err
+			}
+			prov.mu.Unlock()
+		}
+	}
+	if prov != nil && prov.spawn == nil {
+		headLn.Close()
+		return nil, fmt.Errorf("cluster: elastic site %q not in deployment", cfg.Elastic.Site)
 	}
 
 	report, final, err := head.Wait()
+	if prov != nil {
+		prov.stop()
+		prov.wg.Wait()
+	}
 	wg.Wait()
 	close(errs)
 	for e := range errs {
@@ -217,6 +348,19 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 	}
 	result.Report = report
 	result.Final = final
+	if prov != nil {
+		slaves = append(slaves, prov.slaves...)
+		if report.Elastic != nil {
+			report.Elastic.WastedBoots = prov.wasted
+		}
+	}
+	// Hints the slaves warmed but never got granted are wasted remote
+	// bytes; fold them into the retrieval report.
+	for _, s := range slaves {
+		chunks, bytes := s.HintWaste()
+		report.Retrieval.WastedHints += chunks
+		report.Retrieval.WastedWarmBytes += bytes
+	}
 	// Annotate core counts (the head does not know them).
 	for i := range report.Clusters {
 		for _, site := range cfg.Sites {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cloudburst/internal/chunk"
+	"cloudburst/internal/elastic"
 	"cloudburst/internal/gr"
 	"cloudburst/internal/metrics"
 	"cloudburst/internal/netsim"
@@ -40,6 +41,16 @@ type HeadConfig struct {
 	// HeartbeatMisses is how many silent intervals count as a stall
 	// (default 3).
 	HeartbeatMisses int
+	// Elastic, when set, watches per-site completion rates against the
+	// configured deadline and issues scale decisions for its site. The
+	// head applies them: scale-ups go to the ScaleUp callback (the
+	// provisioner boots new slaves that join the site's master), and
+	// scale-downs are pushed to the site's master as KindScale, which
+	// drains the surplus workers.
+	Elastic *elastic.Controller
+	// ScaleUp provisions n additional workers for site; nil ignores
+	// scale-up decisions. It must not block.
+	ScaleUp func(site string, n int)
 	// Logf receives progress logging; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -76,6 +87,15 @@ type Head struct {
 	resultOnce sync.Once
 	resultCh   chan headResult
 
+	// conns tracks each registered master's connection so scale-down
+	// pushes can reach the right site without holding mu during sends.
+	conns map[string]*wire.Conn
+	// progress holds each site's advisory completion gauge (the live
+	// feed for the elastic controller) and totalJobs the pool size it
+	// is measured against.
+	progress  map[string]int
+	totalJobs int
+
 	wg sync.WaitGroup
 	ln net.Listener
 }
@@ -111,6 +131,8 @@ func NewHead(cfg HeadConfig) (*Head, error) {
 		stats:      make(map[string]wire.Stats),
 		mergeReady: make(chan struct{}),
 		resultCh:   make(chan headResult, 1),
+		conns:      make(map[string]*wire.Conn),
+		progress:   make(map[string]int),
 	}, nil
 }
 
@@ -119,7 +141,18 @@ func (h *Head) Serve(l net.Listener) {
 	h.mu.Lock()
 	h.ln = l
 	h.started = h.cfg.Clock.Now()
+	h.totalJobs = h.pool.Remaining()
 	h.mu.Unlock()
+	if h.cfg.Elastic != nil {
+		// The controller sizes the scaled site against its own backlog,
+		// so it needs the pool's per-home-site job composition.
+		idx := h.pool.Index()
+		byHome := make(map[string]int)
+		for _, c := range idx.Chunks {
+			byHome[idx.Files[c.File].Site]++
+		}
+		h.cfg.Elastic.Start(h.totalJobs, byHome)
+	}
 	h.wg.Add(1)
 	go func() {
 		defer h.wg.Done()
@@ -185,6 +218,16 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 		return fmt.Errorf("cluster: head: unexpected extra master %q (%v)", site, addr)
 	}
 	h.cfg.Logf("head: master %s registered (%d cores)", site, reg.Cores)
+	h.mu.Lock()
+	h.conns[site] = c
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		if h.conns[site] == c {
+			delete(h.conns, site)
+		}
+		h.mu.Unlock()
+	}()
 	if err := c.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
 		return err
 	}
@@ -229,6 +272,7 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 				// drained cache sheds its stale warm set.
 				h.pool.SetResident(site, req.Resident)
 			}
+			h.observe(site, req.Progress)
 			grants := h.pool.Acquire(site, req.Max)
 			resp := &wire.Message{Kind: wire.KindJobs, Done: len(grants) == 0}
 			for _, g := range grants {
@@ -249,6 +293,7 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 					return err
 				}
 			}
+			h.observe(site, req.Progress)
 			obj, err := gr.DecodeReduction(h.cfg.App, req.Object)
 			if err != nil {
 				return fmt.Errorf("cluster: head: decode %s result: %w", site, err)
@@ -291,6 +336,54 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 
 		default:
 			return fmt.Errorf("cluster: head: unexpected %v from %s", req.Kind, site)
+		}
+	}
+}
+
+// observe feeds a site's advisory progress gauge to the elastic controller
+// and applies any scaling decisions: boots through the provisioner
+// callback, drains as a KindScale push to the site's master. Pushes
+// are best-effort — a master that dies before reading one takes the
+// cluster-lost path anyway.
+func (h *Head) observe(site string, gauge int) {
+	ctrl := h.cfg.Elastic
+	if ctrl == nil {
+		return
+	}
+	h.mu.Lock()
+	// The gauge is cumulative and advisory: take the max against what
+	// the site already reported (messages can be reordered relative to
+	// each other) and feed the controller the delta. Remaining work is
+	// measured against the same gauges, not the pool's acked
+	// completions — those are withheld until reduction objects land.
+	prev := h.progress[site]
+	if gauge < prev {
+		gauge = prev
+	}
+	h.progress[site] = gauge
+	delta := gauge - prev
+	sum := 0
+	for _, v := range h.progress {
+		sum += v
+	}
+	remaining := h.totalJobs - sum
+	elapsed := h.cfg.Clock.ToEmu(h.cfg.Clock.Now().Sub(h.started))
+	h.mu.Unlock()
+	for _, d := range ctrl.Observe(site, delta, elapsed, remaining) {
+		switch {
+		case d.Delta > 0:
+			h.cfg.Logf("head: elastic scale-up %s +%d -> %d (%s)", d.Site, d.Delta, d.Target, d.Reason)
+			if h.cfg.ScaleUp != nil {
+				h.cfg.ScaleUp(d.Site, d.Delta)
+			}
+		case d.Delta < 0:
+			h.cfg.Logf("head: elastic scale-down %s %d -> %d (%s)", d.Site, d.Delta, d.Target, d.Reason)
+			h.mu.Lock()
+			c := h.conns[d.Site]
+			h.mu.Unlock()
+			if c != nil {
+				_ = c.Send(&wire.Message{Kind: wire.KindScale, Site: d.Site, Target: d.Target})
+			}
 		}
 	}
 }
@@ -414,6 +507,15 @@ func (h *Head) publish() {
 		if digest, err := s.Summarize(h.finalObj); err == nil {
 			report.FinalResult = digest
 		}
+	}
+	if h.cfg.Elastic != nil {
+		// Egress under the cost model is every byte retrieved across
+		// sites (stolen-chunk reads), summed over all workers.
+		var egress int64
+		for _, st := range h.stats {
+			egress += st.Breakdown.BytesRemote
+		}
+		report.Elastic = h.cfg.Elastic.Report(report.TotalWall, egress)
 	}
 	err := h.runErr
 	if err == nil && !h.pool.Done() {

@@ -93,7 +93,24 @@ type Master struct {
 	completed []int32 // finished job ids not yet reported to the head
 	headDone  bool
 	failed    error
-	expected  int // slave results still awaited (starts at cfg.Slaves)
+	expected  int  // slave results still awaited (starts at cfg.Slaves, grows on joins)
+	finished  bool // doneCh delivered; later results are absorbed silently
+
+	// Dynamic membership: conns tracks every registered slave
+	// connection still in play; draining marks connections commanded to
+	// retire whose results have not yet arrived. While any OTHER
+	// connection is draining, end-of-run grants are held back — the
+	// drain may return work to the queue, and handing out done=true
+	// early would strand it.
+	conns    map[int]*wire.Conn
+	draining map[int]bool
+	drains   int // completed drains (logging)
+	// progress counts every slave-reported completion as it happens —
+	// the advisory gauge piggybacked upstream for the elastic
+	// controller. Unlike m.completed it is never withheld: the head
+	// needs a live rate signal, and tolerates the gauge's optimism
+	// about work a dying slave will end up redoing.
+	progress int
 
 	slaveObjs  []gr.Reduction
 	slaveStats []wire.Stats
@@ -123,7 +140,8 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 		return nil, fmt.Errorf("cluster: master needs a positive slave count")
 	}
 	m := &Master{cfg: cfg, expected: cfg.Slaves, doneCh: make(chan error, 1),
-		resident: make(map[int][]int32)}
+		resident: make(map[int][]int32), conns: make(map[int]*wire.Conn),
+		draining: make(map[int]bool)}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
 }
@@ -220,12 +238,13 @@ func (m *Master) refillLoop() error {
 		}
 		completed := m.completed
 		m.completed = nil
+		progress := m.progress
 		resident, hasResident := m.residentUnionLocked()
 		m.mu.Unlock()
 
-		resp, err := m.head.Call(&wire.Message{
+		resp, err := m.callHead(&wire.Message{
 			Kind: wire.KindRequestJobs, Site: m.cfg.Site,
-			Max: m.cfg.Batch, Completed: completed,
+			Max: m.cfg.Batch, Completed: completed, Progress: progress,
 			Resident: resident, HasResident: hasResident,
 		})
 		if err != nil {
@@ -250,6 +269,87 @@ func (m *Master) refillLoop() error {
 	}
 }
 
+// callHead is Call on the head connection, absorbing the one-way
+// KindScale pushes the elastic controller may interleave with our
+// request/response traffic. Scale pushes sit in the socket until the
+// next head exchange reads them — decision latency is bounded by the
+// refill cadence, which is frequent exactly when scaling matters.
+func (m *Master) callHead(msg *wire.Message) (*wire.Message, error) {
+	if err := m.head.Send(msg); err != nil {
+		return nil, err
+	}
+	for {
+		resp, err := m.head.Recv()
+		if err != nil {
+			return nil, err
+		}
+		switch resp.Kind {
+		case wire.KindScale:
+			m.applyScale(resp.Target)
+			continue
+		case wire.KindError:
+			return nil, &wire.RemoteError{Msg: resp.Err}
+		}
+		return resp, nil
+	}
+}
+
+// applyScale reacts to the head's new worker-count target for this
+// site. Scaling down drains the surplus; scaling up is the
+// provisioner's job (new slaves arrive via KindJoin), so a target
+// above the current membership is a no-op here.
+func (m *Master) applyScale(target int) {
+	m.mu.Lock()
+	active := len(m.conns) - len(m.draining)
+	m.mu.Unlock()
+	if surplus := active - target; surplus > 0 {
+		m.DrainSlaves(surplus)
+	}
+}
+
+// DrainSlaves commands up to n non-draining slaves to retire after
+// their current grant, always keeping at least one active worker so
+// queued work can never strand. It returns how many were commanded.
+func (m *Master) DrainSlaves(n int) int {
+	m.mu.Lock()
+	var victims []*wire.Conn
+	for id, c := range m.conns {
+		if len(victims) >= n {
+			break
+		}
+		if m.draining[id] {
+			continue
+		}
+		if len(m.conns)-len(m.draining) <= 1 {
+			break // never drain the last active worker
+		}
+		m.draining[id] = true
+		victims = append(victims, c)
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast() // waiters in takeJobs re-check their drain flag
+	for _, c := range victims {
+		// Push is best-effort: a conn that dies here takes the
+		// slave-lost path, which re-executes everything it held.
+		_ = c.Send(&wire.Message{Kind: wire.KindDrain})
+	}
+	if len(victims) > 0 {
+		m.cfg.Logf("master %s: draining %d slave(s)", m.cfg.Site, len(victims))
+	}
+	return len(victims)
+}
+
+// drainsPendingExceptLocked reports whether any connection other than
+// connID has been commanded to drain but not yet delivered its result.
+func (m *Master) drainsPendingExceptLocked(connID int) bool {
+	for id := range m.draining {
+		if id != connID {
+			return true
+		}
+	}
+	return false
+}
+
 // handleSlave serves one slave connection: grant jobs until the pool
 // is dry, then collect the slave's reduction object.
 //
@@ -265,8 +365,19 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 	if err != nil {
 		return fmt.Errorf("cluster: master %s: slave %v register: %w", m.cfg.Site, addr, err)
 	}
-	if reg.Kind != wire.KindRegisterSlave {
-		return fmt.Errorf("cluster: master %s: slave %v: expected register-slave, got %v",
+	switch reg.Kind {
+	case wire.KindRegisterSlave:
+		// Expected at deploy time; counted in cfg.Slaves.
+	case wire.KindJoin:
+		// Late join (elastic scale-up): admit the worker and expect one
+		// more result before the local combine.
+		m.mu.Lock()
+		m.expected++
+		joined := m.expected
+		m.mu.Unlock()
+		m.cfg.Logf("master %s: slave %v joined mid-run (%d expected)", m.cfg.Site, addr, joined)
+	default:
+		return fmt.Errorf("cluster: master %s: slave %v: expected register-slave or join, got %v",
 			m.cfg.Site, addr, reg.Kind)
 	}
 	if err := c.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
@@ -287,11 +398,16 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 	m.mu.Lock()
 	connID := m.nextConn
 	m.nextConn++
+	m.conns[connID] = c
 	m.mu.Unlock()
 	defer func() {
 		m.mu.Lock()
 		delete(m.resident, connID)
+		delete(m.conns, connID)
+		delete(m.draining, connID)
 		m.mu.Unlock()
+		// A vanished drain no longer holds back end-of-run grants.
+		m.cond.Broadcast()
 	}()
 
 	for {
@@ -314,6 +430,11 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 
 		case wire.KindRequestJob:
 			completed = append(completed, req.Completed...)
+			if n := len(req.Completed); n > 0 {
+				m.mu.Lock()
+				m.progress += n
+				m.mu.Unlock()
+			}
 			if req.HasResident {
 				// An empty report still replaces the previous one: a
 				// drained cache must clear its stale warm set.
@@ -321,12 +442,12 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 				m.resident[connID] = req.Resident
 				m.mu.Unlock()
 			}
-			jobs, hints, done := m.takeJobs(max(req.Max, 1))
+			jobs, hints, done, drain := m.takeJobs(max(req.Max, 1), connID)
 			for _, j := range jobs {
 				granted[j.Chunk] = j
 			}
 			if err := c.Send(&wire.Message{
-				Kind: wire.KindJobGrant, Jobs: jobs, Hints: hints, Done: done,
+				Kind: wire.KindJobGrant, Jobs: jobs, Hints: hints, Done: done, Drain: drain,
 			}); err != nil {
 				m.slaveLost(granted)
 				return nil
@@ -334,9 +455,34 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 
 		case wire.KindSlaveResult:
 			completed = append(completed, req.Completed...)
-			if len(completed) != len(granted) {
-				return fmt.Errorf("cluster: master %s: slave %v completed %d of %d granted jobs",
-					m.cfg.Site, addr, len(completed), len(granted))
+			// Chunk conservation: completions plus drain-returns must
+			// cover everything ever granted to this connection, exactly
+			// once each. A drain that drops a chunk or a return that
+			// overlaps a completion would silently skew the reduction,
+			// so both fail the run loudly here.
+			outstanding := make(map[int32]bool, len(granted))
+			for id := range granted {
+				outstanding[id] = true
+			}
+			for _, id := range completed {
+				if !outstanding[id] {
+					return fmt.Errorf("cluster: master %s: slave %v completed chunk %d it did not hold",
+						m.cfg.Site, addr, id)
+				}
+				delete(outstanding, id)
+			}
+			var returned []wire.JobAssign
+			for _, id := range req.Returned {
+				if !outstanding[id] {
+					return fmt.Errorf("cluster: master %s: slave %v returned chunk %d it did not hold",
+						m.cfg.Site, addr, id)
+				}
+				delete(outstanding, id)
+				returned = append(returned, granted[id])
+			}
+			if len(outstanding) != 0 {
+				return fmt.Errorf("cluster: master %s: slave %v completed or returned %d of %d granted jobs",
+					m.cfg.Site, addr, len(granted)-len(outstanding), len(granted))
 			}
 			obj, err := gr.DecodeReduction(m.cfg.App, req.Object)
 			if err != nil {
@@ -347,10 +493,25 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 			}
 			m.mu.Lock()
 			m.completed = append(m.completed, completed...)
+			m.progress += len(req.Completed)
 			m.slaveObjs = append(m.slaveObjs, obj)
 			m.slaveStats = append(m.slaveStats, req.Stats)
-			ready := len(m.slaveObjs) == m.expected && m.failed == nil
+			if req.HasReturned {
+				// Drain result: the partial reduction above stands, and
+				// the unprocessed remainder goes back to the local queue
+				// for the surviving workers (or cross-site stealing once
+				// the head re-pools it).
+				m.queue = append(m.queue, returned...)
+				m.drains++
+				m.cfg.Logf("master %s: slave %v drained: %d done, %d returned",
+					m.cfg.Site, addr, len(completed), len(returned))
+			}
+			ready := !m.finished && len(m.slaveObjs) == m.expected && m.failed == nil
+			if ready {
+				m.finished = true
+			}
 			m.mu.Unlock()
+			m.cond.Broadcast() // returned work and cleared drains wake takeJobs
 			if ready {
 				m.doneCh <- nil
 			}
@@ -376,7 +537,10 @@ func (m *Master) slaveLost(granted map[int32]wire.JobAssign) {
 	m.cfg.Logf("master %s: slave lost, requeued %d jobs, %d slaves remain",
 		m.cfg.Site, len(granted), remaining)
 	m.cond.Broadcast()
-	ready := remaining > 0 && results == remaining && m.failed == nil
+	ready := remaining > 0 && results == remaining && m.failed == nil && !m.finished
+	if ready {
+		m.finished = true
+	}
 	m.mu.Unlock()
 	if remaining <= 0 {
 		m.fail(fmt.Errorf("cluster: master %s: all slaves lost", m.cfg.Site))
@@ -391,14 +555,30 @@ func (m *Master) slaveLost(granted map[int32]wire.JobAssign) {
 // refilled; done is true only when the head has no more jobs AND the
 // local queue is empty. hints is a copy of the queue front after the
 // pop — the jobs most likely to be granted next — capped at HintDepth.
-func (m *Master) takeJobs(max int) (jobs, hints []wire.JobAssign, done bool) {
+//
+// Two membership twists: a connection commanded to drain gets the
+// drain flag instead of jobs (even if it was already parked here when
+// the command landed), and end-of-run done grants are withheld while
+// any other connection's drain is still pending — its result may
+// return work to the queue, and a worker released with done=true
+// would never come back for it.
+func (m *Master) takeJobs(max, connID int) (jobs, hints []wire.JobAssign, done, drain bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.headDone && m.failed == nil {
+	for {
+		if m.draining[connID] {
+			return nil, nil, false, true
+		}
+		if len(m.queue) > 0 {
+			break
+		}
+		if m.failed != nil {
+			return nil, nil, true, false
+		}
+		if m.headDone && !m.drainsPendingExceptLocked(connID) {
+			return nil, nil, true, false
+		}
 		m.cond.Wait()
-	}
-	if len(m.queue) == 0 {
-		return nil, nil, true
 	}
 	n := len(m.queue)
 	if max < n {
@@ -416,7 +596,7 @@ func (m *Master) takeJobs(max int) (jobs, hints []wire.JobAssign, done bool) {
 	if len(m.queue) < m.cfg.Watermark {
 		m.cond.Broadcast()
 	}
-	return jobs, hints, false
+	return jobs, hints, false, false
 }
 
 // residentUnionLocked merges every slave connection's latest reported
@@ -450,6 +630,7 @@ func (m *Master) combineAndReport() (gr.Reduction, error) {
 	stats := m.slaveStats
 	completed := m.completed
 	m.completed = nil
+	progress := m.progress
 	started := m.started
 	m.mu.Unlock()
 
@@ -473,9 +654,9 @@ func (m *Master) combineAndReport() (gr.Reduction, error) {
 
 	m.cfg.Logf("master %s: local combine done, %d jobs, shipping %d-byte object",
 		m.cfg.Site, agg.Breakdown.JobsProcessed, len(enc))
-	resp, err := m.head.Call(&wire.Message{
+	resp, err := m.callHead(&wire.Message{
 		Kind: wire.KindClusterResult, Site: m.cfg.Site,
-		Object: enc, Stats: agg, Completed: completed,
+		Object: enc, Stats: agg, Completed: completed, Progress: progress,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: master %s: report: %w", m.cfg.Site, err)

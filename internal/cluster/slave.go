@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloudburst/internal/gr"
@@ -70,6 +71,11 @@ type SlaveConfig struct {
 	// in [1-CostJitter, 1+CostJitter]. The paper observes that the
 	// pooling-based load balancer normalizes exactly this.
 	CostJitter float64
+	// Join registers this slave's workers with KindJoin instead of
+	// KindRegisterSlave: the master admits them mid-run (elastic
+	// scale-up) rather than counting them against the deploy-time
+	// membership.
+	Join bool
 	// HeartbeatInterval, when positive, makes each worker heartbeat its
 	// master connection so long retrievals are not mistaken for stalls.
 	HeartbeatInterval time.Duration
@@ -135,6 +141,13 @@ type Slave struct {
 	// the chunk ids the head's steal heuristic speaks.
 	idsMu    sync.Mutex
 	chunkIDs map[store.ChunkKey]int32
+
+	// Hint-quality feedback: hintWarm holds chunks warmed on a master
+	// hint that no worker of this slave has (yet) been granted; whatever
+	// remains at end of run was warm bytes the hint stream wasted.
+	wasteMu     sync.Mutex
+	hintWarm    map[int32]int64
+	hintGranted map[int32]bool
 }
 
 // NewSlave builds a slave node.
@@ -147,9 +160,11 @@ func NewSlave(cfg SlaveConfig) (*Slave, error) {
 		return nil, fmt.Errorf("cluster: slave needs a home store")
 	}
 	s := &Slave{
-		cfg:      cfg,
-		tuners:   make(map[string]*store.Autotuner),
-		chunkIDs: make(map[store.ChunkKey]int32),
+		cfg:         cfg,
+		tuners:      make(map[string]*store.Autotuner),
+		chunkIDs:    make(map[store.ChunkKey]int32),
+		hintWarm:    make(map[int32]int64),
+		hintGranted: make(map[int32]bool),
 	}
 	if cfg.Prefetch && cfg.PrefetchBudget > 0 {
 		s.budget = &byteBudget{avail: cfg.PrefetchBudget}
@@ -197,6 +212,40 @@ func (s *Slave) residentIDs() []int32 {
 		}
 	}
 	return out
+}
+
+// noteHintWarm records a hint chunk warmed into the cache; it stays on
+// the waste ledger until some worker of this slave is granted it.
+func (s *Slave) noteHintWarm(id int32, bytes int64) {
+	s.wasteMu.Lock()
+	if !s.hintGranted[id] {
+		s.hintWarm[id] = bytes
+	}
+	s.wasteMu.Unlock()
+}
+
+// markGranted clears a chunk from the waste ledger: it was granted to
+// one of this slave's workers, so warming it paid off.
+func (s *Slave) markGranted(id int32) {
+	s.wasteMu.Lock()
+	s.hintGranted[id] = true
+	delete(s.hintWarm, id)
+	s.wasteMu.Unlock()
+}
+
+// HintWaste reports the hinted chunks this slave warmed that were
+// never granted to any of its workers — the measurement half of hint
+// quality. (Shared caches mean a chunk warmed here and granted to a
+// co-located slave still counts as this slave's waste; the
+// approximation overstates waste slightly rather than hiding it.)
+func (s *Slave) HintWaste() (chunks int, bytes int64) {
+	s.wasteMu.Lock()
+	defer s.wasteMu.Unlock()
+	for _, n := range s.hintWarm {
+		chunks++
+		bytes += n
+	}
+	return chunks, bytes
 }
 
 // Run connects every virtual core to the master, processes jobs until
@@ -313,7 +362,37 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	}
 	conn := wire.NewConn(raw)
 	defer conn.Close()
-	if _, err := conn.Call(&wire.Message{Kind: wire.KindRegisterSlave, Site: s.cfg.Site}); err != nil {
+
+	// drainReq latches the master's retire command. It may arrive as an
+	// asynchronous KindDrain push (absorbed below, possibly on the
+	// prefetch goroutine) or as a drain-flagged grant; either way the
+	// worker retires at the top of its next loop iteration.
+	var drainReq atomic.Bool
+	call := func(m *wire.Message) (*wire.Message, error) {
+		if err := conn.Send(m); err != nil {
+			return nil, err
+		}
+		for {
+			resp, err := conn.Recv()
+			if err != nil {
+				return nil, err
+			}
+			switch resp.Kind {
+			case wire.KindDrain:
+				drainReq.Store(true)
+				continue
+			case wire.KindError:
+				return nil, &wire.RemoteError{Msg: resp.Err}
+			}
+			return resp, nil
+		}
+	}
+
+	regKind := wire.KindRegisterSlave
+	if s.cfg.Join {
+		regKind = wire.KindJoin
+	}
+	if _, err := call(&wire.Message{Kind: regKind, Site: s.cfg.Site}); err != nil {
 		return zero, err
 	}
 	if s.cfg.HeartbeatInterval > 0 {
@@ -342,7 +421,7 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 		if hasResident {
 			resident = s.residentIDs()
 		}
-		return conn.Call(&wire.Message{
+		return call(&wire.Message{
 			Kind: wire.KindRequestJob, Max: s.cfg.JobsPerRequest,
 			Completed: completed, Resident: resident, HasResident: hasResident,
 		})
@@ -375,6 +454,7 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 			}
 			release()
 			stats.CountHint(true)
+			s.noteHintWarm(job.Chunk, job.Length)
 		}
 	}
 
@@ -492,6 +572,41 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 		if cur.resp.Kind != wire.KindJobGrant {
 			return zero, fmt.Errorf("cluster: slave %s: unexpected %v", s.cfg.Site, cur.resp.Kind)
 		}
+		for _, j := range cur.resp.Jobs {
+			s.markGranted(j.Chunk)
+		}
+		if cur.resp.Drain {
+			drainReq.Store(true)
+		}
+		if drainReq.Load() {
+			// Retire: this grant's prefetched-but-unprocessed jobs go
+			// back to the master, while everything already reduced is
+			// flushed upstream as a partial result so no chunk is lost
+			// or reduced twice. (No prefetch is in flight at the top of
+			// the loop, so the connection is ours to use.)
+			returned := make([]int32, 0, len(cur.items))
+			for _, it := range cur.items {
+				returned = append(returned, it.job.Chunk)
+			}
+			releaseItems(cur.items)
+			cur = nil
+			enc, err := gr.EncodeReduction(red)
+			if err != nil {
+				return zero, err
+			}
+			warmWG.Wait()
+			snap := stats.Snapshot()
+			if _, err := call(&wire.Message{
+				Kind: wire.KindSlaveResult, Object: enc, Completed: pending,
+				Returned: returned, HasReturned: true,
+				Stats: wire.Stats{Breakdown: snap},
+			}); err != nil {
+				return zero, fmt.Errorf("cluster: slave %s: ship drain result: %w", s.cfg.Site, err)
+			}
+			s.cfg.Logf("slave %s[%d]: drained (%d completed, %d returned)",
+				s.cfg.Site, idx, len(pending), len(returned))
+			return snap, nil
+		}
 		done := cur.resp.Done && len(cur.resp.Jobs) == 0
 		if len(cur.resp.Hints) > 0 && s.cfg.Prefetch && s.cfg.Cache.Enabled() {
 			warmWG.Add(1)
@@ -548,7 +663,7 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	}
 	warmWG.Wait() // hint warmers write stats; their counters ship too
 	snap := stats.Snapshot()
-	if _, err := conn.Call(&wire.Message{
+	if _, err := call(&wire.Message{
 		Kind: wire.KindSlaveResult, Object: enc, Completed: pending,
 		Stats: wire.Stats{Breakdown: snap},
 	}); err != nil {

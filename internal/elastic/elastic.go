@@ -1,0 +1,446 @@
+// Package elastic implements the head-side scaling controller that
+// turns cloud bursting from a deployment-time choice into a runtime
+// decision. The controller watches per-site completion rates and the
+// remaining pool depth, maintains an ETA estimate for the run,
+// compares it against a deadline, and decides how many cloud workers
+// the run should hold at each moment: scale up (boot instances, paid
+// from launch and useless until boot latency passes) when the ETA
+// slips past the deadline, scale down (drain workers) when the ETA has
+// comfortable slack. Cost is accounted in emulated instance-seconds
+// plus per-GiB cross-site egress, mirroring the EC2 pricing the paper
+// ran against.
+//
+// The controller is deliberately time-source-free: callers feed it
+// emulated elapsed durations, so it works identically under scaled,
+// real, and instant clocks (instant clocks report zero elapsed time
+// and the controller simply never acts — unit tests drive it with
+// synthetic durations instead).
+package elastic
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudburst/internal/metrics"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Site is the elastic (cloud) site whose worker count is scaled.
+	Site string
+	// Deadline is the emulated wall-time target for the run. Zero
+	// disables scaling decisions (the controller still accounts cost).
+	Deadline time.Duration
+	// MinWorkers and MaxWorkers bound the commanded worker count.
+	// MinWorkers is clamped to at least 1: a site master must always
+	// keep one live worker or its queue could strand work.
+	MinWorkers int
+	MaxWorkers int
+	// StepUp caps how many workers one decision may boot (default 2);
+	// ramping in steps lets the next rate sample confirm the trend
+	// before more money is committed.
+	StepUp int
+	// StepDown caps how many workers one decision may drain (default
+	// StepUp). Draining gradually keeps a mistaken surplus call cheap:
+	// capacity given up must be re-bought at boot latency.
+	StepDown int
+	// BootLatency is the emulated delay between a boot decision and the
+	// instance contributing work. Booting instances are billed.
+	BootLatency time.Duration
+	// Interval is the minimum emulated time between decisions (default
+	// Deadline/15, or 1s when no deadline is set).
+	Interval time.Duration
+	// Margin shrinks the deadline budget the ETA is compared against
+	// (default 1.15): the run aims to finish Margin times faster than
+	// strictly required, absorbing estimation error.
+	Margin float64
+	// InstanceRate is USD per worker per emulated hour; EgressRate is
+	// USD per GiB crossing sites.
+	InstanceRate float64
+	EgressRate   float64
+	// Workers maps every site to its initial worker count. The scaled
+	// site's entry seeds the commanded count; the rest contribute the
+	// "other capacity" half of the ETA model.
+	Workers map[string]int
+	// Logf receives decision traces; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Decision is one scaling action the caller must apply: boot Delta new
+// workers (Delta > 0, via the provisioner) or retire -Delta workers
+// (Delta < 0, via the drain protocol).
+type Decision struct {
+	Site   string
+	Delta  int
+	Target int // commanded workers after this decision
+	Reason string
+}
+
+type bootRec struct {
+	ready time.Duration // emulated elapsed time the workers come online
+	n     int
+}
+
+// Controller tracks run progress and issues scaling decisions. All
+// methods are safe for concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu           sync.Mutex
+	started      bool
+	total        int
+	homeCloud    int // jobs whose data lives at the scaled site
+	done         int
+	siteDone     map[string]int
+	otherWorkers int // fixed workers at non-scaled sites
+
+	target       int // commanded workers at cfg.Site, booting included
+	contributing int // commanded workers past boot latency
+	pendingBoots []bootRec
+	peak         int
+
+	lastEmu    time.Duration // accrual frontier
+	lastDecide time.Duration
+	holdUntil  time.Duration // no scale-down until boots mature + settle
+
+	// Windowed rate model: per-decision deltas folded into EMAs, so the
+	// ETA tracks phase changes (a site finishing its home data and
+	// falling back to slow cross-site stealing) instead of trusting the
+	// whole-run average. prev* snapshot the last decision's counters.
+	rateOther   float64 // EMA jobs/s across the non-scaled sites
+	ratePer     float64 // EMA per-worker jobs/s at the scaled site
+	haveRates   bool
+	prevOther   int
+	prevCloud   int
+	prevContrib float64
+	// downStreak counts consecutive surplus verdicts; draining waits
+	// for two, so one optimistic window cannot shed real capacity.
+	downStreak int
+
+	instanceSecs float64 // integral of target over emulated seconds
+	contribSecs  float64 // integral of contributing (rate estimation)
+
+	events []metrics.ScaleEvent
+	boots  int
+	drains int
+	wasted int
+}
+
+// New builds a controller; zero config fields take the documented
+// defaults.
+func New(cfg Config) *Controller {
+	if cfg.MinWorkers < 1 {
+		cfg.MinWorkers = 1
+	}
+	if cfg.MaxWorkers < cfg.MinWorkers {
+		cfg.MaxWorkers = cfg.MinWorkers
+	}
+	if cfg.StepUp <= 0 {
+		cfg.StepUp = 2
+	}
+	if cfg.StepDown <= 0 {
+		cfg.StepDown = cfg.StepUp
+	}
+	if cfg.Margin <= 1 {
+		cfg.Margin = 1.15
+	}
+	if cfg.Interval <= 0 {
+		if cfg.Deadline > 0 {
+			cfg.Interval = cfg.Deadline / 15
+		} else {
+			cfg.Interval = time.Second
+		}
+	}
+	return &Controller{cfg: cfg, siteDone: make(map[string]int)}
+}
+
+// Start arms the controller with the run's total job count, the
+// per-home-site job composition (jobsByHome maps each site to the
+// number of jobs whose data lives there), and the initial membership
+// from cfg.Workers. The composition matters: the scaled site is sized
+// against its own backlog, because cross-site stealing over the WAN is
+// too slow for one side's capacity to meaningfully absorb the other
+// side's work.
+func (c *Controller) Start(totalJobs int, jobsByHome map[string]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.started = true
+	c.total = totalJobs
+	c.homeCloud = jobsByHome[c.cfg.Site]
+	c.target = c.cfg.Workers[c.cfg.Site]
+	c.contributing = c.target
+	c.peak = c.target
+	c.otherWorkers = 0
+	for site, n := range c.cfg.Workers {
+		if site != c.cfg.Site {
+			c.otherWorkers += n
+		}
+	}
+	c.logf("elastic: start total=%d %s=%d other=%d deadline=%v",
+		totalJobs, c.cfg.Site, c.target, c.otherWorkers, c.cfg.Deadline)
+}
+
+// Observe feeds a completion batch from site at the given emulated
+// elapsed time, with the pool's remaining (uncompleted) job count, and
+// returns any scaling decisions due. Decisions are already applied to
+// the controller's own bookkeeping; the caller applies them to the
+// cluster.
+func (c *Controller) Observe(site string, completed int, elapsed time.Duration, remaining int) []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		return nil
+	}
+	if elapsed < c.lastEmu {
+		elapsed = c.lastEmu // concurrent observers may land out of order
+	}
+	c.accrueLocked(elapsed)
+	c.done += completed
+	c.siteDone[site] += completed
+	return c.decideLocked(elapsed, remaining)
+}
+
+func (c *Controller) decideLocked(elapsed time.Duration, remaining int) []Decision {
+	if c.cfg.Deadline <= 0 || remaining <= 0 || elapsed.Seconds() <= 0 {
+		return nil
+	}
+	if elapsed < c.lastDecide+c.cfg.Interval {
+		return nil
+	}
+	prev := c.lastDecide
+	c.lastDecide = elapsed
+
+	el := elapsed.Seconds()
+	cloudDone := c.siteDone[c.cfg.Site]
+	otherDone := c.done - cloudDone
+
+	// Fold this window's rates into the EMAs. The first sample is the
+	// lifetime average (prev counters start at zero).
+	dt := (elapsed - prev).Seconds()
+	instOther := float64(otherDone-c.prevOther) / dt
+	dContrib := c.contribSecs - c.prevContrib
+	var instPer float64
+	if dContrib > 0 {
+		instPer = float64(cloudDone-c.prevCloud) / dContrib
+	}
+	c.prevOther, c.prevCloud, c.prevContrib = otherDone, cloudDone, c.contribSecs
+	if !c.haveRates {
+		c.rateOther, c.haveRates = instOther, true
+	} else {
+		c.rateOther = emaAlpha*instOther + (1-emaAlpha)*c.rateOther
+	}
+	if dContrib > 0 {
+		if c.ratePer == 0 {
+			c.ratePer = instPer
+		} else {
+			c.ratePer = emaAlpha*instPer + (1-emaAlpha)*c.ratePer
+		}
+	}
+
+	otherRate := c.rateOther
+	perWorker := c.ratePer
+	switch {
+	case perWorker > 0:
+	case otherRate > 0 && c.otherWorkers > 0:
+		// No cloud signal yet: assume parity with the measured
+		// per-worker rate of the static sites.
+		perWorker = otherRate / float64(c.otherWorkers)
+	default:
+		return nil // no rate signal at all yet
+	}
+
+	budget := c.cfg.Deadline.Seconds() / c.cfg.Margin
+
+	// The scaled site is sized against its own remaining backlog (a
+	// no-sharing makespan model): booting cloud workers cannot absorb
+	// the other sites' work at a useful rate, because stolen chunks
+	// cross the WAN orders of magnitude slower than home reads. remC
+	// approximates the scaled site's backlog as its home jobs minus its
+	// completions — stealing in either direction skews it conservative,
+	// which errs toward keeping capacity.
+	remC := c.homeCloud - cloudDone
+	if remC > remaining {
+		remC = remaining
+	}
+	if remC < 0 {
+		remC = 0
+	}
+	eta := func(n int) float64 {
+		if remC == 0 {
+			return 0 // nothing left on this side at any fleet size
+		}
+		r := float64(n) * perWorker
+		if r <= 0 {
+			return budget + 1 // unbounded: any n fails the budget
+		}
+		t := el + float64(remC)/r
+		if n > c.target {
+			t += c.cfg.BootLatency.Seconds() // new capacity arrives late
+		}
+		return t
+	}
+
+	// Minimal worker count whose projected finish fits the budget;
+	// best-effort Max when even that misses.
+	need := c.cfg.MaxWorkers
+	for n := c.cfg.MinWorkers; n <= c.cfg.MaxWorkers; n++ {
+		if eta(n) <= budget {
+			need = n
+			break
+		}
+	}
+
+	switch {
+	case need > c.target:
+		c.downStreak = 0
+		// Don't pay a boot for a tail shorter than the boot itself.
+		if cur := float64(c.target) * perWorker; cur > 0 &&
+			float64(remC)/cur < 2*c.cfg.BootLatency.Seconds() {
+			return nil
+		}
+		step := need - c.target
+		if step > c.cfg.StepUp {
+			step = c.cfg.StepUp
+		}
+		from := c.target
+		c.target += step
+		c.boots += step
+		if c.target > c.peak {
+			c.peak = c.target
+		}
+		c.pendingBoots = append(c.pendingBoots, bootRec{ready: elapsed + c.cfg.BootLatency, n: step})
+		c.holdUntil = elapsed + c.cfg.BootLatency + c.cfg.Interval
+		c.eventLocked(elapsed, from, c.target, "deadline at risk")
+		return []Decision{{Site: c.cfg.Site, Delta: step, Target: c.target, Reason: "deadline at risk"}}
+
+	case need < c.target:
+		if elapsed < c.holdUntil || len(c.pendingBoots) > 0 {
+			c.downStreak = 0
+			return nil // let booted capacity prove itself first
+		}
+		c.downStreak++
+		if c.downStreak < 2 {
+			return nil // one optimistic window doesn't prove surplus
+		}
+		k := c.target - need
+		if k > c.cfg.StepDown {
+			k = c.cfg.StepDown
+		}
+		from := c.target
+		c.target -= k
+		c.contributing = c.target
+		c.drains += k
+		c.eventLocked(elapsed, from, c.target, "surplus capacity")
+		return []Decision{{Site: c.cfg.Site, Delta: -k, Target: c.target, Reason: "surplus capacity"}}
+	default:
+		c.downStreak = 0
+	}
+	return nil
+}
+
+// emaAlpha weights the newest rate window when folding it into the
+// EMAs; 0.5 forgets a finished phase within a couple of decisions.
+const emaAlpha = 0.5
+
+// accrueLocked advances the billing and rate integrals to now,
+// splitting segments at boot-maturity points so booting instances bill
+// from launch but only count toward throughput once online.
+func (c *Controller) accrueLocked(now time.Duration) {
+	t := c.lastEmu
+	for len(c.pendingBoots) > 0 && c.pendingBoots[0].ready <= now {
+		b := c.pendingBoots[0]
+		c.pendingBoots = c.pendingBoots[1:]
+		at := b.ready
+		if at < t {
+			at = t
+		}
+		seg := (at - t).Seconds()
+		c.instanceSecs += float64(c.target) * seg
+		c.contribSecs += float64(c.contributing) * seg
+		c.contributing += b.n
+		t = at
+	}
+	if now > t {
+		seg := (now - t).Seconds()
+		c.instanceSecs += float64(c.target) * seg
+		c.contribSecs += float64(c.contributing) * seg
+	}
+	if now > c.lastEmu {
+		c.lastEmu = now
+	}
+}
+
+func (c *Controller) eventLocked(at time.Duration, from, to int, reason string) {
+	c.events = append(c.events, metrics.ScaleEvent{
+		AtEmu: at, Site: c.cfg.Site, From: from, To: to, Reason: reason,
+	})
+	c.logf("elastic: t=%v %s %d -> %d (%s)", at.Round(time.Millisecond), c.cfg.Site, from, to, reason)
+}
+
+// NoteWastedBoot records instances whose boot completed only after the
+// run ended — money spent on capacity that never worked.
+func (c *Controller) NoteWastedBoot(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wasted += n
+}
+
+// Report closes the accounting at the run's final emulated elapsed
+// time and returns the summary, pricing instance time and the given
+// cross-site egress byte count.
+func (c *Controller) Report(finalElapsed time.Duration, egressBytes int64) *metrics.ElasticReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.accrueLocked(finalElapsed)
+	events := make([]metrics.ScaleEvent, len(c.events))
+	copy(events, c.events)
+	sort.Slice(events, func(i, j int) bool { return events[i].AtEmu < events[j].AtEmu })
+	instUSD, egUSD, total := Cost(c.instanceSecs, egressBytes, c.cfg.InstanceRate, c.cfg.EgressRate)
+	return &metrics.ElasticReport{
+		Site:        c.cfg.Site,
+		Deadline:    c.cfg.Deadline,
+		MetDeadline: c.cfg.Deadline <= 0 || finalElapsed <= c.cfg.Deadline,
+		Workers:     c.target,
+		Peak:        c.peak,
+		Boots:       c.boots,
+		Drains:      c.drains,
+		WastedBoots: c.wasted,
+		Events:      events,
+		InstanceSecs: c.instanceSecs,
+		EgressBytes:  egressBytes,
+		InstanceUSD:  instUSD,
+		EgressUSD:    egUSD,
+		TotalUSD:     total,
+	}
+}
+
+// Cost prices instance time (emulated seconds, per-second billing) and
+// egress under the given rates. Shared with the bench harness so
+// static deployments are priced identically to elastic ones.
+func Cost(instanceSecs float64, egressBytes int64, instanceRate, egressRate float64) (instUSD, egressUSD, totalUSD float64) {
+	instUSD = instanceSecs / 3600 * instanceRate
+	egressUSD = float64(egressBytes) / (1 << 30) * egressRate
+	return instUSD, egressUSD, instUSD + egressUSD
+}
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// String renders a compact one-line summary of a report, used by the
+// CLI tools.
+func String(r *metrics.ElasticReport) string {
+	if r == nil {
+		return "elastic: off"
+	}
+	met := "met"
+	if !r.MetDeadline {
+		met = "MISSED"
+	}
+	return fmt.Sprintf("elastic[%s]: deadline %v %s, workers end=%d peak=%d boots=%d drains=%d, cost $%.4f (inst $%.4f + egress $%.4f)",
+		r.Site, r.Deadline, met, r.Workers, r.Peak, r.Boots, r.Drains, r.TotalUSD, r.InstanceUSD, r.EgressUSD)
+}

@@ -1,0 +1,190 @@
+package elastic
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func sec(n float64) time.Duration { return time.Duration(n * float64(time.Second)) }
+
+func base(deadline time.Duration) Config {
+	return Config{
+		Site:        "cloud",
+		Deadline:    deadline,
+		MinWorkers:  1,
+		MaxWorkers:  8,
+		StepUp:      2,
+		BootLatency: 5 * time.Second,
+		Interval:    time.Second,
+		Margin:      1.15,
+		Workers:     map[string]int{"local": 4, "cloud": 2},
+	}
+}
+
+func TestScaleUpWhenDeadlineAtRisk(t *testing.T) {
+	c := New(base(100 * time.Second))
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	// 10s in: 20 local + 10 cloud done, 970 left. Current throughput
+	// ~2.5 jobs/s projects far past the 100s deadline. The first
+	// observation lands inside the decision interval (gated), so the
+	// second one decides with both rate samples on the books.
+	c.Observe("local", 20, sec(0.5), 980)
+	ds := c.Observe("cloud", 10, sec(10), 970)
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %v, want one scale-up", ds)
+	}
+	d := ds[0]
+	if d.Site != "cloud" || d.Delta != 2 || d.Target != 4 {
+		t.Fatalf("decision = %+v, want cloud +2 -> 4", d)
+	}
+}
+
+func TestDecisionIntervalGates(t *testing.T) {
+	c := New(base(100 * time.Second))
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	c.Observe("local", 20, sec(0.5), 980)
+	if ds := c.Observe("cloud", 10, sec(10), 970); len(ds) == 0 {
+		t.Fatal("expected initial scale-up")
+	}
+	// Within the decision interval: no further action even though the
+	// deadline is still at risk.
+	if ds := c.Observe("local", 2, sec(10.5), 968); len(ds) != 0 {
+		t.Fatalf("decision inside interval: %v", ds)
+	}
+}
+
+func TestScaleUpCappedAtMax(t *testing.T) {
+	c := New(base(40 * time.Second))
+	c.Start(10000, map[string]int{"local": 5000, "cloud": 5000})
+	target := 2
+	for i := 1; i <= 20; i++ {
+		el := sec(float64(10 + i))
+		for _, d := range c.Observe("local", 5, el, 10000-10*i) {
+			if d.Delta <= 0 {
+				t.Fatalf("unexpected scale-down %+v", d)
+			}
+			target = d.Target
+		}
+	}
+	if target != 8 {
+		t.Fatalf("final target = %d, want MaxWorkers (8)", target)
+	}
+}
+
+func TestScaleDownOnSurplus(t *testing.T) {
+	cfg := base(10000 * time.Second)
+	cfg.Workers = map[string]int{"local": 4, "cloud": 8}
+	c := New(cfg)
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	c.Observe("local", 20, sec(0.5), 980)
+	// First surplus verdict only opens the streak — a single optimistic
+	// window must not shed capacity.
+	if ds := c.Observe("cloud", 40, sec(10), 940); len(ds) != 0 {
+		t.Fatalf("drained on first surplus window: %v", ds)
+	}
+	// Second consecutive surplus verdict drains, capped at StepDown
+	// (defaulted from StepUp = 2): 8 -> 6, not straight to MinWorkers.
+	ds := c.Observe("cloud", 10, sec(12), 930)
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %v, want one scale-down", ds)
+	}
+	d := ds[0]
+	if d.Delta != -2 || d.Target != 6 {
+		t.Fatalf("decision = %+v, want cloud -2 -> 6", d)
+	}
+}
+
+func TestNoScaleDownWhileBootPending(t *testing.T) {
+	c := New(base(100 * time.Second))
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	c.Observe("local", 20, sec(0.5), 980)
+	if ds := c.Observe("cloud", 10, sec(10), 970); len(ds) != 1 || ds[0].Delta <= 0 {
+		t.Fatalf("expected scale-up, got %v", ds)
+	}
+	// Sudden flood of completions makes the surplus obvious, but the
+	// booted capacity hasn't matured: hold the drain.
+	if ds := c.Observe("local", 900, sec(12), 70); len(ds) != 0 {
+		t.Fatalf("scale-down before boot matured: %v", ds)
+	}
+}
+
+func TestNoScaleUpForShortTail(t *testing.T) {
+	c := New(base(100 * time.Second))
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	c.Observe("local", 400, sec(0.5), 590)
+	// ~1s of work left at the measured ~10 jobs/s; the 5s boot latency
+	// cannot pay for itself even though the deadline is already blown.
+	if ds := c.Observe("cloud", 580, sec(99), 10); len(ds) != 0 {
+		t.Fatalf("booted for a short tail: %v", ds)
+	}
+}
+
+func TestInstantClockElapsedNeverDecides(t *testing.T) {
+	c := New(base(time.Second))
+	c.Start(100, map[string]int{"local": 50, "cloud": 50})
+	for i := 0; i < 10; i++ {
+		if ds := c.Observe("cloud", 5, 0, 100-5*i); len(ds) != 0 {
+			t.Fatalf("decision at zero elapsed: %v", ds)
+		}
+	}
+}
+
+func TestBillingIntegralAndCost(t *testing.T) {
+	cfg := base(0) // no deadline: accounting only
+	cfg.InstanceRate = 0.36
+	cfg.EgressRate = 0.12
+	c := New(cfg)
+	c.Start(100, map[string]int{"local": 50, "cloud": 50})
+	c.Observe("cloud", 10, sec(40), 90)
+	r := c.Report(sec(100), 1<<30)
+	if math.Abs(r.InstanceSecs-200) > 1e-6 { // 2 workers x 100s
+		t.Fatalf("InstanceSecs = %v, want 200", r.InstanceSecs)
+	}
+	wantInst := 200.0 / 3600 * 0.36
+	if math.Abs(r.InstanceUSD-wantInst) > 1e-9 {
+		t.Fatalf("InstanceUSD = %v, want %v", r.InstanceUSD, wantInst)
+	}
+	if math.Abs(r.EgressUSD-0.12) > 1e-9 { // exactly one GiB
+		t.Fatalf("EgressUSD = %v, want 0.12", r.EgressUSD)
+	}
+	if !r.MetDeadline {
+		t.Fatal("no deadline set should count as met")
+	}
+}
+
+func TestBootedInstancesBilledFromLaunch(t *testing.T) {
+	c := New(base(100 * time.Second))
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	c.Observe("local", 20, sec(0.5), 980)
+	if ds := c.Observe("cloud", 10, sec(10), 970); len(ds) != 1 {
+		t.Fatalf("expected scale-up, got %v", ds)
+	}
+	r := c.Report(sec(20), 0)
+	// 2 workers for 10s, then 4 commanded (2 still booting) for 10s.
+	if math.Abs(r.InstanceSecs-60) > 1e-6 {
+		t.Fatalf("InstanceSecs = %v, want 60", r.InstanceSecs)
+	}
+	if r.Boots != 2 || r.Peak != 4 || len(r.Events) != 1 {
+		t.Fatalf("report = boots=%d peak=%d events=%d, want 2/4/1", r.Boots, r.Peak, len(r.Events))
+	}
+	if r.MetDeadline != true {
+		t.Fatal("run finished at 20s with a 100s deadline: met")
+	}
+}
+
+func TestWastedBootsCounted(t *testing.T) {
+	c := New(base(0))
+	c.Start(10, map[string]int{"local": 5, "cloud": 5})
+	c.NoteWastedBoot(3)
+	if r := c.Report(sec(1), 0); r.WastedBoots != 3 {
+		t.Fatalf("WastedBoots = %d, want 3", r.WastedBoots)
+	}
+}
+
+func TestStaticCostHelperMatchesController(t *testing.T) {
+	inst, eg, total := Cost(7200, 2<<30, 0.17, 0.12)
+	if math.Abs(inst-0.34) > 1e-9 || math.Abs(eg-0.24) > 1e-9 || math.Abs(total-0.58) > 1e-9 {
+		t.Fatalf("Cost = %v %v %v", inst, eg, total)
+	}
+}

@@ -382,6 +382,12 @@ type RetrievalReport struct {
 	HintsDenied     int // hints denied by the prefetch byte budget
 	StealsCold      int // stolen grants whose chunks were cache-cold at the victim
 	StealsWarm      int // stolen grants that took cache-warm victim chunks
+
+	// Hint-quality feedback: hint chunks a slave warmed into its cache
+	// that were never granted to any of its workers — warm bytes the
+	// master's hint stream wasted on work that went elsewhere.
+	WastedHints     int   // hinted-and-warmed chunks never granted
+	WastedWarmBytes int64 // bytes warmed for those chunks
 }
 
 // Any reports whether any pipeline activity was recorded.
@@ -410,6 +416,8 @@ func (r *RetrievalReport) Add(o RetrievalReport) {
 	r.HintsDenied += o.HintsDenied
 	r.StealsCold += o.StealsCold
 	r.StealsWarm += o.StealsWarm
+	r.WastedHints += o.WastedHints
+	r.WastedWarmBytes += o.WastedWarmBytes
 }
 
 // AddSnapshot folds one worker snapshot's pipeline counters in.
@@ -440,6 +448,37 @@ type RunReport struct {
 	FinalResult string          // application-rendered result digest
 	Faults      FaultReport     // fault-injection and recovery counters
 	Retrieval   RetrievalReport // cache / prefetch / buffer-pool counters
+	Elastic     *ElasticReport  // scaling controller summary (nil if static)
+}
+
+// ScaleEvent records one scaling decision the elastic controller made.
+type ScaleEvent struct {
+	AtEmu  time.Duration // emulated elapsed time of the decision
+	Site   string
+	From   int // commanded workers before
+	To     int // commanded workers after
+	Reason string
+}
+
+// ElasticReport summarizes the elastic controller's run: membership
+// churn, whether the deadline was met, and the cost-model accounting
+// (emu instance-time plus remote egress).
+type ElasticReport struct {
+	Site        string        // the scaled site
+	Deadline    time.Duration // emulated run deadline (0 = none)
+	MetDeadline bool
+	Workers     int // commanded workers at end of run
+	Peak        int // maximum commanded workers
+	Boots       int // workers provisioned mid-run
+	Drains      int // workers retired mid-run
+	WastedBoots int // booted instances that arrived after the run ended
+	Events      []ScaleEvent
+
+	InstanceSecs float64 // emulated instance-seconds billed
+	EgressBytes  int64   // bytes crossing sites (stolen-chunk retrieval)
+	InstanceUSD  float64
+	EgressUSD    float64
+	TotalUSD     float64
 }
 
 // Cluster returns the report for the named site, or nil.

@@ -365,14 +365,23 @@ func TestFetchCountsPoolStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool.Put(got)
-	if _, err := Fetch(m, "d", 0, 4<<10, FetchOptions{Threads: 2, RangeSize: 1 << 10, Pool: pool, Stats: &b}); err != nil {
-		t.Fatal(err)
+	// sync.Pool guarantees no retention — under the race detector it
+	// drops a quarter of all Puts on purpose — so retry the put/fetch
+	// round until a pooled reuse lands; the get count stays exact.
+	for round := 1; round <= 50; round++ {
+		pool.Put(got)
+		if got, err = Fetch(m, "d", 0, 4<<10, FetchOptions{Threads: 2, RangeSize: 1 << 10, Pool: pool, Stats: &b}); err != nil {
+			t.Fatal(err)
+		}
+		snap := b.Snapshot()
+		if want := int64(round + 1); snap.PoolGets != want {
+			t.Fatalf("round %d: PoolGets = %d, want %d", round, snap.PoolGets, want)
+		}
+		if snap.PoolMisses < snap.PoolGets {
+			return // at least one buffer came back from the pool
+		}
 	}
-	snap := b.Snapshot()
-	if snap.PoolGets != 2 || snap.PoolMisses != 1 {
-		t.Fatalf("pool counters = gets %d misses %d, want 2/1", snap.PoolGets, snap.PoolMisses)
-	}
+	t.Fatal("pool never reused a buffer across 50 put/fetch rounds")
 }
 
 func TestFetchFromRemoteStore(t *testing.T) {

@@ -55,6 +55,17 @@ const (
 	// (slave->master, master->head) — and are never answered, so they
 	// interleave safely with the strict request/response exchanges.
 	KindHeartbeat
+
+	// Elastic membership. KindJoin registers a late-joining slave
+	// (elastic scale-up) and is answered like KindRegisterSlave.
+	// KindDrain and KindScale are one-way pushes, like heartbeats:
+	// KindDrain tells a slave to retire after its current grant, and
+	// KindScale tells a master the head's new worker-count target for
+	// its site. Receivers absorb them between request/response pairs,
+	// so every request still sees exactly one real response.
+	KindJoin  // slave->master: Site, Cores (late registration)
+	KindDrain // master->slave: retire after current grant (one-way)
+	KindScale // head->master: Target workers for the site (one-way)
 )
 
 var kindNames = map[Kind]string{
@@ -66,6 +77,7 @@ var kindNames = map[Kind]string{
 	KindAck: "ack", KindError: "error", KindReadAt: "read-at",
 	KindReadResp: "read-resp", KindStat: "stat", KindStatResp: "stat-resp",
 	KindList: "list", KindListResp: "list-resp", KindHeartbeat: "heartbeat",
+	KindJoin: "join", KindDrain: "drain", KindScale: "scale",
 }
 
 func (k Kind) String() string {
@@ -114,7 +126,14 @@ type Message struct {
 	Cores     int
 	Max       int
 	Completed []int32
-	Jobs      []JobAssign
+	// Progress is an advisory cumulative count of slave-reported
+	// completions at the sending site (KindRequestJobs and
+	// KindClusterResult). Unlike Completed — withheld until a slave's
+	// reduction object lands, so re-execution stays possible — it flows
+	// continuously; the elastic controller needs a live progress signal
+	// and tolerates its optimism about work a dying slave will redo.
+	Progress int
+	Jobs     []JobAssign
 	Done      bool
 	Object    []byte
 	Stats     Stats
@@ -138,6 +157,24 @@ type Message struct {
 	// disabled one ("no report") and stale warm sets could never be
 	// cleared upstream.
 	HasResident bool
+
+	// Drain marks a KindJobGrant sent to a retiring worker: no jobs
+	// follow and the worker must flush its partial reduction. It exists
+	// because the one-way KindDrain push can race a request already in
+	// flight; flagging the response closes the window.
+	Drain bool
+	// Returned lists granted-but-unprocessed chunk ids a draining slave
+	// hands back to its master for re-execution elsewhere. Completions
+	// in the same message stand (the partial reduction was flushed);
+	// Returned jobs were never folded in.
+	Returned []int32
+	// HasReturned marks that Returned carries a report even when empty:
+	// gob drops zero-length slices, and a drain that returns nothing
+	// ("I finished everything I was granted") must stay distinguishable
+	// from a normal end-of-run result.
+	HasReturned bool
+	// Target is the desired worker count on a KindScale push.
+	Target int
 
 	File string
 	Off  int64

@@ -9,6 +9,11 @@
 #     vs the AIMD controller, env-cloud and split deployments,
 #     digest-checked, with the controller's win ratios enforced)
 #     -> BENCH_autotune.json
+#   - `cbbench -experiment elastic` (deadline sweep: local-only misses
+#     the deadline, the elastic controller bursts to meet it at lower
+#     cost than an over-provisioned static fleet, and a drain variant
+#     sheds surplus workers mid-run; digest-checked, win enforced)
+#     -> BENCH_elastic.json
 #
 # Usage:
 #   scripts/bench.sh                # default: -records-divisor 10
@@ -21,6 +26,7 @@ DIVISOR="${DIVISOR:-10}"
 ITERS="${ITERS:-3}"
 OUT="${OUT:-BENCH_overlap.json}"
 AUTOTUNE_OUT="${AUTOTUNE_OUT:-BENCH_autotune.json}"
+ELASTIC_OUT="${ELASTIC_OUT:-BENCH_elastic.json}"
 
 go run ./cmd/cbbench -experiment overlap \
 	-records-divisor "$DIVISOR" \
@@ -31,3 +37,8 @@ go run ./cmd/cbbench -experiment autotune \
 	-records-divisor "$DIVISOR" \
 	-check-win \
 	-json "$AUTOTUNE_OUT"
+
+go run ./cmd/cbbench -experiment elastic \
+	-records-divisor "$DIVISOR" \
+	-check-win \
+	-json "$ELASTIC_OUT"

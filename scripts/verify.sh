@@ -10,9 +10,17 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/cluster/ ./internal/store/ ./internal/chunk/ ./internal/driver/
+go test -race ./internal/cluster/ ./internal/store/ ./internal/chunk/ ./internal/driver/ ./internal/elastic/
+# Dynamic membership (mid-run joins, drain-vs-steal races, elastic
+# end-to-end) is the most race-prone surface: run it twice under the
+# race detector so a lucky interleaving can't hide a regression.
+go test -race -count=2 -run 'Join|Drain|Elastic' ./internal/cluster/
 go run ./cmd/cbbench -experiment overlap -records-divisor 100 -scale 0.0001 >/dev/null
 # Digest invariance across the autotune grid; win ratios are asserted
 # by scripts/bench.sh at full benchmark scale, not at smoke scale.
 go run ./cmd/cbbench -experiment autotune -records-divisor 100 -scale 0.0001 >/dev/null
+# Elastic deadline sweep at smoke scale: validates dynamic membership
+# digests (no lost/double-counted chunk across joins and drains); the
+# deadline/cost win is asserted by scripts/bench.sh at real scale.
+go run ./cmd/cbbench -experiment elastic -records-divisor 100 -scale 0.0001 >/dev/null
 echo "verify: ok"
