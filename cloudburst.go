@@ -202,6 +202,31 @@ type (
 // calls this itself when DeployConfig.Elastic is set.
 func NewElasticController(cfg ElasticConfig) *ElasticController { return elastic.New(cfg) }
 
+// Spot preemption tolerance.
+type (
+	// RevocationSpec shapes a deterministic spot-revocation schedule.
+	RevocationSpec = faults.RevocationSpec
+	// RevocationTrace is the materialized schedule; install one via
+	// DeployConfig.Revocations to preempt provisioned spot workers.
+	RevocationTrace = faults.RevocationTrace
+	// RevocationEvent is one scheduled revocation (with an optional
+	// warning window).
+	RevocationEvent = faults.RevocationEvent
+	// PreemptionReport summarizes revocations, drains, checkpoints,
+	// and the re-execution they saved or caused.
+	PreemptionReport = metrics.PreemptionReport
+)
+
+// NewRevocationTrace materializes a reproducible revocation schedule:
+// the same seed and spec always produce the same events.
+func NewRevocationTrace(seed int64, spec RevocationSpec) *RevocationTrace {
+	return faults.NewRevocationTrace(seed, spec)
+}
+
+// ErrRevoked marks a slave killed by spot revocation; the deployment
+// harness recovers its work instead of failing the run.
+var ErrRevoked = cluster.ErrRevoked
+
 // ElasticCost prices instance time (emulated seconds, per-second
 // billing) and cross-site egress under the given rates.
 func ElasticCost(instanceSecs float64, egressBytes int64, instanceRate, egressRate float64) (instUSD, egressUSD, totalUSD float64) {

@@ -29,14 +29,14 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune, elastic")
+			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune, elastic, spot")
 		scale   = flag.Float64("scale", 0, "clock scale override (wall s per emulated s)")
 		divisor = flag.Int64("records-divisor", 1, "shrink data sets (and jobs) by this factor")
 		verbose = flag.Bool("v", false, "log cluster progress")
 
 		overlapIters = flag.Int("overlap-iters", 3, "overlap: pagerank power iterations")
-		jsonPath     = flag.String("json", "", "overlap/autotune/elastic: also write results as JSON to this file")
-		checkWin     = flag.Bool("check-win", false, "autotune/elastic: fail unless the controller meets its acceptance criteria")
+		jsonPath     = flag.String("json", "", "overlap/autotune/elastic/spot: also write results as JSON to this file")
+		checkWin     = flag.Bool("check-win", false, "autotune/elastic/spot: fail unless the controller meets its acceptance criteria")
 
 		faultSeed      = flag.Int64("fault-seed", 42, "chaos: fault plan seed")
 		faultTransient = flag.Float64("fault-transient", 0.02, "chaos: per-request transient fault probability")
@@ -276,6 +276,82 @@ func main() {
 		}
 	}
 
+	runSpot := func() {
+		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))
+		res, err := bench.SpotSweep(specs["a"], sim, scaleUp, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderSpot("knn, spot-preemption-tolerant bursting", res))
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("spot results written to %s\n", *jsonPath)
+		}
+		if !res.Match {
+			fatal(fmt.Errorf("spot variants diverged from the clean result"))
+		}
+		if *checkWin {
+			clean := res.Row("clean")
+			warned := res.Row("warned-drain")
+			ckpt := res.Row("unwarned-kill")
+			nockpt := res.Row("unwarned-nockpt")
+			if clean == nil || warned == nil || ckpt == nil || nockpt == nil {
+				fatal(fmt.Errorf("spot sweep is missing rows"))
+			}
+			for _, r := range []*bench.SpotRow{warned, ckpt, nockpt} {
+				if r.Revocations == 0 {
+					fatal(fmt.Errorf("%s revoked no workers — the trace never fired", r.Label))
+				}
+			}
+			if warned.DrainsCompleted == 0 {
+				fatal(fmt.Errorf("warned-drain completed no drains — every warning window closed mid-flush"))
+			}
+			if ckpt.JobsRecovered == 0 {
+				fatal(fmt.Errorf("unwarned-kill adopted no checkpointed work"))
+			}
+			if ckpt.JobsRequeued >= nockpt.JobsRequeued {
+				fatal(fmt.Errorf("checkpointing did not cut re-execution: %d requeued vs %d without",
+					ckpt.JobsRequeued, nockpt.JobsRequeued))
+			}
+			// Late revocations leave no runway to re-provision, so full
+			// re-execution extends the tail past the deadline while
+			// checkpointed recovery stays inside it — the headline win.
+			if ckpt.TotalEmu >= nockpt.TotalEmu {
+				fatal(fmt.Errorf("checkpointing did not cut wall time: %.1fs vs %.1fs without",
+					ckpt.Seconds(), nockpt.Seconds()))
+			}
+			if !ckpt.MetDeadline {
+				fatal(fmt.Errorf("unwarned-kill missed the %.1fs deadline (%.1fs) despite checkpoints and fallback",
+					res.Deadline.Seconds(), ckpt.Seconds()))
+			}
+			if nockpt.MetDeadline {
+				fatal(fmt.Errorf("unwarned-nockpt met the deadline anyway (%.1fs <= %.1fs) — the trace is too gentle to discriminate",
+					nockpt.Seconds(), res.Deadline.Seconds()))
+			}
+			// Cost is the controller's noisy dual of wall time (it spends
+			// replacements to chase the deadline), so guard against a
+			// blowup rather than asserting a strict win.
+			if ckpt.TotalUSD > nockpt.TotalUSD*1.25 {
+				fatal(fmt.Errorf("checkpointed recovery cost blew up: $%.4f vs $%.4f without",
+					ckpt.TotalUSD, nockpt.TotalUSD))
+			}
+			if ckpt.OnDemandWorkers == 0 && nockpt.OnDemandWorkers == 0 {
+				fatal(fmt.Errorf("no variant fell back to on-demand replacements after %d revocations",
+					ckpt.Revocations))
+			}
+			fmt.Printf("spot win check: %d revocations; drains %d/%d; checkpoints save %d jobs (%d vs %d requeued), meet the deadline (%.1fs vs %.1fs MISS); on-demand fallback %d ✓\n",
+				ckpt.Revocations, warned.DrainsCompleted, warned.DrainsAborted,
+				ckpt.JobsRecovered, ckpt.JobsRequeued, nockpt.JobsRequeued,
+				ckpt.Seconds(), nockpt.Seconds(), ckpt.OnDemandWorkers)
+		}
+	}
+
 	runChaos := func() {
 		params := bench.DefaultChaos(*faultSeed)
 		params.TransientProb = *faultTransient
@@ -302,6 +378,8 @@ func main() {
 		runAutotune()
 	case "elastic":
 		runElastic()
+	case "spot":
+		runSpot()
 	case "cost":
 		results := runFig3("a")
 		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))

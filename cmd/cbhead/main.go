@@ -39,8 +39,10 @@ func main() {
 		elasticMax   = flag.Int("elastic-max", 16, "elastic: maximum workers at the scaled site")
 		elasticBoot  = flag.Duration("elastic-boot", 60*time.Second, "elastic: boot latency assumed for new instances")
 		elasticWork  = flag.String("elastic-workers", "", "elastic: initial workers per site, site=count,... (required with -deadline)")
-		instanceRate = flag.Float64("elastic-instance-rate", 0.17, "elastic: USD per worker-hour")
+		instanceRate = flag.Float64("elastic-instance-rate", 0.17, "elastic: USD per worker-hour (on-demand)")
 		egressRate   = flag.Float64("elastic-egress-rate", 0.12, "elastic: USD per GiB crossing sites")
+		spotRate     = flag.Float64("elastic-spot-rate", 0, "elastic: USD per spot worker-hour; boots ride the revocable spot tier (0 disables)")
+		odFallback   = flag.Int("elastic-od-fallback", 3, "elastic: revocations before replacements switch to on-demand")
 	)
 	flag.Parse()
 	if *appName == "" {
@@ -89,15 +91,20 @@ func main() {
 			MinWorkers: *elasticMin, MaxWorkers: *elasticMax,
 			BootLatency:  *elasticBoot,
 			InstanceRate: *instanceRate, EgressRate: *egressRate,
+			SpotRate: *spotRate, OnDemandFallback: *odFallback,
 			Workers: wmap, Logf: logf,
 		})
 		// The head cannot boot machines itself: surface scale-up
 		// decisions as operator instructions. Scale-downs need no
 		// operator action — the site's master drains the surplus and
 		// the drained cbslave processes exit on their own.
-		cfg.ScaleUp = func(site string, n int) {
-			fmt.Printf("cbhead: ELASTIC: start %d more worker(s) at site %s: cbslave -join -site %s -master <%s master addr> ...\n",
-				n, site, site, site)
+		cfg.ScaleUp = func(site string, n int, onDemand bool) {
+			tier := "spot"
+			if onDemand {
+				tier = "on-demand"
+			}
+			fmt.Printf("cbhead: ELASTIC: start %d more %s worker(s) at site %s: cbslave -join -site %s -master <%s master addr> ...\n",
+				n, tier, site, site, site)
 		}
 	}
 	head, err := cluster.NewHead(cfg)

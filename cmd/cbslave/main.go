@@ -42,6 +42,7 @@ func main() {
 		budgetMB   = flag.Int64("prefetch-budget-mb", 0, "cap on in-flight prefetched data (0 = default 64 MiB, negative = unlimited)")
 		cacheMB    = flag.Int64("cache-mb", 0, "chunk cache size (0 disables; useful for re-running over the same data)")
 		join       = flag.Bool("join", false, "join a running cluster mid-run (elastic scale-up) instead of counting against the deploy-time membership")
+		ckptJobs   = flag.Int("checkpoint-jobs", 0, "ship a partial-reduction checkpoint to the master every N processed jobs (0 disables; bounds work lost to spot revocation)")
 	)
 	flag.Parse()
 	if *site == "" || *masterAddr == "" || *appName == "" || *dataDir == "" {
@@ -88,6 +89,7 @@ func main() {
 		FetchAutotune: *autotune,
 		Prefetch:      *prefetch, PrefetchBudget: budget,
 		Cache:             cache,
+		CheckpointJobs:    *ckptJobs,
 		HeartbeatInterval: *beat,
 		Join:              *join,
 		Clock:             netsim.Real(),

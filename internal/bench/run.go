@@ -210,7 +210,13 @@ type RunConfig struct {
 	// Elastic, when set, runs the deadline/cost scaling controller for
 	// one site (see cluster.DeployConfig.Elastic).
 	Elastic *elastic.Config
-	Logf    func(format string, args ...any)
+	// Revocations, when set, preempts provisioned spot workers on the
+	// trace's schedule (see cluster.DeployConfig.Revocations).
+	Revocations *faults.RevocationTrace
+	// CheckpointJobs ships a partial-reduction checkpoint from every
+	// slave each N processed jobs (zero disables).
+	CheckpointJobs int
+	Logf           func(format string, args ...any)
 }
 
 // EnvResult is one configuration's outcome.
@@ -369,6 +375,8 @@ func BuildDeploy(cfg RunConfig) (*Deployment, error) {
 			HeartbeatInterval: heartbeat,
 			HeartbeatMisses:   misses,
 			Elastic:           cfg.Elastic,
+			Revocations:       cfg.Revocations,
+			CheckpointJobs:    cfg.CheckpointJobs,
 			Logf:              cfg.Logf,
 		},
 		Plan: plan,

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"cloudburst/internal/chunk"
 	"cloudburst/internal/elastic"
+	"cloudburst/internal/faults"
 	"cloudburst/internal/gr"
 	"cloudburst/internal/metrics"
 	"cloudburst/internal/netsim"
@@ -98,6 +100,22 @@ type DeployConfig struct {
 	// named site's SiteSpec.Cores seeds the initial membership.
 	Elastic *elastic.Config
 
+	// Revocations, when set, schedules spot preemptions against the
+	// elastic site's provisioned workers: at each trace event's time one
+	// live spot join slave is revoked — killed outright, or, when the
+	// event carries a warning window, warned first (the slave runs its
+	// accelerated drain) and killed when the window closes. Workers
+	// booted on the on-demand fallback tier are exempt. Requires
+	// Elastic; without provisioned spot workers events fire into the
+	// void.
+	Revocations *faults.RevocationTrace
+	// CheckpointJobs makes every slave ship a sequence-numbered partial
+	// reduction checkpoint to its master every N processed jobs; when
+	// the slave dies, the master adopts the newest checkpoint and
+	// re-executes only the post-checkpoint remainder. Zero disables
+	// checkpointing.
+	CheckpointJobs int
+
 	Logf func(format string, args ...any)
 }
 
@@ -121,17 +139,20 @@ type provisioner struct {
 	boot  time.Duration
 	logf  func(format string, args ...any)
 
-	mu      sync.Mutex
-	stopped bool
-	spawn   func() error // set once the elastic site's master listens
-	slaves  []*Slave     // every provisioned slave (hint-waste folding)
-	wasted  int          // boots that arrived after the run ended
-	wg      sync.WaitGroup
+	mu        sync.Mutex
+	stopped   bool
+	spawn     func(onDemand bool) error // set once the elastic site's master listens
+	slaves    []*Slave                  // every provisioned slave (hint-waste folding)
+	revocable []*Slave                  // live spot join slaves (preemption victims)
+	wasted    int                       // boots that arrived after the run ended
+	wg        sync.WaitGroup
 }
 
 // ScaleUp implements HeadConfig.ScaleUp; it returns immediately and
-// boots n workers in the background.
-func (p *provisioner) ScaleUp(site string, n int) {
+// boots n workers in the background. onDemand workers are exempt from
+// the revocation trace. A worker revoked mid-run did real work before
+// dying, so it is not a wasted boot.
+func (p *provisioner) ScaleUp(site string, n int, onDemand bool) {
 	for i := 0; i < n; i++ {
 		p.wg.Add(1)
 		go func() {
@@ -144,12 +165,48 @@ func (p *provisioner) ScaleUp(site string, n int) {
 				p.noteWasted()
 				return
 			}
-			if err := spawn(); err != nil {
+			if err := spawn(onDemand); err != nil && !errors.Is(err, ErrRevoked) {
 				p.noteWasted()
 				p.logf("provisioner: %s worker boot wasted: %v", site, err)
 			}
 		}()
 	}
+}
+
+// addRevocable registers a live spot join slave as a preemption
+// victim; dropRevocable removes it when it exits for any reason.
+func (p *provisioner) addRevocable(s *Slave) {
+	p.mu.Lock()
+	p.revocable = append(p.revocable, s)
+	p.mu.Unlock()
+}
+
+func (p *provisioner) dropRevocable(s *Slave) {
+	p.mu.Lock()
+	for i, v := range p.revocable {
+		if v == s {
+			p.revocable = append(p.revocable[:i], p.revocable[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// victim pops one live spot slave for revocation, or nil when none
+// remain. Popping (rather than peeking) guarantees a slave is revoked
+// at most once even when trace events land close together. The oldest
+// worker goes first: spot markets reclaim long-lived instances as
+// readily as fresh ones, and the oldest holds the most granted work —
+// the worst case the checkpoint machinery exists for.
+func (p *provisioner) victim() *Slave {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.revocable) == 0 {
+		return nil
+	}
+	s := p.revocable[0]
+	p.revocable = p.revocable[1:]
+	return s
 }
 
 func (p *provisioner) noteWasted() {
@@ -162,6 +219,110 @@ func (p *provisioner) stop() {
 	p.mu.Lock()
 	p.stopped = true
 	p.mu.Unlock()
+}
+
+// preemptor paces a revocation trace against the provisioner's live
+// spot slaves on the run's wall clock. Each event picks one victim:
+// warned events arm the slave's accelerated drain and kill it when the
+// warning window closes; unwarned events kill it outright. Every
+// revocation is reported to the head so the elastic controller can
+// re-provision (and eventually fall back to on-demand capacity).
+type preemptor struct {
+	clk   netsim.Clock
+	trace *faults.RevocationTrace
+	prov  *provisioner
+	head  *Head
+	logf  func(format string, args ...any)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu  sync.Mutex
+	rep metrics.PreemptionReport // trace-side tallies only
+}
+
+func newPreemptor(clk netsim.Clock, trace *faults.RevocationTrace, prov *provisioner, head *Head, logf func(string, ...any)) *preemptor {
+	p := &preemptor{clk: clk, trace: trace, prov: prov, head: head, logf: logf, stop: make(chan struct{})}
+	p.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// sleepUntil waits (interruptibly — netsim sleeps are not) until the
+// emulated trace offset at, measured from start. Returns false when
+// the run ended first.
+func (p *preemptor) sleepUntil(start time.Time, at time.Duration) bool {
+	wait := p.clk.ToWall(at) - p.clk.Now().Sub(start)
+	if wait <= 0 {
+		return true
+	}
+	select {
+	case <-time.After(wait):
+		return true
+	case <-p.stop:
+		return false
+	}
+}
+
+func (p *preemptor) run() {
+	defer p.wg.Done()
+	start := p.clk.Now()
+	for _, ev := range p.trace.Events {
+		if !p.sleepUntil(start, ev.At) {
+			return
+		}
+		v := p.prov.victim()
+		if v == nil {
+			p.logf("preemptor: %s revocation at %v skipped, no live spot worker", p.trace.Site, ev.At)
+			continue
+		}
+		if ev.Warned() {
+			p.logf("preemptor: %s spot worker warned, %v to drain", p.trace.Site, ev.Warning)
+			v.PreemptWarn(ev.Warning)
+			p.note(func(r *metrics.PreemptionReport) { r.Revocations++; r.Warned++ })
+			p.head.NoteRevocation(p.trace.Site, 1, true)
+			// The kill lands when the warning window closes, whether or
+			// not the drain finished; a run that ends first leaves the
+			// kill moot but the drain outcome still counts.
+			p.wg.Add(1)
+			go func(v *Slave, warning time.Duration) {
+				defer p.wg.Done()
+				select {
+				case <-time.After(p.clk.ToWall(warning)):
+					v.Kill()
+				case <-p.stop:
+				}
+				p.note(func(r *metrics.PreemptionReport) {
+					if v.DrainFlushed() {
+						r.DrainsCompleted++
+					} else {
+						r.DrainsAborted++
+					}
+				})
+			}(v, ev.Warning)
+		} else {
+			p.logf("preemptor: %s spot worker revoked without warning", p.trace.Site)
+			v.Kill()
+			p.note(func(r *metrics.PreemptionReport) { r.Revocations++; r.Unwarned++ })
+			p.head.NoteRevocation(p.trace.Site, 1, false)
+		}
+	}
+}
+
+func (p *preemptor) note(f func(*metrics.PreemptionReport)) {
+	p.mu.Lock()
+	f(&p.rep)
+	p.mu.Unlock()
+}
+
+// halt stops the event loop and pending kills, then returns the
+// trace-side tallies.
+func (p *preemptor) halt() metrics.PreemptionReport {
+	close(p.stop)
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rep
 }
 
 // Run executes one complete job: it starts the head, masters, and
@@ -195,12 +356,15 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 		ctrl = elastic.New(ecfg)
 		prov = &provisioner{clock: cfg.Clock, boot: ecfg.BootLatency, logf: logf}
 	}
+	if cfg.Revocations != nil && len(cfg.Revocations.Events) > 0 && prov == nil {
+		return nil, fmt.Errorf("cluster: revocation trace needs elastic provisioning (no spot workers without it)")
+	}
 
 	head, err := NewHead(HeadConfig{
 		App: cfg.App, Index: cfg.Index, Clusters: len(cfg.Sites),
 		Scatter: cfg.Scatter, Clock: cfg.Clock, Logf: cfg.Logf,
 		HeartbeatInterval: cfg.HeartbeatInterval, HeartbeatMisses: cfg.HeartbeatMisses,
-		Elastic: ctrl, ScaleUp: func() func(string, int) {
+		Elastic: ctrl, ScaleUp: func() func(string, int, bool) {
 			if prov == nil {
 				return nil
 			}
@@ -277,6 +441,7 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 			CostJitter: site.CostJitter,
 			Prefetch:   cfg.Prefetch, PrefetchBudget: cfg.PrefetchBudget,
 			Cache: cache, Pool: pool,
+			CheckpointJobs:    cfg.CheckpointJobs,
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			Clock:             cfg.Clock, Logf: cfg.Logf,
 		})
@@ -306,13 +471,15 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 				CostJitter: site.CostJitter,
 				Prefetch:   cfg.Prefetch, PrefetchBudget: cfg.PrefetchBudget,
 				Cache: cache, Pool: pool,
+				CheckpointJobs:    cfg.CheckpointJobs,
 				HeartbeatInterval: cfg.HeartbeatInterval,
 				Clock:             cfg.Clock, Logf: cfg.Logf,
 			}
 			masterAddr := masterLn.Addr().String()
 			dial := store.Dialer(slaveShaper.DialerBoth())
+			revoking := cfg.Revocations != nil && len(cfg.Revocations.Events) > 0
 			prov.mu.Lock()
-			prov.spawn = func() error {
+			prov.spawn = func(onDemand bool) error {
 				js, err := NewSlave(spawnCfg)
 				if err != nil {
 					return err
@@ -320,6 +487,10 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 				prov.mu.Lock()
 				prov.slaves = append(prov.slaves, js)
 				prov.mu.Unlock()
+				if revoking && !onDemand {
+					prov.addRevocable(js)
+					defer prov.dropRevocable(js)
+				}
 				_, err = js.Run(masterAddr, dial)
 				return err
 			}
@@ -330,8 +501,16 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 		headLn.Close()
 		return nil, fmt.Errorf("cluster: elastic site %q not in deployment", cfg.Elastic.Site)
 	}
+	var pre *preemptor
+	if cfg.Revocations != nil && len(cfg.Revocations.Events) > 0 {
+		pre = newPreemptor(cfg.Clock, cfg.Revocations, prov, head, logf)
+	}
 
 	report, final, err := head.Wait()
+	var preRep metrics.PreemptionReport
+	if pre != nil {
+		preRep = pre.halt()
+	}
 	if prov != nil {
 		prov.stop()
 		prov.wg.Wait()
@@ -339,12 +518,26 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 	wg.Wait()
 	close(errs)
 	for e := range errs {
-		if err == nil {
+		// Revoked workers died on schedule; their work recovers through
+		// checkpoint adoption and re-execution, not by failing the run.
+		if err == nil && !errors.Is(e, ErrRevoked) {
 			err = e
 		}
 	}
 	if err != nil {
 		return nil, err
+	}
+	if preRep.Revocations > 0 && report != nil {
+		// Graft the trace-side tallies onto the counter-derived report
+		// the head assembled (created here when no counters fired).
+		if report.Preemption == nil {
+			report.Preemption = &metrics.PreemptionReport{}
+		}
+		report.Preemption.Revocations = preRep.Revocations
+		report.Preemption.Warned = preRep.Warned
+		report.Preemption.Unwarned = preRep.Unwarned
+		report.Preemption.DrainsCompleted = preRep.DrainsCompleted
+		report.Preemption.DrainsAborted = preRep.DrainsAborted
 	}
 	result.Report = report
 	result.Final = final

@@ -25,9 +25,9 @@ type rawWorker struct {
 	eng  *gr.Engine
 	st   store.Store
 	red  gr.Reduction
-	done []int32           // processed since the last report
-	held []wire.JobAssign  // granted, not yet processed
-	all  map[int32]bool    // every chunk this worker ever processed
+	done []int32          // processed since the last report
+	held []wire.JobAssign // granted, not yet processed
+	all  map[int32]bool   // every chunk this worker ever processed
 }
 
 func newRawWorker(t *testing.T, addr string, cfg DeployConfig) *rawWorker {

@@ -49,8 +49,11 @@ type HeadConfig struct {
 	// drains the surplus workers.
 	Elastic *elastic.Controller
 	// ScaleUp provisions n additional workers for site; nil ignores
-	// scale-up decisions. It must not block.
-	ScaleUp func(site string, n int)
+	// scale-up decisions. It must not block. onDemand is true when the
+	// controller has fallen back to the non-revocable tier after repeated
+	// spot revocations — the provisioner must exempt those workers from
+	// the revocation trace.
+	ScaleUp func(site string, n int, onDemand bool)
 	// Logf receives progress logging; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -369,12 +372,19 @@ func (h *Head) observe(site string, gauge int) {
 	remaining := h.totalJobs - sum
 	elapsed := h.cfg.Clock.ToEmu(h.cfg.Clock.Now().Sub(h.started))
 	h.mu.Unlock()
-	for _, d := range ctrl.Observe(site, delta, elapsed, remaining) {
+	h.apply(ctrl.Observe(site, delta, elapsed, remaining))
+}
+
+// apply executes a batch of elastic decisions: boots through the
+// provisioner callback, drains as a KindScale push to the site's
+// master.
+func (h *Head) apply(decisions []elastic.Decision) {
+	for _, d := range decisions {
 		switch {
 		case d.Delta > 0:
 			h.cfg.Logf("head: elastic scale-up %s +%d -> %d (%s)", d.Site, d.Delta, d.Target, d.Reason)
 			if h.cfg.ScaleUp != nil {
-				h.cfg.ScaleUp(d.Site, d.Delta)
+				h.cfg.ScaleUp(d.Site, d.Delta, d.OnDemand)
 			}
 		case d.Delta < 0:
 			h.cfg.Logf("head: elastic scale-down %s %d -> %d (%s)", d.Site, d.Delta, d.Target, d.Reason)
@@ -386,6 +396,20 @@ func (h *Head) observe(site string, gauge int) {
 			}
 		}
 	}
+}
+
+// NoteRevocation informs the elastic controller that n of site's spot
+// workers were revoked (warned or not) and applies any replacement
+// boots the controller issues. It is a no-op without a controller.
+func (h *Head) NoteRevocation(site string, n int, warned bool) {
+	ctrl := h.cfg.Elastic
+	if ctrl == nil {
+		return
+	}
+	h.mu.Lock()
+	elapsed := h.cfg.Clock.ToEmu(h.cfg.Clock.Now().Sub(h.started))
+	h.mu.Unlock()
+	h.apply(ctrl.NoteRevocation(site, n, warned, elapsed))
 }
 
 // recordResult stores one cluster's result, returning true when every
@@ -503,6 +527,22 @@ func (h *Head) publish() {
 	// Steal residency outcomes live in the head's pool, not in any
 	// worker snapshot.
 	report.Retrieval.StealsCold, report.Retrieval.StealsWarm = h.pool.StealStats()
+	// Preemption machinery counters aggregate from the surviving
+	// clusters' snapshots; the trace-side tallies (revocations, drain
+	// outcomes) are filled in by the deployment harness, which owns the
+	// revocation schedule.
+	var pre metrics.PreemptionReport
+	for _, st := range h.stats {
+		pre.PreemptWarns += st.Breakdown.PreemptWarns
+		pre.CheckpointsSent += st.Breakdown.Checkpoints
+		pre.CheckpointsAdopted += st.Breakdown.CheckpointsAdopted
+		pre.JobsRecovered += st.Breakdown.JobsRecovered
+		pre.JobsAbandoned += st.Breakdown.JobsAbandoned
+		pre.JobsRequeued += st.Breakdown.JobsRequeued
+	}
+	if pre.Any() {
+		report.Preemption = &pre
+	}
 	if s, ok := h.cfg.App.(gr.Summarizer); ok {
 		if digest, err := s.Summarize(h.finalObj); err == nil {
 			report.FinalResult = digest

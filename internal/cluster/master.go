@@ -124,6 +124,24 @@ type Master struct {
 	resident map[int][]int32
 	nextConn int // slave connection ids for the resident map
 
+	// ckpts holds each connection's newest partial-reduction checkpoint
+	// (highest Seq wins; a delivered result deletes it). A checkpoint is
+	// merged exactly once — in slaveLost, when the connection dies
+	// without a result — and adopted counts those merges so the
+	// "all results in" conditions can balance objects against expected:
+	// an adopted checkpoint adds an object without consuming an
+	// expected slot (the dead slave's slot was already subtracted).
+	ckpts   map[int]*checkpoint
+	adopted int
+
+	// Hint-depth feedback: hintDepth is each connection's effective
+	// hint depth (seeded from cfg.HintDepth), halved when the slave's
+	// reported hint-waste ledger grows and restored one step at a time
+	// while it subsides. hintWastePrev remembers the last report for
+	// the trend comparison.
+	hintDepth     map[int]int
+	hintWastePrev map[int]int
+
 	wg sync.WaitGroup
 	ln net.Listener
 
@@ -141,7 +159,8 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	}
 	m := &Master{cfg: cfg, expected: cfg.Slaves, doneCh: make(chan error, 1),
 		resident: make(map[int][]int32), conns: make(map[int]*wire.Conn),
-		draining: make(map[int]bool)}
+		draining: make(map[int]bool), ckpts: make(map[int]*checkpoint),
+		hintDepth: make(map[int]int), hintWastePrev: make(map[int]int)}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
 }
@@ -339,6 +358,53 @@ func (m *Master) DrainSlaves(n int) int {
 	return len(victims)
 }
 
+// checkpoint is one connection's newest shipped partial reduction.
+type checkpoint struct {
+	seq     int
+	object  []byte
+	covered []int32 // cumulative chunk ids reduced into object
+	stats   wire.Stats
+}
+
+// noteHintWaste folds one slave's reported hint-waste ledger into its
+// effective hint depth: waste climbing means the hints this connection
+// warms are being granted elsewhere, so its depth halves (the trims are
+// counted); waste flat or subsiding earns the depth back one step per
+// report, up to the configured ceiling.
+func (m *Master) noteHintWaste(connID, waste int) {
+	if m.cfg.HintDepth <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev, seen := m.hintWastePrev[connID]
+	m.hintWastePrev[connID] = waste
+	depth, ok := m.hintDepth[connID]
+	if !ok {
+		depth = m.cfg.HintDepth
+	}
+	switch {
+	case seen && waste > prev:
+		if depth > 1 {
+			depth /= 2
+			m.faults.CountHintTrim()
+			m.cfg.Logf("master %s: conn %d hint waste %d->%d, depth trimmed to %d",
+				m.cfg.Site, connID, prev, waste, depth)
+		}
+	case waste <= prev && depth < m.cfg.HintDepth:
+		depth++
+	}
+	m.hintDepth[connID] = depth
+}
+
+// hintDepthLocked is the effective hint depth for a connection.
+func (m *Master) hintDepthLocked(connID int) int {
+	if d, ok := m.hintDepth[connID]; ok {
+		return d
+	}
+	return m.cfg.HintDepth
+}
+
 // drainsPendingExceptLocked reports whether any connection other than
 // connID has been commanded to drain but not yet delivered its result.
 func (m *Master) drainsPendingExceptLocked(connID int) bool {
@@ -405,6 +471,9 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 		delete(m.resident, connID)
 		delete(m.conns, connID)
 		delete(m.draining, connID)
+		delete(m.ckpts, connID)
+		delete(m.hintDepth, connID)
+		delete(m.hintWastePrev, connID)
 		m.mu.Unlock()
 		// A vanished drain no longer holds back end-of-run grants.
 		m.cond.Broadcast()
@@ -421,12 +490,43 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 				m.cfg.Logf("master %s: slave %v stalled (no traffic for %v), declaring lost",
 					m.cfg.Site, addr, m.cfg.HeartbeatInterval*time.Duration(m.cfg.HeartbeatMisses))
 			}
-			m.slaveLost(granted)
+			m.slaveLost(connID, granted)
 			return nil
 		}
 		switch req.Kind {
 		case wire.KindHeartbeat:
 			continue // liveness only; Recv re-armed the idle deadline
+
+		case wire.KindCheckpoint:
+			// One-way push: keep only the newest sequence, so a delayed
+			// duplicate can never roll a partial reduction back. The
+			// checkpoint is merged only if this connection dies without
+			// delivering a result.
+			m.mu.Lock()
+			if old := m.ckpts[connID]; old == nil || req.Seq > old.seq {
+				m.ckpts[connID] = &checkpoint{
+					seq: req.Seq, object: req.Object,
+					covered: req.Completed, stats: req.Stats,
+				}
+			}
+			m.mu.Unlock()
+			continue
+
+		case wire.KindPreemptWarn:
+			// The slave is revocation-warned and starts an accelerated
+			// drain; mark it draining BEFORE acking so no other worker
+			// can take an end-of-run grant while the drain's returned
+			// jobs are still in flight back to the queue.
+			m.mu.Lock()
+			m.draining[connID] = true
+			m.mu.Unlock()
+			m.faults.CountPreemptWarn()
+			m.cfg.Logf("master %s: slave %v preempt-warned, accelerated drain", m.cfg.Site, addr)
+			m.cond.Broadcast()
+			if err := c.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
+				m.slaveLost(connID, granted)
+				return nil
+			}
 
 		case wire.KindRequestJob:
 			completed = append(completed, req.Completed...)
@@ -435,6 +535,7 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 				m.progress += n
 				m.mu.Unlock()
 			}
+			m.noteHintWaste(connID, req.HintWasteChunks)
 			if req.HasResident {
 				// An empty report still replaces the previous one: a
 				// drained cache must clear its stale warm set.
@@ -449,7 +550,7 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 			if err := c.Send(&wire.Message{
 				Kind: wire.KindJobGrant, Jobs: jobs, Hints: hints, Done: done, Drain: drain,
 			}); err != nil {
-				m.slaveLost(granted)
+				m.slaveLost(connID, granted)
 				return nil
 			}
 
@@ -492,6 +593,9 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 				return err
 			}
 			m.mu.Lock()
+			// The delivered result supersedes any checkpoint: merging
+			// both would double-count every job the checkpoint covers.
+			delete(m.ckpts, connID)
 			m.completed = append(m.completed, completed...)
 			m.progress += len(req.Completed)
 			m.slaveObjs = append(m.slaveObjs, obj)
@@ -506,7 +610,7 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 				m.cfg.Logf("master %s: slave %v drained: %d done, %d returned",
 					m.cfg.Site, addr, len(completed), len(returned))
 			}
-			ready := !m.finished && len(m.slaveObjs) == m.expected && m.failed == nil
+			ready := !m.finished && len(m.slaveObjs) == m.expected+m.adopted && m.failed == nil
 			if ready {
 				m.finished = true
 			}
@@ -524,12 +628,51 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 }
 
 // slaveLost requeues everything a dead slave had been granted and
-// lowers the expected-result count. If no slaves remain, the cluster
-// cannot finish and the run fails.
-func (m *Master) slaveLost(granted map[int32]wire.JobAssign) {
+// lowers the expected-result count. If the connection shipped a
+// checkpoint before dying, its newest partial reduction is adopted
+// first: the jobs it covers are subtracted from the requeue set and
+// acknowledged upstream, so only work since the checkpoint is
+// re-executed. If no slaves remain, the cluster cannot finish and the
+// run fails.
+func (m *Master) slaveLost(connID int, granted map[int32]wire.JobAssign) {
 	m.mu.Lock()
+	if ck := m.ckpts[connID]; ck != nil {
+		delete(m.ckpts, connID)
+		// Every covered chunk must still be on this connection's granted
+		// ledger (granted entries are never removed before the result);
+		// anything else means a corrupt or foreign checkpoint, which is
+		// discarded rather than risking a double merge.
+		valid := true
+		for _, id := range ck.covered {
+			if _, ok := granted[id]; !ok {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			if obj, err := gr.DecodeReduction(m.cfg.App, ck.object); err == nil {
+				for _, id := range ck.covered {
+					delete(granted, id)
+				}
+				m.completed = append(m.completed, ck.covered...)
+				m.slaveObjs = append(m.slaveObjs, obj)
+				m.slaveStats = append(m.slaveStats, ck.stats)
+				m.adopted++
+				m.faults.CountCheckpointAdopt(len(ck.covered))
+				m.cfg.Logf("master %s: adopted checkpoint seq %d (%d jobs saved from re-execution)",
+					m.cfg.Site, ck.seq, len(ck.covered))
+			} else {
+				m.cfg.Logf("master %s: discarding undecodable checkpoint: %v", m.cfg.Site, err)
+			}
+		} else {
+			m.cfg.Logf("master %s: discarding checkpoint covering un-granted chunks", m.cfg.Site)
+		}
+	}
 	for _, j := range granted {
 		m.queue = append(m.queue, j)
+	}
+	if len(granted) > 0 {
+		m.faults.CountRequeue(len(granted))
 	}
 	m.expected--
 	remaining := m.expected
@@ -537,7 +680,7 @@ func (m *Master) slaveLost(granted map[int32]wire.JobAssign) {
 	m.cfg.Logf("master %s: slave lost, requeued %d jobs, %d slaves remain",
 		m.cfg.Site, len(granted), remaining)
 	m.cond.Broadcast()
-	ready := remaining > 0 && results == remaining && m.failed == nil && !m.finished
+	ready := remaining > 0 && results == remaining+m.adopted && m.failed == nil && !m.finished
 	if ready {
 		m.finished = true
 	}
@@ -586,7 +729,7 @@ func (m *Master) takeJobs(max, connID int) (jobs, hints []wire.JobAssign, done, 
 	}
 	jobs = append([]wire.JobAssign(nil), m.queue[:n]...)
 	m.queue = m.queue[n:]
-	if h := m.cfg.HintDepth; h > 0 && len(m.queue) > 0 {
+	if h := m.hintDepthLocked(connID); h > 0 && len(m.queue) > 0 {
 		if h > len(m.queue) {
 			h = len(m.queue)
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -76,6 +77,13 @@ type SlaveConfig struct {
 	// scale-up) rather than counting them against the deploy-time
 	// membership.
 	Join bool
+	// CheckpointJobs, when positive, ships a sequence-numbered partial-
+	// reduction checkpoint (KindCheckpoint) to the master every N
+	// processed jobs. If the slave is later revoked without warning, the
+	// master adopts the newest checkpoint and re-executes only the work
+	// since it, instead of the slave's whole grant history. Zero
+	// disables checkpointing.
+	CheckpointJobs int
 	// HeartbeatInterval, when positive, makes each worker heartbeat its
 	// master connection so long retrievals are not mistaken for stalls.
 	HeartbeatInterval time.Duration
@@ -148,7 +156,26 @@ type Slave struct {
 	wasteMu     sync.Mutex
 	hintWarm    map[int32]int64
 	hintGranted map[int32]bool
+
+	// Spot-preemption state. A warning arms warned + warnWallNS (the
+	// wall-clock instant of the hard kill); every worker notices at its
+	// next grant boundary and runs an accelerated, deadline-bounded
+	// drain. A kill arms revoked and severs every live master
+	// connection, which routes recovery through the master's slave-lost
+	// re-execution (softened by any checkpoint it holds).
+	connsMu    sync.Mutex
+	liveConns  map[*wire.Conn]bool
+	revoked    atomic.Bool
+	warned     atomic.Bool
+	warnWallNS atomic.Int64
+	flushes    atomic.Int32 // workers whose preempt drain flushed in time
 }
+
+// ErrRevoked marks a slave whose workers died because the harness
+// revoked the instance (spot preemption). Deployments treat it as an
+// expected membership event — recovery runs through the master — not a
+// run failure.
+var ErrRevoked = errors.New("cluster: slave revoked")
 
 // NewSlave builds a slave node.
 func NewSlave(cfg SlaveConfig) (*Slave, error) {
@@ -165,6 +192,7 @@ func NewSlave(cfg SlaveConfig) (*Slave, error) {
 		chunkIDs:    make(map[store.ChunkKey]int32),
 		hintWarm:    make(map[int32]int64),
 		hintGranted: make(map[int32]bool),
+		liveConns:   make(map[*wire.Conn]bool),
 	}
 	if cfg.Prefetch && cfg.PrefetchBudget > 0 {
 		s.budget = &byteBudget{avail: cfg.PrefetchBudget}
@@ -248,6 +276,70 @@ func (s *Slave) HintWaste() (chunks int, bytes int64) {
 	return chunks, bytes
 }
 
+// trackConn registers a worker's live master connection so Kill can
+// sever it; untrackConn removes it when the worker retires.
+func (s *Slave) trackConn(c *wire.Conn) {
+	s.connsMu.Lock()
+	s.liveConns[c] = true
+	s.connsMu.Unlock()
+}
+
+func (s *Slave) untrackConn(c *wire.Conn) {
+	s.connsMu.Lock()
+	delete(s.liveConns, c)
+	s.connsMu.Unlock()
+}
+
+// PreemptWarn delivers a spot revocation warning: the slave has the
+// given emulated window before the hard kill. Every worker notices at
+// its next grant boundary and runs an accelerated drain — finishing
+// in-flight jobs only while the remaining window fits them, returning
+// the rest, and flushing its partial reduction to the master.
+func (s *Slave) PreemptWarn(warning time.Duration) {
+	deadline := s.cfg.Clock.Now().Add(s.cfg.Clock.ToWall(warning))
+	s.warnWallNS.Store(deadline.UnixNano())
+	s.warned.Store(true)
+	s.cfg.Logf("slave %s: revocation warning, %v window", s.cfg.Site, warning)
+}
+
+// Kill revokes the instance: every live master connection is severed,
+// so the master declares the workers lost and re-executes their
+// outstanding work (minus whatever a checkpoint saved). Workers that
+// already flushed a drain result are unaffected.
+func (s *Slave) Kill() {
+	s.revoked.Store(true)
+	s.connsMu.Lock()
+	conns := make([]*wire.Conn, 0, len(s.liveConns))
+	for c := range s.liveConns {
+		conns = append(conns, c)
+	}
+	s.connsMu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.cfg.Logf("slave %s: revoked (%d live connections severed)", s.cfg.Site, len(conns))
+}
+
+// Revoked reports whether Kill has fired.
+func (s *Slave) Revoked() bool { return s.revoked.Load() }
+
+// DrainFlushed reports whether every worker completed its accelerated
+// preemption drain — flushed its partial reduction and returned its
+// unprocessed work — before the kill landed.
+func (s *Slave) DrainFlushed() bool {
+	return int(s.flushes.Load()) >= s.cfg.Cores
+}
+
+// preemptDeadline returns the wall-clock kill instant, or zero time if
+// no warning is armed.
+func (s *Slave) preemptDeadline() time.Time {
+	ns := s.warnWallNS.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
 // Run connects every virtual core to the master, processes jobs until
 // the pool drains, and ships each core's reduction object; the master
 // performs the intra-cluster combine. It returns the slave's
@@ -272,6 +364,12 @@ func (s *Slave) Run(masterAddr string, dial store.Dialer) (*metrics.Breakdown, e
 	total := &metrics.Breakdown{}
 	for _, o := range outs {
 		if o.err != nil {
+			if s.revoked.Load() {
+				// Worker deaths caused by the revocation are the expected
+				// shape of a spot kill, not a run failure: the master's
+				// slave-lost path re-executes everything outstanding.
+				return nil, fmt.Errorf("%w: %v", ErrRevoked, o.err)
+			}
 			return nil, o.err
 		}
 		total.AddSnapshot(o.stats)
@@ -362,6 +460,8 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	}
 	conn := wire.NewConn(raw)
 	defer conn.Close()
+	s.trackConn(conn)
+	defer s.untrackConn(conn)
 
 	// drainReq latches the master's retire command. It may arrive as an
 	// asynchronous KindDrain push (absorbed below, possibly on the
@@ -415,15 +515,52 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	red := s.cfg.App.NewReduction()
 	var pending []int32 // completions not yet reported
 
+	// Checkpoint state: covered is every job this worker has reduced
+	// into red, cumulatively — the job-set tag that lets the master
+	// merge an adopted checkpoint idempotently against re-execution.
+	// jobWallEMA tracks the wall cost of one job so a preemption drain
+	// can judge what still fits in the warning window.
+	var covered []int32
+	ckptSeq, sinceCkpt := 0, 0
+	var jobWallEMA time.Duration
+	noteJobWall := func(d time.Duration) {
+		if jobWallEMA == 0 {
+			jobWallEMA = d
+		} else {
+			jobWallEMA = (jobWallEMA + d) / 2
+		}
+	}
+	// checkpoint ships the current partial reduction as a one-way,
+	// sequence-numbered push. Failure is harmless — the master just
+	// keeps the previous checkpoint — so errors are swallowed; a dead
+	// connection surfaces at the next request anyway.
+	checkpoint := func() {
+		enc, err := gr.EncodeReduction(red)
+		if err != nil {
+			return
+		}
+		stats.CountCheckpoint()
+		ckptSeq++
+		_ = conn.Send(&wire.Message{
+			Kind: wire.KindCheckpoint, Seq: ckptSeq, Object: enc,
+			Completed: append([]int32(nil), covered...),
+			Stats:     wire.Stats{Breakdown: stats.Snapshot()},
+		})
+	}
+
 	request := func(completed []int32) (*wire.Message, error) {
 		var resident []int32
 		hasResident := s.cfg.Cache.Enabled()
 		if hasResident {
 			resident = s.residentIDs()
 		}
+		// Piggyback the hint-waste ledger so the master can trim this
+		// slave's effective hint depth when its warm bytes stop paying.
+		wasteChunks, wasteBytes := s.HintWaste()
 		return call(&wire.Message{
 			Kind: wire.KindRequestJob, Max: s.cfg.JobsPerRequest,
 			Completed: completed, Resident: resident, HasResident: hasResident,
+			HintWasteChunks: wasteChunks, HintWasteBytes: wasteBytes,
 		})
 	}
 
@@ -554,6 +691,89 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 		return g
 	}
 
+	// preemptFlush runs the accelerated, deadline-bounded drain a spot
+	// warning triggers. Any in-flight prefetch is resolved first (its
+	// grant joins the unprocessed set — the connection must be quiet
+	// before we can announce). The announcement is a request: once its
+	// Ack lands the master has this connection marked draining, so no
+	// other worker can slip away with an end-of-run grant while our
+	// returns are still in flight. Then jobs are finished only while
+	// the remaining window comfortably fits them (twice the per-job
+	// EMA, leaving room for the flush itself); the rest are returned
+	// unprocessed with the partial reduction.
+	preemptFlush := func(unprocessed []*jobItem) (metrics.Snapshot, error) {
+		if inflight {
+			g := <-nextCh
+			inflight = false
+			if g.err != nil {
+				return zero, g.err
+			}
+			if g.resp.Kind == wire.KindJobGrant {
+				for _, j := range g.resp.Jobs {
+					s.markGranted(j.Chunk)
+				}
+				unprocessed = append(unprocessed, g.items...)
+			}
+		}
+		if _, err := call(&wire.Message{Kind: wire.KindPreemptWarn}); err != nil {
+			return zero, fmt.Errorf("cluster: slave %s: announce preempt drain: %w", s.cfg.Site, err)
+		}
+		deadline := s.preemptDeadline()
+		kept := 0
+		for _, it := range unprocessed {
+			remaining := deadline.Sub(s.cfg.Clock.Now())
+			if remaining <= 0 || (jobWallEMA > 0 && remaining < 2*jobWallEMA) {
+				break
+			}
+			j0 := s.cfg.Clock.Now()
+			if it.budget > 0 {
+				s.budget.release(it.budget)
+				it.budget = 0
+			}
+			if it.data != nil {
+				stats.AddRetrieval(it.exposedEmu, it.job.Length, it.job.Stolen)
+				stats.AddPrefetch(it.savedEmu)
+			}
+			err := s.processJob(engine, red, it, stats)
+			it.release, it.data = nil, nil
+			if err != nil {
+				return zero, err
+			}
+			pending = append(pending, it.job.Chunk)
+			covered = append(covered, it.job.Chunk)
+			noteJobWall(s.cfg.Clock.Now().Sub(j0))
+			kept++
+		}
+		abandoned := unprocessed[kept:]
+		returned := make([]int32, 0, len(abandoned))
+		for _, it := range abandoned {
+			returned = append(returned, it.job.Chunk)
+		}
+		if len(abandoned) > 0 {
+			stats.CountPreemptAbandon(len(abandoned))
+		}
+		releaseItems(abandoned)
+		cur = nil
+		enc, err := gr.EncodeReduction(red)
+		if err != nil {
+			return zero, err
+		}
+		warmWG.Wait()
+		stats.CountPreemptDrain()
+		snap := stats.Snapshot()
+		if _, err := call(&wire.Message{
+			Kind: wire.KindSlaveResult, Object: enc, Completed: pending,
+			Returned: returned, HasReturned: true,
+			Stats: wire.Stats{Breakdown: snap},
+		}); err != nil {
+			return zero, fmt.Errorf("cluster: slave %s: ship preempt drain result: %w", s.cfg.Site, err)
+		}
+		s.flushes.Add(1)
+		s.cfg.Logf("slave %s[%d]: preempt drain flushed (%d done, %d returned, %d abandoned)",
+			s.cfg.Site, idx, len(pending), len(returned), len(abandoned))
+		return snap, nil
+	}
+
 	// The first grant is always requested synchronously; with Prefetch
 	// on, every later grant is requested — and its chunks fetched —
 	// while the current one reduces.
@@ -622,7 +842,12 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 			inflight = true
 			go prefetchGrant(carry)
 		}
-		for _, it := range cur.items {
+		for i, it := range cur.items {
+			if s.warned.Load() {
+				// Revocation warning: switch to the accelerated drain for
+				// this grant's remainder (plus any in-flight prefetch).
+				return preemptFlush(cur.items[i:])
+			}
 			if it.budget > 0 {
 				// Handing the bytes to compute frees their budget: they
 				// are no longer "in flight ahead of the core".
@@ -633,12 +858,21 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 				stats.AddRetrieval(it.exposedEmu, it.job.Length, it.job.Stolen)
 				stats.AddPrefetch(it.savedEmu)
 			}
+			j0 := s.cfg.Clock.Now()
 			err := s.processJob(engine, red, it, stats)
 			it.release, it.data = nil, nil
 			if err != nil {
 				return zero, err
 			}
+			noteJobWall(s.cfg.Clock.Now().Sub(j0))
 			pending = append(pending, it.job.Chunk)
+			covered = append(covered, it.job.Chunk)
+			if s.cfg.CheckpointJobs > 0 {
+				if sinceCkpt++; sinceCkpt >= s.cfg.CheckpointJobs {
+					sinceCkpt = 0
+					checkpoint()
+				}
+			}
 		}
 		if done {
 			break

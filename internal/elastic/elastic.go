@@ -60,6 +60,18 @@ type Config struct {
 	// USD per GiB crossing sites.
 	InstanceRate float64
 	EgressRate   float64
+	// SpotRate is USD per spot worker per emulated hour. Zero disables
+	// the spot tier: every worker bills at InstanceRate and decisions
+	// never mark capacity on-demand. When set, the initial fleet is
+	// billed on-demand (the static seed) and boots are cheap spot
+	// capacity — until revocations force the on-demand fallback.
+	SpotRate float64
+	// OnDemandFallback is how many revocations the controller tolerates
+	// before it stops re-buying spot capacity and boots replacement and
+	// growth workers on-demand instead (default 3). On-demand workers
+	// cost more but cannot be revoked, so a run that keeps losing spot
+	// capacity still converges on its deadline.
+	OnDemandFallback int
 	// Workers maps every site to its initial worker count. The scaled
 	// site's entry seeds the commanded count; the rest contribute the
 	// "other capacity" half of the ETA model.
@@ -76,6 +88,10 @@ type Decision struct {
 	Delta  int
 	Target int // commanded workers after this decision
 	Reason string
+	// OnDemand marks booted capacity (Delta > 0) as non-revocable
+	// on-demand instances rather than spot; the provisioner must keep
+	// such workers off the revocation trace's victim list.
+	OnDemand bool
 }
 
 type bootRec struct {
@@ -122,6 +138,16 @@ type Controller struct {
 	instanceSecs float64 // integral of target over emulated seconds
 	contribSecs  float64 // integral of contributing (rate estimation)
 
+	// Spot-tier state (active when cfg.SpotRate > 0). odTarget is the
+	// on-demand slice of target; the rest is revocable spot capacity.
+	// odSecs integrates odTarget the way instanceSecs integrates target,
+	// so the billing split follows tier changes exactly.
+	odTarget     int
+	odSecs       float64
+	revocations  int
+	warnedRevs   int
+	replacements int
+
 	events []metrics.ScaleEvent
 	boots  int
 	drains int
@@ -145,6 +171,9 @@ func New(cfg Config) *Controller {
 	}
 	if cfg.Margin <= 1 {
 		cfg.Margin = 1.15
+	}
+	if cfg.OnDemandFallback <= 0 {
+		cfg.OnDemandFallback = 3
 	}
 	if cfg.Interval <= 0 {
 		if cfg.Deadline > 0 {
@@ -172,6 +201,11 @@ func (c *Controller) Start(totalJobs int, jobsByHome map[string]int) {
 	c.target = c.cfg.Workers[c.cfg.Site]
 	c.contributing = c.target
 	c.peak = c.target
+	if c.cfg.SpotRate > 0 {
+		// The statically deployed seed is on-demand; only capacity the
+		// controller boots later rides the spot market.
+		c.odTarget = c.target
+	}
 	c.otherWorkers = 0
 	for site, n := range c.cfg.Workers {
 		if site != c.cfg.Site {
@@ -307,13 +341,21 @@ func (c *Controller) decideLocked(elapsed time.Duration, remaining int) []Decisi
 		from := c.target
 		c.target += step
 		c.boots += step
+		od := c.onDemandTierLocked()
+		if od {
+			c.odTarget += step
+		}
 		if c.target > c.peak {
 			c.peak = c.target
 		}
 		c.pendingBoots = append(c.pendingBoots, bootRec{ready: elapsed + c.cfg.BootLatency, n: step})
 		c.holdUntil = elapsed + c.cfg.BootLatency + c.cfg.Interval
-		c.eventLocked(elapsed, from, c.target, "deadline at risk")
-		return []Decision{{Site: c.cfg.Site, Delta: step, Target: c.target, Reason: "deadline at risk"}}
+		reason := "deadline at risk"
+		if od {
+			reason = "deadline at risk (on-demand)"
+		}
+		c.eventLocked(elapsed, from, c.target, reason)
+		return []Decision{{Site: c.cfg.Site, Delta: step, Target: c.target, Reason: reason, OnDemand: od}}
 
 	case need < c.target:
 		if elapsed < c.holdUntil || len(c.pendingBoots) > 0 {
@@ -330,6 +372,11 @@ func (c *Controller) decideLocked(elapsed time.Duration, remaining int) []Decisi
 		}
 		from := c.target
 		c.target -= k
+		// Retire spot capacity first: it is cheaper to re-buy and is the
+		// slice that can vanish on its own anyway.
+		if spot := c.target + k - c.odTarget; k > spot {
+			c.odTarget -= k - spot
+		}
 		c.contributing = c.target
 		c.drains += k
 		c.eventLocked(elapsed, from, c.target, "surplus capacity")
@@ -358,6 +405,7 @@ func (c *Controller) accrueLocked(now time.Duration) {
 		}
 		seg := (at - t).Seconds()
 		c.instanceSecs += float64(c.target) * seg
+		c.odSecs += float64(c.odTarget) * seg
 		c.contribSecs += float64(c.contributing) * seg
 		c.contributing += b.n
 		t = at
@@ -365,6 +413,7 @@ func (c *Controller) accrueLocked(now time.Duration) {
 	if now > t {
 		seg := (now - t).Seconds()
 		c.instanceSecs += float64(c.target) * seg
+		c.odSecs += float64(c.odTarget) * seg
 		c.contribSecs += float64(c.contributing) * seg
 	}
 	if now > c.lastEmu {
@@ -377,6 +426,80 @@ func (c *Controller) eventLocked(at time.Duration, from, to int, reason string) 
 		AtEmu: at, Site: c.cfg.Site, From: from, To: to, Reason: reason,
 	})
 	c.logf("elastic: t=%v %s %d -> %d (%s)", at.Round(time.Millisecond), c.cfg.Site, from, to, reason)
+}
+
+// onDemandTierLocked reports whether new capacity should be bought
+// on-demand: the spot tier is configured and the run has already been
+// burned by enough revocations to stop trusting the spot market.
+func (c *Controller) onDemandTierLocked() bool {
+	return c.cfg.SpotRate > 0 && c.revocations >= c.cfg.OnDemandFallback
+}
+
+// NoteRevocation tells the controller n spot workers at site were
+// revoked at the given emulated elapsed time (warned marks revocations
+// that granted a drain window). The controller books the loss and
+// issues a replacement boot so the fleet recovers its commanded size —
+// on the spot tier while revocations are rare, on-demand once
+// OnDemandFallback revocations have shown the spot market is hostile.
+// The returned decisions are applied to the controller's bookkeeping;
+// the caller boots the instances.
+func (c *Controller) NoteRevocation(site string, n int, warned bool, elapsed time.Duration) []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started || site != c.cfg.Site || n <= 0 || c.cfg.SpotRate <= 0 {
+		// Without a spot tier there is no revocable capacity to replace;
+		// the loss still recovers through re-execution.
+		return nil
+	}
+	c.accrueLocked(elapsed)
+	// Only the spot slice is revocable; clamp in case a stale trace
+	// fires after drains already shrank the fleet.
+	if spot := c.target - c.odTarget; n > spot {
+		n = spot
+	}
+	if n <= 0 {
+		return nil
+	}
+	c.revocations += n
+	if warned {
+		c.warnedRevs += n
+	}
+	from := c.target
+	c.target -= n
+	if c.contributing > c.target {
+		c.contributing = c.target
+	}
+	c.eventLocked(elapsed, from, c.target, "spot revoked")
+
+	// Replace the lost capacity. The revoked workers' backlog has been
+	// requeued, so the fleet the last deadline decision sized is still
+	// the fleet the run needs.
+	repl := n
+	if c.cfg.MaxWorkers > 0 && c.target+repl > c.cfg.MaxWorkers {
+		repl = c.cfg.MaxWorkers - c.target
+	}
+	if repl <= 0 {
+		return nil
+	}
+	od := c.onDemandTierLocked()
+	from = c.target
+	c.target += repl
+	c.replacements += repl
+	if od {
+		c.odTarget += repl
+	}
+	if c.target > c.peak {
+		c.peak = c.target
+	}
+	c.pendingBoots = append(c.pendingBoots, bootRec{ready: elapsed + c.cfg.BootLatency, n: repl})
+	c.holdUntil = elapsed + c.cfg.BootLatency + c.cfg.Interval
+	c.downStreak = 0
+	reason := "replace revoked spot"
+	if od {
+		reason = "replace revoked spot (on-demand)"
+	}
+	c.eventLocked(elapsed, from, c.target, reason)
+	return []Decision{{Site: c.cfg.Site, Delta: repl, Target: c.target, Reason: reason, OnDemand: od}}
 }
 
 // NoteWastedBoot records instances whose boot completed only after the
@@ -398,22 +521,39 @@ func (c *Controller) Report(finalElapsed time.Duration, egressBytes int64) *metr
 	copy(events, c.events)
 	sort.Slice(events, func(i, j int) bool { return events[i].AtEmu < events[j].AtEmu })
 	instUSD, egUSD, total := Cost(c.instanceSecs, egressBytes, c.cfg.InstanceRate, c.cfg.EgressRate)
-	return &metrics.ElasticReport{
-		Site:        c.cfg.Site,
-		Deadline:    c.cfg.Deadline,
-		MetDeadline: c.cfg.Deadline <= 0 || finalElapsed <= c.cfg.Deadline,
-		Workers:     c.target,
-		Peak:        c.peak,
-		Boots:       c.boots,
-		Drains:      c.drains,
-		WastedBoots: c.wasted,
-		Events:      events,
+	rep := &metrics.ElasticReport{
+		Site:         c.cfg.Site,
+		Deadline:     c.cfg.Deadline,
+		MetDeadline:  c.cfg.Deadline <= 0 || finalElapsed <= c.cfg.Deadline,
+		Workers:      c.target,
+		Peak:         c.peak,
+		Boots:        c.boots,
+		Drains:       c.drains,
+		WastedBoots:  c.wasted,
+		Events:       events,
 		InstanceSecs: c.instanceSecs,
 		EgressBytes:  egressBytes,
 		InstanceUSD:  instUSD,
 		EgressUSD:    egUSD,
 		TotalUSD:     total,
 	}
+	if c.cfg.SpotRate > 0 {
+		spotSecs := c.instanceSecs - c.odSecs
+		if spotSecs < 0 {
+			spotSecs = 0
+		}
+		rep.Revocations = c.revocations
+		rep.WarnedRevs = c.warnedRevs
+		rep.Replacements = c.replacements
+		rep.OnDemandWorkers = c.odTarget
+		rep.SpotSecs = spotSecs
+		rep.OnDemandSecs = c.odSecs
+		rep.SpotUSD = spotSecs / 3600 * c.cfg.SpotRate
+		rep.OnDemandUSD = c.odSecs / 3600 * c.cfg.InstanceRate
+		rep.InstanceUSD = rep.SpotUSD + rep.OnDemandUSD
+		rep.TotalUSD = rep.InstanceUSD + rep.EgressUSD
+	}
+	return rep
 }
 
 // Cost prices instance time (emulated seconds, per-second billing) and

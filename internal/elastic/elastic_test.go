@@ -188,3 +188,121 @@ func TestStaticCostHelperMatchesController(t *testing.T) {
 		t.Fatalf("Cost = %v %v %v", inst, eg, total)
 	}
 }
+
+func spotBase(deadline time.Duration) Config {
+	cfg := base(deadline)
+	cfg.InstanceRate = 0.68
+	cfg.SpotRate = 0.2
+	cfg.OnDemandFallback = 2
+	return cfg
+}
+
+func TestNoteRevocationReplacesCapacity(t *testing.T) {
+	c := New(spotBase(100 * time.Second))
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	// Grow the spot slice first so there is something to revoke.
+	c.Observe("local", 20, sec(0.5), 980)
+	if ds := c.Observe("cloud", 10, sec(10), 970); len(ds) != 1 || ds[0].OnDemand {
+		t.Fatalf("initial scale-up = %v, want one spot boot", ds)
+	}
+	ds := c.NoteRevocation("cloud", 1, true, sec(12))
+	if len(ds) != 1 {
+		t.Fatalf("revocation decisions = %v, want one replacement boot", ds)
+	}
+	d := ds[0]
+	if d.Delta != 1 || d.Target != 4 || d.OnDemand {
+		t.Fatalf("replacement = %+v, want +1 -> 4 on spot (first revocation under fallback=2)", d)
+	}
+	rep := c.Report(sec(90), 0)
+	if rep.Revocations != 1 || rep.WarnedRevs != 1 || rep.Replacements != 1 {
+		t.Fatalf("report revs=%d warned=%d repl=%d, want 1/1/1",
+			rep.Revocations, rep.WarnedRevs, rep.Replacements)
+	}
+}
+
+func TestOnDemandFallbackAfterRepeatedRevocations(t *testing.T) {
+	c := New(spotBase(100 * time.Second))
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	c.Observe("local", 20, sec(0.5), 980)
+	if ds := c.Observe("cloud", 10, sec(10), 970); len(ds) != 1 {
+		t.Fatalf("want initial scale-up, got %v", ds)
+	}
+	// First revocation: below the fallback threshold, replaced on spot.
+	ds := c.NoteRevocation("cloud", 1, false, sec(12))
+	if len(ds) != 1 || ds[0].OnDemand {
+		t.Fatalf("first replacement = %v, want spot", ds)
+	}
+	// Second revocation reaches OnDemandFallback=2: replacement must be
+	// on-demand, and so must any later growth.
+	ds = c.NoteRevocation("cloud", 1, false, sec(14))
+	if len(ds) != 1 || !ds[0].OnDemand {
+		t.Fatalf("second replacement = %v, want on-demand", ds)
+	}
+	rep := c.Report(sec(90), 0)
+	if rep.OnDemandWorkers < 3 {
+		t.Fatalf("on-demand workers = %d, want seed 2 + 1 fallback replacement", rep.OnDemandWorkers)
+	}
+	if rep.Revocations != 2 {
+		t.Fatalf("revocations = %d, want 2", rep.Revocations)
+	}
+}
+
+func TestRevocationClampedToSpotSlice(t *testing.T) {
+	c := New(spotBase(100 * time.Second))
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	// No boots yet: the whole fleet is the on-demand seed, so a trace
+	// firing early has nothing to revoke.
+	if ds := c.NoteRevocation("cloud", 1, false, sec(5)); len(ds) != 0 {
+		t.Fatalf("revocation of on-demand seed produced decisions: %v", ds)
+	}
+	if rep := c.Report(sec(10), 0); rep.Revocations != 0 {
+		t.Fatalf("clamped revocation still counted: %d", rep.Revocations)
+	}
+}
+
+func TestSpotBillingSplit(t *testing.T) {
+	c := New(spotBase(100 * time.Second))
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	// Boot 2 spot workers at t=10 (seed 2 stays on-demand).
+	c.Observe("local", 20, sec(0.5), 980)
+	if ds := c.Observe("cloud", 10, sec(10), 970); len(ds) != 1 || ds[0].Delta != 2 {
+		t.Fatalf("want +2 boot, got %v", ds)
+	}
+	rep := c.Report(sec(20), 0)
+	// On-demand: 2 workers x 20s = 40 od-secs. Spot: 2 workers from
+	// t=10 -> 20 spot-secs. Totals must add up exactly.
+	if math.Abs(rep.OnDemandSecs-40) > 1e-9 || math.Abs(rep.SpotSecs-20) > 1e-9 {
+		t.Fatalf("od=%v spot=%v, want 40/20", rep.OnDemandSecs, rep.SpotSecs)
+	}
+	if math.Abs(rep.InstanceSecs-(rep.OnDemandSecs+rep.SpotSecs)) > 1e-9 {
+		t.Fatalf("instance=%v != od+spot=%v", rep.InstanceSecs, rep.OnDemandSecs+rep.SpotSecs)
+	}
+	wantSpotUSD := 20.0 / 3600 * 0.2
+	wantODUSD := 40.0 / 3600 * 0.68
+	if math.Abs(rep.SpotUSD-wantSpotUSD) > 1e-9 || math.Abs(rep.OnDemandUSD-wantODUSD) > 1e-9 {
+		t.Fatalf("spotUSD=%v odUSD=%v, want %v/%v", rep.SpotUSD, rep.OnDemandUSD, wantSpotUSD, wantODUSD)
+	}
+	if math.Abs(rep.InstanceUSD-(wantSpotUSD+wantODUSD)) > 1e-9 {
+		t.Fatalf("instanceUSD=%v, want tier sum %v", rep.InstanceUSD, wantSpotUSD+wantODUSD)
+	}
+	// Spot pricing must undercut an all-on-demand bill for the same
+	// instance-seconds — the whole point of riding the spot market.
+	allOD := rep.InstanceSecs / 3600 * 0.68
+	if rep.InstanceUSD >= allOD {
+		t.Fatalf("tiered bill %v not below all-on-demand %v", rep.InstanceUSD, allOD)
+	}
+}
+
+func TestSpotDisabledKeepsLegacyBilling(t *testing.T) {
+	c := New(base(100 * time.Second))
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	c.Observe("local", 20, sec(0.5), 980)
+	c.Observe("cloud", 10, sec(10), 970)
+	if ds := c.NoteRevocation("cloud", 1, false, sec(12)); len(ds) != 0 {
+		t.Fatalf("spot-disabled controller issued revocation decisions: %v", ds)
+	}
+	rep := c.Report(sec(20), 0)
+	if rep.SpotSecs != 0 || rep.OnDemandSecs != 0 || rep.Revocations != 0 {
+		t.Fatalf("spot fields leaked into spot-disabled report: %+v", rep)
+	}
+}

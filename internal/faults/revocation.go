@@ -1,0 +1,105 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// RevocationSpec describes a seeded schedule of spot-instance
+// revocations against one site's burst workers. Real spot markets
+// reclaim capacity either with a short warning (EC2's two-minute
+// notice) or with none at all; the spec's WarnedFrac splits the trace
+// between the two so both recovery paths — the accelerated drain and
+// the checkpoint-backed re-execution — can be exercised from a single
+// seed.
+type RevocationSpec struct {
+	// Site is the site whose revocable (spot) workers the trace kills.
+	Site string
+	// Count is the number of revocation events to generate.
+	Count int
+	// WarnedFrac is the fraction of events that carry a warning window,
+	// in [0, 1]. The choice per event is deterministic in the seed.
+	WarnedFrac float64
+	// Warning is the emulated warning window warned events grant before
+	// the hard kill (the spot market's revocation notice).
+	Warning time.Duration
+	// Start is the emulated elapsed time of the earliest possible
+	// event; Spread is the window after Start the events scatter over.
+	// A zero Spread puts every event exactly at Start.
+	Start  time.Duration
+	Spread time.Duration
+}
+
+// RevocationEvent is one scheduled revocation.
+type RevocationEvent struct {
+	// At is the emulated elapsed run time the revocation fires.
+	At time.Duration
+	// Warning is the emulated notice the victim gets before the hard
+	// kill; zero means an unwarned kill.
+	Warning time.Duration
+}
+
+// Warned reports whether the event grants a drain window.
+func (e RevocationEvent) Warned() bool { return e.Warning > 0 }
+
+// RevocationTrace is a materialized, time-sorted revocation schedule.
+// Like a Plan, it is deterministic in (seed, spec): the same pair
+// always yields the same storm, so a preemption scenario that broke a
+// run can be replayed exactly.
+type RevocationTrace struct {
+	Site   string
+	Events []RevocationEvent
+}
+
+// NewRevocationTrace materializes spec under seed. Event times are
+// deterministic full-jitter samples over [Start, Start+Spread], sorted
+// ascending; which events are warned is an independent deterministic
+// draw against WarnedFrac.
+func NewRevocationTrace(seed int64, spec RevocationSpec) *RevocationTrace {
+	tr := &RevocationTrace{Site: spec.Site}
+	if spec.Count <= 0 {
+		return tr
+	}
+	base := splitmix64(uint64(seed)^hashString(spec.Site)) + 0x9e3779b97f4a7c15
+	for i := 0; i < spec.Count; i++ {
+		at := spec.Start
+		if spec.Spread > 0 {
+			h := splitmix64(base ^ (uint64(i+1) * 0xbf58476d1ce4e5b9))
+			frac := float64(h>>11) / float64(1<<53)
+			at += time.Duration(frac * float64(spec.Spread))
+		}
+		ev := RevocationEvent{At: at}
+		h := splitmix64(base ^ (uint64(i+1) * 0x94d049bb133111eb) ^ 0xff)
+		if float64(h>>11)/float64(1<<53) < spec.WarnedFrac {
+			ev.Warning = spec.Warning
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	sort.Slice(tr.Events, func(a, b int) bool { return tr.Events[a].At < tr.Events[b].At })
+	return tr
+}
+
+// Warned returns how many events in the trace carry a warning window.
+func (t *RevocationTrace) Warned() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range t.Events {
+		if e.Warned() {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *RevocationTrace) String() string {
+	if t == nil || len(t.Events) == 0 {
+		return "revocations: none"
+	}
+	return fmt.Sprintf("revocations[%s]: %d events (%d warned), first %v last %v",
+		t.Site, len(t.Events), t.Warned(),
+		t.Events[0].At.Round(time.Millisecond),
+		t.Events[len(t.Events)-1].At.Round(time.Millisecond))
+}

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRevocationTraceDeterministic(t *testing.T) {
+	spec := RevocationSpec{
+		Site:       "cloud",
+		Count:      8,
+		WarnedFrac: 0.5,
+		Warning:    2 * time.Second,
+		Start:      10 * time.Second,
+		Spread:     30 * time.Second,
+	}
+	a := NewRevocationTrace(42, spec)
+	b := NewRevocationTrace(42, spec)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs across identical seeds: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	c := NewRevocationTrace(43, spec)
+	same := len(c.Events) == len(a.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced an identical trace")
+	}
+}
+
+func TestRevocationTraceSortedAndBounded(t *testing.T) {
+	spec := RevocationSpec{
+		Site:       "cloud",
+		Count:      32,
+		WarnedFrac: 0.25,
+		Warning:    time.Second,
+		Start:      5 * time.Second,
+		Spread:     20 * time.Second,
+	}
+	tr := NewRevocationTrace(7, spec)
+	if len(tr.Events) != spec.Count {
+		t.Fatalf("got %d events, want %d", len(tr.Events), spec.Count)
+	}
+	prev := time.Duration(-1)
+	for i, e := range tr.Events {
+		if e.At < prev {
+			t.Fatalf("event %d out of order: %v after %v", i, e.At, prev)
+		}
+		prev = e.At
+		if e.At < spec.Start || e.At > spec.Start+spec.Spread {
+			t.Fatalf("event %d at %v outside [%v, %v]", i, e.At, spec.Start, spec.Start+spec.Spread)
+		}
+		if e.Warned() && e.Warning != spec.Warning {
+			t.Fatalf("warned event %d has window %v, want %v", i, e.Warning, spec.Warning)
+		}
+	}
+	// The warned draw is Bernoulli(WarnedFrac) per event; with 32
+	// events at 0.25 the count landing at the extremes would mean the
+	// hash is badly skewed.
+	if w := tr.Warned(); w == 0 || w == spec.Count {
+		t.Fatalf("warned count %d of %d is degenerate for frac %v", w, spec.Count, spec.WarnedFrac)
+	}
+}
+
+func TestRevocationTraceEdgeCases(t *testing.T) {
+	if tr := NewRevocationTrace(1, RevocationSpec{Site: "cloud"}); len(tr.Events) != 0 {
+		t.Fatalf("zero count produced %d events", len(tr.Events))
+	}
+	tr := NewRevocationTrace(1, RevocationSpec{Site: "cloud", Count: 3, Start: 4 * time.Second})
+	for _, e := range tr.Events {
+		if e.At != 4*time.Second {
+			t.Fatalf("zero spread event at %v, want exactly 4s", e.At)
+		}
+		if e.Warned() {
+			t.Fatalf("zero WarnedFrac produced a warned event")
+		}
+	}
+	all := NewRevocationTrace(1, RevocationSpec{Site: "cloud", Count: 5, WarnedFrac: 1, Warning: time.Second})
+	if all.Warned() != 5 {
+		t.Fatalf("WarnedFrac=1 warned %d of 5", all.Warned())
+	}
+	var nilTrace *RevocationTrace
+	if nilTrace.Warned() != 0 {
+		t.Fatalf("nil trace Warned() != 0")
+	}
+}

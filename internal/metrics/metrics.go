@@ -48,6 +48,15 @@ type Breakdown struct {
 	hintsReceived int // prefetch-hint jobs received from the master
 	hintsWarmed   int // hint chunks fetched into the cache ahead of a grant
 	hintsDenied   int // hints skipped (byte budget exhausted)
+	hintTrims     int // master cuts to a slave's effective hint depth
+
+	checkpoints        int // partial-reduction checkpoints shipped to the master
+	checkpointsAdopted int // checkpoints merged after an unwarned slave loss
+	jobsRecovered      int // jobs a checkpoint adoption saved from re-execution
+	jobsRequeued       int // granted jobs requeued after a slave loss
+	jobsAbandoned      int // in-flight jobs abandoned by a preemption drain
+	preemptWarns       int // revocation warnings received / observed
+	preemptDrains      int // accelerated drains that flushed before the kill
 }
 
 // AddProcessing records emulated compute time.
@@ -151,6 +160,63 @@ func (b *Breakdown) CountHint(warmed bool) {
 	b.mu.Unlock()
 }
 
+// CountHintTrim records the master shrinking one slave's effective
+// hint depth because its reported hint waste climbed.
+func (b *Breakdown) CountHintTrim() {
+	b.mu.Lock()
+	b.hintTrims++
+	b.mu.Unlock()
+}
+
+// CountCheckpoint records one partial-reduction checkpoint shipped to
+// the master.
+func (b *Breakdown) CountCheckpoint() {
+	b.mu.Lock()
+	b.checkpoints++
+	b.mu.Unlock()
+}
+
+// CountCheckpointAdopt records the master merging a lost slave's last
+// checkpoint; jobs is how many completed jobs the checkpoint covered —
+// work that would otherwise have been re-executed.
+func (b *Breakdown) CountCheckpointAdopt(jobs int) {
+	b.mu.Lock()
+	b.checkpointsAdopted++
+	b.jobsRecovered += jobs
+	b.mu.Unlock()
+}
+
+// CountRequeue records granted jobs returned to the queue after a
+// slave loss — the re-execution cost of the loss.
+func (b *Breakdown) CountRequeue(n int) {
+	b.mu.Lock()
+	b.jobsRequeued += n
+	b.mu.Unlock()
+}
+
+// CountPreemptAbandon records in-flight jobs a warned slave abandoned
+// because its warning window could not fit them.
+func (b *Breakdown) CountPreemptAbandon(n int) {
+	b.mu.Lock()
+	b.jobsAbandoned += n
+	b.mu.Unlock()
+}
+
+// CountPreemptWarn records one revocation warning.
+func (b *Breakdown) CountPreemptWarn() {
+	b.mu.Lock()
+	b.preemptWarns++
+	b.mu.Unlock()
+}
+
+// CountPreemptDrain records one accelerated drain that flushed its
+// partial reduction before the hard kill landed.
+func (b *Breakdown) CountPreemptDrain() {
+	b.mu.Lock()
+	b.preemptDrains++
+	b.mu.Unlock()
+}
+
 // AddPool folds buffer-pool counters (gets and allocation misses) in.
 func (b *Breakdown) AddPool(gets, misses int64) {
 	b.mu.Lock()
@@ -207,6 +273,14 @@ func (b *Breakdown) AddSnapshot(s Snapshot) {
 	b.hintsReceived += s.HintsReceived
 	b.hintsWarmed += s.HintsWarmed
 	b.hintsDenied += s.HintsDenied
+	b.hintTrims += s.HintTrims
+	b.checkpoints += s.Checkpoints
+	b.checkpointsAdopted += s.CheckpointsAdopted
+	b.jobsRecovered += s.JobsRecovered
+	b.jobsRequeued += s.JobsRequeued
+	b.jobsAbandoned += s.JobsAbandoned
+	b.preemptWarns += s.PreemptWarns
+	b.preemptDrains += s.PreemptDrains
 	b.mu.Unlock()
 }
 
@@ -240,6 +314,15 @@ func (b *Breakdown) Snapshot() Snapshot {
 		HintsReceived:    b.hintsReceived,
 		HintsWarmed:      b.hintsWarmed,
 		HintsDenied:      b.hintsDenied,
+		HintTrims:        b.hintTrims,
+
+		Checkpoints:        b.checkpoints,
+		CheckpointsAdopted: b.checkpointsAdopted,
+		JobsRecovered:      b.jobsRecovered,
+		JobsRequeued:       b.jobsRequeued,
+		JobsAbandoned:      b.jobsAbandoned,
+		PreemptWarns:       b.preemptWarns,
+		PreemptDrains:      b.preemptDrains,
 	}
 }
 
@@ -273,6 +356,15 @@ type Snapshot struct {
 	HintsReceived   int
 	HintsWarmed     int
 	HintsDenied     int
+	HintTrims       int
+
+	Checkpoints        int
+	CheckpointsAdopted int
+	JobsRecovered      int
+	JobsRequeued       int
+	JobsAbandoned      int
+	PreemptWarns       int
+	PreemptDrains      int
 }
 
 // Total returns the summed time components.
@@ -306,6 +398,15 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		HintsReceived:    s.HintsReceived + o.HintsReceived,
 		HintsWarmed:      s.HintsWarmed + o.HintsWarmed,
 		HintsDenied:      s.HintsDenied + o.HintsDenied,
+		HintTrims:        s.HintTrims + o.HintTrims,
+
+		Checkpoints:        s.Checkpoints + o.Checkpoints,
+		CheckpointsAdopted: s.CheckpointsAdopted + o.CheckpointsAdopted,
+		JobsRecovered:      s.JobsRecovered + o.JobsRecovered,
+		JobsRequeued:       s.JobsRequeued + o.JobsRequeued,
+		JobsAbandoned:      s.JobsAbandoned + o.JobsAbandoned,
+		PreemptWarns:       s.PreemptWarns + o.PreemptWarns,
+		PreemptDrains:      s.PreemptDrains + o.PreemptDrains,
 	}
 }
 
@@ -388,6 +489,7 @@ type RetrievalReport struct {
 	// master's hint stream wasted on work that went elsewhere.
 	WastedHints     int   // hinted-and-warmed chunks never granted
 	WastedWarmBytes int64 // bytes warmed for those chunks
+	HintTrims       int   // master cuts to slaves' effective hint depths
 }
 
 // Any reports whether any pipeline activity was recorded.
@@ -418,6 +520,7 @@ func (r *RetrievalReport) Add(o RetrievalReport) {
 	r.StealsWarm += o.StealsWarm
 	r.WastedHints += o.WastedHints
 	r.WastedWarmBytes += o.WastedWarmBytes
+	r.HintTrims += o.HintTrims
 }
 
 // AddSnapshot folds one worker snapshot's pipeline counters in.
@@ -436,6 +539,32 @@ func (r *RetrievalReport) AddSnapshot(s Snapshot) {
 	r.HintsReceived += s.HintsReceived
 	r.HintsWarmed += s.HintsWarmed
 	r.HintsDenied += s.HintsDenied
+	r.HintTrims += s.HintTrims
+}
+
+// PreemptionReport aggregates spot-revocation activity over a run:
+// what the revocation trace did to the fleet (harness-filled) and how
+// the drain/checkpoint machinery limited the damage (counter-derived).
+type PreemptionReport struct {
+	Revocations int // slaves revoked by the trace
+	Warned      int // revocations that granted a warning window
+	Unwarned    int // hard kills with no notice
+
+	DrainsCompleted int // warned slaves whose accelerated drain flushed in time
+	DrainsAborted   int // warned slaves killed before their flush landed
+	PreemptWarns    int // warnings observed by masters
+
+	CheckpointsSent    int // partial-reduction checkpoints slaves shipped
+	CheckpointsAdopted int // checkpoints merged after an unwarned loss
+	JobsRecovered      int // jobs checkpoint adoption saved from re-execution
+	JobsAbandoned      int // in-flight jobs drains abandoned for lack of time
+	JobsRequeued       int // granted jobs requeued for re-execution
+}
+
+// Any reports whether any preemption activity was recorded.
+func (p PreemptionReport) Any() bool {
+	return p.Revocations > 0 || p.PreemptWarns > 0 || p.CheckpointsSent > 0 ||
+		p.JobsRequeued > 0 || p.JobsAbandoned > 0
 }
 
 // RunReport is the whole-run summary the harness renders tables from.
@@ -443,12 +572,13 @@ type RunReport struct {
 	App         string
 	Env         string
 	Clusters    []ClusterReport
-	GlobalRed   time.Duration   // head-side global reduction + transfer
-	TotalWall   time.Duration   // emulated end-to-end execution time
-	FinalResult string          // application-rendered result digest
-	Faults      FaultReport     // fault-injection and recovery counters
-	Retrieval   RetrievalReport // cache / prefetch / buffer-pool counters
-	Elastic     *ElasticReport  // scaling controller summary (nil if static)
+	GlobalRed   time.Duration     // head-side global reduction + transfer
+	TotalWall   time.Duration     // emulated end-to-end execution time
+	FinalResult string            // application-rendered result digest
+	Faults      FaultReport       // fault-injection and recovery counters
+	Retrieval   RetrievalReport   // cache / prefetch / buffer-pool counters
+	Elastic     *ElasticReport    // scaling controller summary (nil if static)
+	Preemption  *PreemptionReport // spot-revocation summary (nil if none)
 }
 
 // ScaleEvent records one scaling decision the elastic controller made.
@@ -479,6 +609,18 @@ type ElasticReport struct {
 	InstanceUSD  float64
 	EgressUSD    float64
 	TotalUSD     float64
+
+	// Spot-tier accounting (zero unless the controller ran with a spot
+	// rate configured). InstanceSecs = SpotSecs + OnDemandSecs and
+	// InstanceUSD = SpotUSD + OnDemandUSD when the tier is active.
+	Revocations     int     // spot workers revoked mid-run
+	WarnedRevs      int     // revocations that carried a warning
+	Replacements    int     // replacement boots the controller issued
+	OnDemandWorkers int     // on-demand workers commanded at end of run
+	SpotSecs        float64 // emulated spot instance-seconds billed
+	OnDemandSecs    float64 // emulated on-demand instance-seconds billed
+	SpotUSD         float64
+	OnDemandUSD     float64
 }
 
 // Cluster returns the report for the named site, or nil.

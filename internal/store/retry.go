@@ -27,15 +27,27 @@ type RetryPolicy struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the exponential growth. Zero defaults to 1s.
 	MaxBackoff time.Duration
+	// ThrottleBackoff is the base backoff after a throttle response
+	// (S3 SlowDown). Throttles mean the store is shedding load, so
+	// retrying at the plain-transient cadence just feeds the storm; a
+	// longer base gives the store room to recover. Zero defaults to 5×
+	// the effective BaseBackoff.
+	ThrottleBackoff time.Duration
 	// Seed perturbs the deterministic jitter so independent callers
 	// sharing a policy do not back off in lockstep.
 	Seed uint64
 }
 
 // DefaultRetryPolicy matches S3 client practice scaled to the
-// simulation: 4 attempts, 20ms emulated base, 1s cap.
+// simulation: 4 attempts, 20ms emulated base (100ms after a throttle),
+// 1s cap.
 func DefaultRetryPolicy() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 20 * time.Millisecond, MaxBackoff: time.Second}
+	return RetryPolicy{
+		MaxAttempts:     4,
+		BaseBackoff:     20 * time.Millisecond,
+		ThrottleBackoff: 100 * time.Millisecond,
+		MaxBackoff:      time.Second,
+	}
 }
 
 // Enabled reports whether the policy performs any retries.
@@ -46,16 +58,29 @@ func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
 // deterministic function of (Seed, key, retry): full-jitter style,
 // uniform in [base/2, base].
 func (p RetryPolicy) Backoff(key string, retry int) time.Duration {
-	return p.backoffHashed(hash64(key), retry)
+	return p.backoffHashed(hash64(key), retry, false)
+}
+
+// ThrottledBackoff is Backoff for a retry that answers a throttle
+// response: the doubling starts from the longer ThrottleBackoff base.
+func (p RetryPolicy) ThrottledBackoff(key string, retry int) time.Duration {
+	return p.backoffHashed(hash64(key), retry, true)
 }
 
 // backoffHashed is Backoff over an already-hashed key, so hot callers
 // can derive the jitter input numerically without building the key
-// string at all.
-func (p RetryPolicy) backoffHashed(keyHash uint64, retry int) time.Duration {
+// string at all. throttled selects the throttle base.
+func (p RetryPolicy) backoffHashed(keyHash uint64, retry int, throttled bool) time.Duration {
 	base := p.BaseBackoff
 	if base <= 0 {
 		base = 20 * time.Millisecond
+	}
+	if throttled {
+		if p.ThrottleBackoff > 0 {
+			base = p.ThrottleBackoff
+		} else {
+			base *= 5
+		}
 	}
 	maxB := p.MaxBackoff
 	if maxB <= 0 {
@@ -111,7 +136,7 @@ func (p RetryPolicy) do(clk netsim.Clock, keyHash uint64, key func() string, fn 
 		if attempt >= attempts {
 			return fmt.Errorf("store: %s: %d attempts exhausted: %w", key(), attempts, err)
 		}
-		d := p.backoffHashed(keyHash, attempt)
+		d := p.backoffHashed(keyHash, attempt, Throttled(err))
 		if onBackoff != nil {
 			onBackoff(d)
 		}
@@ -151,6 +176,15 @@ func Retryable(err error) bool {
 		}
 	}
 	return false
+}
+
+// Throttled reports whether err is a store throttle response rather
+// than a plain transient failure. Throttles are detected by the
+// SlowDown marker, which survives both locally (faults.ErrSlowDown
+// wrapping) and across the wire (KindError flattens errors to their
+// strings).
+func Throttled(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "SlowDown")
 }
 
 // transportError marks a store client transport failure (dial, send,

@@ -130,3 +130,61 @@ func TestRetryStatsRecorded(t *testing.T) {
 		t.Fatalf("snapshot = %+v", snap)
 	}
 }
+
+func TestThrottledClassification(t *testing.T) {
+	if !Throttled(faults.ErrSlowDown) {
+		t.Fatal("ErrSlowDown not classified as throttle")
+	}
+	if !Throttled(fmt.Errorf("remote: %w", faults.ErrSlowDown)) {
+		t.Fatal("wrapped ErrSlowDown not classified as throttle")
+	}
+	// Wire errors flatten to strings; the marker must survive.
+	if !Throttled(errors.New("store: remote 1.2.3.4: injected SlowDown (throttle)")) {
+		t.Fatal("flattened SlowDown string not classified as throttle")
+	}
+	if Throttled(faults.ErrTransient) {
+		t.Fatal("plain transient classified as throttle")
+	}
+	if Throttled(nil) {
+		t.Fatal("nil classified as throttle")
+	}
+}
+
+func TestThrottleBackoffLongerThanTransient(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BaseBackoff: 10 * time.Millisecond,
+		ThrottleBackoff: 80 * time.Millisecond, MaxBackoff: time.Second}
+	for retry := 1; retry <= 3; retry++ {
+		tr := p.Backoff("k", retry)
+		th := p.ThrottledBackoff("k", retry)
+		if th <= tr {
+			t.Fatalf("retry %d: throttle backoff %v not longer than transient %v", retry, th, tr)
+		}
+		// Full-jitter keeps the throttle delay in [base/2, base] before
+		// doubling; at retry 1 it must be at least half the throttle base.
+		if retry == 1 && th < 40*time.Millisecond {
+			t.Fatalf("throttle backoff %v below half its base", th)
+		}
+	}
+	// Zero ThrottleBackoff defaults to 5x the effective base.
+	d := RetryPolicy{MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond}
+	if got := d.ThrottledBackoff("k", 1); got < 25*time.Millisecond {
+		t.Fatalf("defaulted throttle backoff %v below half of 5x base", got)
+	}
+}
+
+func TestRetryDoUsesThrottleBase(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond,
+		ThrottleBackoff: 500 * time.Millisecond}
+	var slept time.Duration
+	_ = p.Do(nil, "k", func() error { return faults.ErrSlowDown },
+		func(d time.Duration) { slept += d })
+	if slept < 250*time.Millisecond {
+		t.Fatalf("SlowDown retry backed off only %v, want at least half the throttle base", slept)
+	}
+	slept = 0
+	_ = p.Do(nil, "k", func() error { return faults.ErrTransient },
+		func(d time.Duration) { slept += d })
+	if slept > 10*time.Millisecond {
+		t.Fatalf("plain transient backed off %v, should use the short base", slept)
+	}
+}

@@ -66,6 +66,22 @@ const (
 	KindJoin  // slave->master: Site, Cores (late registration)
 	KindDrain // master->slave: retire after current grant (one-way)
 	KindScale // head->master: Target workers for the site (one-way)
+
+	// Spot preemption. KindPreemptWarn is a request, answered with
+	// KindAck: the worker received a revocation warning and is starting
+	// an accelerated drain, and the Ack guarantees the master has the
+	// connection marked draining — end-of-run grants withheld from the
+	// others — before any job is abandoned, so returned work can never
+	// strand. The flush itself is a normal KindSlaveResult with
+	// Returned. KindCheckpoint is a one-way push, absorbed like a
+	// heartbeat: a sequence-numbered partial reduction (Object), the
+	// cumulative chunk ids it covers (Completed), and the worker's
+	// cumulative Stats. The master keeps only the newest per connection
+	// and merges it exactly once — on slave loss — so the checkpoint
+	// path stays idempotent against both delivered results and
+	// re-execution.
+	KindPreemptWarn // slave->master: accelerated drain starting (Ack'd)
+	KindCheckpoint  // slave->master: Seq, Object, Completed, Stats (one-way)
 )
 
 var kindNames = map[Kind]string{
@@ -78,6 +94,7 @@ var kindNames = map[Kind]string{
 	KindReadResp: "read-resp", KindStat: "stat", KindStatResp: "stat-resp",
 	KindList: "list", KindListResp: "list-resp", KindHeartbeat: "heartbeat",
 	KindJoin: "join", KindDrain: "drain", KindScale: "scale",
+	KindPreemptWarn: "preempt-warn", KindCheckpoint: "checkpoint",
 }
 
 func (k Kind) String() string {
@@ -175,6 +192,19 @@ type Message struct {
 	HasReturned bool
 	// Target is the desired worker count on a KindScale push.
 	Target int
+
+	// Seq orders a connection's KindCheckpoint pushes: the master keeps
+	// only the highest sequence seen, so a reordered or duplicated
+	// checkpoint can never roll a newer partial reduction back.
+	Seq int
+	// HintWasteChunks / HintWasteBytes piggyback the slave's current
+	// hint-waste ledger (chunks warmed on a master hint but never
+	// granted to any of its workers) on KindRequestJob, closing the
+	// hint-quality feedback loop: a master seeing a slave's waste climb
+	// shrinks that connection's effective hint depth. Zero means "no
+	// waste", which is also the harmless reading of "no report".
+	HintWasteChunks int
+	HintWasteBytes  int64
 
 	File string
 	Off  int64

@@ -198,6 +198,36 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCheckpointRoundTrip(t *testing.T) {
+	// The checkpoint push carries the ordering sequence, the encoded
+	// partial reduction, and its cumulative covered set; the hint-waste
+	// ledger rides the same struct on KindRequestJob. All must survive
+	// the codec exactly — a dropped Seq would let a stale checkpoint
+	// roll a newer one back.
+	a, b := connPair(t)
+	want := &Message{
+		Kind:      KindCheckpoint,
+		Seq:       7,
+		Object:    []byte{9, 8, 7},
+		Completed: []int32{3, 1, 12},
+		Stats: Stats{
+			Breakdown: metrics.Snapshot{JobsProcessed: 3, Checkpoints: 7},
+		},
+		HintWasteChunks: 5,
+		HintWasteBytes:  5 << 16,
+	}
+	if err := a.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("checkpoint mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
 func TestKindString(t *testing.T) {
 	if KindJobs.String() != "jobs" {
 		t.Errorf("KindJobs = %q", KindJobs)

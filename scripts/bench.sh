@@ -14,6 +14,10 @@
 #     cost than an over-provisioned static fleet, and a drain variant
 #     sheds surplus workers mid-run; digest-checked, win enforced)
 #     -> BENCH_elastic.json
+#   - `cbbench -experiment spot` (seeded revocation trace replayed
+#     against warned drains, checkpointed recovery, and full
+#     re-execution; digest-checked, checkpoint deadline/requeue win
+#     enforced) -> BENCH_spot.json
 #
 # Usage:
 #   scripts/bench.sh                # default: -records-divisor 10
@@ -27,6 +31,7 @@ ITERS="${ITERS:-3}"
 OUT="${OUT:-BENCH_overlap.json}"
 AUTOTUNE_OUT="${AUTOTUNE_OUT:-BENCH_autotune.json}"
 ELASTIC_OUT="${ELASTIC_OUT:-BENCH_elastic.json}"
+SPOT_OUT="${SPOT_OUT:-BENCH_spot.json}"
 
 go run ./cmd/cbbench -experiment overlap \
 	-records-divisor "$DIVISOR" \
@@ -42,3 +47,8 @@ go run ./cmd/cbbench -experiment elastic \
 	-records-divisor "$DIVISOR" \
 	-check-win \
 	-json "$ELASTIC_OUT"
+
+go run ./cmd/cbbench -experiment spot \
+	-records-divisor "$DIVISOR" \
+	-check-win \
+	-json "$SPOT_OUT"

@@ -14,7 +14,7 @@ go test -race ./internal/cluster/ ./internal/store/ ./internal/chunk/ ./internal
 # Dynamic membership (mid-run joins, drain-vs-steal races, elastic
 # end-to-end) is the most race-prone surface: run it twice under the
 # race detector so a lucky interleaving can't hide a regression.
-go test -race -count=2 -run 'Join|Drain|Elastic' ./internal/cluster/
+go test -race -count=2 -run 'Join|Drain|Elastic|Spot|Preempt|Checkpoint|Revocation' ./internal/cluster/
 go run ./cmd/cbbench -experiment overlap -records-divisor 100 -scale 0.0001 >/dev/null
 # Digest invariance across the autotune grid; win ratios are asserted
 # by scripts/bench.sh at full benchmark scale, not at smoke scale.
@@ -23,4 +23,10 @@ go run ./cmd/cbbench -experiment autotune -records-divisor 100 -scale 0.0001 >/d
 # digests (no lost/double-counted chunk across joins and drains); the
 # deadline/cost win is asserted by scripts/bench.sh at real scale.
 go run ./cmd/cbbench -experiment elastic -records-divisor 100 -scale 0.0001 >/dev/null
+# Spot preemption sweep at smoke scale: validates that revocation
+# recovery (checkpoint adoption, drain flushes, full re-execution)
+# never loses or double-counts a chunk. At this scale real loopback
+# latencies dwarf the scaled warning window, so drain completions and
+# the wall/cost win are asserted by scripts/bench.sh at real scale.
+go run ./cmd/cbbench -experiment spot -records-divisor 100 -scale 0.0001 >/dev/null
 echo "verify: ok"
