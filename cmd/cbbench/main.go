@@ -29,14 +29,15 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune, elastic, spot")
+			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune, elastic, spot, wire")
 		scale   = flag.Float64("scale", 0, "clock scale override (wall s per emulated s)")
 		divisor = flag.Int64("records-divisor", 1, "shrink data sets (and jobs) by this factor")
 		verbose = flag.Bool("v", false, "log cluster progress")
 
 		overlapIters = flag.Int("overlap-iters", 3, "overlap: pagerank power iterations")
-		jsonPath     = flag.String("json", "", "overlap/autotune/elastic/spot: also write results as JSON to this file")
-		checkWin     = flag.Bool("check-win", false, "autotune/elastic/spot: fail unless the controller meets its acceptance criteria")
+		jsonPath     = flag.String("json", "", "overlap/autotune/elastic/spot/wire: also write results as JSON to this file")
+		checkWin     = flag.Bool("check-win", false, "autotune/elastic/spot/wire: fail unless the acceptance criteria are met")
+		benchtime    = flag.Duration("benchtime", time.Second, "wire: microbench duration per (scenario, codec) cell")
 
 		faultSeed      = flag.Int64("fault-seed", 42, "chaos: fault plan seed")
 		faultTransient = flag.Float64("fault-transient", 0.02, "chaos: per-request transient fault probability")
@@ -352,6 +353,43 @@ func main() {
 		}
 	}
 
+	runWire := func() {
+		res, err := bench.WireMicrobench(*benchtime, logf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WirePipelineCompare(res, specs["a"], sim, logf); err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderWire("binary codec vs gob baseline", res))
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wire results written to %s\n", *jsonPath)
+		}
+		if !res.Match {
+			fatal(fmt.Errorf("pipeline digests diverged between codecs"))
+		}
+		if *checkWin {
+			for _, sc := range []string{"jobgrant", "readresp"} {
+				if res.Speedup[sc] < 2 {
+					fatal(fmt.Errorf("wire %s speedup %.2fx is below the required 2x", sc, res.Speedup[sc]))
+				}
+				if res.AllocReduction[sc] < 5 {
+					fatal(fmt.Errorf("wire %s alloc reduction %.2fx is below the required 5x", sc, res.AllocReduction[sc]))
+				}
+			}
+			fmt.Printf("wire win check: jobgrant %.1fx/%.1fx, readresp %.1fx/%.1fx (throughput/allocs), digests identical ✓\n",
+				res.Speedup["jobgrant"], res.AllocReduction["jobgrant"],
+				res.Speedup["readresp"], res.AllocReduction["readresp"])
+		}
+	}
+
 	runChaos := func() {
 		params := bench.DefaultChaos(*faultSeed)
 		params.TransientProb = *faultTransient
@@ -380,6 +418,8 @@ func main() {
 		runElastic()
 	case "spot":
 		runSpot()
+	case "wire":
+		runWire()
 	case "cost":
 		results := runFig3("a")
 		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"cloudburst/internal/store"
+	"cloudburst/internal/wire"
+)
+
+// The wire experiment gates the binary codec against the gob baseline
+// from two angles. The microbench measures pure encode+decode round
+// trips on the two hottest message shapes — a KindJobGrant batch (the
+// control plane's steady state) and a KindReadResp carrying one fetch
+// range (the data plane's per-request unit) — reporting throughput
+// and allocations per op for each codec. The pipeline comparison then
+// runs the same full knn env-cloud execution under each codec and
+// checks the application digests are identical: the codec must be a
+// pure transport change, never a semantics change.
+
+// wireReadRespBytes sizes the KindReadResp benchmark payload at the
+// default fetch range (store.FetchOptions.RangeSize), so the scenario
+// measures exactly what one remote read pays.
+const wireReadRespBytes = 256 << 10
+
+// WireRow is one (scenario, codec) microbench measurement.
+type WireRow struct {
+	Scenario string // "jobgrant" or "readresp"
+	Codec    string // "binary" or "gob"
+	// Ops is how many encode+decode round trips the sample ran.
+	Ops int
+	// NsPerOp is wall nanoseconds per round trip.
+	NsPerOp float64
+	// AllocsPerOp is heap allocations per round trip.
+	AllocsPerOp float64
+	// EncodedBytes is the payload size the codec produced.
+	EncodedBytes int
+	// MBPerSec is encoded payload throughput through the round trip.
+	MBPerSec float64
+}
+
+// WirePipelineRow is one full-pipeline run under a codec.
+type WirePipelineRow struct {
+	Codec    string
+	TotalEmu time.Duration
+	Digest   string
+}
+
+// Seconds is TotalEmu in emulated seconds (for JSON consumers).
+func (r WirePipelineRow) Seconds() float64 { return r.TotalEmu.Seconds() }
+
+// WireResult is the whole experiment: microbench rows, the derived
+// binary-vs-gob ratios per scenario, and the digest-checked pipeline
+// comparison.
+type WireResult struct {
+	App  string
+	Env  string
+	Rows []WireRow
+	// Speedup maps scenario -> gob ns/op divided by binary ns/op
+	// (encode+decode throughput ratio).
+	Speedup map[string]float64
+	// AllocReduction maps scenario -> gob allocs/op divided by binary
+	// allocs/op.
+	AllocReduction map[string]float64
+	Pipeline       []WirePipelineRow
+	// Match is true when every pipeline run produced the same digest.
+	Match bool
+}
+
+// Row returns the (scenario, codec) row, or nil.
+func (w *WireResult) Row(scenario, codec string) *WireRow {
+	for i := range w.Rows {
+		if w.Rows[i].Scenario == scenario && w.Rows[i].Codec == codec {
+			return &w.Rows[i]
+		}
+	}
+	return nil
+}
+
+// wireScenarios returns the benchmark messages in rendering order.
+func wireScenarios() []struct {
+	name string
+	msg  *wire.Message
+} {
+	grant := &wire.Message{Kind: wire.KindJobGrant}
+	for i := int32(0); i < 8; i++ {
+		grant.Jobs = append(grant.Jobs, wire.JobAssign{
+			Chunk: i, File: "data-0003.bin", Offset: int64(i) * 131072,
+			Length: 131072, Units: 4096, HomeSite: "cloud", Stolen: i%2 == 0,
+		})
+		grant.Hints = append(grant.Hints, wire.JobAssign{
+			Chunk: 100 + i, File: "data-0004.bin", Offset: int64(i) * 131072,
+			Length: 131072, Units: 4096, HomeSite: "cloud",
+		})
+	}
+	data := make([]byte, wireReadRespBytes)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	return []struct {
+		name string
+		msg  *wire.Message
+	}{
+		{"jobgrant", grant},
+		{"readresp", &wire.Message{Kind: wire.KindReadResp, Data: data}},
+	}
+}
+
+// measureWire runs fn in a timed loop for roughly dur, returning ops,
+// ns/op, and allocs/op. It is a hand-rolled testing.Benchmark
+// replacement because the benchtime must be a caller knob (the CI
+// smoke run uses a fraction of the committed snapshot's budget).
+func measureWire(dur time.Duration, fn func() error) (int, float64, float64, error) {
+	// Warm the code paths and pools so steady-state is measured.
+	for i := 0; i < 16; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	ops := 0
+	for time.Since(start) < dur {
+		for i := 0; i < 64; i++ {
+			if err := fn(); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		ops += 64
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return ops,
+		float64(elapsed.Nanoseconds()) / float64(ops),
+		float64(after.Mallocs-before.Mallocs) / float64(ops),
+		nil
+}
+
+// WireMicrobench measures encode+decode round trips for both codecs
+// over both scenarios, mirroring production buffer handling: encode
+// into a reused buffer, decode against a BufferPool, and recycle the
+// decoded Data buffer — exactly what Conn.Send/Recv and the store
+// client do per message.
+func WireMicrobench(benchtime time.Duration, logf func(string, ...any)) (*WireResult, error) {
+	if benchtime <= 0 {
+		benchtime = time.Second
+	}
+	out := &WireResult{
+		Speedup:        map[string]float64{},
+		AllocReduction: map[string]float64{},
+	}
+	for _, sc := range wireScenarios() {
+		for _, codec := range []wire.Codec{wire.CodecBinary, wire.CodecGob} {
+			pool := store.NewBufferPool()
+			var buf []byte
+			encoded, err := wire.Encode(nil, sc.msg, codec)
+			if err != nil {
+				return nil, fmt.Errorf("bench: wire %s/%v: %w", sc.name, codec, err)
+			}
+			fn := func() error {
+				var err error
+				buf, err = wire.Encode(buf[:0], sc.msg, codec)
+				if err != nil {
+					return err
+				}
+				m, err := wire.Decode(buf, pool)
+				if err != nil {
+					return err
+				}
+				if m.Data != nil {
+					pool.Put(m.Data)
+				}
+				return nil
+			}
+			if logf != nil {
+				logf("wire bench: %s/%v for %v", sc.name, codec, benchtime)
+			}
+			ops, nsPerOp, allocsPerOp, err := measureWire(benchtime, fn)
+			if err != nil {
+				return nil, fmt.Errorf("bench: wire %s/%v: %w", sc.name, codec, err)
+			}
+			out.Rows = append(out.Rows, WireRow{
+				Scenario: sc.name, Codec: codec.String(),
+				Ops: ops, NsPerOp: nsPerOp, AllocsPerOp: allocsPerOp,
+				EncodedBytes: len(encoded),
+				MBPerSec:     float64(len(encoded)) / (1 << 20) / (nsPerOp / 1e9),
+			})
+		}
+	}
+	for _, sc := range wireScenarios() {
+		bin, gob := out.Row(sc.name, "binary"), out.Row(sc.name, "gob")
+		if bin == nil || gob == nil || bin.NsPerOp == 0 {
+			continue
+		}
+		out.Speedup[sc.name] = gob.NsPerOp / bin.NsPerOp
+		if bin.AllocsPerOp > 0 {
+			out.AllocReduction[sc.name] = gob.AllocsPerOp / bin.AllocsPerOp
+		} else {
+			// A zero-alloc binary loop: report the gob count itself as the
+			// (infinite) reduction, floored so the win check still reads it.
+			out.AllocReduction[sc.name] = gob.AllocsPerOp
+		}
+	}
+	return out, nil
+}
+
+// WirePipelineCompare runs the full knn env-cloud pipeline once per
+// codec and records wall time and the application digest; digests must
+// be identical — the codec carries the run, it must not change it.
+func WirePipelineCompare(res *WireResult, spec AppSpec, sim SimParams, logf func(string, ...any)) error {
+	spec = spec.withDefaults()
+	res.App = spec.Name
+	prev := wire.DefaultCodec()
+	defer wire.SetDefaultCodec(prev)
+	for _, codec := range []wire.Codec{wire.CodecGob, wire.CodecBinary} {
+		wire.SetDefaultCodec(codec)
+		r, err := Execute(RunConfig{
+			Spec: spec, LocalPct: 0,
+			LocalCores: 0, CloudCores: spec.CloudCores(32),
+			Sim: sim, Logf: logf,
+		})
+		if err != nil {
+			return fmt.Errorf("bench: wire pipeline under %v: %w", codec, err)
+		}
+		res.Env = r.Env
+		res.Pipeline = append(res.Pipeline, WirePipelineRow{
+			Codec: codec.String(), TotalEmu: r.Report.TotalWall,
+			Digest: r.Report.FinalResult,
+		})
+	}
+	res.Match = true
+	for _, p := range res.Pipeline[1:] {
+		if p.Digest != res.Pipeline[0].Digest {
+			res.Match = false
+		}
+	}
+	return nil
+}
+
+// RenderWire prints the microbench table and the pipeline comparison.
+func RenderWire(title string, res *WireResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Wire codec — %s\n", title)
+	fmt.Fprintf(&b, "%-10s %-8s %12s %12s %12s %10s %10s\n",
+		"scenario", "codec", "ops", "ns/op", "allocs/op", "bytes", "MB/s")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%-10s %-8s %12d %12.0f %12.1f %10d %10.1f\n",
+			r.Scenario, r.Codec, r.Ops, r.NsPerOp, r.AllocsPerOp, r.EncodedBytes, r.MBPerSec)
+	}
+	for _, sc := range []string{"jobgrant", "readresp"} {
+		if s, ok := res.Speedup[sc]; ok {
+			fmt.Fprintf(&b, "%-10s binary vs gob: %.1fx throughput, %.1fx fewer allocs/op\n",
+				sc, s, res.AllocReduction[sc])
+		}
+	}
+	if len(res.Pipeline) > 0 {
+		fmt.Fprintf(&b, "full pipeline (%s %s):\n", res.App, res.Env)
+		for _, p := range res.Pipeline {
+			fmt.Fprintf(&b, "  %-8s %8.1fs  digest %s\n", p.Codec, p.Seconds(), p.Digest)
+		}
+		if res.Match {
+			fmt.Fprintf(&b, "result digests: identical across codecs ✓\n")
+		} else {
+			fmt.Fprintf(&b, "result digests: DIVERGED — the codec changed results\n")
+		}
+	}
+	return b.String()
+}

@@ -6,23 +6,24 @@ import (
 	"cloudburst/internal/netsim"
 )
 
-// TestResidentUnionDistinguishesEmptyFromNone: the union must report
-// "has a report" whenever any slave has reported — even a drained
-// cache (nil ids) — so the head runs SetResident's delete path and
-// sheds the site's stale warm set, instead of skipping the update.
+// TestResidentUnionDistinguishesEmptyFromNone: the union must stay
+// non-nil whenever any slave has reported — even a drained cache —
+// so the head runs SetResident's delete path and sheds the site's
+// stale warm set, instead of skipping the update. (The wire codec
+// preserves the nil vs. empty distinction end to end.)
 func TestResidentUnionDistinguishesEmptyFromNone(t *testing.T) {
 	m := &Master{resident: make(map[int][]int32)}
-	if ids, ok := m.residentUnionLocked(); ok || ids != nil {
-		t.Fatalf("no reports: got (%v, %v), want (nil, false)", ids, ok)
+	if ids := m.residentUnionLocked(); ids != nil {
+		t.Fatalf("no reports: got %v, want nil", ids)
 	}
 	m.resident[1] = nil // a slave with an enabled but drained cache
-	if ids, ok := m.residentUnionLocked(); !ok || len(ids) != 0 {
-		t.Fatalf("drained report: got (%v, %v), want (empty, true)", ids, ok)
+	if ids := m.residentUnionLocked(); ids == nil || len(ids) != 0 {
+		t.Fatalf("drained report: got %v, want non-nil empty", ids)
 	}
 	m.resident[2] = []int32{3, 5, 3}
-	ids, ok := m.residentUnionLocked()
-	if !ok || len(ids) != 2 {
-		t.Fatalf("union = (%v, %v), want deduped {3,5}", ids, ok)
+	ids := m.residentUnionLocked()
+	if ids == nil || len(ids) != 2 {
+		t.Fatalf("union = %v, want deduped {3,5}", ids)
 	}
 }
 

@@ -100,7 +100,8 @@ func (w *rawWorker) finish(retire bool) {
 	}
 	msg := &wire.Message{Kind: wire.KindSlaveResult, Object: enc, Completed: w.done}
 	if retire {
-		msg.HasReturned = true
+		// Non-nil even when empty: that marks the result as a drain.
+		msg.Returned = []int32{}
 		for _, j := range w.held {
 			msg.Returned = append(msg.Returned, j.Chunk)
 		}
@@ -287,7 +288,7 @@ func TestDrainReturnOverlapFailsRun(t *testing.T) {
 	}
 	if err := w.c.Send(&wire.Message{
 		Kind: wire.KindSlaveResult, Object: enc,
-		Completed: w.done, Returned: []int32{dup}, HasReturned: true,
+		Completed: w.done, Returned: []int32{dup},
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"cloudburst/internal/gr"
 	"cloudburst/internal/metrics"
 	"cloudburst/internal/netsim"
+	"cloudburst/internal/store"
 	"cloudburst/internal/wire"
 )
 
@@ -54,6 +55,9 @@ type HeadConfig struct {
 	// spot revocations — the provisioner must exempt those workers from
 	// the revocation trace.
 	ScaleUp func(site string, n int, onDemand bool)
+	// Pool recycles wire encode/frame buffers on master connections
+	// (default: a fresh BufferPool).
+	Pool *store.BufferPool
 	// Logf receives progress logging; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -126,6 +130,9 @@ func NewHead(cfg HeadConfig) (*Head, error) {
 	if cfg.HeartbeatMisses < 1 {
 		cfg.HeartbeatMisses = 3
 	}
+	if cfg.Pool == nil {
+		cfg.Pool = store.NewBufferPool()
+	}
 	return &Head{
 		cfg:        cfg,
 		pool:       chunk.NewPoolWith(cfg.Index, chunk.PoolOptions{Scatter: cfg.Scatter}),
@@ -167,7 +174,9 @@ func (h *Head) Serve(l net.Listener) {
 			h.wg.Add(1)
 			go func() {
 				defer h.wg.Done()
-				if err := h.handleMaster(wire.NewConn(conn)); err != nil {
+				wc := wire.NewConn(conn)
+				wc.SetBufferPool(h.cfg.Pool)
+				if err := h.handleMaster(wc); err != nil {
 					h.fail(err)
 				}
 			}()
@@ -268,7 +277,7 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 					return err
 				}
 			}
-			if req.HasResident {
+			if req.Resident != nil {
 				// The cluster's reported cache residency steers stealing:
 				// thieves are granted this site's cold chunks first. An
 				// empty report runs SetResident's delete path so a

@@ -49,6 +49,9 @@ type MasterConfig struct {
 	// HeartbeatMisses is how many silent intervals count as a stall
 	// (default 3).
 	HeartbeatMisses int
+	// Pool recycles wire encode/frame buffers on the head and slave
+	// connections (default: a fresh BufferPool).
+	Pool *store.BufferPool
 	// Logf receives progress logging; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -71,6 +74,9 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	}
 	if c.Clock == nil {
 		c.Clock = netsim.Instant()
+	}
+	if c.Pool == nil {
+		c.Pool = store.NewBufferPool()
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -174,6 +180,7 @@ func (m *Master) Run(headAddr string, dial store.Dialer, l net.Listener) (gr.Red
 		return nil, fmt.Errorf("cluster: master %s: dial head: %w", m.cfg.Site, err)
 	}
 	m.head = wire.NewConn(raw)
+	m.head.SetBufferPool(m.cfg.Pool)
 	defer m.head.Close()
 
 	if _, err := m.head.Call(&wire.Message{
@@ -184,7 +191,7 @@ func (m *Master) Run(headAddr string, dial store.Dialer, l net.Listener) (gr.Red
 	if m.cfg.HeartbeatInterval > 0 {
 		// Keep the head convinced we are alive through the long quiet
 		// stretches (local combine, waiting for slow slaves).
-		stop := wire.Heartbeats(m.head, m.cfg.HeartbeatInterval)
+		stop := wire.HeartbeatsWith(m.head, m.cfg.HeartbeatInterval, m.cfg.Logf)
 		defer stop()
 	}
 	m.mu.Lock()
@@ -204,7 +211,9 @@ func (m *Master) Run(headAddr string, dial store.Dialer, l net.Listener) (gr.Red
 			m.wg.Add(1)
 			go func() {
 				defer m.wg.Done()
-				if err := m.handleSlave(wire.NewConn(conn)); err != nil {
+				wc := wire.NewConn(conn)
+				wc.SetBufferPool(m.cfg.Pool)
+				if err := m.handleSlave(wc); err != nil {
 					m.fail(err)
 				}
 			}()
@@ -258,13 +267,13 @@ func (m *Master) refillLoop() error {
 		completed := m.completed
 		m.completed = nil
 		progress := m.progress
-		resident, hasResident := m.residentUnionLocked()
+		resident := m.residentUnionLocked()
 		m.mu.Unlock()
 
 		resp, err := m.callHead(&wire.Message{
 			Kind: wire.KindRequestJobs, Site: m.cfg.Site,
 			Max: m.cfg.Batch, Completed: completed, Progress: progress,
-			Resident: resident, HasResident: hasResident,
+			Resident: resident,
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: master %s: request jobs: %w", m.cfg.Site, err)
@@ -536,7 +545,7 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 				m.mu.Unlock()
 			}
 			m.noteHintWaste(connID, req.HintWasteChunks)
-			if req.HasResident {
+			if req.Resident != nil {
 				// An empty report still replaces the previous one: a
 				// drained cache must clear its stale warm set.
 				m.mu.Lock()
@@ -600,7 +609,7 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 			m.progress += len(req.Completed)
 			m.slaveObjs = append(m.slaveObjs, obj)
 			m.slaveStats = append(m.slaveStats, req.Stats)
-			if req.HasReturned {
+			if req.Returned != nil {
 				// Drain result: the partial reduction above stands, and
 				// the unprocessed remainder goes back to the local queue
 				// for the surviving workers (or cross-site stealing once
@@ -743,16 +752,16 @@ func (m *Master) takeJobs(max, connID int) (jobs, hints []wire.JobAssign, done, 
 }
 
 // residentUnionLocked merges every slave connection's latest reported
-// cache-resident chunk ids into one deduplicated set for the head. The
-// second return is false only when no slave has reported at all; an
-// empty union from drained caches still reports true so the head
-// clears the site's stale warm set.
-func (m *Master) residentUnionLocked() ([]int32, bool) {
+// cache-resident chunk ids into one deduplicated set for the head. It
+// returns nil only when no slave has reported at all; an empty union
+// from drained caches still returns a non-nil empty slice (which the
+// codec preserves) so the head clears the site's stale warm set.
+func (m *Master) residentUnionLocked() []int32 {
 	if len(m.resident) == 0 {
-		return nil, false
+		return nil
 	}
 	seen := make(map[int32]bool)
-	var out []int32
+	out := []int32{}
 	for _, ids := range m.resident {
 		for _, id := range ids {
 			if !seen[id] {
@@ -761,7 +770,7 @@ func (m *Master) residentUnionLocked() ([]int32, bool) {
 			}
 		}
 	}
-	return out, true
+	return out
 }
 
 // combineAndReport performs the intra-cluster combine, ships the

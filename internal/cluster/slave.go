@@ -459,6 +459,7 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 		return zero, fmt.Errorf("cluster: slave %s: dial master: %w", s.cfg.Site, err)
 	}
 	conn := wire.NewConn(raw)
+	conn.SetBufferPool(s.cfg.Pool)
 	defer conn.Close()
 	s.trackConn(conn)
 	defer s.untrackConn(conn)
@@ -496,7 +497,7 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 		return zero, err
 	}
 	if s.cfg.HeartbeatInterval > 0 {
-		stop := wire.Heartbeats(conn, s.cfg.HeartbeatInterval)
+		stop := wire.HeartbeatsWith(conn, s.cfg.HeartbeatInterval, s.cfg.Logf)
 		defer stop()
 	}
 
@@ -549,17 +550,21 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	}
 
 	request := func(completed []int32) (*wire.Message, error) {
+		// A nil Resident means "no report" (cache disabled); with the
+		// cache enabled the report is always non-nil — even empty — so a
+		// drained cache clears the master's stale warm set.
 		var resident []int32
-		hasResident := s.cfg.Cache.Enabled()
-		if hasResident {
-			resident = s.residentIDs()
+		if s.cfg.Cache.Enabled() {
+			if resident = s.residentIDs(); resident == nil {
+				resident = []int32{}
+			}
 		}
 		// Piggyback the hint-waste ledger so the master can trim this
 		// slave's effective hint depth when its warm bytes stop paying.
 		wasteChunks, wasteBytes := s.HintWaste()
 		return call(&wire.Message{
 			Kind: wire.KindRequestJob, Max: s.cfg.JobsPerRequest,
-			Completed: completed, Resident: resident, HasResident: hasResident,
+			Completed: completed, Resident: resident,
 			HintWasteChunks: wasteChunks, HintWasteBytes: wasteBytes,
 		})
 	}
@@ -761,10 +766,12 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 		warmWG.Wait()
 		stats.CountPreemptDrain()
 		snap := stats.Snapshot()
+		// Returned is non-nil even when empty: that is what marks this
+		// result as a drain flush rather than a normal end-of-run one.
 		if _, err := call(&wire.Message{
 			Kind: wire.KindSlaveResult, Object: enc, Completed: pending,
-			Returned: returned, HasReturned: true,
-			Stats: wire.Stats{Breakdown: snap},
+			Returned: returned,
+			Stats:    wire.Stats{Breakdown: snap},
 		}); err != nil {
 			return zero, fmt.Errorf("cluster: slave %s: ship preempt drain result: %w", s.cfg.Site, err)
 		}
@@ -818,8 +825,8 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 			snap := stats.Snapshot()
 			if _, err := call(&wire.Message{
 				Kind: wire.KindSlaveResult, Object: enc, Completed: pending,
-				Returned: returned, HasReturned: true,
-				Stats: wire.Stats{Breakdown: snap},
+				Returned: returned,
+				Stats:    wire.Stats{Breakdown: snap},
 			}); err != nil {
 				return zero, fmt.Errorf("cluster: slave %s: ship drain result: %w", s.cfg.Site, err)
 			}

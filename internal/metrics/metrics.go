@@ -9,8 +9,25 @@ package metrics
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// heartbeatSenderStops counts heartbeat-sender goroutines that exited
+// because a send failed (as opposed to being stopped deliberately). A
+// dead heartbeater is otherwise invisible until the peer's idle
+// deadline fires, so this is a process-wide gauge rather than a
+// per-Breakdown counter: the sender usually dies exactly because the
+// connection that would carry its Breakdown upstream is gone.
+var heartbeatSenderStops atomic.Int64
+
+// CountHeartbeatSenderStop records a heartbeat sender that died on a
+// failed send.
+func CountHeartbeatSenderStop() { heartbeatSenderStops.Add(1) }
+
+// HeartbeatSenderStops returns the number of heartbeat senders that
+// have died on a failed send since process start.
+func HeartbeatSenderStops() int64 { return heartbeatSenderStops.Load() }
 
 // Breakdown accumulates the per-worker timing decomposition used in
 // Figures 3 and 4. All durations are in emulated time. Breakdown is

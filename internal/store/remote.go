@@ -30,12 +30,18 @@ type ServerOptions struct {
 type Server struct {
 	store Store
 	opts  ServerOptions
+	pool  *BufferPool // recycles read buffers and wire frames
 
 	mu     sync.Mutex
 	ln     net.Listener
 	closed bool
 	wg     sync.WaitGroup
 }
+
+// maxReadLen bounds a single KindReadAt request: a corrupt or hostile
+// length must not translate into an arbitrary server-side allocation.
+// Chunks are tens of megabytes at most; this leaves generous headroom.
+const maxReadLen = 256 << 20
 
 // Serve starts serving store on l and returns immediately; the server
 // owns the listener until Close.
@@ -48,7 +54,7 @@ func ServeWith(l net.Listener, s Store, opts ServerOptions) *Server {
 	if opts.Clock == nil {
 		opts.Clock = netsim.Instant()
 	}
-	srv := &Server{store: s, opts: opts, ln: l}
+	srv := &Server{store: s, opts: opts, ln: l, pool: NewBufferPool()}
 	srv.wg.Add(1)
 	go srv.acceptLoop()
 	return srv
@@ -92,7 +98,9 @@ func (s *Server) acceptLoop() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handle(wire.NewConn(conn))
+			wc := wire.NewConn(conn)
+			wc.SetBufferPool(s.pool)
+			s.handle(wc)
 		}()
 	}
 }
@@ -123,9 +131,16 @@ func (s *Server) handle(c *wire.Conn) {
 			}
 		}
 		var resp wire.Message
+		var recycle []byte // pooled read buffer, returned after the send
 		switch req.Kind {
 		case wire.KindReadAt:
-			buf := make([]byte, req.Len)
+			if req.Len < 0 || req.Len > maxReadLen {
+				resp = wire.Message{Kind: wire.KindError,
+					Err: fmt.Sprintf("store: read length %d out of range", req.Len)}
+				break
+			}
+			buf := s.pool.Get(req.Len)
+			recycle = buf
 			n, err := s.store.ReadAt(req.File, buf, req.Off)
 			if err != nil && err != io.EOF {
 				resp = wire.Message{Kind: wire.KindError, Err: err.Error()}
@@ -149,7 +164,12 @@ func (s *Server) handle(c *wire.Conn) {
 		default:
 			resp = wire.Message{Kind: wire.KindError, Err: fmt.Sprintf("store: unexpected %v", req.Kind)}
 		}
-		if err := c.Send(&resp); err != nil {
+		err = c.Send(&resp)
+		if recycle != nil {
+			// Send has copied Data into the frame; the read buffer is free.
+			s.pool.Put(recycle)
+		}
+		if err != nil {
 			return
 		}
 	}
@@ -165,6 +185,7 @@ type Dialer func(network, addr string) (net.Conn, error)
 type Client struct {
 	addr string
 	dial Dialer
+	pool *BufferPool // recycles wire frames and response Data buffers
 
 	mu     sync.Mutex
 	idle   []*wire.Conn
@@ -177,7 +198,7 @@ func NewClient(addr string, dial Dialer) *Client {
 	if dial == nil {
 		dial = net.Dial
 	}
-	return &Client{addr: addr, dial: dial}
+	return &Client{addr: addr, dial: dial, pool: NewBufferPool()}
 }
 
 var errClientClosed = errors.New("store: client closed")
@@ -199,7 +220,9 @@ func (c *Client) get() (*wire.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return wire.NewConn(raw), nil
+	conn := wire.NewConn(raw)
+	conn.SetBufferPool(c.pool)
+	return conn, nil
 }
 
 func (c *Client) put(conn *wire.Conn) {
@@ -257,6 +280,9 @@ func (c *Client) ReadAt(name string, p []byte, off int64) (int, error) {
 		return 0, err
 	}
 	n := copy(p, resp.Data)
+	// The response Data landed in a pooled buffer (the conn shares
+	// c.pool); now that it is copied out, recycle it.
+	c.pool.Put(resp.Data)
 	if resp.Done || n < len(p) {
 		return n, io.EOF
 	}

@@ -74,3 +74,47 @@ func BenchmarkSendLargeObject(b *testing.B) {
 		}
 	}
 }
+
+// benchGrant is the codec benchmark message: a realistic job grant
+// with a batch of jobs and piggybacked prefetch hints.
+func benchGrant() *Message {
+	m := &Message{Kind: KindJobGrant}
+	for i := int32(0); i < 8; i++ {
+		m.Jobs = append(m.Jobs, JobAssign{
+			Chunk: i, File: "data-0003.bin", Offset: int64(i) * 131072,
+			Length: 131072, Units: 4096, HomeSite: "cloud", Stolen: i%2 == 0,
+		})
+		m.Hints = append(m.Hints, JobAssign{
+			Chunk: 100 + i, File: "data-0004.bin", Offset: int64(i) * 131072,
+			Length: 131072, Units: 4096, HomeSite: "cloud",
+		})
+	}
+	return m
+}
+
+// BenchmarkEncodeDecode measures a pure in-memory encode+decode round
+// trip per codec — the microbench behind BENCH_wire.json.
+func BenchmarkEncodeDecode(b *testing.B) {
+	msgs := map[string]*Message{
+		"jobgrant": benchGrant(),
+		"readresp": {Kind: KindReadResp, Data: make([]byte, 256<<10)},
+	}
+	for name, m := range msgs {
+		for _, codec := range []Codec{CodecBinary, CodecGob} {
+			b.Run(name+"/"+codec.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				var buf []byte
+				for i := 0; i < b.N; i++ {
+					var err error
+					buf, err = Encode(buf[:0], m, codec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := Decode(buf, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -64,29 +64,34 @@ func TestScaleRoundTrip(t *testing.T) {
 	}
 }
 
-func TestEmptyReturnedSurvivesGob(t *testing.T) {
-	// Same gob pitfall as HasResident: a drain result that returns no
-	// work ("I finished everything granted") must stay distinguishable
-	// from a normal end-of-run result, so the empty slice rides on the
-	// HasReturned flag.
-	a, b := connPair(t)
-	if err := a.Send(&Message{
-		Kind:        KindSlaveResult,
-		Completed:   []int32{3, 4},
-		Returned:    []int32{},
-		HasReturned: true,
-	}); err != nil {
-		t.Fatal(err)
-	}
-	got, err := b.Recv()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !got.HasReturned {
-		t.Fatal("HasReturned flag lost in transit")
-	}
-	if len(got.Returned) != 0 {
-		t.Fatalf("Returned = %v, want empty", got.Returned)
+func TestEmptyReturnedSurvivesCodec(t *testing.T) {
+	// A drain result that returns no work ("I finished everything
+	// granted") must stay distinguishable from a normal end-of-run
+	// result: the non-nil empty Returned slice is the drain marker, and
+	// the codec's presence bits must carry it under both formats.
+	for _, codec := range []Codec{CodecBinary, CodecGob} {
+		t.Run(codec.String(), func(t *testing.T) {
+			SetDefaultCodec(codec)
+			defer SetDefaultCodec(CodecBinary)
+			a, b := connPair(t)
+			if err := a.Send(&Message{
+				Kind:      KindSlaveResult,
+				Completed: []int32{3, 4},
+				Returned:  []int32{},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Returned == nil {
+				t.Fatal("non-nil empty Returned collapsed to nil in transit")
+			}
+			if len(got.Returned) != 0 {
+				t.Fatalf("Returned = %v, want empty", got.Returned)
+			}
+		})
 	}
 }
 
@@ -94,11 +99,10 @@ func TestReturnedPayloadRoundTrip(t *testing.T) {
 	a, b := connPair(t)
 	want := []int32{10, 11, 12}
 	if err := a.Send(&Message{
-		Kind:        KindSlaveResult,
-		Completed:   []int32{9},
-		Returned:    want,
-		HasReturned: true,
-		Object:      []byte{0xde, 0xad},
+		Kind:      KindSlaveResult,
+		Completed: []int32{9},
+		Returned:  want,
+		Object:    []byte{0xde, 0xad},
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -106,8 +110,8 @@ func TestReturnedPayloadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.HasReturned || !reflect.DeepEqual(got.Returned, want) {
-		t.Fatalf("Returned = %v (has=%v), want %v", got.Returned, got.HasReturned, want)
+	if got.Returned == nil || !reflect.DeepEqual(got.Returned, want) {
+		t.Fatalf("Returned = %v, want %v", got.Returned, want)
 	}
 }
 

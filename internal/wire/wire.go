@@ -1,16 +1,20 @@
 // Package wire implements the framed message protocol spoken between
 // every pair of components in the system: head <-> master, master <->
-// slave, and store client <-> store server. Messages are gob-encoded
-// and carried in length-prefixed frames so that each logical message
-// maps to a single write on the connection — which is what lets the
-// netsim layer charge link latency per message burst the way a real
-// request/response protocol would pay it.
+// slave, and store client <-> store server. Messages are encoded with
+// a hand-rolled binary codec (see codec.go; gob remains available as
+// a tagged fallback) and carried in length-prefixed frames so that
+// each logical message maps to a single write on the connection —
+// which is what lets the netsim layer charge link latency per message
+// burst the way a real request/response protocol would pay it.
+//
+// Encode buffers and frame payloads are recycled through an optional
+// BufferSource (SetBufferPool), so the steady-state control plane
+// allocates nothing per message and a chunk-read response lands in a
+// pooled buffer instead of a fresh multi-megabyte allocation.
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -128,14 +132,23 @@ type JobAssign struct {
 type Stats struct {
 	Breakdown metrics.Snapshot
 	// IdleEmu is cluster end-of-run idle time (master->head only).
-	IdleEmu int64 // time.Duration in ns; int64 keeps gob compact
+	IdleEmu int64 // time.Duration in ns; int64 keeps the varints compact
 	// WallEmu is the sender's emulated wall time for the run.
 	WallEmu int64
 }
 
 // Message is the single on-wire envelope. Only the fields relevant to
-// a Kind are populated; gob omits zero values cheaply enough that a
-// single struct beats an interface registry for an internal protocol.
+// a Kind are populated; the codec's presence bitmap makes absent
+// fields free, so a single struct beats an interface registry for an
+// internal protocol.
+//
+// For the slice fields, nil and empty are distinct on the wire: a
+// non-nil empty slice is encoded as "present, zero elements" and
+// decodes back to a non-nil empty slice. Protocol semantics ride on
+// that distinction for Resident and Returned — an empty report
+// ("cache drained", "drain returned nothing") is not the same as no
+// report — which previously required explicit HasResident/HasReturned
+// flags to survive gob's empty-slice collapsing.
 type Message struct {
 	Kind Kind
 
@@ -151,9 +164,9 @@ type Message struct {
 	// and tolerates its optimism about work a dying slave will redo.
 	Progress int
 	Jobs     []JobAssign
-	Done      bool
-	Object    []byte
-	Stats     Stats
+	Done     bool
+	Object   []byte
+	Stats    Stats
 
 	// Hints piggybacks "likely next chunks" on a KindJobGrant: jobs the
 	// master expects to hand this slave soon, so its prefetch pipeline
@@ -166,14 +179,11 @@ type Message struct {
 	// attach the chunk ids currently warm in their cache to
 	// KindRequestJob, masters fold the union into KindRequestJobs, and
 	// the head steers work stealing away from chunks a victim already
-	// has warm (stealing those would waste the victim's cache).
+	// has warm (stealing those would waste the victim's cache). A nil
+	// slice means "no report" (cache disabled); a non-nil empty slice
+	// is a real report of a drained cache and clears the stale warm
+	// set upstream.
 	Resident []int32
-	// HasResident marks that Resident carries a report, even an empty
-	// one. Gob drops zero-length slices in transit, so without the flag
-	// a drained cache ("resident: nothing") is indistinguishable from a
-	// disabled one ("no report") and stale warm sets could never be
-	// cleared upstream.
-	HasResident bool
 
 	// Drain marks a KindJobGrant sent to a retiring worker: no jobs
 	// follow and the worker must flush its partial reduction. It exists
@@ -183,13 +193,10 @@ type Message struct {
 	// Returned lists granted-but-unprocessed chunk ids a draining slave
 	// hands back to its master for re-execution elsewhere. Completions
 	// in the same message stand (the partial reduction was flushed);
-	// Returned jobs were never folded in.
+	// Returned jobs were never folded in. A non-nil Returned — even
+	// empty ("I finished everything I was granted") — marks a drain
+	// result; nil marks a normal end-of-run result.
 	Returned []int32
-	// HasReturned marks that Returned carries a report even when empty:
-	// gob drops zero-length slices, and a drain that returns nothing
-	// ("I finished everything I was granted") must stay distinguishable
-	// from a normal end-of-run result.
-	HasReturned bool
 	// Target is the desired worker count on a KindScale push.
 	Target int
 
@@ -216,10 +223,21 @@ type Message struct {
 }
 
 // MaxFrame bounds a single frame; larger frames indicate corruption.
+// SetMaxFrame lowers the bound per connection.
 const MaxFrame = 1 << 30
 
-// Conn wraps a net.Conn with framed gob message I/O. Reads and writes
-// are independently serialized, so one goroutine may read while
+// recvProbe is how much of a large frame Recv reads before committing
+// the full allocation: a corrupted 4-byte header can claim up to the
+// frame cap, so the receiver proves the peer is actually streaming a
+// body before paying for one.
+const recvProbe = 256 << 10
+
+// scratchMax caps the per-connection encode/decode scratch buffers
+// retained between messages when no BufferSource is configured.
+const scratchMax = 1 << 20
+
+// Conn wraps a net.Conn with framed binary message I/O. Reads and
+// writes are independently serialized, so one goroutine may read while
 // another writes, but concurrent writers queue behind a mutex to keep
 // frames intact.
 type Conn struct {
@@ -230,10 +248,18 @@ type Conn struct {
 	// while the owner reconfigures.
 	idle         atomic.Int64 // read deadline per Recv, ns; 0 = none
 	writeTimeout atomic.Int64 // write deadline per Send, ns; 0 = none
+	maxFrame     atomic.Int64 // per-conn frame cap; 0 = MaxFrame
 
-	wmu sync.Mutex
-	rmu sync.Mutex
+	pool atomic.Pointer[poolBox]
+
+	wmu  sync.Mutex
+	wbuf []byte // encode scratch when no pool is set; guarded by wmu
+	rmu  sync.Mutex
+	rbuf []byte // frame scratch when no pool is set; guarded by rmu
 }
+
+// poolBox wraps the BufferSource interface for atomic swapping.
+type poolBox struct{ p BufferSource }
 
 // NewConn wraps c.
 func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
@@ -243,6 +269,34 @@ func (c *Conn) Close() error { return c.c.Close() }
 
 // RemoteAddr exposes the peer address for logging.
 func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// SetBufferPool installs a buffer recycler: Send draws its encode
+// buffer from p and returns it after the write, and Recv draws frame
+// payloads (and the Data/Object buffers that outlive them) from p,
+// returning the frame the moment decoding finishes.
+func (c *Conn) SetBufferPool(p BufferSource) {
+	if p == nil {
+		c.pool.Store(nil)
+		return
+	}
+	c.pool.Store(&poolBox{p: p})
+}
+
+func (c *Conn) bufferPool() BufferSource {
+	if b := c.pool.Load(); b != nil {
+		return b.p
+	}
+	return nil
+}
+
+// Recycle hands a buffer decoded by Recv (Message.Data or .Object)
+// back to the connection's pool once the caller is done with it. A
+// no-op without a pool.
+func (c *Conn) Recycle(buf []byte) {
+	if p := c.bufferPool(); p != nil {
+		p.Put(buf)
+	}
+}
 
 // SetIdleTimeout arms a read deadline of d on every subsequent Recv: a
 // peer that stays silent (or stalls mid-frame) for longer than d makes
@@ -254,6 +308,24 @@ func (c *Conn) SetIdleTimeout(d time.Duration) { c.idle.Store(int64(d)) }
 // so a peer that stops draining its socket cannot wedge the sender.
 // Zero disables the deadline.
 func (c *Conn) SetWriteTimeout(d time.Duration) { c.writeTimeout.Store(int64(d)) }
+
+// SetMaxFrame lowers this connection's frame-size cap below the
+// package MaxFrame: peers whose messages are known small (the control
+// plane) can reject a corrupt header before it demands a large read.
+// Zero or negative restores the default.
+func (c *Conn) SetMaxFrame(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.maxFrame.Store(int64(n))
+}
+
+func (c *Conn) frameCap() int {
+	if v := c.maxFrame.Load(); v > 0 && v < MaxFrame {
+		return int(v)
+	}
+	return MaxFrame
+}
 
 // IsTimeout reports whether err is a deadline-exceeded (stall) error,
 // as opposed to a closed or reset connection.
@@ -275,6 +347,14 @@ func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
 // discards them, so they coexist with request/response traffic (frame
 // writes are serialized by the connection's write mutex).
 func Heartbeats(c *Conn, interval time.Duration) (stop func()) {
+	return HeartbeatsWith(c, interval, nil)
+}
+
+// HeartbeatsWith is Heartbeats with a logger. A sender that dies on a
+// failed send is otherwise silent until the peer's idle deadline
+// declares this side lost, so the death is counted through
+// metrics.HeartbeatSenderStops and logged when logf is non-nil.
+func HeartbeatsWith(c *Conn, interval time.Duration, logf func(string, ...any)) (stop func()) {
 	done := make(chan struct{})
 	var once sync.Once
 	go func() {
@@ -286,6 +366,16 @@ func Heartbeats(c *Conn, interval time.Duration) (stop func()) {
 				return
 			case <-t.C:
 				if err := c.Send(&Message{Kind: KindHeartbeat}); err != nil {
+					select {
+					case <-done:
+						// Deliberate teardown racing the ticker: the owner
+						// already stopped us, not a silent death.
+					default:
+						metrics.CountHeartbeatSenderStop()
+						if logf != nil {
+							logf("wire: heartbeat sender to %v stopped: %v", c.RemoteAddr(), err)
+						}
+					}
 					return
 				}
 			}
@@ -295,31 +385,60 @@ func Heartbeats(c *Conn, interval time.Duration) (stop func()) {
 }
 
 // Send encodes m and writes it as one frame (one underlying write).
+// The encode buffer comes from the connection's pool (or a retained
+// scratch buffer), so the steady state allocates nothing.
 func (c *Conn) Send(m *Message) error {
-	var body bytes.Buffer
-	body.Write(make([]byte, 4)) // reserve length prefix
-	if err := gob.NewEncoder(&body).Encode(m); err != nil {
-		return fmt.Errorf("wire: encode %v: %w", m.Kind, err)
+	codec := DefaultCodec()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+
+	pool := c.bufferPool()
+	var buf []byte
+	pooled := false
+	if codec == CodecBinary && pool != nil {
+		// MaxEncodedSize is a strict upper bound, so the append below
+		// never outgrows the pooled buffer and Put always recycles it.
+		buf = pool.Get(int64(4 + MaxEncodedSize(m)))[:4]
+		pooled = true
+	} else if cap(c.wbuf) >= 4 {
+		buf = c.wbuf[:4]
+	} else {
+		buf = make([]byte, 4, 4096)
 	}
-	buf := body.Bytes()
+
+	buf, err := Encode(buf, m, codec)
+	if err != nil {
+		return err
+	}
+	release := func() {
+		if pooled {
+			pool.Put(buf)
+		} else if cap(buf) <= scratchMax {
+			c.wbuf = buf[:0]
+		}
+	}
 	payload := len(buf) - 4
-	if payload > MaxFrame {
+	if payload > c.frameCap() {
+		release()
 		return fmt.Errorf("wire: frame too large: %d", payload)
 	}
 	binary.BigEndian.PutUint32(buf[:4], uint32(payload))
 
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
 	if d := c.writeTimeout.Load(); d > 0 {
 		c.c.SetWriteDeadline(time.Now().Add(time.Duration(d)))
 	}
-	if _, err := c.c.Write(buf); err != nil {
-		return fmt.Errorf("wire: write %v: %w", m.Kind, err)
+	_, werr := c.c.Write(buf)
+	release()
+	if werr != nil {
+		return fmt.Errorf("wire: write %v: %w", m.Kind, werr)
 	}
 	return nil
 }
 
-// Recv reads the next frame and decodes it.
+// Recv reads the next frame and decodes it. The frame buffer is
+// recycled immediately; the returned Message owns all its memory
+// (Data and Object live in pooled buffers when a pool is set — hand
+// them back with Recycle when done).
 func (c *Conn) Recv() (*Message, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
@@ -330,19 +449,73 @@ func (c *Conn) Recv() (*Message, error) {
 	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > c.frameCap() {
 		return nil, fmt.Errorf("wire: oversized frame: %d", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.c, payload); err != nil {
+	if n == 0 {
+		return nil, fmt.Errorf("wire: empty frame")
+	}
+	pool := c.bufferPool()
+	payload, err := c.readPayload(n, pool)
+	if err != nil {
 		return nil, fmt.Errorf("wire: short frame: %w", err)
 	}
-	var m Message
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
-		return nil, fmt.Errorf("wire: decode: %w", err)
+	m, derr := Decode(payload, pool)
+	// The decoded message copies everything it keeps, so the frame
+	// buffer goes straight back into circulation.
+	if pool != nil {
+		pool.Put(payload)
+	} else if cap(payload) > cap(c.rbuf) && cap(payload) <= scratchMax {
+		c.rbuf = payload[:0]
 	}
-	return &m, nil
+	if derr != nil {
+		return nil, derr
+	}
+	return m, nil
+}
+
+// readPayload reads an n-byte frame body. Frames larger than
+// recvProbe are read incrementally: the full allocation is only
+// committed after the first recvProbe bytes actually arrive, bounding
+// what a corrupted length header can cost.
+func (c *Conn) readPayload(n int, pool BufferSource) ([]byte, error) {
+	get := func(sz int) []byte {
+		if pool != nil {
+			return pool.Get(int64(sz))
+		}
+		if cap(c.rbuf) >= sz {
+			return c.rbuf[:sz]
+		}
+		return make([]byte, sz)
+	}
+	if n <= recvProbe {
+		buf := get(n)
+		if _, err := io.ReadFull(c.c, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	probe := get(recvProbe)
+	if _, err := io.ReadFull(c.c, probe); err != nil {
+		return nil, err
+	}
+	var full []byte
+	if pool != nil {
+		full = pool.Get(int64(n))
+	} else {
+		full = make([]byte, n)
+	}
+	copy(full, probe)
+	if pool != nil {
+		pool.Put(probe)
+	} else if cap(probe) > cap(c.rbuf) {
+		c.rbuf = probe[:0]
+	}
+	if _, err := io.ReadFull(c.c, full[recvProbe:]); err != nil {
+		return nil, err
+	}
+	return full, nil
 }
 
 // Call sends m and waits for the next message, a convenience for

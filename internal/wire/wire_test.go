@@ -60,25 +60,42 @@ func TestSendRecvRoundTrip(t *testing.T) {
 	}
 }
 
-func TestEmptyResidentReportSurvivesGob(t *testing.T) {
-	// Gob drops zero-length slices in transit, so an empty residency
-	// report ("cache enabled but drained") rides on the HasResident
-	// flag; without it the report would decode identically to "no
-	// cache" and a drained cache could never clear its stale warm set
-	// upstream.
-	a, b := connPair(t)
-	if err := a.Send(&Message{Kind: KindRequestJob, Resident: []int32{}, HasResident: true}); err != nil {
-		t.Fatal(err)
-	}
-	got, err := b.Recv()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !got.HasResident {
-		t.Fatal("HasResident flag lost in transit")
-	}
-	if len(got.Resident) != 0 {
-		t.Fatalf("Resident = %v, want empty", got.Resident)
+func TestEmptyResidentReportSurvivesCodec(t *testing.T) {
+	// An empty residency report ("cache enabled but drained") must stay
+	// distinguishable from no report at all (nil, cache disabled):
+	// without the distinction a drained cache could never clear its
+	// stale warm set upstream. The codec's presence bits carry it for
+	// both the binary format and the gob fallback.
+	for _, codec := range []Codec{CodecBinary, CodecGob} {
+		t.Run(codec.String(), func(t *testing.T) {
+			SetDefaultCodec(codec)
+			defer SetDefaultCodec(CodecBinary)
+			a, b := connPair(t)
+			if err := a.Send(&Message{Kind: KindRequestJob, Resident: []int32{}}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Resident == nil {
+				t.Fatal("non-nil empty Resident report collapsed to nil in transit")
+			}
+			if len(got.Resident) != 0 {
+				t.Fatalf("Resident = %v, want empty", got.Resident)
+			}
+
+			// And the inverse: nil must stay nil, not become empty.
+			if err := a.Send(&Message{Kind: KindRequestJob}); err != nil {
+				t.Fatal(err)
+			}
+			if got, err = b.Recv(); err != nil {
+				t.Fatal(err)
+			}
+			if got.Resident != nil {
+				t.Fatalf("nil Resident became %v in transit", got.Resident)
+			}
+		})
 	}
 }
 
@@ -253,10 +270,8 @@ func TestMessageRoundTripProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		// gob turns empty non-nil slices into nil; normalize.
-		if len(want.Data) == 0 {
-			want.Data = got.Data
-		}
+		// The binary codec preserves nil vs. empty exactly — no
+		// normalization needed.
 		return reflect.DeepEqual(got, want)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
@@ -321,6 +336,51 @@ func TestHeartbeatsStopIsIdempotent(t *testing.T) {
 	stop := Heartbeats(a, time.Hour)
 	stop()
 	stop()
+}
+
+func TestHeartbeatSenderDeathIsObservable(t *testing.T) {
+	// A heartbeat sender that dies on a failed send used to exit its
+	// goroutine silently; it must now bump the process-wide counter and
+	// emit a log line, so the death shows up before the peer's idle
+	// timeout declares this side lost.
+	a, b := connPair(t)
+	before := metrics.HeartbeatSenderStops()
+	logged := make(chan string, 4)
+	stop := HeartbeatsWith(a, 10*time.Millisecond, func(format string, args ...any) {
+		select {
+		case logged <- format:
+		default:
+		}
+	})
+	defer stop()
+	// Kill the transport out from under the sender.
+	a.Close()
+	b.Close()
+	select {
+	case msg := <-logged:
+		if !strings.Contains(msg, "heartbeat") {
+			t.Fatalf("log line %q does not mention heartbeats", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("heartbeat sender death never logged")
+	}
+	if after := metrics.HeartbeatSenderStops(); after <= before {
+		t.Fatalf("stop counter did not advance: before=%d after=%d", before, after)
+	}
+}
+
+func TestHeartbeatsDeliberateStopNotCounted(t *testing.T) {
+	// stop() racing the ticker must not register as a death: the owner
+	// tore the connection down on purpose.
+	a, _ := connPair(t)
+	before := metrics.HeartbeatSenderStops()
+	stop := Heartbeats(a, time.Hour)
+	stop()
+	a.Close()
+	time.Sleep(20 * time.Millisecond)
+	if after := metrics.HeartbeatSenderStops(); after != before {
+		t.Fatalf("deliberate stop counted as a death: before=%d after=%d", before, after)
+	}
 }
 
 func TestCallReturnsTypedRemoteError(t *testing.T) {

@@ -18,6 +18,11 @@
 #     against warned drains, checkpointed recovery, and full
 #     re-execution; digest-checked, checkpoint deadline/requeue win
 #     enforced) -> BENCH_spot.json
+#   - `cbbench -experiment wire` (binary codec vs gob baseline:
+#     encode+decode microbench on job-grant and read-response round
+#     trips, plus a digest-checked full-pipeline comparison; >=2x
+#     throughput and >=5x allocs/op reduction enforced)
+#     -> BENCH_wire.json
 #
 # Usage:
 #   scripts/bench.sh                # default: -records-divisor 10
@@ -32,6 +37,8 @@ OUT="${OUT:-BENCH_overlap.json}"
 AUTOTUNE_OUT="${AUTOTUNE_OUT:-BENCH_autotune.json}"
 ELASTIC_OUT="${ELASTIC_OUT:-BENCH_elastic.json}"
 SPOT_OUT="${SPOT_OUT:-BENCH_spot.json}"
+WIRE_OUT="${WIRE_OUT:-BENCH_wire.json}"
+BENCHTIME="${BENCHTIME:-1s}"
 
 go run ./cmd/cbbench -experiment overlap \
 	-records-divisor "$DIVISOR" \
@@ -52,3 +59,9 @@ go run ./cmd/cbbench -experiment spot \
 	-records-divisor "$DIVISOR" \
 	-check-win \
 	-json "$SPOT_OUT"
+
+go run ./cmd/cbbench -experiment wire \
+	-records-divisor "$DIVISOR" \
+	-benchtime "$BENCHTIME" \
+	-check-win \
+	-json "$WIRE_OUT"

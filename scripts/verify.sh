@@ -15,6 +15,12 @@ go test -race ./internal/cluster/ ./internal/store/ ./internal/chunk/ ./internal
 # end-to-end) is the most race-prone surface: run it twice under the
 # race detector so a lucky interleaving can't hide a regression.
 go test -race -count=2 -run 'Join|Drain|Elastic|Spot|Preempt|Checkpoint|Revocation' ./internal/cluster/
+# The wire codec owns every byte on every connection: fuzz the decoder
+# briefly (corrupt frames must error, never panic) and run the codec
+# microbench as a correctness smoke (both codecs, round trips checked,
+# full-pipeline digest equality binary vs gob).
+go test -run '^$' -fuzz FuzzDecode -fuzztime 5s ./internal/wire/
+go run ./cmd/cbbench -experiment wire -records-divisor 100 -scale 0.0001 -benchtime 50ms >/dev/null
 go run ./cmd/cbbench -experiment overlap -records-divisor 100 -scale 0.0001 >/dev/null
 # Digest invariance across the autotune grid; win ratios are asserted
 # by scripts/bench.sh at full benchmark scale, not at smoke scale.
