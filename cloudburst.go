@@ -135,6 +135,16 @@ type (
 	Autotuner = store.Autotuner
 	// AutotuneStats is a point-in-time controller snapshot.
 	AutotuneStats = store.AutotuneStats
+	// SiteBuffer is the site-shared burst buffer: a chunk cache service
+	// between a site's slaves and its backing object store, with
+	// singleflight read-through and master-driven staging. Install one
+	// per site (SiteSpec.Buffer) or let DeployConfig.BufferBytes build
+	// per-run buffers.
+	SiteBuffer = store.SiteBuffer
+	// SiteBufferConfig parameterizes NewSiteBuffer.
+	SiteBufferConfig = store.SiteBufferConfig
+	// BufferStats is a point-in-time site-buffer counter snapshot.
+	BufferStats = store.BufferStats
 )
 
 // NewMemStore returns an empty in-memory store.
@@ -157,6 +167,10 @@ func NewBufferPool() *BufferPool { return store.NewBufferPool() }
 // concurrent readers and growing to at most max (values below 1 pick
 // defaults; see store.NewAutotuner).
 func NewAutotuner(initial, max int) *Autotuner { return store.NewAutotuner(initial, max) }
+
+// NewSiteBuffer builds a site-shared burst buffer fronting the backing
+// store described by cfg.
+func NewSiteBuffer(cfg SiteBufferConfig) *SiteBuffer { return store.NewSiteBuffer(cfg) }
 
 // Cluster runtime.
 type (

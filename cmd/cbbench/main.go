@@ -29,14 +29,14 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune, elastic, spot, wire")
+			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune, elastic, spot, wire, buffer")
 		scale   = flag.Float64("scale", 0, "clock scale override (wall s per emulated s)")
 		divisor = flag.Int64("records-divisor", 1, "shrink data sets (and jobs) by this factor")
 		verbose = flag.Bool("v", false, "log cluster progress")
 
-		overlapIters = flag.Int("overlap-iters", 3, "overlap: pagerank power iterations")
-		jsonPath     = flag.String("json", "", "overlap/autotune/elastic/spot/wire: also write results as JSON to this file")
-		checkWin     = flag.Bool("check-win", false, "autotune/elastic/spot/wire: fail unless the acceptance criteria are met")
+		overlapIters = flag.Int("overlap-iters", 3, "overlap/buffer: pagerank power iterations")
+		jsonPath     = flag.String("json", "", "overlap/autotune/elastic/spot/wire/buffer: also write results as JSON to this file")
+		checkWin     = flag.Bool("check-win", false, "autotune/elastic/spot/wire/buffer: fail unless the acceptance criteria are met")
 		benchtime    = flag.Duration("benchtime", time.Second, "wire: microbench duration per (scenario, codec) cell")
 
 		faultSeed      = flag.Int64("fault-seed", 42, "chaos: fault plan seed")
@@ -390,6 +390,66 @@ func main() {
 		}
 	}
 
+	runBuffer := func() {
+		knn, err := bench.BufferSinglePass(specs["a"], sim, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderBuffer("knn single pass, all data in S3", knn))
+		pr, err := bench.BufferPageRank(specs["c"], sim, *overlapIters, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderBuffer("pagerank power iterations, all data in S3", pr))
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(map[string]*bench.BufferResult{
+				"knn": knn, "pagerank": pr,
+			}, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("buffer results written to %s\n", *jsonPath)
+		}
+		if !knn.Match || !pr.Match {
+			fatal(fmt.Errorf("buffer variants diverged from the baseline result"))
+		}
+		if *checkWin {
+			for _, res := range []*bench.BufferResult{knn, pr} {
+				for _, label := range []string{"cold-buffer", "staged-buffer"} {
+					r := res.Row(label)
+					if r == nil {
+						fatal(fmt.Errorf("buffer %s ablation is missing the %s row", res.App, label))
+					}
+					if r.Retrieval.BufferHits+r.Retrieval.BufferMisses == 0 {
+						fatal(fmt.Errorf("buffer %s %s routed no reads through the buffer", res.App, label))
+					}
+				}
+				if res.Row("staged-buffer").Retrieval.StagedBytes == 0 {
+					fatal(fmt.Errorf("buffer %s staged-buffer staged nothing", res.App))
+				}
+			}
+			// The headline win: over multiple pagerank iterations, the
+			// staged buffer must beat the bufferless baseline on both
+			// wall clock and S3 egress.
+			base, staged := pr.Row("no-buffer"), pr.Row("staged-buffer")
+			if staged.TotalEmu >= base.TotalEmu {
+				fatal(fmt.Errorf("staged buffer did not cut wall time: %.1fs vs %.1fs without",
+					staged.Seconds(), base.Seconds()))
+			}
+			if staged.EgressBytes >= base.EgressBytes {
+				fatal(fmt.Errorf("staged buffer did not cut S3 egress: %d vs %d bytes without",
+					staged.EgressBytes, base.EgressBytes))
+			}
+			fmt.Printf("buffer win check: pagerank staged %.1fs vs %.1fs no-buffer (%.2fx), egress %.1f MB vs %.1f MB (%.0f%% saved), digests identical ✓\n",
+				staged.Seconds(), base.Seconds(), base.TotalEmu.Seconds()/staged.TotalEmu.Seconds(),
+				float64(staged.EgressBytes)/(1<<20), float64(base.EgressBytes)/(1<<20),
+				100*(1-float64(staged.EgressBytes)/float64(base.EgressBytes)))
+		}
+	}
+
 	runChaos := func() {
 		params := bench.DefaultChaos(*faultSeed)
 		params.TransientProb = *faultTransient
@@ -420,6 +480,8 @@ func main() {
 		runSpot()
 	case "wire":
 		runWire()
+	case "buffer":
+		runBuffer()
 	case "cost":
 		results := runFig3("a")
 		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))

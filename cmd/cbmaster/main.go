@@ -18,6 +18,7 @@ import (
 	"cloudburst/internal/cluster"
 	"cloudburst/internal/gr"
 	"cloudburst/internal/netsim"
+	"cloudburst/internal/store"
 )
 
 func main() {
@@ -32,6 +33,8 @@ func main() {
 		batch    = flag.Int("batch", 0, "jobs per head request (default 2x cores)")
 		hints    = flag.Int("hint-depth", 0, "piggyback up to this many likely-next jobs as prefetch hints on every grant (0 disables)")
 		beat     = flag.Duration("heartbeat", 0, "heartbeat the head and declare silent slaves lost after 3 missed intervals (0 disables)")
+		buffer   = flag.String("buffer", "", "site burst-buffer address (a cbstore -mode buffer daemon) to stage hinted chunks into (0 disables)")
+		stageMB  = flag.Int64("stage-budget-mb", 0, "cap on bytes staged into the buffer over the run (0 = unlimited)")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
 	)
 	flag.Parse()
@@ -56,12 +59,19 @@ func main() {
 	if *quiet {
 		logf = nil
 	}
-	master, err := cluster.NewMaster(cluster.MasterConfig{
+	masterCfg := cluster.MasterConfig{
 		Site: *site, App: app, Cores: *cores, Slaves: *slaves, Batch: *batch,
 		HintDepth: *hints,
 		Clock: netsim.Real(), Logf: logf,
 		HeartbeatInterval: *beat,
-	})
+		StageBudget:       *stageMB << 20,
+	}
+	if *buffer != "" {
+		bc := store.NewClient(*buffer, nil)
+		defer bc.Close()
+		masterCfg.Buffer = bc
+	}
+	master, err := cluster.NewMaster(masterCfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -41,6 +41,8 @@ func main() {
 		prefetch   = flag.Bool("prefetch", false, "pipeline retrieval: fetch the next grant while the current one reduces")
 		budgetMB   = flag.Int64("prefetch-budget-mb", 0, "cap on in-flight prefetched data (0 = default 64 MiB, negative = unlimited)")
 		cacheMB    = flag.Int64("cache-mb", 0, "chunk cache size (0 disables; useful for re-running over the same data)")
+		homeFetch  = flag.Bool("home-fetch", false, "use multi-threaded ranged retrieval for home data (the site's data lives in an object store)")
+		bufferAddr = flag.String("buffer", "", "site burst-buffer address (a cbstore -mode buffer daemon) consulted before the home store; needs -home-fetch")
 		join       = flag.Bool("join", false, "join a running cluster mid-run (elastic scale-up) instead of counting against the deploy-time membership")
 		ckptJobs   = flag.Int("checkpoint-jobs", 0, "ship a partial-reduction checkpoint to the master every N processed jobs (0 disables; bounds work lost to spot revocation)")
 	)
@@ -80,20 +82,30 @@ func main() {
 	if budget > 0 {
 		budget <<= 20
 	}
-	slave, err := cluster.NewSlave(cluster.SlaveConfig{
+	slaveCfg := cluster.SlaveConfig{
 		Site: *site, App: app, Cores: *cores,
 		HomeStore: home, RemoteStores: remoteStores,
 		Fetch: store.FetchOptions{
 			Threads: *threads, RangeSize: *rangeKB << 10, Retry: retry,
 		},
 		FetchAutotune: *autotune,
+		HomeFetch:     *homeFetch,
 		Prefetch:      *prefetch, PrefetchBudget: budget,
 		Cache:             cache,
 		CheckpointJobs:    *ckptJobs,
 		HeartbeatInterval: *beat,
 		Join:              *join,
 		Clock:             netsim.Real(),
-	})
+	}
+	if *bufferAddr != "" {
+		if !*homeFetch {
+			fatal(fmt.Errorf("-buffer needs -home-fetch (the buffer fronts an object-store home)"))
+		}
+		bc := store.NewClient(*bufferAddr, nil)
+		defer bc.Close()
+		slaveCfg.Buffer = bc
+	}
+	slave, err := cluster.NewSlave(slaveCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -116,6 +128,10 @@ func main() {
 		fmt.Printf("cbslave: adaptive: tuned=%d raises=%d drops=%d hints=%d warmed=%d denied=%d\n",
 			s.AutotuneSamples, s.AutotuneRaises, s.AutotuneDrops,
 			s.HintsReceived, s.HintsWarmed, s.HintsDenied)
+	}
+	if s.BufferHits > 0 || s.BufferMisses > 0 {
+		fmt.Printf("cbslave: buffer: hits=%d misses=%d bytes=%d\n",
+			s.BufferHits, s.BufferMisses, s.BufferBytes)
 	}
 	if chunks, bytes := slave.HintWaste(); chunks > 0 {
 		fmt.Printf("cbslave: hint waste: %d chunk(s), %d bytes warmed but never granted\n", chunks, bytes)

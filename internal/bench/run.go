@@ -205,6 +205,12 @@ type RunConfig struct {
 	// CacheBytes gives every site a chunk cache of this many bytes
 	// (zero disables caching).
 	CacheBytes int64
+	// BufferBytes gives every HomeFetch site a burst buffer of this
+	// capacity between its slaves and S3 (zero disables the tier).
+	BufferBytes int64
+	// StageBudget caps the bytes each master stages into its site's
+	// buffer (zero = unlimited; meaningful with BufferBytes+HintDepth).
+	StageBudget int64
 	// Chaos, when set, injects faults into the run (see ChaosParams).
 	Chaos *ChaosParams
 	// Elastic, when set, runs the deadline/cost scaling controller for
@@ -372,6 +378,8 @@ func BuildDeploy(cfg RunConfig) (*Deployment, error) {
 			FetchAutotune:     cfg.FetchAutotune,
 			HintDepth:         cfg.HintDepth,
 			CacheBytes:        cfg.CacheBytes,
+			BufferBytes:       cfg.BufferBytes,
+			StageBudget:       cfg.StageBudget,
 			HeartbeatInterval: heartbeat,
 			HeartbeatMisses:   misses,
 			Elastic:           cfg.Elastic,

@@ -42,6 +42,11 @@ type Pool struct {
 	// was cold or warm in the victim's reported cache set.
 	stealsCold int
 	stealsWarm int
+	// homeWarm / homeCold count local grants the same way against the
+	// requester's own resident set — how often placement replays chunks
+	// the site already holds (cache or staged burst buffer).
+	homeWarm int
+	homeCold int
 }
 
 // PoolOptions tune the assignment policy.
@@ -93,12 +98,27 @@ func (p *Pool) Acquire(site string, max int) []Assignment {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
-	// Pass 1: local files with pending jobs, in file order.
+	// Pass 1: local files with pending jobs. Among them, prefer a file
+	// whose next pending chunk is already warm at the requesting site
+	// (chunk cache or staged burst buffer): on iteration N+1 this
+	// replays iteration N's placement, so the resident bytes are the
+	// ones actually granted instead of aging out unused. Falls back to
+	// the first local file when nothing pending is warm.
+	firstLocal := -1
+	warm := p.resident[site]
 	for f := range p.pending {
 		if p.idx.Files[f].Site != site || len(p.pending[f]) == 0 {
 			continue
 		}
-		return p.takeLocked(f, site, max, false)
+		if firstLocal == -1 {
+			firstLocal = f
+		}
+		if warm[p.pending[f][0]] {
+			return p.takeLocked(f, site, max, false)
+		}
+	}
+	if firstLocal != -1 {
+		return p.takeLocked(firstLocal, site, max, false)
 	}
 	// Pass 2: remote file with the minimum number of active readers.
 	best := -1
@@ -186,6 +206,10 @@ func (p *Pool) takeLocked(f int, site string, max int, stolen bool) []Assignment
 			} else {
 				p.stealsCold++
 			}
+		} else if victim[id] {
+			p.homeWarm++
+		} else {
+			p.homeCold++
 		}
 		out = append(out, Assignment{Chunk: p.idx.Chunks[id], Stolen: stolen})
 	}
@@ -216,6 +240,14 @@ func (p *Pool) StealStats() (cold, warm int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stealsCold, p.stealsWarm
+}
+
+// HomeStats reports how many local grants handed a site chunks that
+// were cold vs. warm in its own reported resident set.
+func (p *Pool) HomeStats() (cold, warm int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.homeCold, p.homeWarm
 }
 
 // Complete acknowledges finished jobs, releasing their reader counts.

@@ -40,6 +40,13 @@ type SiteSpec struct {
 	// algorithms keep chunks warm between iterations. When nil,
 	// DeployConfig.CacheBytes > 0 builds a fresh per-run cache.
 	Cache *store.ChunkCache
+	// Buffer, when non-nil, is this site's burst buffer: a site-shared
+	// chunk cache fronting the home store for HomeFetch reads, consulted
+	// by every slave before S3 and staged into by the master. Like Cache
+	// it outlives the run (the iterative driver installs one per site);
+	// when nil, DeployConfig.BufferBytes > 0 builds a fresh per-run
+	// buffer that is drained when the run completes.
+	Buffer *store.SiteBuffer
 	// UnitCostScale adjusts this site's per-core compute speed.
 	UnitCostScale float64
 	// CostJitter spreads per-core speeds by ±CostJitter (EC2-style
@@ -83,6 +90,15 @@ type DeployConfig struct {
 	// CacheBytes gives each site without an explicit SiteSpec.Cache a
 	// per-run chunk cache of this many bytes; zero disables caching.
 	CacheBytes int64
+	// BufferBytes gives each HomeFetch site without an explicit
+	// SiteSpec.Buffer a per-run burst buffer of this capacity fronting
+	// its home store, drained when the run completes. Zero disables the
+	// buffer tier. With FetchAutotune the buffer's backing fetches share
+	// one site-wide AIMD budget instead of N per-slave probes.
+	BufferBytes int64
+	// StageBudget caps the bytes each master may proactively stage into
+	// its site's burst buffer (0 = unlimited staging).
+	StageBudget int64
 	// Scatter disables consecutive-job assignment (ablation knob).
 	Scatter bool
 	// HeartbeatInterval enables stall detection throughout the tree:
@@ -385,15 +401,68 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var slaves []*Slave // every static slave (hint-waste folding)
+	// bufferState tracks each site's burst buffer for post-run stats
+	// folding and (for per-run buffers) draining. startBacking remembers
+	// the backing-bytes counter at run start, so a persistent buffer
+	// carried across iterations contributes only this run's delta.
+	type bufferState struct {
+		buf          *store.SiteBuffer
+		perRun       bool
+		startBacking int64
+	}
+	var buffers []bufferState
 	errs := make(chan error, 2*len(cfg.Sites))
 
 	for _, site := range cfg.Sites {
-		master, err := NewMaster(MasterConfig{
+		// A persistent site cache brings its own pool (so recycled
+		// buffers keep flowing across iterations); otherwise the slave
+		// gets a per-run pool, and a per-run cache when CacheBytes asks
+		// for one.
+		cache := site.Cache
+		pool := cache.Pool()
+		if pool == nil {
+			pool = store.NewBufferPool()
+		}
+		if cache == nil && cfg.CacheBytes > 0 {
+			cache = store.NewChunkCache(cfg.CacheBytes, pool)
+		}
+		// The burst buffer follows the same persistence rule. Only
+		// HomeFetch sites get one: it fronts the site's own object
+		// store, which local-disk sites do not have.
+		buffer := site.Buffer
+		perRunBuffer := false
+		if buffer == nil && cfg.BufferBytes > 0 && site.HomeFetch {
+			fetch := cfg.Fetch
+			if fetch.Threads == 0 && fetch.RangeSize == 0 {
+				fetch = store.DefaultFetchOptions()
+			}
+			fetch.Clock = cfg.Clock
+			buffer = store.NewSiteBuffer(store.SiteBufferConfig{
+				Site: site.Name, Backing: site.HomeStore, Capacity: cfg.BufferBytes,
+				Fetch: fetch, Pool: pool, Autotune: cfg.FetchAutotune,
+			})
+			perRunBuffer = true
+		}
+		if buffer != nil {
+			buffers = append(buffers, bufferState{
+				buf: buffer, perRun: perRunBuffer,
+				startBacking: buffer.Stats().BackingBytes,
+			})
+		}
+
+		masterCfg := MasterConfig{
 			Site: site.Name, App: cfg.App, Cores: site.Cores, Slaves: site.Cores,
 			Batch: cfg.Batch, Watermark: cfg.Watermark, HintDepth: cfg.HintDepth,
 			Clock: cfg.Clock, Logf: cfg.Logf,
 			HeartbeatInterval: cfg.HeartbeatInterval, HeartbeatMisses: cfg.HeartbeatMisses,
-		})
+			StageBudget:       cfg.StageBudget,
+		}
+		if buffer != nil {
+			// Typed-nil care: assign the interface only when a buffer
+			// exists, so Buffer == nil stays a valid "no staging" check.
+			masterCfg.Buffer = buffer
+		}
+		master, err := NewMaster(masterCfg)
 		if err != nil {
 			headLn.Close()
 			return nil, err
@@ -419,19 +488,7 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 			mu.Unlock()
 		}(site)
 
-		// A persistent site cache brings its own pool (so recycled
-		// buffers keep flowing across iterations); otherwise the slave
-		// gets a per-run pool, and a per-run cache when CacheBytes asks
-		// for one.
-		cache := site.Cache
-		pool := cache.Pool()
-		if pool == nil {
-			pool = store.NewBufferPool()
-		}
-		if cache == nil && cfg.CacheBytes > 0 {
-			cache = store.NewChunkCache(cfg.CacheBytes, pool)
-		}
-		slave, err := NewSlave(SlaveConfig{
+		slaveCfg := SlaveConfig{
 			Site: site.Name, App: cfg.App, Cores: site.Cores,
 			HomeStore: site.HomeStore, RemoteStores: site.RemoteStores,
 			Fetch: cfg.Fetch, FetchAutotune: cfg.FetchAutotune,
@@ -444,7 +501,11 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 			CheckpointJobs:    cfg.CheckpointJobs,
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			Clock:             cfg.Clock, Logf: cfg.Logf,
-		})
+		}
+		if buffer != nil {
+			slaveCfg.Buffer = buffer
+		}
+		slave, err := NewSlave(slaveCfg)
 		if err != nil {
 			headLn.Close()
 			return nil, err
@@ -474,6 +535,9 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 				CheckpointJobs:    cfg.CheckpointJobs,
 				HeartbeatInterval: cfg.HeartbeatInterval,
 				Clock:             cfg.Clock, Logf: cfg.Logf,
+			}
+			if buffer != nil {
+				spawnCfg.Buffer = buffer
 			}
 			masterAddr := masterLn.Addr().String()
 			dial := store.Dialer(slaveShaper.DialerBoth())
@@ -553,6 +617,16 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 		chunks, bytes := s.HintWaste()
 		report.Retrieval.WastedHints += chunks
 		report.Retrieval.WastedWarmBytes += bytes
+	}
+	// The buffers' backing-store traffic is the run's true remote egress
+	// through the buffer tier (everything above it was absorbed by
+	// sharing); fold this run's delta in, then drain per-run buffers —
+	// persistent ones stay warm for the driver's next iteration.
+	for _, bs := range buffers {
+		report.Retrieval.BufferBackingBytes += bs.buf.Stats().BackingBytes - bs.startBacking
+		if bs.perRun {
+			bs.buf.Drain()
+		}
 	}
 	// Annotate core counts (the head does not know them).
 	for i := range report.Clusters {

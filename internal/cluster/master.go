@@ -52,6 +52,16 @@ type MasterConfig struct {
 	// Pool recycles wire encode/frame buffers on the head and slave
 	// connections (default: a fresh BufferPool).
 	Pool *store.BufferPool
+	// Buffer, when non-nil, is the site's burst-buffer staging hook:
+	// every time queue-front hints go out with a grant, the master also
+	// asks the buffer (asynchronously) to pull those chunks from the
+	// backing store, so a slave's first read of an upcoming chunk finds
+	// it already resident. Both *store.SiteBuffer and *store.Client
+	// satisfy it.
+	Buffer Stager
+	// StageBudget caps the total bytes the master may stage into the
+	// buffer over the run (0 = no staging budget, stage freely).
+	StageBudget int64
 	// Logf receives progress logging; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -140,6 +150,14 @@ type Master struct {
 	ckpts   map[int]*checkpoint
 	adopted int
 
+	// Staging dedup and budget ledger: staged marks chunk ids already
+	// submitted to the buffer (never re-staged), stagedBytes charges
+	// them against cfg.StageBudget. stageWG tracks in-flight async
+	// stage calls so their stats land before the final report.
+	staged      map[int32]bool
+	stagedBytes int64
+	stageWG     sync.WaitGroup
+
 	// Hint-depth feedback: hintDepth is each connection's effective
 	// hint depth (seeded from cfg.HintDepth), halved when the slave's
 	// reported hint-waste ledger grows and restored one step at a time
@@ -166,7 +184,8 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	m := &Master{cfg: cfg, expected: cfg.Slaves, doneCh: make(chan error, 1),
 		resident: make(map[int][]int32), conns: make(map[int]*wire.Conn),
 		draining: make(map[int]bool), ckpts: make(map[int]*checkpoint),
-		hintDepth: make(map[int]int), hintWastePrev: make(map[int]int)}
+		hintDepth: make(map[int]int), hintWastePrev: make(map[int]int),
+		staged: make(map[int32]bool)}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
 }
@@ -367,6 +386,59 @@ func (m *Master) DrainSlaves(n int) int {
 	return len(victims)
 }
 
+// Stager is the staging face of the site's burst buffer: pull a chunk
+// into the shared cache without shipping its bytes anywhere.
+type Stager interface {
+	Stage(name string, off, length int64) (int64, error)
+}
+
+// stageHints submits this grant's queue-front hints to the burst
+// buffer so the chunks are (being) fetched from the backing store by
+// the time a slave asks for them. Each chunk is staged at most once,
+// charged against StageBudget up front (with a refund for bytes the
+// buffer reports it did not actually stage, e.g. already-resident
+// chunks), and pulled asynchronously so grants never wait on S3.
+func (m *Master) stageHints(hints []wire.JobAssign) {
+	if m.cfg.Buffer == nil || len(hints) == 0 {
+		return
+	}
+	var todo []wire.JobAssign
+	m.mu.Lock()
+	for _, h := range hints {
+		if h.HomeSite != m.cfg.Site {
+			continue // the buffer fronts this site's own backing store
+		}
+		if m.staged[h.Chunk] {
+			continue
+		}
+		if m.cfg.StageBudget > 0 && m.stagedBytes+h.Length > m.cfg.StageBudget {
+			continue
+		}
+		m.staged[h.Chunk] = true
+		m.stagedBytes += h.Length
+		todo = append(todo, h)
+	}
+	m.mu.Unlock()
+	for _, h := range todo {
+		h := h
+		m.stageWG.Add(1)
+		go func() {
+			defer m.stageWG.Done()
+			n, err := m.cfg.Buffer.Stage(h.File, h.Offset, h.Length)
+			if err != nil {
+				n = 0
+				m.cfg.Logf("master %s: stage chunk %d: %v", m.cfg.Site, h.Chunk, err)
+			}
+			m.faults.AddStaged(n)
+			if refund := h.Length - n; refund > 0 {
+				m.mu.Lock()
+				m.stagedBytes -= refund
+				m.mu.Unlock()
+			}
+		}()
+	}
+}
+
 // checkpoint is one connection's newest shipped partial reduction.
 type checkpoint struct {
 	seq     int
@@ -556,6 +628,7 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 			for _, j := range jobs {
 				granted[j.Chunk] = j
 			}
+			m.stageHints(hints)
 			if err := c.Send(&wire.Message{
 				Kind: wire.KindJobGrant, Jobs: jobs, Hints: hints, Done: done, Drain: drain,
 			}); err != nil {
@@ -752,12 +825,14 @@ func (m *Master) takeJobs(max, connID int) (jobs, hints []wire.JobAssign, done, 
 }
 
 // residentUnionLocked merges every slave connection's latest reported
-// cache-resident chunk ids into one deduplicated set for the head. It
-// returns nil only when no slave has reported at all; an empty union
-// from drained caches still returns a non-nil empty slice (which the
-// codec preserves) so the head clears the site's stale warm set.
+// cache-resident chunk ids — plus the chunks staged into the site's
+// burst buffer, which are just as warm from the head's point of view —
+// into one deduplicated set for the head. It returns nil only when no
+// slave has reported and nothing was staged; an empty union from
+// drained caches still returns a non-nil empty slice (which the codec
+// preserves) so the head clears the site's stale warm set.
 func (m *Master) residentUnionLocked() []int32 {
-	if len(m.resident) == 0 {
+	if len(m.resident) == 0 && len(m.staged) == 0 {
 		return nil
 	}
 	seen := make(map[int32]bool)
@@ -770,6 +845,12 @@ func (m *Master) residentUnionLocked() []int32 {
 			}
 		}
 	}
+	for id := range m.staged {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
 	return out
 }
 
@@ -777,6 +858,9 @@ func (m *Master) residentUnionLocked() []int32 {
 // result (plus aggregated stats and any unreported completions) to the
 // head, and waits for the final object.
 func (m *Master) combineAndReport() (gr.Reduction, error) {
+	// Let in-flight stage calls land: their staged-bytes stats must be
+	// in m.faults before the snapshot below ships upstream.
+	m.stageWG.Wait()
 	m.mu.Lock()
 	objs := m.slaveObjs
 	stats := m.slaveStats

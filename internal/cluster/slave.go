@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,14 @@ import (
 	"cloudburst/internal/store"
 	"cloudburst/internal/wire"
 )
+
+// BufferStore is the site-shared burst buffer a slave consults before
+// the object store itself: a hit-aware whole-chunk reader. Both
+// *store.SiteBuffer (in-process deployments) and *store.Client
+// (talking to a cbstore -mode buffer daemon) satisfy it.
+type BufferStore interface {
+	ReadAtHit(name string, p []byte, off int64) (int, bool, error)
+}
 
 // SlaveConfig configures one slave node.
 type SlaveConfig struct {
@@ -60,6 +69,13 @@ type SlaveConfig struct {
 	// zero-capacity cache that never caches but still recycles fetch
 	// buffers into Pool.
 	Cache *store.ChunkCache
+	// Buffer, when non-nil, is the site's shared burst buffer: home
+	// object-store reads (HomeFetch) consult it before the store, so a
+	// chunk is fetched from the backing store once per site instead of
+	// once per slave. The first buffer read failure degrades this slave
+	// to direct fetches for the rest of the run (the buffer may be
+	// down); correctness is unaffected, only the sharing win is lost.
+	Buffer BufferStore
 	// Pool recycles chunk buffers between fetches; nil gets a fresh
 	// pool private to this slave.
 	Pool *store.BufferPool
@@ -169,6 +185,11 @@ type Slave struct {
 	warned     atomic.Bool
 	warnWallNS atomic.Int64
 	flushes    atomic.Int32 // workers whose preempt drain flushed in time
+
+	// bufferDown latches after the first failed buffer read; every
+	// later home fetch goes straight to the object store instead of
+	// re-probing a dead buffer once per chunk.
+	bufferDown atomic.Bool
 }
 
 // ErrRevoked marks a slave whose workers died because the harness
@@ -974,6 +995,18 @@ func (s *Slave) rawFetch(job wire.JobAssign, stats *metrics.Breakdown) ([]byte, 
 			opts.Threads = 1
 			opts.RangeSize = int(job.Length)
 			ranged = false
+		} else if s.cfg.Buffer != nil && !s.bufferDown.Load() {
+			// Tier 2: the site-shared burst buffer. One whole-chunk read
+			// keeps the buffer's cache key identical to the master's
+			// staging key; the buffer parallelizes its own backing fetch
+			// under the site-wide autotune budget, so the per-slave
+			// tuner stays out of this path.
+			if data, err := s.bufferFetch(job, stats); err == nil {
+				return data, nil
+			} else if !s.bufferDown.Swap(true) {
+				s.cfg.Logf("slave %s: buffer read failed (%v); degrading to direct fetches", s.cfg.Site, err)
+			}
+			// Fall through to the direct object-store path.
 		}
 	} else {
 		var ok bool
@@ -986,4 +1019,23 @@ func (s *Slave) rawFetch(job wire.JobAssign, stats *metrics.Breakdown) ([]byte, 
 		opts.Tuner = s.tunerFor(job.HomeSite)
 	}
 	return store.Fetch(st, job.File, job.Offset, job.Length, opts)
+}
+
+// bufferFetch reads one whole chunk through the site's burst buffer
+// and attributes it to the buffer tier. A short read is an error: the
+// caller falls back to the direct path and the bytes stay correct.
+func (s *Slave) bufferFetch(job wire.JobAssign, stats *metrics.Breakdown) ([]byte, error) {
+	buf := s.cfg.Pool.Get(job.Length)
+	n, hit, err := s.cfg.Buffer.ReadAtHit(job.File, buf, job.Offset)
+	if err != nil && err != io.EOF {
+		s.cfg.Pool.Put(buf)
+		return nil, err
+	}
+	if int64(n) < job.Length {
+		s.cfg.Pool.Put(buf)
+		return nil, fmt.Errorf("cluster: slave %s: buffer short read of %s@%d: %d of %d bytes",
+			s.cfg.Site, job.File, job.Offset, n, job.Length)
+	}
+	stats.CountBuffer(hit, job.Length)
+	return buf, nil
 }

@@ -38,6 +38,13 @@ type Iterative struct {
 	// object-store/WAN retrieval. Sites that already carry a cache are
 	// left alone.
 	CacheBytes int64
+	// BufferBytes, when positive, installs a persistent burst buffer of
+	// that capacity on every HomeFetch site before the first iteration
+	// (sites already carrying one are left alone), so chunks staged or
+	// faulted in during iteration N serve iteration N+1 from the site
+	// tier instead of the backing store. All buffers are drained when
+	// the iteration loop finishes.
+	BufferBytes int64
 	// OnIteration, if set, observes each iteration's report.
 	OnIteration func(iter int, delta float64, report *metrics.RunReport)
 }
@@ -66,6 +73,25 @@ func (it *Iterative) Run() (*Result, error) {
 			if it.Deploy.Sites[i].Cache == nil {
 				it.Deploy.Sites[i].Cache = store.NewChunkCache(it.CacheBytes, store.NewBufferPool())
 			}
+		}
+	}
+	if it.BufferBytes > 0 {
+		for i := range it.Deploy.Sites {
+			site := &it.Deploy.Sites[i]
+			if !site.HomeFetch || site.Buffer != nil {
+				continue
+			}
+			fetch := it.Deploy.Fetch
+			if fetch.Threads == 0 && fetch.RangeSize == 0 {
+				fetch = store.DefaultFetchOptions()
+			}
+			fetch.Clock = it.Deploy.Clock
+			pool := site.Cache.Pool()
+			site.Buffer = store.NewSiteBuffer(store.SiteBufferConfig{
+				Site: site.Name, Backing: site.HomeStore, Capacity: it.BufferBytes,
+				Fetch: fetch, Pool: pool, Autotune: it.Deploy.FetchAutotune,
+			})
+			defer site.Buffer.Drain()
 		}
 	}
 	res := &Result{}

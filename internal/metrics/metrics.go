@@ -74,6 +74,11 @@ type Breakdown struct {
 	jobsAbandoned      int // in-flight jobs abandoned by a preemption drain
 	preemptWarns       int // revocation warnings received / observed
 	preemptDrains      int // accelerated drains that flushed before the kill
+
+	bufferHits   int   // chunk reads the site buffer served from residency
+	bufferMisses int   // buffer reads that paid a backing fetch
+	bufferBytes  int64 // bytes read through the site buffer tier
+	stagedBytes  int64 // bytes staged into the site buffer ahead of demand
 }
 
 // AddProcessing records emulated compute time.
@@ -234,6 +239,28 @@ func (b *Breakdown) CountPreemptDrain() {
 	b.mu.Unlock()
 }
 
+// CountBuffer records one chunk read served through the site buffer
+// tier: hit says whether the buffer had the chunk resident, bytes is
+// the chunk size read.
+func (b *Breakdown) CountBuffer(hit bool, bytes int64) {
+	b.mu.Lock()
+	if hit {
+		b.bufferHits++
+	} else {
+		b.bufferMisses++
+	}
+	b.bufferBytes += bytes
+	b.mu.Unlock()
+}
+
+// AddStaged records bytes the master staged into the site buffer ahead
+// of slave demand.
+func (b *Breakdown) AddStaged(bytes int64) {
+	b.mu.Lock()
+	b.stagedBytes += bytes
+	b.mu.Unlock()
+}
+
 // AddPool folds buffer-pool counters (gets and allocation misses) in.
 func (b *Breakdown) AddPool(gets, misses int64) {
 	b.mu.Lock()
@@ -298,6 +325,10 @@ func (b *Breakdown) AddSnapshot(s Snapshot) {
 	b.jobsAbandoned += s.JobsAbandoned
 	b.preemptWarns += s.PreemptWarns
 	b.preemptDrains += s.PreemptDrains
+	b.bufferHits += s.BufferHits
+	b.bufferMisses += s.BufferMisses
+	b.bufferBytes += s.BufferBytes
+	b.stagedBytes += s.StagedBytes
 	b.mu.Unlock()
 }
 
@@ -340,6 +371,11 @@ func (b *Breakdown) Snapshot() Snapshot {
 		JobsAbandoned:      b.jobsAbandoned,
 		PreemptWarns:       b.preemptWarns,
 		PreemptDrains:      b.preemptDrains,
+
+		BufferHits:   b.bufferHits,
+		BufferMisses: b.bufferMisses,
+		BufferBytes:  b.bufferBytes,
+		StagedBytes:  b.stagedBytes,
 	}
 }
 
@@ -382,6 +418,14 @@ type Snapshot struct {
 	JobsAbandoned      int
 	PreemptWarns       int
 	PreemptDrains      int
+
+	// New counters append here: the wire codec walks Snapshot fields in
+	// declaration order and drops trailing unknowns, so appending keeps
+	// mixed-version peers decoding each other.
+	BufferHits   int
+	BufferMisses int
+	BufferBytes  int64
+	StagedBytes  int64
 }
 
 // Total returns the summed time components.
@@ -424,6 +468,11 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		JobsAbandoned:      s.JobsAbandoned + o.JobsAbandoned,
 		PreemptWarns:       s.PreemptWarns + o.PreemptWarns,
 		PreemptDrains:      s.PreemptDrains + o.PreemptDrains,
+
+		BufferHits:   s.BufferHits + o.BufferHits,
+		BufferMisses: s.BufferMisses + o.BufferMisses,
+		BufferBytes:  s.BufferBytes + o.BufferBytes,
+		StagedBytes:  s.StagedBytes + o.StagedBytes,
 	}
 }
 
@@ -507,13 +556,25 @@ type RetrievalReport struct {
 	WastedHints     int   // hinted-and-warmed chunks never granted
 	WastedWarmBytes int64 // bytes warmed for those chunks
 	HintTrims       int   // master cuts to slaves' effective hint depths
+
+	// Site-buffer tier: reads slaves routed through the shared per-site
+	// burst buffer, the master's staging ahead of demand, and the bytes
+	// the buffer itself paid the backing store (the run's true S3
+	// egress for buffered reads — everything above BufferBackingBytes
+	// was absorbed by sharing).
+	BufferHits         int   // buffered reads served from residency
+	BufferMisses       int   // buffered reads that paid a backing fetch
+	BufferBytes        int64 // bytes slaves read through the buffer
+	StagedBytes        int64 // bytes staged by masters ahead of demand
+	BufferBackingBytes int64 // bytes the buffer fetched from backing stores
 }
 
 // Any reports whether any pipeline activity was recorded.
 func (r RetrievalReport) Any() bool {
 	return r.CacheHits > 0 || r.CacheMisses > 0 || r.PrefetchedJobs > 0 ||
 		r.PrefetchSkips > 0 || r.PoolGets > 0 || r.AutotuneSamples > 0 ||
-		r.HintsReceived > 0 || r.StealsCold > 0 || r.StealsWarm > 0
+		r.HintsReceived > 0 || r.StealsCold > 0 || r.StealsWarm > 0 ||
+		r.BufferHits > 0 || r.BufferMisses > 0 || r.StagedBytes > 0
 }
 
 // Add folds another report in (summing a run sequence, e.g. the
@@ -538,6 +599,11 @@ func (r *RetrievalReport) Add(o RetrievalReport) {
 	r.WastedHints += o.WastedHints
 	r.WastedWarmBytes += o.WastedWarmBytes
 	r.HintTrims += o.HintTrims
+	r.BufferHits += o.BufferHits
+	r.BufferMisses += o.BufferMisses
+	r.BufferBytes += o.BufferBytes
+	r.StagedBytes += o.StagedBytes
+	r.BufferBackingBytes += o.BufferBackingBytes
 }
 
 // AddSnapshot folds one worker snapshot's pipeline counters in.
@@ -557,6 +623,10 @@ func (r *RetrievalReport) AddSnapshot(s Snapshot) {
 	r.HintsWarmed += s.HintsWarmed
 	r.HintsDenied += s.HintsDenied
 	r.HintTrims += s.HintTrims
+	r.BufferHits += s.BufferHits
+	r.BufferMisses += s.BufferMisses
+	r.BufferBytes += s.BufferBytes
+	r.StagedBytes += s.StagedBytes
 }
 
 // PreemptionReport aggregates spot-revocation activity over a run:

@@ -39,6 +39,13 @@ type ChunkCache struct {
 	misses     int64
 	evictions  int64
 	bytesSaved int64 // bytes served from cache instead of the store
+
+	// residentSnap memoizes ResidentKeys between membership changes, so
+	// the per-request residency piggyback stops rescanning (and
+	// reallocating) the full key set on every call. Hits only reorder
+	// the LRU — membership is unchanged — so they do not invalidate it.
+	residentSnap  []ChunkKey
+	residentDirty bool
 }
 
 type cacheEntry struct {
@@ -62,11 +69,12 @@ type cacheFlight struct {
 // safe to thread through unconditionally.
 func NewChunkCache(capBytes int64, pool *BufferPool) *ChunkCache {
 	return &ChunkCache{
-		capBytes: capBytes,
-		lru:      list.New(),
-		entries:  make(map[ChunkKey]*list.Element),
-		inflight: make(map[ChunkKey]*cacheFlight),
-		pool:     pool,
+		capBytes:      capBytes,
+		lru:           list.New(),
+		entries:       make(map[ChunkKey]*list.Element),
+		inflight:      make(map[ChunkKey]*cacheFlight),
+		pool:          pool,
+		residentDirty: true,
 	}
 }
 
@@ -163,6 +171,7 @@ func (c *ChunkCache) insertLocked(key ChunkKey, data []byte) *cacheEntry {
 	e := &cacheEntry{key: key, data: data, refs: 1}
 	c.entries[key] = c.lru.PushFront(e)
 	c.size += n
+	c.residentDirty = true
 	return e
 }
 
@@ -174,6 +183,7 @@ func (c *ChunkCache) evictLocked(el *list.Element) {
 	delete(c.entries, e.key)
 	c.size -= int64(len(e.data))
 	c.evictions++
+	c.residentDirty = true
 	e.dead = true
 	if e.refs == 0 {
 		c.recycle(e.data)
@@ -211,20 +221,43 @@ func (c *ChunkCache) Pool() *BufferPool {
 	return c.pool
 }
 
-// ResidentKeys returns the keys of every chunk currently resident,
-// most recently used first. Slaves report these upstream so the head
-// can steer work stealing away from chunks already warm here.
+// ResidentKeys returns the keys of every chunk currently resident.
+// Slaves report these upstream so the head can steer work stealing
+// away from chunks already warm here. Consumers use membership only,
+// so the snapshot is memoized between insertions and evictions (cache
+// hits do not rebuild it) and no MRU ordering is promised. The
+// returned slice is shared across calls until the membership changes:
+// treat it as read-only.
 func (c *ChunkCache) ResidentKeys() []ChunkKey {
 	if c == nil || c.capBytes < 1 {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]ChunkKey, 0, len(c.entries))
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*cacheEntry).key)
+	if c.residentDirty {
+		c.residentSnap = make([]ChunkKey, 0, len(c.entries))
+		for el := c.lru.Front(); el != nil; el = el.Next() {
+			c.residentSnap = append(c.residentSnap, el.Value.(*cacheEntry).key)
+		}
+		c.residentDirty = false
 	}
-	return out
+	return c.residentSnap
+}
+
+// Drain evicts every resident chunk: buffers nobody holds recycle into
+// the pool now, buffers still referenced recycle on their last
+// release. Counters survive and the cache stays usable — this is the
+// burst buffer's end-of-run teardown, returning its bricks to the
+// pool the way the burstbuffer model deprovisions a per-job pool.
+func (c *ChunkCache) Drain() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	for el := c.lru.Back(); el != nil; el = c.lru.Back() {
+		c.evictLocked(el)
+	}
+	c.mu.Unlock()
 }
 
 // Enabled reports whether the cache actually retains chunks (non-nil

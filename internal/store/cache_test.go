@@ -374,3 +374,62 @@ func TestBufferPoolNilSafe(t *testing.T) {
 		t.Fatal("nil pool stats")
 	}
 }
+
+func TestChunkCacheResidentKeysTracksMembership(t *testing.T) {
+	c := NewChunkCache(4<<10, nil)
+	for i := 0; i < 4; i++ {
+		_, rel, _ := mustGet(t, c, i)
+		rel()
+	}
+	if got := len(c.ResidentKeys()); got != 4 {
+		t.Fatalf("resident = %d, want 4", got)
+	}
+	// A hit must not invalidate the memoized snapshot, and an insert
+	// that evicts must: chunk 4 displaces the LRU entry.
+	_, rel, _ := mustGet(t, c, 3)
+	rel()
+	first := c.ResidentKeys()
+	_, rel, _ = mustGet(t, c, 4)
+	rel()
+	second := c.ResidentKeys()
+	if len(second) != 4 {
+		t.Fatalf("resident after eviction = %d, want 4", len(second))
+	}
+	seen := make(map[ChunkKey]bool, len(second))
+	for _, k := range second {
+		seen[k] = true
+	}
+	if !seen[cacheKey(4)] {
+		t.Fatal("newly inserted chunk missing from resident set")
+	}
+	_ = first
+}
+
+// BenchmarkResidentKeys guards the hot path the dirty-flag
+// memoization exists for: slaves snapshot residency on every job
+// request, while hits vastly outnumber membership changes.
+func BenchmarkResidentKeys(b *testing.B) {
+	c := NewChunkCache(2<<20, nil)
+	const chunks = 1024
+	for i := 0; i < chunks; i++ {
+		_, rel, _, err := c.GetOrFetch(cacheKey(i), func() ([]byte, error) {
+			return chunkBytes(i), nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A hit between snapshots: membership unchanged, so the
+		// memoized slice must be returned without a rebuild.
+		_, rel, _, _ := c.GetOrFetch(cacheKey(i%chunks), func() ([]byte, error) {
+			return chunkBytes(i % chunks), nil
+		})
+		rel()
+		if got := len(c.ResidentKeys()); got != chunks {
+			b.Fatalf("resident = %d", got)
+		}
+	}
+}

@@ -43,6 +43,21 @@ type Server struct {
 // Chunks are tens of megabytes at most; this leaves generous headroom.
 const maxReadLen = 256 << 20
 
+// hitReader is the optional Store extension a SiteBuffer implements:
+// a ReadAt that also reports whether the bytes were already resident.
+// A Server whose store implements it marks each KindReadResp with the
+// Hit flag, so clients can attribute reads to the buffer tier.
+type hitReader interface {
+	ReadAtHit(name string, p []byte, off int64) (int, bool, error)
+}
+
+// stager is the optional Store extension behind KindStage: pull a
+// chunk into a shared cache without returning its bytes. Servers whose
+// store lacks it answer KindStage with a remote error.
+type stager interface {
+	Stage(name string, off, length int64) (int64, error)
+}
+
 // Serve starts serving store on l and returns immediately; the server
 // owns the listener until Close.
 func Serve(l net.Listener, s Store) *Server {
@@ -141,11 +156,18 @@ func (s *Server) handle(c *wire.Conn) {
 			}
 			buf := s.pool.Get(req.Len)
 			recycle = buf
-			n, err := s.store.ReadAt(req.File, buf, req.Off)
+			var n int
+			var hit bool
+			var err error
+			if hr, ok := s.store.(hitReader); ok {
+				n, hit, err = hr.ReadAtHit(req.File, buf, req.Off)
+			} else {
+				n, err = s.store.ReadAt(req.File, buf, req.Off)
+			}
 			if err != nil && err != io.EOF {
 				resp = wire.Message{Kind: wire.KindError, Err: err.Error()}
 			} else {
-				resp = wire.Message{Kind: wire.KindReadResp, Data: buf[:n], Done: err == io.EOF}
+				resp = wire.Message{Kind: wire.KindReadResp, Data: buf[:n], Done: err == io.EOF, Hit: hit}
 			}
 		case wire.KindStat:
 			size, err := s.store.Size(req.File)
@@ -160,6 +182,23 @@ func (s *Server) handle(c *wire.Conn) {
 				resp = wire.Message{Kind: wire.KindError, Err: err.Error()}
 			} else {
 				resp = wire.Message{Kind: wire.KindListResp, Files: names}
+			}
+		case wire.KindStage:
+			st, ok := s.store.(stager)
+			if !ok {
+				resp = wire.Message{Kind: wire.KindError, Err: "store: staging unsupported"}
+				break
+			}
+			if req.Len < 0 || req.Len > maxReadLen {
+				resp = wire.Message{Kind: wire.KindError,
+					Err: fmt.Sprintf("store: stage length %d out of range", req.Len)}
+				break
+			}
+			staged, err := st.Stage(req.File, req.Off, req.Len)
+			if err != nil {
+				resp = wire.Message{Kind: wire.KindError, Err: err.Error()}
+			} else {
+				resp = wire.Message{Kind: wire.KindStageResp, Len: staged}
 			}
 		default:
 			resp = wire.Message{Kind: wire.KindError, Err: fmt.Sprintf("store: unexpected %v", req.Kind)}
@@ -287,6 +326,35 @@ func (c *Client) ReadAt(name string, p []byte, off int64) (int, error) {
 		return n, io.EOF
 	}
 	return n, nil
+}
+
+// ReadAtHit is ReadAt plus the server's buffer-tier attribution: hit
+// is true when a site buffer on the other end served the bytes from
+// its resident cache. Servers fronting a plain store always answer
+// hit=false, so the method is safe against any server.
+func (c *Client) ReadAtHit(name string, p []byte, off int64) (int, bool, error) {
+	resp, err := c.call(&wire.Message{Kind: wire.KindReadAt, File: name, Off: off, Len: int64(len(p))})
+	if err != nil {
+		return 0, false, err
+	}
+	n := copy(p, resp.Data)
+	c.pool.Put(resp.Data)
+	if resp.Done || n < len(p) {
+		return n, resp.Hit, io.EOF
+	}
+	return n, resp.Hit, nil
+}
+
+// Stage asks the server to pull [off, off+length) of name into its
+// shared cache (a site buffer) without shipping the bytes back; it
+// returns the bytes the server actually staged (0 when already
+// resident). Servers without staging answer with a RemoteError.
+func (c *Client) Stage(name string, off, length int64) (int64, error) {
+	resp, err := c.call(&wire.Message{Kind: wire.KindStage, File: name, Off: off, Len: length})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Len, nil
 }
 
 // Size implements Store.

@@ -1,0 +1,241 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// SiteBuffer is the site-shared burst-buffer tier: one chunk cache per
+// site, interposed between the object store and the site's slaves, so
+// the same hot chunk is fetched from S3 once per *site* instead of
+// once per slave — and, across iterations, once per computation. It is
+// the provision/drain per-job pool of the burstbuffer model applied to
+// chunk retrieval: provisioned with a byte capacity for a run, warmed
+// by demand misses and master-driven staging, and drained back into
+// the buffer pool when the run completes.
+//
+// The buffer is a Store (slaves mount it like any remote store, served
+// over the wire codec by Server), plus two extensions Server exposes
+// when present:
+//
+//   - ReadAtHit: ReadAt that also reports whether the bytes came from
+//     the buffer's cache (the per-tier hit accounting slaves feed into
+//     RunReport.Retrieval);
+//   - Stage: fetch a chunk into the cache without returning its bytes
+//     (the master's hint-driven pre-warming).
+//
+// Concurrent misses on one chunk collapse into a single backing fetch
+// (ChunkCache singleflight), so N slaves asking for the same cold
+// chunk cost one S3 retrieval. All backing fetches share one
+// Autotuner when autotuning is enabled: the site probes its S3 link
+// with a single AIMD budget instead of N independent per-slave
+// controllers that collectively overshoot the aggregate egress cap.
+type SiteBuffer struct {
+	site    string
+	backing Store
+	cache   *ChunkCache
+	pool    *BufferPool
+	fetch   FetchOptions
+	tuner   *Autotuner
+
+	mu           sync.Mutex
+	hits         int64
+	misses       int64
+	servedBytes  int64 // bytes handed to clients (hits and misses)
+	stagedBytes  int64 // bytes staged ahead of demand
+	backingBytes int64 // bytes actually fetched from the backing store
+}
+
+// SiteBufferConfig configures one site's buffer.
+type SiteBufferConfig struct {
+	// Site names the site the buffer serves; it namespaces cache keys.
+	Site string
+	// Backing is the store the buffer reads through to (the S3 view).
+	Backing Store
+	// Capacity is the cache's byte cap. Below 1 the buffer still works
+	// but retains nothing (every read is a backing fetch).
+	Capacity int64
+	// Fetch tunes the buffer->backing ranged retrieval (threads, range
+	// size, retry, clock). The pool is supplied by the buffer.
+	Fetch FetchOptions
+	// Pool recycles chunk buffers; nil builds a fresh pool.
+	Pool *BufferPool
+	// Autotune replaces Fetch.Threads with one site-wide AIMD
+	// controller shared by every backing fetch (demand misses and
+	// staging alike); Fetch.Threads seeds it. Requires Fetch.Clock.
+	Autotune bool
+}
+
+// NewSiteBuffer builds a buffer over cfg.Backing.
+func NewSiteBuffer(cfg SiteBufferConfig) *SiteBuffer {
+	pool := cfg.Pool
+	if pool == nil {
+		pool = NewBufferPool()
+	}
+	b := &SiteBuffer{
+		site:    cfg.Site,
+		backing: cfg.Backing,
+		cache:   NewChunkCache(cfg.Capacity, pool),
+		pool:    pool,
+		fetch:   cfg.Fetch,
+	}
+	if cfg.Autotune && cfg.Fetch.Clock != nil {
+		b.tuner = NewAutotuner(cfg.Fetch.Threads, 0)
+	}
+	return b
+}
+
+// fetchChunk pulls [off, off+length) of name from the backing store
+// with the buffer's shared fetch configuration.
+func (b *SiteBuffer) fetchChunk(name string, off, length int64) ([]byte, error) {
+	opts := b.fetch
+	opts.Pool = b.pool
+	if b.tuner != nil {
+		opts.Tuner = b.tuner
+	}
+	data, err := Fetch(b.backing, name, off, length, opts)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.backingBytes += length
+	b.mu.Unlock()
+	return data, nil
+}
+
+// ReadAtHit fills p from the object's bytes starting at off and
+// reports whether the bytes were already resident in the buffer. A
+// miss reads through to the backing store under singleflight and
+// caches the chunk for the next caller.
+func (b *SiteBuffer) ReadAtHit(name string, p []byte, off int64) (int, bool, error) {
+	if b == nil {
+		return 0, false, errors.New("store: nil site buffer")
+	}
+	length := int64(len(p))
+	key := ChunkKey{Site: b.site, File: name, Off: off, Len: length}
+	data, release, hit, err := b.cache.GetOrFetch(key, func() ([]byte, error) {
+		return b.fetchChunk(name, off, length)
+	})
+	if err != nil {
+		// The ranged fetcher treats short reads as errors; retry as one
+		// direct (uncached) read so the buffer keeps io.ReaderAt
+		// semantics at object tails. Genuine backing failures surface
+		// the fetch error.
+		n, derr := b.backing.ReadAt(name, p, off)
+		if derr == nil || derr == io.EOF {
+			b.mu.Lock()
+			b.misses++
+			b.servedBytes += int64(n)
+			b.backingBytes += int64(n)
+			b.mu.Unlock()
+			return n, false, derr
+		}
+		return 0, false, err
+	}
+	n := copy(p, data)
+	release()
+	b.mu.Lock()
+	if hit {
+		b.hits++
+	} else {
+		b.misses++
+	}
+	b.servedBytes += int64(n)
+	b.mu.Unlock()
+	return n, hit, nil
+}
+
+// ReadAt implements Store.
+func (b *SiteBuffer) ReadAt(name string, p []byte, off int64) (int, error) {
+	n, _, err := b.ReadAtHit(name, p, off)
+	return n, err
+}
+
+// Size implements Store.
+func (b *SiteBuffer) Size(name string) (int64, error) { return b.backing.Size(name) }
+
+// List implements Store.
+func (b *SiteBuffer) List() ([]string, error) { return b.backing.List() }
+
+// Stage fetches [off, off+length) of name into the buffer's cache
+// without returning the bytes, so the chunk is warm before any slave
+// asks. It returns the bytes actually staged: 0 when the chunk was
+// already resident (or another caller is fetching it), length when
+// this call paid the backing fetch.
+func (b *SiteBuffer) Stage(name string, off, length int64) (int64, error) {
+	if b == nil {
+		return 0, errors.New("store: nil site buffer")
+	}
+	key := ChunkKey{Site: b.site, File: name, Off: off, Len: length}
+	_, release, hit, err := b.cache.GetOrFetch(key, func() ([]byte, error) {
+		return b.fetchChunk(name, off, length)
+	})
+	if err != nil {
+		return 0, err
+	}
+	release()
+	if hit {
+		return 0, nil
+	}
+	b.mu.Lock()
+	b.stagedBytes += length
+	b.mu.Unlock()
+	return length, nil
+}
+
+// Drain evicts every resident chunk back into the buffer pool — the
+// end-of-run deprovisioning step. The buffer stays usable (a
+// subsequent read re-warms it), so iterative drivers drain only after
+// the last iteration.
+func (b *SiteBuffer) Drain() {
+	if b == nil {
+		return
+	}
+	b.cache.Drain()
+}
+
+// Pool returns the buffer pool chunk buffers recycle into.
+func (b *SiteBuffer) Pool() *BufferPool {
+	if b == nil {
+		return nil
+	}
+	return b.pool
+}
+
+// ResidentKeys returns the cache's resident chunk keys (see
+// ChunkCache.ResidentKeys); the master folds these into the site's
+// residency report so placement can account for buffer warmth.
+func (b *SiteBuffer) ResidentKeys() []ChunkKey {
+	if b == nil {
+		return nil
+	}
+	return b.cache.ResidentKeys()
+}
+
+// BufferStats is a point-in-time snapshot of a SiteBuffer's counters.
+type BufferStats struct {
+	Hits         int64 // reads served from resident chunks
+	Misses       int64 // reads that paid a backing fetch
+	ServedBytes  int64 // bytes handed to clients
+	StagedBytes  int64 // bytes pre-warmed by Stage
+	BackingBytes int64 // bytes fetched from the backing store
+	Cache        CacheStats
+	Autotune     AutotuneStats
+}
+
+// Stats returns the buffer's counters.
+func (b *SiteBuffer) Stats() BufferStats {
+	if b == nil {
+		return BufferStats{}
+	}
+	b.mu.Lock()
+	s := BufferStats{
+		Hits: b.hits, Misses: b.misses, ServedBytes: b.servedBytes,
+		StagedBytes: b.stagedBytes, BackingBytes: b.backingBytes,
+	}
+	b.mu.Unlock()
+	s.Cache = b.cache.Stats()
+	s.Autotune = b.tuner.Stats()
+	return s
+}

@@ -1,0 +1,265 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countingStore wraps a Store and tallies backing traffic, so tests
+// can assert how many bytes the buffer actually pulled from "S3".
+type countingStore struct {
+	Store
+	reads atomic.Int64 // ReadAt calls
+	bytes atomic.Int64 // bytes returned
+}
+
+func (c *countingStore) ReadAt(name string, p []byte, off int64) (int, error) {
+	n, err := c.Store.ReadAt(name, p, off)
+	c.reads.Add(1)
+	c.bytes.Add(int64(n))
+	return n, err
+}
+
+func newTestBuffer(capacity int64, objects map[string][]byte) (*SiteBuffer, *countingStore) {
+	mem := NewMem()
+	for name, data := range objects {
+		mem.Put(name, data)
+	}
+	backing := &countingStore{Store: mem}
+	buf := NewSiteBuffer(SiteBufferConfig{
+		Site: "cloud", Backing: backing, Capacity: capacity,
+		Fetch: DefaultFetchOptions(),
+	})
+	return buf, backing
+}
+
+func TestSiteBufferReadThroughAndHit(t *testing.T) {
+	obj := fillPattern(64<<10, 7)
+	buf, backing := newTestBuffer(1<<20, map[string][]byte{"d": obj})
+
+	p := make([]byte, 16<<10)
+	n, hit, err := buf.ReadAtHit("d", p, 8<<10)
+	if err != nil || n != len(p) || hit {
+		t.Fatalf("first read: n=%d hit=%v err=%v", n, hit, err)
+	}
+	if !bytes.Equal(p, obj[8<<10:24<<10]) {
+		t.Fatal("first read returned wrong bytes")
+	}
+	n, hit, err = buf.ReadAtHit("d", p, 8<<10)
+	if err != nil || n != len(p) || !hit {
+		t.Fatalf("second read: n=%d hit=%v err=%v", n, hit, err)
+	}
+	if got := backing.bytes.Load(); got != 16<<10 {
+		t.Fatalf("backing fetched %d bytes, want one 16 KiB chunk", got)
+	}
+	st := buf.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.ServedBytes != 32<<10 || st.BackingBytes != 16<<10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSiteBufferSingleflightStress(t *testing.T) {
+	// 16 concurrent clients missing on the same cold chunk must cost
+	// exactly one backing fetch: this is the tier's whole point.
+	obj := fillPattern(256<<10, 3)
+	buf, backing := newTestBuffer(1<<20, map[string][]byte{"d": obj})
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := make([]byte, 128<<10)
+			n, _, err := buf.ReadAtHit("d", p, 64<<10)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if n != len(p) || !bytes.Equal(p, obj[64<<10:192<<10]) {
+				t.Error("concurrent read returned wrong bytes")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := backing.bytes.Load(); got != 128<<10 {
+		t.Fatalf("backing fetched %d bytes for %d concurrent clients, want one 128 KiB fetch", got, clients)
+	}
+	st := buf.Stats()
+	if st.Hits+st.Misses != clients {
+		t.Fatalf("hits %d + misses %d != %d clients", st.Hits, st.Misses, clients)
+	}
+}
+
+func TestSiteBufferStageThenRead(t *testing.T) {
+	obj := fillPattern(64<<10, 9)
+	buf, backing := newTestBuffer(1<<20, map[string][]byte{"d": obj})
+
+	staged, err := buf.Stage("d", 0, 32<<10)
+	if err != nil || staged != 32<<10 {
+		t.Fatalf("first stage: %d, %v", staged, err)
+	}
+	staged, err = buf.Stage("d", 0, 32<<10)
+	if err != nil || staged != 0 {
+		t.Fatalf("re-stage of resident chunk: %d, %v (want 0 bytes)", staged, err)
+	}
+	p := make([]byte, 32<<10)
+	n, hit, err := buf.ReadAtHit("d", p, 0)
+	if err != nil || n != len(p) || !hit {
+		t.Fatalf("read after stage: n=%d hit=%v err=%v (want a buffer hit)", n, hit, err)
+	}
+	if !bytes.Equal(p, obj[:32<<10]) {
+		t.Fatal("staged bytes mismatch")
+	}
+	if got := backing.bytes.Load(); got != 32<<10 {
+		t.Fatalf("backing fetched %d bytes, want the staged 32 KiB only", got)
+	}
+	if st := buf.Stats(); st.StagedBytes != 32<<10 {
+		t.Fatalf("StagedBytes = %d", st.StagedBytes)
+	}
+}
+
+func TestSiteBufferTailKeepsReaderAtSemantics(t *testing.T) {
+	// A read overlapping the object tail cannot be satisfied by the
+	// ranged fetcher (short reads are errors there); the buffer must
+	// degrade to one direct read and keep io.ReaderAt EOF semantics.
+	obj := fillPattern(10<<10, 5)
+	buf, _ := newTestBuffer(1<<20, map[string][]byte{"d": obj})
+
+	p := make([]byte, 4<<10)
+	n, hit, err := buf.ReadAtHit("d", p, 8<<10)
+	if err != io.EOF || n != 2<<10 || hit {
+		t.Fatalf("tail read: n=%d hit=%v err=%v, want 2 KiB + EOF", n, hit, err)
+	}
+	if !bytes.Equal(p[:n], obj[8<<10:]) {
+		t.Fatal("tail bytes mismatch")
+	}
+}
+
+func TestSiteBufferBackingErrorPropagates(t *testing.T) {
+	buf, _ := newTestBuffer(1<<20, nil) // no objects: every read fails
+	p := make([]byte, 1<<10)
+	if _, _, err := buf.ReadAtHit("missing", p, 0); err == nil {
+		t.Fatal("read of missing object must fail")
+	}
+	if _, err := buf.Stage("missing", 0, 1<<10); err == nil {
+		t.Fatal("stage of missing object must fail")
+	}
+}
+
+func TestSiteBufferDrain(t *testing.T) {
+	obj := fillPattern(64<<10, 1)
+	buf, backing := newTestBuffer(1<<20, map[string][]byte{"d": obj})
+
+	p := make([]byte, 16<<10)
+	if _, _, err := buf.ReadAtHit("d", p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if keys := buf.ResidentKeys(); len(keys) != 1 {
+		t.Fatalf("resident keys before drain: %d", len(keys))
+	}
+	buf.Drain()
+	if keys := buf.ResidentKeys(); len(keys) != 0 {
+		t.Fatalf("resident keys after drain: %d", len(keys))
+	}
+	// The buffer stays usable: the next read re-warms it.
+	n, hit, err := buf.ReadAtHit("d", p, 0)
+	if err != nil || n != len(p) || hit {
+		t.Fatalf("read after drain: n=%d hit=%v err=%v", n, hit, err)
+	}
+	if got := backing.bytes.Load(); got != 32<<10 {
+		t.Fatalf("backing fetched %d bytes, want two 16 KiB fetches around the drain", got)
+	}
+}
+
+func TestSiteBufferNilSafe(t *testing.T) {
+	var b *SiteBuffer
+	if _, _, err := b.ReadAtHit("d", make([]byte, 1), 0); err == nil {
+		t.Fatal("nil buffer read must error")
+	}
+	if _, err := b.Stage("d", 0, 1); err == nil {
+		t.Fatal("nil buffer stage must error")
+	}
+	b.Drain()
+	if b.Pool() != nil || b.ResidentKeys() != nil {
+		t.Fatal("nil buffer accessors must return zero values")
+	}
+	if st := b.Stats(); st != (BufferStats{}) {
+		t.Fatalf("nil buffer stats = %+v", st)
+	}
+}
+
+func TestSiteBufferServedOverWire(t *testing.T) {
+	// A buffer behind a store.Server: the Hit flag must travel the
+	// wire, KindStage must stage, and re-reads must hit.
+	obj := fillPattern(64<<10, 11)
+	buf, backing := newTestBuffer(1<<20, map[string][]byte{"d": obj})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, buf)
+	defer srv.Close()
+	c := NewClient(srv.Addr(), nil)
+	defer c.Close()
+
+	p := make([]byte, 16<<10)
+	n, hit, err := c.ReadAtHit("d", p, 0)
+	if err != nil || n != len(p) || hit {
+		t.Fatalf("cold remote read: n=%d hit=%v err=%v", n, hit, err)
+	}
+	n, hit, err = c.ReadAtHit("d", p, 0)
+	if err != nil || n != len(p) || !hit {
+		t.Fatalf("warm remote read: n=%d hit=%v err=%v", n, hit, err)
+	}
+	if !bytes.Equal(p, obj[:16<<10]) {
+		t.Fatal("remote read bytes mismatch")
+	}
+	staged, err := c.Stage("d", 32<<10, 16<<10)
+	if err != nil || staged != 16<<10 {
+		t.Fatalf("remote stage: %d, %v", staged, err)
+	}
+	if staged, err = c.Stage("d", 32<<10, 16<<10); err != nil || staged != 0 {
+		t.Fatalf("remote re-stage: %d, %v", staged, err)
+	}
+	n, hit, err = c.ReadAtHit("d", p, 32<<10)
+	if err != nil || n != len(p) || !hit {
+		t.Fatalf("read of remotely staged chunk: n=%d hit=%v err=%v", n, hit, err)
+	}
+	if got := backing.bytes.Load(); got != 32<<10 {
+		t.Fatalf("backing fetched %d bytes, want 32 KiB across the exchange", got)
+	}
+}
+
+func TestPlainStoreRejectsStageAndNeverHits(t *testing.T) {
+	mem := NewMem()
+	mem.Put("d", fillPattern(4<<10, 2))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, mem)
+	defer srv.Close()
+	c := NewClient(srv.Addr(), nil)
+	defer c.Close()
+
+	p := make([]byte, 1<<10)
+	for i := 0; i < 2; i++ {
+		_, hit, err := c.ReadAtHit("d", p, 0)
+		if err != nil || hit {
+			t.Fatalf("plain store read %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	if _, err := c.Stage("d", 0, 1<<10); err == nil {
+		t.Fatal("plain store must reject staging")
+	}
+}

@@ -91,8 +91,8 @@ type BufferSource interface {
 	Put(buf []byte)
 }
 
-// Presence bits, one per Message field, in encode order. Done and
-// Drain are carried by their bit alone.
+// Presence bits, one per Message field, in encode order. Done, Drain,
+// and Hit are carried by their bit alone.
 const (
 	bitSite = 1 << iota
 	bitCores
@@ -117,6 +117,7 @@ const (
 	bitData
 	bitFiles
 	bitErr
+	bitHit
 
 	bitAll = 1<<iota - 1
 )
@@ -297,6 +298,9 @@ func presenceOf(m *Message) uint64 {
 	}
 	if m.Err != "" {
 		p |= bitErr
+	}
+	if m.Hit {
+		p |= bitHit
 	}
 	return p
 }
@@ -779,6 +783,7 @@ func decodeBinary(body []byte, pool BufferSource) (*Message, error) {
 			return nil, err
 		}
 	}
+	m.Hit = p&bitHit != 0
 	if len(d.buf) != 0 {
 		return nil, errCorrupt
 	}

@@ -51,6 +51,7 @@ func fullMessage() *Message {
 		Data:            []byte("payload bytes"),
 		Files:           []string{"data-00.bin", "data-01.bin"},
 		Err:             "remote: example failure",
+		Hit:             true,
 	}
 }
 
@@ -71,7 +72,7 @@ func roundTrip(t *testing.T, m *Message, codec Codec) *Message {
 // every protocol Kind through both codecs; every field must survive
 // bit-exactly, including the nil/empty slice distinction.
 func TestCodecRoundTripEveryKind(t *testing.T) {
-	for k := KindInvalid; k <= KindCheckpoint; k++ {
+	for k := KindInvalid; k <= KindStageResp; k++ {
 		for _, codec := range []Codec{CodecBinary, CodecGob} {
 			m := fullMessage()
 			m.Kind = k
@@ -110,6 +111,7 @@ var presenceCases = map[string]func(*Message){
 	"Data":            func(m *Message) { m.Data = []byte{} },
 	"Files":           func(m *Message) { m.Files = []string{} },
 	"Err":             func(m *Message) { m.Err = "boom" },
+	"Hit":             func(m *Message) { m.Hit = true },
 }
 
 // TestCodecRoundTripPresenceBits covers each presence bit in
@@ -117,8 +119,8 @@ var presenceCases = map[string]func(*Message){
 // codecs. The single-field cases use empty non-nil slices where
 // protocol semantics ride on the distinction.
 func TestCodecRoundTripPresenceBits(t *testing.T) {
-	if want := len(presenceCases); want != 23 {
-		t.Fatalf("presence table covers %d fields, want 23 (update with the Message struct)", want)
+	if want := len(presenceCases); want != 24 {
+		t.Fatalf("presence table covers %d fields, want 24 (update with the Message struct)", want)
 	}
 	for _, codec := range []Codec{CodecBinary, CodecGob} {
 		for name, set := range presenceCases {

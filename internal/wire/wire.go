@@ -86,6 +86,17 @@ const (
 	// re-execution.
 	KindPreemptWarn // slave->master: accelerated drain starting (Ack'd)
 	KindCheckpoint  // slave->master: Seq, Object, Completed, Stats (one-way)
+
+	// Burst buffer. KindStage asks a site's buffer server to pull a
+	// chunk from its backing store into the shared cache without
+	// shipping the bytes back — the master's hint-driven pre-warming.
+	// KindStageResp answers with Len = the bytes actually staged (0
+	// when the chunk was already resident). A KindReadResp served by a
+	// buffer additionally carries Hit, so clients can attribute the
+	// read to the buffer tier vs. a backing fetch the buffer performed
+	// on their behalf.
+	KindStage     // client->server: File, Off, Len
+	KindStageResp // server->client: Len = bytes staged (or Err)
 )
 
 var kindNames = map[Kind]string{
@@ -99,6 +110,7 @@ var kindNames = map[Kind]string{
 	KindList: "list", KindListResp: "list-resp", KindHeartbeat: "heartbeat",
 	KindJoin: "join", KindDrain: "drain", KindScale: "scale",
 	KindPreemptWarn: "preempt-warn", KindCheckpoint: "checkpoint",
+	KindStage: "stage", KindStageResp: "stage-resp",
 }
 
 func (k Kind) String() string {
@@ -220,6 +232,11 @@ type Message struct {
 
 	Files []string
 	Err   string
+
+	// Hit marks a KindReadResp that a site buffer served from its
+	// resident cache rather than by fetching from the backing store;
+	// clients use it for per-tier retrieval accounting.
+	Hit bool
 }
 
 // MaxFrame bounds a single frame; larger frames indicate corruption.

@@ -23,6 +23,11 @@
 #     trips, plus a digest-checked full-pipeline comparison; >=2x
 #     throughput and >=5x allocs/op reduction enforced)
 #     -> BENCH_wire.json
+#   - `cbbench -experiment buffer` (site burst-buffer tier: no-buffer
+#     vs cold-buffer vs master-staged buffer on knn single-pass and
+#     pagerank power iterations, all data in S3; digest-checked, with
+#     the staged variant's wall-clock and S3-egress win enforced on
+#     the multi-iteration run) -> BENCH_buffer.json
 #
 # Usage:
 #   scripts/bench.sh                # default: -records-divisor 10
@@ -38,6 +43,7 @@ AUTOTUNE_OUT="${AUTOTUNE_OUT:-BENCH_autotune.json}"
 ELASTIC_OUT="${ELASTIC_OUT:-BENCH_elastic.json}"
 SPOT_OUT="${SPOT_OUT:-BENCH_spot.json}"
 WIRE_OUT="${WIRE_OUT:-BENCH_wire.json}"
+BUFFER_OUT="${BUFFER_OUT:-BENCH_buffer.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 
 go run ./cmd/cbbench -experiment overlap \
@@ -65,3 +71,9 @@ go run ./cmd/cbbench -experiment wire \
 	-benchtime "$BENCHTIME" \
 	-check-win \
 	-json "$WIRE_OUT"
+
+go run ./cmd/cbbench -experiment buffer \
+	-records-divisor "$DIVISOR" \
+	-overlap-iters "$ITERS" \
+	-check-win \
+	-json "$BUFFER_OUT"

@@ -14,7 +14,7 @@ go test -race ./internal/cluster/ ./internal/store/ ./internal/chunk/ ./internal
 # Dynamic membership (mid-run joins, drain-vs-steal races, elastic
 # end-to-end) is the most race-prone surface: run it twice under the
 # race detector so a lucky interleaving can't hide a regression.
-go test -race -count=2 -run 'Join|Drain|Elastic|Spot|Preempt|Checkpoint|Revocation' ./internal/cluster/
+go test -race -count=2 -run 'Join|Drain|Elastic|Spot|Preempt|Checkpoint|Revocation|Buffer' ./internal/cluster/
 # The wire codec owns every byte on every connection: fuzz the decoder
 # briefly (corrupt frames must error, never panic) and run the codec
 # microbench as a correctness smoke (both codecs, round trips checked,
@@ -35,4 +35,9 @@ go run ./cmd/cbbench -experiment elastic -records-divisor 100 -scale 0.0001 >/de
 # latencies dwarf the scaled warning window, so drain completions and
 # the wall/cost win are asserted by scripts/bench.sh at real scale.
 go run ./cmd/cbbench -experiment spot -records-divisor 100 -scale 0.0001 >/dev/null
+# Burst-buffer ablation at smoke scale: validates digest invariance of
+# the site buffer tier (read-through, staging, tiered fallback); the
+# wall-clock/egress win is asserted by scripts/bench.sh at real scale,
+# where emulated S3 latency dominates loopback noise.
+go run ./cmd/cbbench -experiment buffer -records-divisor 100 -scale 0.0001 >/dev/null
 echo "verify: ok"
