@@ -29,14 +29,14 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune, elastic, spot, wire, buffer")
+			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune, elastic, spot, wire, buffer, sync")
 		scale   = flag.Float64("scale", 0, "clock scale override (wall s per emulated s)")
 		divisor = flag.Int64("records-divisor", 1, "shrink data sets (and jobs) by this factor")
 		verbose = flag.Bool("v", false, "log cluster progress")
 
 		overlapIters = flag.Int("overlap-iters", 3, "overlap/buffer: pagerank power iterations")
-		jsonPath     = flag.String("json", "", "overlap/autotune/elastic/spot/wire/buffer: also write results as JSON to this file")
-		checkWin     = flag.Bool("check-win", false, "autotune/elastic/spot/wire/buffer: fail unless the acceptance criteria are met")
+		jsonPath     = flag.String("json", "", "overlap/autotune/elastic/spot/wire/buffer/sync: also write results as JSON to this file")
+		checkWin     = flag.Bool("check-win", false, "autotune/elastic/spot/wire/buffer/sync: fail unless the acceptance criteria are met")
 		benchtime    = flag.Duration("benchtime", time.Second, "wire: microbench duration per (scenario, codec) cell")
 
 		faultSeed      = flag.Int64("fault-seed", 42, "chaos: fault plan seed")
@@ -450,6 +450,58 @@ func main() {
 		}
 	}
 
+	runSync := func() {
+		res, err := bench.SyncPageRank(specs["c"], sim, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderSync("pagerank, all data in S3, 32 cloud cores", res))
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("sync results written to %s\n", *jsonPath)
+		}
+		if !res.Match {
+			fatal(fmt.Errorf("sync variants diverged from the baseline result"))
+		}
+		if *checkWin {
+			mono := res.Row("monolithic-serial")
+			par := res.Row("streamed-parallel")
+			shard := res.Row("streamed-sharded")
+			if mono == nil || par == nil || shard == nil {
+				fatal(fmt.Errorf("sync ablation is missing rows"))
+			}
+			if mono.Sync.Parts != 0 {
+				fatal(fmt.Errorf("monolithic-serial streamed %d parts — the baseline is contaminated", mono.Sync.Parts))
+			}
+			for _, r := range []*bench.SyncRow{par, shard} {
+				if r.Sync.Parts == 0 {
+					fatal(fmt.Errorf("sync %s streamed no object parts", r.Label))
+				}
+				if r.Sync.StreamedBytes == 0 {
+					fatal(fmt.Errorf("sync %s counted no streamed bytes", r.Label))
+				}
+				if r.TotalEmu >= mono.TotalEmu {
+					fatal(fmt.Errorf("sync %s did not beat monolithic-serial: %.1fs vs %.1fs",
+						r.Label, r.Seconds(), mono.Seconds()))
+				}
+			}
+			if par.Sync.MaxParallel < 2 {
+				fatal(fmt.Errorf("streamed-parallel never merged concurrently (max parallelism %d)",
+					par.Sync.MaxParallel))
+			}
+			fmt.Printf("sync win check: streamed-parallel %.1fs and streamed-sharded %.1fs vs monolithic %.1fs (%.2fx / %.2fx), %d parts, max merge parallelism %d, digests identical ✓\n",
+				par.Seconds(), shard.Seconds(), mono.Seconds(),
+				mono.Seconds()/par.Seconds(), mono.Seconds()/shard.Seconds(),
+				par.Sync.Parts, par.Sync.MaxParallel)
+		}
+	}
+
 	runChaos := func() {
 		params := bench.DefaultChaos(*faultSeed)
 		params.TransientProb = *faultTransient
@@ -482,6 +534,8 @@ func main() {
 		runWire()
 	case "buffer":
 		runBuffer()
+	case "sync":
+		runSync()
 	case "cost":
 		results := runFig3("a")
 		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))

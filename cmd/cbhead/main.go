@@ -31,6 +31,7 @@ func main() {
 		clusters  = flag.Int("clusters", 2, "number of masters expected")
 		listen    = flag.String("listen", ":7070", "listen address")
 		heartbeat = flag.Duration("heartbeat", 0, "declare a silent master lost after 3 missed intervals (0 disables)")
+		syncMode  = flag.String("sync-mode", "", "global-reduction sync: monolithic, streamed, streamed-parallel (default), or streamed-sharded")
 		quiet     = flag.Bool("q", false, "suppress progress logging")
 
 		deadline     = flag.Duration("deadline", 0, "run deadline; enables the elastic scaling controller (0 disables)")
@@ -72,6 +73,7 @@ func main() {
 		App: app, Index: idx, Clusters: *clusters,
 		Clock: netsim.Real(), Logf: logf,
 		HeartbeatInterval: *heartbeat,
+		SyncMode:          *syncMode,
 	}
 	if *deadline > 0 {
 		workers, err := cli.ParseParams(*elasticWork)

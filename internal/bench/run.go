@@ -222,7 +222,13 @@ type RunConfig struct {
 	// CheckpointJobs ships a partial-reduction checkpoint from every
 	// slave each N processed jobs (zero disables).
 	CheckpointJobs int
-	Logf           func(format string, args ...any)
+	// SyncMode selects the global-reduction sync strategy (see
+	// cluster.DeployConfig.SyncMode); empty picks streamed-parallel.
+	SyncMode string
+	// MergeCost charges combine folds an emulated duration per byte
+	// (see cluster.DeployConfig.MergeCost); zero charges nothing.
+	MergeCost time.Duration
+	Logf      func(format string, args ...any)
 }
 
 // EnvResult is one configuration's outcome.
@@ -385,6 +391,8 @@ func BuildDeploy(cfg RunConfig) (*Deployment, error) {
 			Elastic:           cfg.Elastic,
 			Revocations:       cfg.Revocations,
 			CheckpointJobs:    cfg.CheckpointJobs,
+			SyncMode:          cfg.SyncMode,
+			MergeCost:         cfg.MergeCost,
 			Logf:              cfg.Logf,
 		},
 		Plan: plan,

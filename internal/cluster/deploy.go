@@ -132,6 +132,20 @@ type DeployConfig struct {
 	// checkpointing.
 	CheckpointJobs int
 
+	// SyncMode selects the global-reduction sync strategy for every
+	// tier: "monolithic" (single-frame objects, merge after the
+	// all-arrivals barrier), "streamed" (bounded KindObjectPart frames,
+	// serial merge overlapped with transfers), "streamed-parallel"
+	// (streamed plus a worker-pool tree merge), or "streamed-sharded"
+	// (streamed plus shard-level merge for apps that support it). Empty
+	// picks streamed-parallel.
+	SyncMode string
+	// MergeCost charges every combine fold (master and head) an
+	// emulated duration per byte of the folded reduction object,
+	// restoring the paper-scale merge CPU the ~10,000x byte scale-down
+	// erased (see gr.MergerOptions.CostPerByte). Zero charges nothing.
+	MergeCost time.Duration
+
 	Logf func(format string, args ...any)
 }
 
@@ -351,6 +365,9 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = netsim.Instant()
 	}
+	if _, err := resolveSyncMode(cfg.SyncMode); err != nil {
+		return nil, err
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -379,6 +396,7 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 	head, err := NewHead(HeadConfig{
 		App: cfg.App, Index: cfg.Index, Clusters: len(cfg.Sites),
 		Scatter: cfg.Scatter, Clock: cfg.Clock, Logf: cfg.Logf,
+		SyncMode: cfg.SyncMode, MergeCost: cfg.MergeCost,
 		HeartbeatInterval: cfg.HeartbeatInterval, HeartbeatMisses: cfg.HeartbeatMisses,
 		Elastic: ctrl, ScaleUp: func() func(string, int, bool) {
 			if prov == nil {
@@ -456,6 +474,8 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 			Clock: cfg.Clock, Logf: cfg.Logf,
 			HeartbeatInterval: cfg.HeartbeatInterval, HeartbeatMisses: cfg.HeartbeatMisses,
 			StageBudget:       cfg.StageBudget,
+			SyncMode:          cfg.SyncMode,
+			MergeCost:         cfg.MergeCost,
 		}
 		if buffer != nil {
 			// Typed-nil care: assign the interface only when a buffer
@@ -500,6 +520,7 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 			Cache: cache, Pool: pool,
 			CheckpointJobs:    cfg.CheckpointJobs,
 			HeartbeatInterval: cfg.HeartbeatInterval,
+			SyncMode:          cfg.SyncMode,
 			Clock:             cfg.Clock, Logf: cfg.Logf,
 		}
 		if buffer != nil {
@@ -534,6 +555,7 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 				Cache: cache, Pool: pool,
 				CheckpointJobs:    cfg.CheckpointJobs,
 				HeartbeatInterval: cfg.HeartbeatInterval,
+				SyncMode:          cfg.SyncMode,
 				Clock:             cfg.Clock, Logf: cfg.Logf,
 			}
 			if buffer != nil {

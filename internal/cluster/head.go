@@ -58,6 +58,15 @@ type HeadConfig struct {
 	// Pool recycles wire encode/frame buffers on master connections
 	// (default: a fresh BufferPool).
 	Pool *store.BufferPool
+	// SyncMode selects the global-reduction strategy: how cluster
+	// results arrive (streamed parts vs single frames), how they merge
+	// (as each cluster finishes vs after the all-clusters barrier), and
+	// how the Final broadcast ships back. Empty picks streamed-parallel.
+	SyncMode string
+	// MergeCost charges each global-reduction fold an emulated duration
+	// per byte of the folded object (see gr.MergerOptions.CostPerByte);
+	// zero charges nothing.
+	MergeCost time.Duration
 	// Logf receives progress logging; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -69,6 +78,13 @@ type HeadConfig struct {
 type Head struct {
 	cfg  HeadConfig
 	pool *chunk.Pool
+	plan syncPlan
+
+	// merger runs the availability-driven global reduction under a
+	// streamed plan: each cluster's object merges as it arrives, so a
+	// fast cluster's merge hides behind a slow cluster's WAN transfer.
+	// Monolithic mode accumulates objects and merges after the barrier.
+	merger *gr.Merger
 
 	mu          sync.Mutex
 	started     time.Time
@@ -88,7 +104,8 @@ type Head struct {
 	mergeReady chan struct{}
 	mergeOnce  sync.Once
 	finalObj   gr.Reduction
-	finalEnc   []byte
+	finalEnc   []byte // monolithic broadcast; streamed re-encodes per master
+	finalEst   int    // finalObj.Bytes() estimate for stream accounting
 	runErr     error
 
 	resultOnce sync.Once
@@ -133,8 +150,13 @@ func NewHead(cfg HeadConfig) (*Head, error) {
 	if cfg.Pool == nil {
 		cfg.Pool = store.NewBufferPool()
 	}
-	return &Head{
+	plan, err := resolveSyncMode(cfg.SyncMode)
+	if err != nil {
+		return nil, err
+	}
+	h := &Head{
 		cfg:        cfg,
+		plan:       plan,
 		pool:       chunk.NewPoolWith(cfg.Index, chunk.PoolOptions{Scatter: cfg.Scatter}),
 		expected:   cfg.Clusters,
 		arrivals:   make(map[string]time.Time),
@@ -143,7 +165,12 @@ func NewHead(cfg HeadConfig) (*Head, error) {
 		resultCh:   make(chan headResult, 1),
 		conns:      make(map[string]*wire.Conn),
 		progress:   make(map[string]int),
-	}, nil
+	}
+	h.merger = gr.NewMerger(cfg.App, gr.MergerOptions{
+		Mode: plan.merge, Workers: mergeWorkers,
+		Clock: cfg.Clock, CostPerByte: cfg.MergeCost,
+	})
+	return h, nil
 }
 
 // Serve accepts master connections on l until the run completes.
@@ -222,6 +249,9 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 		return fmt.Errorf("cluster: head: master %v: expected register-master, got %v", addr, reg.Kind)
 	}
 	site := reg.Site
+	// oc incrementally decodes the site's streamed cluster result.
+	oc := objectCollector{app: h.cfg.App, conn: c}
+	defer oc.abort(fmt.Errorf("cluster: head: master %s connection closed mid-stream", site))
 	h.mu.Lock()
 	h.registered++
 	n := h.registered
@@ -271,6 +301,15 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 		case wire.KindHeartbeat:
 			continue // liveness only; Recv re-armed the idle deadline
 
+		case wire.KindObjectPart:
+			// One bounded frame of the site's streamed cluster result;
+			// the collector decodes it while later parts cross the WAN.
+			if err := oc.feed(req); err != nil {
+				h.clusterLost(site, fmt.Errorf("cluster: head: %s object stream: %w", site, err))
+				return nil
+			}
+			continue
+
 		case wire.KindRequestJobs:
 			if len(req.Completed) > 0 {
 				if err := h.pool.Complete(req.Completed); err != nil {
@@ -306,7 +345,7 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 				}
 			}
 			h.observe(site, req.Progress)
-			obj, err := gr.DecodeReduction(h.cfg.App, req.Object)
+			obj, err := takeObject(h.cfg.App, &oc, req)
 			if err != nil {
 				return fmt.Errorf("cluster: head: decode %s result: %w", site, err)
 			}
@@ -316,6 +355,7 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 			<-h.mergeReady
 			h.mu.Lock()
 			runErr, enc := h.runErr, h.finalEnc
+			final, est := h.finalObj, h.finalEst
 			h.mu.Unlock()
 			if runErr != nil {
 				c.Send(&wire.Message{Kind: wire.KindError, Err: runErr.Error()})
@@ -328,7 +368,22 @@ func (h *Head) handleMaster(c *wire.Conn) error {
 			// ack marks actual delivery — a plain Send would complete
 			// into the socket buffer long before the shaped link
 			// finished carrying the object.
-			err = c.Send(&wire.Message{Kind: wire.KindFinal, Object: enc, Done: true})
+			if h.plan.streamed {
+				// Stream the final object in bounded parts (each master
+				// gets its own encode pass straight into part frames — the
+				// whole encoded object is never allocated), then the
+				// terminal Final with no Object.
+				ow := wire.NewObjectWriter(c, 0)
+				if err = final.Encode(ow); err == nil {
+					err = ow.Close()
+				}
+				if err == nil {
+					h.faults.AddObjectStream(ow.Frames(), ow.Bytes(), int64(est))
+					err = c.Send(&wire.Message{Kind: wire.KindFinal, Done: true})
+				}
+			} else {
+				err = c.Send(&wire.Message{Kind: wire.KindFinal, Object: enc, Done: true})
+			}
 			for err == nil {
 				// Wait for the delivery ack, discarding any heartbeats
 				// the master queued while the broadcast was in flight.
@@ -422,8 +477,20 @@ func (h *Head) NoteRevocation(site string, n int, warned bool) {
 }
 
 // recordResult stores one cluster's result, returning true when every
-// expected cluster has reported.
+// expected cluster has reported. Under a streamed plan the object is
+// handed to the merger BEFORE the arrival is bookkept: the handler
+// that completes the set calls merge(), and every earlier arrival's
+// Add must already be in by then.
 func (h *Head) recordResult(site string, obj gr.Reduction, stats wire.Stats) bool {
+	h.mu.Lock()
+	if _, dup := h.arrivals[site]; dup {
+		h.mu.Unlock()
+		return false
+	}
+	h.mu.Unlock()
+	if h.plan.streamed {
+		h.merger.Add(obj)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if _, dup := h.arrivals[site]; dup {
@@ -435,7 +502,9 @@ func (h *Head) recordResult(site string, obj gr.Reduction, stats wire.Stats) boo
 		h.lastArrival = now
 	}
 	h.stats[site] = stats
-	h.objects = append(h.objects, obj)
+	if !h.plan.streamed {
+		h.objects = append(h.objects, obj)
+	}
 	h.cfg.Logf("head: cluster %s finished (%d jobs)", site, stats.Breakdown.JobsProcessed)
 	return len(h.arrivals) == h.expected
 }
@@ -472,17 +541,35 @@ func (h *Head) clusterLost(site string, cause error) {
 }
 
 // merge runs the global reduction once all clusters have reported and
-// releases the handlers to broadcast the final object.
+// releases the handlers to broadcast the final object. Under a
+// streamed plan the merger absorbed each object at arrival, so Finish
+// pays only the exposed tail; monolithic pays the whole fold here.
 func (h *Head) merge() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	start := h.cfg.Clock.Now()
-	final, err := gr.MergeAll(h.cfg.App, h.objects)
+	var final gr.Reduction
+	var mstats gr.MergerStats
+	var err error
+	for _, o := range h.objects {
+		// Monolithic mode held the objects back; fold them now, after
+		// the barrier. Streamed plans fed the merger at each arrival.
+		if err = h.merger.Add(o); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		final, mstats, err = h.merger.Finish()
+	}
 	if err == nil {
 		h.finalObj = final
-		h.finalEnc, err = gr.EncodeReduction(final)
+		h.finalEst = final.Bytes()
+		if !h.plan.streamed {
+			h.finalEnc, err = gr.EncodeReduction(final)
+		}
 	}
 	h.mergeEmu = h.cfg.Clock.ToEmu(h.cfg.Clock.Now().Sub(start))
+	h.faults.AddMerge(mstats.Merges, h.cfg.Clock.ToEmu(mstats.Busy), h.mergeEmu, mstats.MaxParallel)
 	if h.runErr == nil {
 		h.runErr = err
 	}
@@ -548,10 +635,35 @@ func (h *Head) publish() {
 		pre.JobsRecovered += st.Breakdown.JobsRecovered
 		pre.JobsAbandoned += st.Breakdown.JobsAbandoned
 		pre.JobsRequeued += st.Breakdown.JobsRequeued
+		pre.CheckpointSkips += st.Breakdown.CheckpointSkips
 	}
 	if pre.Any() {
 		report.Preemption = &pre
 	}
+	// Sync accounting: fold the head's own stream/merge counters with
+	// every surviving cluster's snapshot. Senders alone count streamed
+	// bytes, so the sum is each object counted exactly once per hop.
+	agg := h.faults.Snapshot()
+	for _, st := range h.stats {
+		agg = agg.Add(st.Breakdown)
+	}
+	sync := &metrics.SyncReport{
+		Mode:            h.plan.name,
+		Parts:           agg.ObjectParts,
+		StreamedBytes:   agg.ObjectBytes,
+		EstBytes:        agg.ObjectEstBytes,
+		Merges:          agg.Merges,
+		MergeBusyEmu:    agg.MergeBusyEmu,
+		MergeTailEmu:    agg.MergeTailEmu,
+		MaxParallel:     agg.MergeMaxPar,
+		CheckpointSkips: agg.CheckpointSkips,
+	}
+	if saved := sync.MergeBusyEmu - sync.MergeTailEmu; saved > 0 {
+		// Merge work that ran while transfers were still in flight —
+		// the barrier would have paid all of Busy after the last arrival.
+		sync.OverlapSavedEmu = saved
+	}
+	report.Sync = sync
 	if s, ok := h.cfg.App.(gr.Summarizer); ok {
 		if digest, err := s.Summarize(h.finalObj); err == nil {
 			report.FinalResult = digest

@@ -62,6 +62,16 @@ type MasterConfig struct {
 	// StageBudget caps the total bytes the master may stage into the
 	// buffer over the run (0 = no staging budget, stage freely).
 	StageBudget int64
+	// SyncMode selects the reduction-synchronization strategy: how slave
+	// objects arrive (streamed parts vs single frames), how they merge
+	// into the local combine (availability-driven as each slave finishes
+	// vs after the all-slaves barrier), and how the cluster result ships
+	// to the head. Empty picks streamed-parallel.
+	SyncMode string
+	// MergeCost charges each local-combine fold an emulated duration
+	// per byte of the folded object (see gr.MergerOptions.CostPerByte);
+	// zero charges nothing.
+	MergeCost time.Duration
 	// Logf receives progress logging; nil silences it.
 	Logf func(format string, args ...any)
 }
@@ -102,6 +112,15 @@ func (c MasterConfig) withDefaults() MasterConfig {
 type Master struct {
 	cfg  MasterConfig
 	head *wire.Conn
+	plan syncPlan
+
+	// merger runs the availability-driven local combine under a streamed
+	// plan: every delivered slave object is fed in as it arrives, so
+	// merging overlaps the transfers still in flight. Monolithic mode
+	// instead accumulates slaveObjs and merges after the barrier.
+	merger *gr.Merger
+	// finalOC collects the head's streamed Final broadcast.
+	finalOC objectCollector
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -128,10 +147,11 @@ type Master struct {
 	// about work a dying slave will end up redoing.
 	progress int
 
-	slaveObjs  []gr.Reduction
+	slaveObjs  []gr.Reduction // monolithic mode only; streamed feeds merger
 	slaveStats []wire.Stats
+	results    int // objects collected (delivered results + adopted checkpoints)
 	started    time.Time
-	faults     metrics.Breakdown // master-side stall detections
+	faults     metrics.Breakdown // master-side stall detections and sync counters
 
 	// resident holds each slave connection's latest reported set of
 	// cache-resident chunk ids; the refill loop folds the union into
@@ -181,11 +201,20 @@ func NewMaster(cfg MasterConfig) (*Master, error) {
 	if cfg.Slaves <= 0 {
 		return nil, fmt.Errorf("cluster: master needs a positive slave count")
 	}
-	m := &Master{cfg: cfg, expected: cfg.Slaves, doneCh: make(chan error, 1),
+	plan, err := resolveSyncMode(cfg.SyncMode)
+	if err != nil {
+		return nil, err
+	}
+	m := &Master{cfg: cfg, plan: plan, expected: cfg.Slaves, doneCh: make(chan error, 1),
 		resident: make(map[int][]int32), conns: make(map[int]*wire.Conn),
 		draining: make(map[int]bool), ckpts: make(map[int]*checkpoint),
 		hintDepth: make(map[int]int), hintWastePrev: make(map[int]int),
 		staged: make(map[int32]bool)}
+	m.merger = gr.NewMerger(cfg.App, gr.MergerOptions{
+		Mode: plan.merge, Workers: mergeWorkers,
+		Clock: cfg.Clock, CostPerByte: cfg.MergeCost,
+	})
+	m.finalOC.app = cfg.App
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
 }
@@ -200,6 +229,7 @@ func (m *Master) Run(headAddr string, dial store.Dialer, l net.Listener) (gr.Red
 	}
 	m.head = wire.NewConn(raw)
 	m.head.SetBufferPool(m.cfg.Pool)
+	m.finalOC.conn = m.head
 	defer m.head.Close()
 
 	if _, err := m.head.Call(&wire.Message{
@@ -334,6 +364,13 @@ func (m *Master) callHead(msg *wire.Message) (*wire.Message, error) {
 		case wire.KindScale:
 			m.applyScale(resp.Target)
 			continue
+		case wire.KindObjectPart:
+			// A part of the head's streamed Final broadcast; decode
+			// overlaps the parts still crossing the WAN.
+			if err := m.finalOC.feed(resp); err != nil {
+				return nil, err
+			}
+			continue
 		case wire.KindError:
 			return nil, &wire.RemoteError{Msg: resp.Err}
 		}
@@ -439,10 +476,12 @@ func (m *Master) stageHints(hints []wire.JobAssign) {
 	}
 }
 
-// checkpoint is one connection's newest shipped partial reduction.
+// checkpoint is one connection's newest shipped partial reduction,
+// decoded at arrival (streamed checkpoints decode incrementally as
+// their parts land, so the encoded form never rematerializes).
 type checkpoint struct {
 	seq     int
-	object  []byte
+	object  gr.Reduction
 	covered []int32 // cumulative chunk ids reduced into object
 	stats   wire.Stats
 }
@@ -541,6 +580,9 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 
 	granted := make(map[int32]wire.JobAssign)
 	var completed []int32
+	// oc incrementally decodes this connection's streamed objects
+	// (checkpoints, then the result), one at a time.
+	oc := objectCollector{app: m.cfg.App, conn: c}
 
 	m.mu.Lock()
 	connID := m.nextConn
@@ -548,6 +590,7 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 	m.conns[connID] = c
 	m.mu.Unlock()
 	defer func() {
+		oc.abort(fmt.Errorf("cluster: master %s: slave %v connection closed mid-stream", m.cfg.Site, addr))
 		m.mu.Lock()
 		delete(m.resident, connID)
 		delete(m.conns, connID)
@@ -578,15 +621,31 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 		case wire.KindHeartbeat:
 			continue // liveness only; Recv re-armed the idle deadline
 
+		case wire.KindObjectPart:
+			// One bounded frame of a streamed object (checkpoint or
+			// result); the collector's decode goroutine consumes it while
+			// later parts are still in flight.
+			if err := oc.feed(req); err != nil {
+				return fmt.Errorf("cluster: master %s: slave %v object stream: %w", m.cfg.Site, addr, err)
+			}
+			continue
+
 		case wire.KindCheckpoint:
 			// One-way push: keep only the newest sequence, so a delayed
 			// duplicate can never roll a partial reduction back. The
 			// checkpoint is merged only if this connection dies without
 			// delivering a result.
+			obj, err := takeObject(m.cfg.App, &oc, req)
+			if err != nil {
+				// A checkpoint that cannot be decoded is dropped, not
+				// fatal: the master just keeps the previous one.
+				m.cfg.Logf("master %s: discarding undecodable checkpoint from %v: %v", m.cfg.Site, addr, err)
+				continue
+			}
 			m.mu.Lock()
 			if old := m.ckpts[connID]; old == nil || req.Seq > old.seq {
 				m.ckpts[connID] = &checkpoint{
-					seq: req.Seq, object: req.Object,
+					seq: req.Seq, object: obj,
 					covered: req.Completed, stats: req.Stats,
 				}
 			}
@@ -667,12 +726,18 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 				return fmt.Errorf("cluster: master %s: slave %v completed or returned %d of %d granted jobs",
 					m.cfg.Site, addr, len(granted)-len(outstanding), len(granted))
 			}
-			obj, err := gr.DecodeReduction(m.cfg.App, req.Object)
+			obj, err := takeObject(m.cfg.App, &oc, req)
 			if err != nil {
 				return fmt.Errorf("cluster: master %s: decode slave %v result: %w", m.cfg.Site, addr, err)
 			}
 			if err := c.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
 				return err
+			}
+			if m.plan.streamed {
+				// Availability-driven combine: the object merges now, on
+				// this handler's goroutine (or a merge worker), while
+				// other slaves are still streaming theirs.
+				m.merger.Add(obj)
 			}
 			m.mu.Lock()
 			// The delivered result supersedes any checkpoint: merging
@@ -680,7 +745,10 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 			delete(m.ckpts, connID)
 			m.completed = append(m.completed, completed...)
 			m.progress += len(req.Completed)
-			m.slaveObjs = append(m.slaveObjs, obj)
+			if !m.plan.streamed {
+				m.slaveObjs = append(m.slaveObjs, obj)
+			}
+			m.results++
 			m.slaveStats = append(m.slaveStats, req.Stats)
 			if req.Returned != nil {
 				// Drain result: the partial reduction above stands, and
@@ -692,7 +760,7 @@ func (m *Master) handleSlave(c *wire.Conn) error {
 				m.cfg.Logf("master %s: slave %v drained: %d done, %d returned",
 					m.cfg.Site, addr, len(completed), len(returned))
 			}
-			ready := !m.finished && len(m.slaveObjs) == m.expected+m.adopted && m.failed == nil
+			ready := !m.finished && m.results == m.expected+m.adopted && m.failed == nil
 			if ready {
 				m.finished = true
 			}
@@ -732,20 +800,21 @@ func (m *Master) slaveLost(connID int, granted map[int32]wire.JobAssign) {
 			}
 		}
 		if valid {
-			if obj, err := gr.DecodeReduction(m.cfg.App, ck.object); err == nil {
-				for _, id := range ck.covered {
-					delete(granted, id)
-				}
-				m.completed = append(m.completed, ck.covered...)
-				m.slaveObjs = append(m.slaveObjs, obj)
-				m.slaveStats = append(m.slaveStats, ck.stats)
-				m.adopted++
-				m.faults.CountCheckpointAdopt(len(ck.covered))
-				m.cfg.Logf("master %s: adopted checkpoint seq %d (%d jobs saved from re-execution)",
-					m.cfg.Site, ck.seq, len(ck.covered))
-			} else {
-				m.cfg.Logf("master %s: discarding undecodable checkpoint: %v", m.cfg.Site, err)
+			for _, id := range ck.covered {
+				delete(granted, id)
 			}
+			m.completed = append(m.completed, ck.covered...)
+			if m.plan.streamed {
+				m.merger.Add(ck.object)
+			} else {
+				m.slaveObjs = append(m.slaveObjs, ck.object)
+			}
+			m.results++
+			m.slaveStats = append(m.slaveStats, ck.stats)
+			m.adopted++
+			m.faults.CountCheckpointAdopt(len(ck.covered))
+			m.cfg.Logf("master %s: adopted checkpoint seq %d (%d jobs saved from re-execution)",
+				m.cfg.Site, ck.seq, len(ck.covered))
 		} else {
 			m.cfg.Logf("master %s: discarding checkpoint covering un-granted chunks", m.cfg.Site)
 		}
@@ -758,7 +827,7 @@ func (m *Master) slaveLost(connID int, granted map[int32]wire.JobAssign) {
 	}
 	m.expected--
 	remaining := m.expected
-	results := len(m.slaveObjs)
+	results := m.results
 	m.cfg.Logf("master %s: slave lost, requeued %d jobs, %d slaves remain",
 		m.cfg.Site, len(granted), remaining)
 	m.cond.Broadcast()
@@ -863,37 +932,73 @@ func (m *Master) combineAndReport() (gr.Reduction, error) {
 	m.stageWG.Wait()
 	m.mu.Lock()
 	objs := m.slaveObjs
+	m.slaveObjs = nil
 	stats := m.slaveStats
 	completed := m.completed
 	m.completed = nil
 	progress := m.progress
 	started := m.started
 	m.mu.Unlock()
+	defer m.finalOC.abort(fmt.Errorf("cluster: master %s: head connection closed mid-stream", m.cfg.Site))
 
-	combined, err := gr.MergeAll(m.cfg.App, objs)
+	// The local combine. Under a streamed plan the merger has been
+	// absorbing objects since the first slave finished, so Finish only
+	// pays for whatever merge work the arrivals did not already hide —
+	// the exposed tail. Monolithic mode held every object back and pays
+	// the whole fold here, after the all-slaves barrier.
+	t0 := m.cfg.Clock.Now()
+	for _, o := range objs {
+		if err := m.merger.Add(o); err != nil {
+			return nil, fmt.Errorf("cluster: master %s: combine: %w", m.cfg.Site, err)
+		}
+	}
+	combined, mstats, err := m.merger.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("cluster: master %s: combine: %w", m.cfg.Site, err)
 	}
-	enc, err := gr.EncodeReduction(combined)
-	if err != nil {
-		return nil, err
+	tail := m.cfg.Clock.ToEmu(m.cfg.Clock.Now().Sub(t0))
+	m.faults.AddMerge(mstats.Merges, m.cfg.Clock.ToEmu(mstats.Busy), tail, mstats.MaxParallel)
+
+	msg := &wire.Message{
+		Kind: wire.KindClusterResult, Site: m.cfg.Site,
+		Completed: completed, Progress: progress,
+	}
+	var shipped int64
+	if m.plan.streamed {
+		// Stream the combined object to the head in bounded parts — the
+		// full encoded form is never allocated — then send the terminal
+		// message (Object nil) once the last part is on the wire.
+		ow := wire.NewObjectWriter(m.head, 0)
+		if err := combined.Encode(ow); err != nil {
+			return nil, fmt.Errorf("cluster: master %s: stream result: %w", m.cfg.Site, err)
+		}
+		if err := ow.Close(); err != nil {
+			return nil, fmt.Errorf("cluster: master %s: stream result: %w", m.cfg.Site, err)
+		}
+		m.faults.AddObjectStream(ow.Frames(), ow.Bytes(), int64(combined.Bytes()))
+		shipped = ow.Bytes()
+	} else {
+		enc, err := gr.EncodeReduction(combined)
+		if err != nil {
+			return nil, err
+		}
+		msg.Object = enc
+		shipped = int64(len(enc))
 	}
 
 	var agg wire.Stats
 	for _, s := range stats {
 		agg.Breakdown = agg.Breakdown.Add(s.Breakdown)
 	}
-	// Fold in the master's own stall detections so they reach the run
-	// report alongside the workers' retry counters.
+	// Fold in the master's own stall detections and sync counters so
+	// they reach the run report alongside the workers' counters.
 	agg.Breakdown = agg.Breakdown.Add(m.faults.Snapshot())
 	agg.WallEmu = int64(m.cfg.Clock.ToEmu(m.cfg.Clock.Now().Sub(started)))
+	msg.Stats = agg
 
 	m.cfg.Logf("master %s: local combine done, %d jobs, shipping %d-byte object",
-		m.cfg.Site, agg.Breakdown.JobsProcessed, len(enc))
-	resp, err := m.callHead(&wire.Message{
-		Kind: wire.KindClusterResult, Site: m.cfg.Site,
-		Object: enc, Stats: agg, Completed: completed, Progress: progress,
-	})
+		m.cfg.Site, agg.Breakdown.JobsProcessed, shipped)
+	resp, err := m.callHead(msg)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: master %s: report: %w", m.cfg.Site, err)
 	}
@@ -905,5 +1010,12 @@ func (m *Master) combineAndReport() (gr.Reduction, error) {
 	if err := m.head.Send(&wire.Message{Kind: wire.KindAck}); err != nil {
 		return nil, err
 	}
-	return gr.DecodeReduction(m.cfg.App, resp.Object)
+	if resp.Object != nil {
+		return gr.DecodeReduction(m.cfg.App, resp.Object)
+	}
+	final, _, _, err := m.finalOC.take()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: master %s: decode final: %w", m.cfg.Site, err)
+	}
+	return final, nil
 }

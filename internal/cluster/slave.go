@@ -100,6 +100,11 @@ type SlaveConfig struct {
 	// since it, instead of the slave's whole grant history. Zero
 	// disables checkpointing.
 	CheckpointJobs int
+	// SyncMode selects how results and checkpoints ship upstream: the
+	// streamed modes encode straight into bounded KindObjectPart frames
+	// (no whole-object allocation on the wire path), "monolithic" keeps
+	// the single-frame baseline. Empty picks streamed-parallel.
+	SyncMode string
 	// HeartbeatInterval, when positive, makes each worker heartbeat its
 	// master connection so long retrievals are not mistaken for stalls.
 	HeartbeatInterval time.Duration
@@ -152,6 +157,7 @@ func (c SlaveConfig) withDefaults() SlaveConfig {
 // of landing on the critical path.
 type Slave struct {
 	cfg    SlaveConfig
+	plan   syncPlan    // resolved SyncMode (streamed vs monolithic shipping)
 	budget *byteBudget // caps in-flight prefetched bytes; nil = unlimited
 
 	// tuners holds one AIMD controller per retrieval link (keyed by the
@@ -207,8 +213,13 @@ func NewSlave(cfg SlaveConfig) (*Slave, error) {
 	if cfg.HomeStore == nil {
 		return nil, fmt.Errorf("cluster: slave needs a home store")
 	}
+	plan, err := resolveSyncMode(cfg.SyncMode)
+	if err != nil {
+		return nil, err
+	}
 	s := &Slave{
 		cfg:         cfg,
+		plan:        plan,
 		tuners:      make(map[string]*store.Autotuner),
 		chunkIDs:    make(map[store.ChunkKey]int32),
 		hintWarm:    make(map[int32]int64),
@@ -556,18 +567,77 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	// sequence-numbered push. Failure is harmless — the master just
 	// keeps the previous checkpoint — so errors are swallowed; a dead
 	// connection surfaces at the next request anyway.
+	//
+	// Cadence guard: the encoded object is hashed, and a checkpoint
+	// byte-identical to the previous one is skipped — the master's copy
+	// is already current, so re-shipping it buys nothing. (The skipped
+	// push's extra covered chunks are safe to omit: re-executing a chunk
+	// that contributed nothing reproduces the same reduction.)
+	var lastCkptHash uint64
+	var lastCkptLen int
 	checkpoint := func() {
-		enc, err := gr.EncodeReduction(red)
+		enc, release, err := gr.EncodeReductionTo(red, s.cfg.Pool)
 		if err != nil {
 			return
 		}
+		defer release()
+		h := hashBytes(enc)
+		if ckptSeq > 0 && len(enc) == lastCkptLen && h == lastCkptHash {
+			stats.CountCheckpointSkip()
+			return
+		}
+		lastCkptHash, lastCkptLen = h, len(enc)
 		stats.CountCheckpoint()
 		ckptSeq++
-		_ = conn.Send(&wire.Message{
-			Kind: wire.KindCheckpoint, Seq: ckptSeq, Object: enc,
+		msg := &wire.Message{
+			Kind: wire.KindCheckpoint, Seq: ckptSeq,
 			Completed: append([]int32(nil), covered...),
-			Stats:     wire.Stats{Breakdown: stats.Snapshot()},
-		})
+		}
+		if s.plan.streamed {
+			ow := wire.NewObjectWriter(conn, 0)
+			if _, err := ow.Write(enc); err != nil {
+				return
+			}
+			if err := ow.Close(); err != nil {
+				return
+			}
+			stats.AddObjectStream(ow.Frames(), ow.Bytes(), int64(red.Bytes()))
+		} else {
+			msg.Object = enc
+		}
+		msg.Stats = wire.Stats{Breakdown: stats.Snapshot()}
+		_ = conn.Send(msg)
+	}
+
+	// shipResult encodes and ships this worker's reduction as its
+	// KindSlaveResult (a non-nil Returned marks a drain flush). Under a
+	// streamed plan the object encodes straight into bounded part
+	// frames — the full encoded object is never materialized — and the
+	// terminal message carries no Object. Returns the snapshot shipped.
+	shipResult := func(returned []int32) (metrics.Snapshot, error) {
+		msg := &wire.Message{Kind: wire.KindSlaveResult, Completed: pending, Returned: returned}
+		if s.plan.streamed {
+			ow := wire.NewObjectWriter(conn, 0)
+			if err := red.Encode(ow); err != nil {
+				return zero, err
+			}
+			if err := ow.Close(); err != nil {
+				return zero, err
+			}
+			stats.AddObjectStream(ow.Frames(), ow.Bytes(), int64(red.Bytes()))
+		} else {
+			enc, err := gr.EncodeReduction(red)
+			if err != nil {
+				return zero, err
+			}
+			msg.Object = enc
+		}
+		snap := stats.Snapshot()
+		msg.Stats = wire.Stats{Breakdown: snap}
+		if _, err := call(msg); err != nil {
+			return zero, err
+		}
+		return snap, nil
 	}
 
 	request := func(completed []int32) (*wire.Message, error) {
@@ -780,20 +850,12 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 		}
 		releaseItems(abandoned)
 		cur = nil
-		enc, err := gr.EncodeReduction(red)
-		if err != nil {
-			return zero, err
-		}
 		warmWG.Wait()
 		stats.CountPreemptDrain()
-		snap := stats.Snapshot()
 		// Returned is non-nil even when empty: that is what marks this
 		// result as a drain flush rather than a normal end-of-run one.
-		if _, err := call(&wire.Message{
-			Kind: wire.KindSlaveResult, Object: enc, Completed: pending,
-			Returned: returned,
-			Stats:    wire.Stats{Breakdown: snap},
-		}); err != nil {
+		snap, err := shipResult(returned)
+		if err != nil {
 			return zero, fmt.Errorf("cluster: slave %s: ship preempt drain result: %w", s.cfg.Site, err)
 		}
 		s.flushes.Add(1)
@@ -838,17 +900,9 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 			}
 			releaseItems(cur.items)
 			cur = nil
-			enc, err := gr.EncodeReduction(red)
-			if err != nil {
-				return zero, err
-			}
 			warmWG.Wait()
-			snap := stats.Snapshot()
-			if _, err := call(&wire.Message{
-				Kind: wire.KindSlaveResult, Object: enc, Completed: pending,
-				Returned: returned,
-				Stats:    wire.Stats{Breakdown: snap},
-			}); err != nil {
+			snap, err := shipResult(returned)
+			if err != nil {
 				return zero, fmt.Errorf("cluster: slave %s: ship drain result: %w", s.cfg.Site, err)
 			}
 			s.cfg.Logf("slave %s[%d]: drained (%d completed, %d returned)",
@@ -919,16 +973,9 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 		}
 	}
 
-	enc, err := gr.EncodeReduction(red)
-	if err != nil {
-		return zero, err
-	}
 	warmWG.Wait() // hint warmers write stats; their counters ship too
-	snap := stats.Snapshot()
-	if _, err := call(&wire.Message{
-		Kind: wire.KindSlaveResult, Object: enc, Completed: pending,
-		Stats: wire.Stats{Breakdown: snap},
-	}); err != nil {
+	snap, err := shipResult(nil)
+	if err != nil {
 		return zero, fmt.Errorf("cluster: slave %s: ship result: %w", s.cfg.Site, err)
 	}
 	return snap, nil

@@ -61,6 +61,205 @@ func (s *VectorSum) Decode(r io.Reader) error {
 // Bytes reports the accumulator's approximate size.
 func (s *VectorSum) Bytes() int { return 8 * len(s.V) }
 
+// Vector sharding: the accumulator splits into contiguous index
+// ranges so two same-length vectors can be merged shard-parallel with
+// zero copies. Shard sizing targets ~16K elements (128 KB) per shard —
+// big enough to amortize goroutine dispatch, small enough that large
+// rank vectors expose real parallelism.
+const (
+	vectorShardUnit = 16384
+	vectorShardMax  = 64
+)
+
+// Shards reports how many index-range shards the vector splits into.
+func (s *VectorSum) Shards() int {
+	n := len(s.V) / vectorShardUnit
+	if n < 1 {
+		n = 1
+	}
+	if n > vectorShardMax {
+		n = vectorShardMax
+	}
+	return n
+}
+
+// MergeShard folds shard i of other into shard i of the receiver.
+// Distinct shards touch disjoint index ranges, so calls with distinct
+// i values are safe to run concurrently.
+func (s *VectorSum) MergeShard(i int, other *VectorSum) error {
+	if len(other.V) != len(s.V) {
+		return fmt.Errorf("gr: vector length %d != %d", len(other.V), len(s.V))
+	}
+	shards := s.Shards()
+	if i < 0 || i >= shards {
+		return fmt.Errorf("gr: vector shard %d of %d", i, shards)
+	}
+	lo := i * len(s.V) / shards
+	hi := (i + 1) * len(s.V) / shards
+	for j := lo; j < hi; j++ {
+		s.V[j] += other.V[j]
+	}
+	return nil
+}
+
+// counterShards fixes the hash-partition count of a ShardedCounter.
+// It is part of the encoding (each shard ships separately), so it
+// must not change without a decode migration.
+const counterShards = 16
+
+// ShardedCounter counts occurrences by string key across fixed hash
+// partitions, so two counters merge shard-parallel: distinct shards
+// hold disjoint key sets (same FNV partition function on both sides),
+// which makes concurrent MergeShard calls safe — something a single
+// Go map can never offer.
+type ShardedCounter struct {
+	shards [counterShards]map[string]int64
+}
+
+// NewShardedCounter allocates an empty sharded counter.
+func NewShardedCounter() *ShardedCounter {
+	c := &ShardedCounter{}
+	for i := range c.shards {
+		c.shards[i] = make(map[string]int64)
+	}
+	return c
+}
+
+// counterShardOf maps a key to its shard (FNV-1a).
+func counterShardOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % counterShards)
+}
+
+// Inc adds delta to key's count.
+func (c *ShardedCounter) Inc(key string, delta int64) {
+	c.shards[counterShardOf(key)][key] += delta
+}
+
+// Shards reports the fixed hash-partition count.
+func (c *ShardedCounter) Shards() int { return counterShards }
+
+// Merge folds other's counts into c (all shards).
+func (c *ShardedCounter) Merge(other *ShardedCounter) error {
+	for i := range c.shards {
+		if err := c.MergeShard(i, other); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeShard folds shard i of other into shard i of c. Distinct
+// shards hold disjoint keys, so calls with distinct i values are safe
+// to run concurrently.
+func (c *ShardedCounter) MergeShard(i int, other *ShardedCounter) error {
+	if i < 0 || i >= counterShards {
+		return fmt.Errorf("gr: counter shard %d of %d", i, counterShards)
+	}
+	for k, v := range other.shards[i] {
+		c.shards[i][k] += v
+	}
+	return nil
+}
+
+// Counts materializes the merged key->count map (the Counter-shaped
+// accessor applications and examples read results through).
+func (c *ShardedCounter) Counts() map[string]int64 {
+	n := 0
+	for i := range c.shards {
+		n += len(c.shards[i])
+	}
+	out := make(map[string]int64, n)
+	for i := range c.shards {
+		for k, v := range c.shards[i] {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Len reports the number of distinct keys without materializing.
+func (c *ShardedCounter) Len() int {
+	n := 0
+	for i := range c.shards {
+		n += len(c.shards[i])
+	}
+	return n
+}
+
+// Total sums every count without materializing.
+func (c *ShardedCounter) Total() int64 {
+	var n int64
+	for i := range c.shards {
+		for _, v := range c.shards[i] {
+			n += v
+		}
+	}
+	return n
+}
+
+// Encode gob-encodes the shard slice.
+func (c *ShardedCounter) Encode(w io.Writer) error {
+	shards := make([]map[string]int64, counterShards)
+	for i := range c.shards {
+		shards[i] = c.shards[i]
+	}
+	return gob.NewEncoder(w).Encode(shards)
+}
+
+// Decode restores the shards. Keys are re-hashed on the way in, so a
+// peer with a different (future) shard constant still decodes into
+// the local partitioning.
+func (c *ShardedCounter) Decode(r io.Reader) error {
+	var shards []map[string]int64
+	if err := gob.NewDecoder(r).Decode(&shards); err != nil {
+		return err
+	}
+	for i := range c.shards {
+		c.shards[i] = make(map[string]int64)
+	}
+	for _, m := range shards {
+		for k, v := range m {
+			c.Inc(k, v)
+		}
+	}
+	return nil
+}
+
+// Bytes estimates the counter's size.
+func (c *ShardedCounter) Bytes() int {
+	n := 0
+	for i := range c.shards {
+		for k := range c.shards[i] {
+			n += len(k) + 8
+		}
+	}
+	return n
+}
+
+// Top returns the n highest-count keys, ties broken lexicographically.
+func (c *ShardedCounter) Top(n int) []string {
+	counts := c.Counts()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > n {
+		keys = keys[:n]
+	}
+	return keys
+}
+
 // Counter is a reduction object counting occurrences by string key
 // (keyed aggregation; the generalized-reduction equivalent of a
 // word-count combiner).

@@ -146,20 +146,101 @@ func (e *Engine) ProcessChunk(red Reduction, data []byte) (int, error) {
 	return units, nil
 }
 
-// EncodeReduction serializes red to bytes for transfer.
-func EncodeReduction(red Reduction) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := red.Encode(&buf); err != nil {
-		return nil, err
+// BufferSource provides recycled byte buffers for encoding. It is the
+// same shape as wire.BufferSource, restated here so gr does not depend
+// on the wire layer; *store.BufferPool satisfies both.
+type BufferSource interface {
+	Get(n int64) []byte
+	Put(buf []byte)
+}
+
+// poolWriter is an io.Writer that accumulates into a pooled buffer,
+// growing by doubling through the pool's size classes so the full
+// object is encoded with at most O(log n) buffer swaps and zero
+// garbage on the steady state.
+type poolWriter struct {
+	pool BufferSource
+	buf  []byte
+	n    int
+}
+
+func newPoolWriter(pool BufferSource, sizeHint int) *poolWriter {
+	if sizeHint < 512 {
+		sizeHint = 512
 	}
-	return buf.Bytes(), nil
+	w := &poolWriter{pool: pool}
+	if pool != nil {
+		w.buf = pool.Get(int64(sizeHint))
+	} else {
+		w.buf = make([]byte, sizeHint)
+	}
+	return w
+}
+
+func (w *poolWriter) Write(p []byte) (int, error) {
+	if need := w.n + len(p); need > len(w.buf) {
+		size := len(w.buf) * 2
+		for size < need {
+			size *= 2
+		}
+		var grown []byte
+		if w.pool != nil {
+			grown = w.pool.Get(int64(size))
+		} else {
+			grown = make([]byte, size)
+		}
+		copy(grown, w.buf[:w.n])
+		if w.pool != nil {
+			w.pool.Put(w.buf)
+		}
+		w.buf = grown
+	}
+	copy(w.buf[w.n:], p)
+	w.n += len(p)
+	return len(p), nil
+}
+
+// EncodeReduction serializes red to bytes for transfer. The returned
+// slice is freshly owned by the caller.
+func EncodeReduction(red Reduction) ([]byte, error) {
+	data, _, err := EncodeReductionTo(red, nil)
+	return data, err
+}
+
+// EncodeReductionTo serializes red into a buffer drawn from pool
+// (sized from red.Bytes(), grown by doubling when the estimate runs
+// short). release hands the backing buffer to the pool; the caller
+// must not touch data afterwards. A nil pool allocates and release is
+// a no-op.
+func EncodeReductionTo(red Reduction, pool BufferSource) (data []byte, release func(), err error) {
+	w := newPoolWriter(pool, red.Bytes()+64)
+	if err := red.Encode(w); err != nil {
+		if pool != nil {
+			pool.Put(w.buf)
+		}
+		return nil, nil, err
+	}
+	release = func() {}
+	if pool != nil {
+		buf := w.buf
+		release = func() { pool.Put(buf) }
+	}
+	return w.buf[:w.n], release, nil
 }
 
 // DecodeReduction materializes a fresh reduction object for app from
 // encoded bytes.
 func DecodeReduction(app App, data []byte) (Reduction, error) {
+	return DecodeReductionFrom(app, bytes.NewReader(data))
+}
+
+// DecodeReductionFrom materializes a fresh reduction object for app
+// from an encoded stream — the receiving half of streamed object
+// transfer, where r is bridged from arriving wire parts and decoding
+// overlaps the transfer itself.
+func DecodeReductionFrom(app App, r io.Reader) (Reduction, error) {
 	red := app.NewReduction()
-	if err := red.Decode(bytes.NewReader(data)); err != nil {
+	if err := red.Decode(r); err != nil {
 		return nil, err
 	}
 	return red, nil

@@ -79,6 +79,15 @@ type Breakdown struct {
 	bufferMisses int   // buffer reads that paid a backing fetch
 	bufferBytes  int64 // bytes read through the site buffer tier
 	stagedBytes  int64 // bytes staged into the site buffer ahead of demand
+
+	objectParts     int           // streamed reduction-object frames shipped/received
+	objectBytes     int64         // actual encoded object bytes streamed
+	objectEstBytes  int64         // Reduction.Bytes() estimates for the same objects
+	checkpointSkips int           // checkpoint pushes skipped (object unchanged)
+	merges          int           // reduction merge operations performed
+	mergeBusy       time.Duration // summed merge spans (emu; overlapping under parallel)
+	mergeTail       time.Duration // merge time left exposed after the last arrival (emu)
+	mergeMaxPar     int           // peak concurrent merge workers
 }
 
 // AddProcessing records emulated compute time.
@@ -261,6 +270,39 @@ func (b *Breakdown) AddStaged(bytes int64) {
 	b.mu.Unlock()
 }
 
+// AddObjectStream records one streamed reduction-object transfer:
+// parts frames carrying bytes actual encoded bytes, against the
+// object's est(imated) Reduction.Bytes() at ship time.
+func (b *Breakdown) AddObjectStream(parts int, bytes, est int64) {
+	b.mu.Lock()
+	b.objectParts += parts
+	b.objectBytes += bytes
+	b.objectEstBytes += est
+	b.mu.Unlock()
+}
+
+// CountCheckpointSkip records one checkpoint push elided because the
+// encoded object was byte-identical to the previously acked one.
+func (b *Breakdown) CountCheckpointSkip() {
+	b.mu.Lock()
+	b.checkpointSkips++
+	b.mu.Unlock()
+}
+
+// AddMerge folds merge activity in: merges pairwise merge operations,
+// busy the summed merge spans, tail the merge work left exposed after
+// the last input arrived, and maxPar the peak concurrent mergers.
+func (b *Breakdown) AddMerge(merges int, busy, tail time.Duration, maxPar int) {
+	b.mu.Lock()
+	b.merges += merges
+	b.mergeBusy += busy
+	b.mergeTail += tail
+	if maxPar > b.mergeMaxPar {
+		b.mergeMaxPar = maxPar
+	}
+	b.mu.Unlock()
+}
+
 // AddPool folds buffer-pool counters (gets and allocation misses) in.
 func (b *Breakdown) AddPool(gets, misses int64) {
 	b.mu.Lock()
@@ -329,6 +371,16 @@ func (b *Breakdown) AddSnapshot(s Snapshot) {
 	b.bufferMisses += s.BufferMisses
 	b.bufferBytes += s.BufferBytes
 	b.stagedBytes += s.StagedBytes
+	b.objectParts += s.ObjectParts
+	b.objectBytes += s.ObjectBytes
+	b.objectEstBytes += s.ObjectEstBytes
+	b.checkpointSkips += s.CheckpointSkips
+	b.merges += s.Merges
+	b.mergeBusy += s.MergeBusyEmu
+	b.mergeTail += s.MergeTailEmu
+	if s.MergeMaxPar > b.mergeMaxPar {
+		b.mergeMaxPar = s.MergeMaxPar
+	}
 	b.mu.Unlock()
 }
 
@@ -376,6 +428,15 @@ func (b *Breakdown) Snapshot() Snapshot {
 		BufferMisses: b.bufferMisses,
 		BufferBytes:  b.bufferBytes,
 		StagedBytes:  b.stagedBytes,
+
+		ObjectParts:     b.objectParts,
+		ObjectBytes:     b.objectBytes,
+		ObjectEstBytes:  b.objectEstBytes,
+		CheckpointSkips: b.checkpointSkips,
+		Merges:          b.merges,
+		MergeBusyEmu:    b.mergeBusy,
+		MergeTailEmu:    b.mergeTail,
+		MergeMaxPar:     b.mergeMaxPar,
 	}
 }
 
@@ -426,6 +487,15 @@ type Snapshot struct {
 	BufferMisses int
 	BufferBytes  int64
 	StagedBytes  int64
+
+	ObjectParts     int           // streamed object frames shipped/received
+	ObjectBytes     int64         // actual encoded object bytes streamed
+	ObjectEstBytes  int64         // Reduction.Bytes() estimates for the same objects
+	CheckpointSkips int           // checkpoint pushes elided (object unchanged)
+	Merges          int           // pairwise reduction merges performed
+	MergeBusyEmu    time.Duration // summed merge spans (overlapping under parallel)
+	MergeTailEmu    time.Duration // merge work exposed after the last arrival
+	MergeMaxPar     int           // peak concurrent mergers (max-folded, not summed)
 }
 
 // Total returns the summed time components.
@@ -473,7 +543,23 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		BufferMisses: s.BufferMisses + o.BufferMisses,
 		BufferBytes:  s.BufferBytes + o.BufferBytes,
 		StagedBytes:  s.StagedBytes + o.StagedBytes,
+
+		ObjectParts:     s.ObjectParts + o.ObjectParts,
+		ObjectBytes:     s.ObjectBytes + o.ObjectBytes,
+		ObjectEstBytes:  s.ObjectEstBytes + o.ObjectEstBytes,
+		CheckpointSkips: s.CheckpointSkips + o.CheckpointSkips,
+		Merges:          s.Merges + o.Merges,
+		MergeBusyEmu:    s.MergeBusyEmu + o.MergeBusyEmu,
+		MergeTailEmu:    s.MergeTailEmu + o.MergeTailEmu,
+		MergeMaxPar:     maxInt(s.MergeMaxPar, o.MergeMaxPar),
 	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // DivideTimes returns a snapshot whose time components are divided by
@@ -646,12 +732,35 @@ type PreemptionReport struct {
 	JobsRecovered      int // jobs checkpoint adoption saved from re-execution
 	JobsAbandoned      int // in-flight jobs drains abandoned for lack of time
 	JobsRequeued       int // granted jobs requeued for re-execution
+	CheckpointSkips    int // checkpoint pushes elided (object unchanged)
 }
 
 // Any reports whether any preemption activity was recorded.
 func (p PreemptionReport) Any() bool {
 	return p.Revocations > 0 || p.PreemptWarns > 0 || p.CheckpointsSent > 0 ||
 		p.JobsRequeued > 0 || p.JobsAbandoned > 0
+}
+
+// SyncReport summarizes the global-reduction synchronization phase:
+// how reduction objects moved (streamed parts vs. monolithic frames)
+// and how merge work overlapped with their arrival.
+type SyncReport struct {
+	Mode          string // sync mode the run used (monolithic, streamed, ...)
+	Parts         int    // streamed object frames across all hops
+	StreamedBytes int64  // actual encoded object bytes streamed
+	EstBytes      int64  // Reduction.Bytes() estimates for the same objects
+
+	Merges          int           // pairwise reduction merges performed
+	MergeBusyEmu    time.Duration // summed merge spans (overlapping under parallel)
+	MergeTailEmu    time.Duration // merge work exposed after the last arrival
+	OverlapSavedEmu time.Duration // merge time hidden behind transfer (busy - tail)
+	MaxParallel     int           // peak concurrent mergers observed
+	CheckpointSkips int           // checkpoint pushes elided as unchanged
+}
+
+// Any reports whether any sync activity was recorded.
+func (s SyncReport) Any() bool {
+	return s.Parts > 0 || s.StreamedBytes > 0 || s.Merges > 0 || s.CheckpointSkips > 0
 }
 
 // RunReport is the whole-run summary the harness renders tables from.
@@ -664,6 +773,7 @@ type RunReport struct {
 	FinalResult string            // application-rendered result digest
 	Faults      FaultReport       // fault-injection and recovery counters
 	Retrieval   RetrievalReport   // cache / prefetch / buffer-pool counters
+	Sync        *SyncReport       // global-reduction transfer/merge summary (nil if none)
 	Elastic     *ElasticReport    // scaling controller summary (nil if static)
 	Preemption  *PreemptionReport // spot-revocation summary (nil if none)
 }

@@ -92,7 +92,7 @@ type BufferSource interface {
 }
 
 // Presence bits, one per Message field, in encode order. Done, Drain,
-// and Hit are carried by their bit alone.
+// Hit, and Last are carried by their bit alone.
 const (
 	bitSite = 1 << iota
 	bitCores
@@ -118,6 +118,7 @@ const (
 	bitFiles
 	bitErr
 	bitHit
+	bitLast
 
 	bitAll = 1<<iota - 1
 )
@@ -301,6 +302,9 @@ func presenceOf(m *Message) uint64 {
 	}
 	if m.Hit {
 		p |= bitHit
+	}
+	if m.Last {
+		p |= bitLast
 	}
 	return p
 }
@@ -784,6 +788,7 @@ func decodeBinary(body []byte, pool BufferSource) (*Message, error) {
 		}
 	}
 	m.Hit = p&bitHit != 0
+	m.Last = p&bitLast != 0
 	if len(d.buf) != 0 {
 		return nil, errCorrupt
 	}

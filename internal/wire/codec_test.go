@@ -52,6 +52,7 @@ func fullMessage() *Message {
 		Files:           []string{"data-00.bin", "data-01.bin"},
 		Err:             "remote: example failure",
 		Hit:             true,
+		Last:            true,
 	}
 }
 
@@ -112,6 +113,7 @@ var presenceCases = map[string]func(*Message){
 	"Files":           func(m *Message) { m.Files = []string{} },
 	"Err":             func(m *Message) { m.Err = "boom" },
 	"Hit":             func(m *Message) { m.Hit = true },
+	"Last":            func(m *Message) { m.Last = true },
 }
 
 // TestCodecRoundTripPresenceBits covers each presence bit in
@@ -119,8 +121,8 @@ var presenceCases = map[string]func(*Message){
 // codecs. The single-field cases use empty non-nil slices where
 // protocol semantics ride on the distinction.
 func TestCodecRoundTripPresenceBits(t *testing.T) {
-	if want := len(presenceCases); want != 24 {
-		t.Fatalf("presence table covers %d fields, want 24 (update with the Message struct)", want)
+	if want := len(presenceCases); want != 25 {
+		t.Fatalf("presence table covers %d fields, want 25 (update with the Message struct)", want)
 	}
 	for _, codec := range []Codec{CodecBinary, CodecGob} {
 		for name, set := range presenceCases {

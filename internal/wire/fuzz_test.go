@@ -18,6 +18,10 @@ func FuzzDecode(f *testing.F) {
 		{Kind: KindRequestJob, Resident: []int32{}, HintWasteChunks: 3},
 		{Kind: KindSlaveResult, Returned: []int32{1, 2}, Object: []byte{9}},
 		{Kind: KindListResp, Files: []string{"a.bin", "b.bin"}},
+		// Streamed object transfer: a mid-stream part and an empty
+		// terminal part (how zero-length objects end their streams).
+		{Kind: KindObjectPart, Seq: 1, Off: 0, Data: []byte("first part bytes")},
+		{Kind: KindObjectPart, Seq: 3, Off: 2 << 20, Last: true},
 	}
 	for _, m := range seeds {
 		for _, codec := range []Codec{CodecBinary, CodecGob} {

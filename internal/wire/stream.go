@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// DefaultPartSize is the frame budget for streamed object transfer:
+// large enough to amortize framing, small enough that a part buffer
+// always comes from the BufferPool's size classes and a ~300 MB
+// object never forces a single giant allocation on either side.
+const DefaultPartSize = 1 << 20
+
+// ObjectWriter streams an encoded reduction object over a connection
+// as bounded KindObjectPart frames. It is an io.WriteCloser: the
+// object's Encode writes into it directly, each filled part ships as
+// one frame (drawn from the connection's pool), and Close flushes the
+// final part with Last set — possibly empty, which is how zero-length
+// objects terminate. The parts are one-way pushes; the caller sends
+// its terminal request (KindSlaveResult, KindClusterResult,
+// KindCheckpoint, KindFinal) after Close, with a nil Object.
+//
+// An ObjectWriter is single-goroutine; concurrent senders on the same
+// connection are already serialized by Conn.Send's write mutex, so
+// heartbeats interleave between parts without tearing frames.
+type ObjectWriter struct {
+	c      *Conn
+	buf    []byte
+	n      int
+	seq    int
+	off    int64
+	closed bool
+}
+
+// NewObjectWriter starts a part stream on c. partSize <= 0 picks
+// DefaultPartSize.
+func NewObjectWriter(c *Conn, partSize int) *ObjectWriter {
+	if partSize <= 0 {
+		partSize = DefaultPartSize
+	}
+	var buf []byte
+	if p := c.bufferPool(); p != nil {
+		buf = p.Get(int64(partSize))
+	} else {
+		buf = make([]byte, partSize)
+	}
+	return &ObjectWriter{c: c, buf: buf}
+}
+
+// Write implements io.Writer, shipping a part each time the buffer
+// fills.
+func (w *ObjectWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("wire: write on closed object stream")
+	}
+	total := 0
+	for len(p) > 0 {
+		if w.n == len(w.buf) {
+			if err := w.flush(false); err != nil {
+				return total, err
+			}
+		}
+		n := copy(w.buf[w.n:], p)
+		w.n += n
+		p = p[n:]
+		total += n
+	}
+	return total, nil
+}
+
+// flush ships the buffered bytes as one KindObjectPart frame. Seq is
+// 1-based; Off is the cumulative byte offset of this part's first
+// byte.
+func (w *ObjectWriter) flush(last bool) error {
+	w.seq++
+	m := &Message{Kind: KindObjectPart, Seq: w.seq, Off: w.off, Data: w.buf[:w.n], Last: last}
+	w.off += int64(w.n)
+	w.n = 0
+	return w.c.Send(m)
+}
+
+// Close flushes the final (Last) part and recycles the part buffer.
+// It must be called exactly once, before the terminal message.
+func (w *ObjectWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.flush(true)
+	if p := w.c.bufferPool(); p != nil {
+		p.Put(w.buf)
+	}
+	w.buf = nil
+	return err
+}
+
+// Frames reports how many parts were shipped so far.
+func (w *ObjectWriter) Frames() int { return w.seq }
+
+// Bytes reports the total object bytes shipped so far.
+func (w *ObjectWriter) Bytes() int64 { return w.off }
+
+// ObjectStream is the receiving half: it bridges arriving
+// KindObjectPart messages into an io.Reader so a decoder can consume
+// the object incrementally, overlapping decode with the transfer
+// still in flight. Feed runs on the connection's receive loop; the
+// decoder reads from Reader() on its own goroutine. The bridge is an
+// in-memory pipe, so a slow decoder backpressures the feeder (and,
+// through TCP, the sender) instead of buffering the whole object.
+type ObjectStream struct {
+	pr *io.PipeReader
+	pw *io.PipeWriter
+
+	nextSeq int
+	off     int64
+	frames  int
+}
+
+// NewObjectStream opens an empty stream awaiting its first part.
+func NewObjectStream() *ObjectStream {
+	pr, pw := io.Pipe()
+	return &ObjectStream{pr: pr, pw: pw, nextSeq: 1}
+}
+
+// Reader returns the decode side of the bridge. Reads block until
+// Feed delivers bytes; EOF surfaces after the Last part, and an Abort
+// (or out-of-order part) surfaces as that error.
+func (s *ObjectStream) Reader() io.Reader { return s.pr }
+
+// Feed consumes one KindObjectPart. It returns done=true once the
+// Last part has been delivered (the reader will see EOF after
+// draining). Out-of-order or misaligned parts poison the stream: the
+// reader fails with the returned error.
+func (s *ObjectStream) Feed(m *Message) (done bool, err error) {
+	if m.Kind != KindObjectPart {
+		return false, fmt.Errorf("wire: fed %v into object stream", m.Kind)
+	}
+	if m.Seq != s.nextSeq || m.Off != s.off {
+		err := fmt.Errorf("wire: object part out of order: seq=%d off=%d, want seq=%d off=%d",
+			m.Seq, m.Off, s.nextSeq, s.off)
+		s.pw.CloseWithError(err)
+		return false, err
+	}
+	s.nextSeq++
+	s.frames++
+	if len(m.Data) > 0 {
+		if _, werr := s.pw.Write(m.Data); werr != nil {
+			// The decode side closed early (decode error); surface it so
+			// the feeder stops pushing into a dead pipe.
+			return false, werr
+		}
+		s.off += int64(len(m.Data))
+	}
+	if m.Last {
+		s.pw.Close()
+		return true, nil
+	}
+	return false, nil
+}
+
+// Abort poisons both ends of the bridge: pending and future reads and
+// feeds fail with err.
+func (s *ObjectStream) Abort(err error) {
+	s.pw.CloseWithError(err)
+	s.pr.CloseWithError(err)
+}
+
+// Frames reports how many parts were fed so far.
+func (s *ObjectStream) Frames() int { return s.frames }
+
+// Bytes reports the total object bytes fed so far.
+func (s *ObjectStream) Bytes() int64 { return s.off }

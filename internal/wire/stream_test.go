@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+// recordingPool is a BufferSource that tracks the largest single
+// buffer ever requested — the witness that streamed transfer never
+// materializes a full-object allocation on either side.
+type recordingPool struct {
+	mu     sync.Mutex
+	maxGet int64
+}
+
+func (p *recordingPool) Get(n int64) []byte {
+	p.mu.Lock()
+	if n > p.maxGet {
+		p.maxGet = n
+	}
+	p.mu.Unlock()
+	return make([]byte, n)
+}
+
+func (p *recordingPool) Put([]byte) {}
+
+func (p *recordingPool) Max() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.maxGet
+}
+
+// streamObject ships payload from a to b as KindObjectPart frames and
+// returns the reassembled bytes plus the writer's and stream's frame
+// counts.
+func streamObject(t *testing.T, a, b *Conn, payload []byte, partSize int) ([]byte, int, int) {
+	t.Helper()
+
+	var (
+		wErr   error
+		frames int
+		wg     sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := NewObjectWriter(a, partSize)
+		if _, err := w.Write(payload); err != nil {
+			wErr = err
+			return
+		}
+		wErr = w.Close()
+		frames = w.Frames()
+	}()
+
+	s := NewObjectStream()
+	var (
+		got     []byte
+		readErr error
+		rg      sync.WaitGroup
+	)
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		got, readErr = io.ReadAll(s.Reader())
+	}()
+	for {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		done, err := s.Feed(m)
+		if err != nil {
+			t.Fatalf("feed: %v", err)
+		}
+		if m.Data != nil {
+			b.Recycle(m.Data)
+		}
+		if done {
+			break
+		}
+	}
+	rg.Wait()
+	wg.Wait()
+	if wErr != nil {
+		t.Fatalf("writer: %v", wErr)
+	}
+	if readErr != nil {
+		t.Fatalf("reader: %v", readErr)
+	}
+	return got, frames, s.Frames()
+}
+
+func TestObjectStreamRoundTrip(t *testing.T) {
+	a, b := connPair(t)
+	payload := make([]byte, 3*DefaultPartSize+DefaultPartSize/2)
+	for i := range payload {
+		payload[i] = byte(i * 2654435761)
+	}
+	got, wFrames, rFrames := streamObject(t, a, b, payload, 0)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: %d bytes in, %d out", len(payload), len(got))
+	}
+	// 3 full parts + 1 partial Last part.
+	if wFrames != 4 || rFrames != 4 {
+		t.Fatalf("frames: wrote %d, fed %d, want 4", wFrames, rFrames)
+	}
+}
+
+func TestObjectStreamEmptyObject(t *testing.T) {
+	a, b := connPair(t)
+	got, wFrames, _ := streamObject(t, a, b, nil, 0)
+	if len(got) != 0 {
+		t.Fatalf("empty object produced %d bytes", len(got))
+	}
+	// Zero-length objects still terminate with one empty Last part.
+	if wFrames != 1 {
+		t.Fatalf("frames: %d, want 1", wFrames)
+	}
+}
+
+// TestObjectStreamBoundedBuffers is the no-full-allocation guarantee:
+// a multi-part object crosses the wire without either side ever
+// requesting a buffer anywhere near the full object size — every
+// allocation on the streaming path is bounded by the part budget.
+func TestObjectStreamBoundedBuffers(t *testing.T) {
+	a, b := connPair(t)
+	pool := &recordingPool{}
+	a.SetBufferPool(pool)
+	b.SetBufferPool(pool)
+
+	payload := make([]byte, 5*DefaultPartSize)
+	for i := range payload {
+		payload[i] = byte(i >> 3)
+	}
+	got, _, _ := streamObject(t, a, b, payload, 0)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted")
+	}
+	// The largest request may exceed one part by framing overhead, but
+	// must stay far below the full object.
+	if max := pool.Max(); max >= 2*DefaultPartSize {
+		t.Fatalf("streaming path requested a %d-byte buffer for a %d-byte object (want < %d)",
+			max, len(payload), 2*DefaultPartSize)
+	}
+}
+
+func TestObjectStreamOutOfOrderPoisons(t *testing.T) {
+	s := NewObjectStream()
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := io.ReadAll(s.Reader())
+		readErr <- err
+	}()
+	if _, err := s.Feed(&Message{Kind: KindObjectPart, Seq: 1, Off: 0, Data: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	// Skip seq 2: the stream must reject the gap and poison the reader.
+	if _, err := s.Feed(&Message{Kind: KindObjectPart, Seq: 3, Off: 2, Data: []byte("xx")}); err == nil {
+		t.Fatal("out-of-order part accepted")
+	}
+	if err := <-readErr; err == nil {
+		t.Fatal("reader survived a poisoned stream")
+	}
+}

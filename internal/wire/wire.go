@@ -97,6 +97,20 @@ const (
 	// on their behalf.
 	KindStage     // client->server: File, Off, Len
 	KindStageResp // server->client: Len = bytes staged (or Err)
+
+	// Streamed object transfer. A reduction object too large to ship as
+	// one frame travels as a run of KindObjectPart pushes — bounded
+	// frames (~1 MiB, drawn from the connection's BufferPool) carrying
+	// Seq (1-based part number), Off (cumulative bytes before this
+	// part), Data, and Last on the final part — followed by the normal
+	// terminal message (KindSlaveResult / KindClusterResult /
+	// KindCheckpoint / KindFinal) with a nil Object. Parts are one-way,
+	// absorbed like heartbeats by anything mid-request; the receiver
+	// bridges them into an io.Reader (ObjectStream) and decodes the
+	// object incrementally while later parts are still in flight, so a
+	// ~300 MB pagerank object never needs a single 300 MB allocation or
+	// frame on either side.
+	KindObjectPart // Seq, Off, Data, Last (one-way)
 )
 
 var kindNames = map[Kind]string{
@@ -111,6 +125,7 @@ var kindNames = map[Kind]string{
 	KindJoin: "join", KindDrain: "drain", KindScale: "scale",
 	KindPreemptWarn: "preempt-warn", KindCheckpoint: "checkpoint",
 	KindStage: "stage", KindStageResp: "stage-resp",
+	KindObjectPart: "object-part",
 }
 
 func (k Kind) String() string {
@@ -237,6 +252,12 @@ type Message struct {
 	// resident cache rather than by fetching from the backing store;
 	// clients use it for per-tier retrieval accounting.
 	Hit bool
+
+	// Last marks the final KindObjectPart of a streamed object. Seq and
+	// Off (shared with the checkpoint/store fields above) order and
+	// position the parts; an empty-Data Last part is legal and
+	// terminates a zero-length object.
+	Last bool
 }
 
 // MaxFrame bounds a single frame; larger frames indicate corruption.

@@ -28,6 +28,12 @@
 #     pagerank power iterations, all data in S3; digest-checked, with
 #     the staged variant's wall-clock and S3-egress win enforced on
 #     the multi-iteration run) -> BENCH_buffer.json
+#   - `cbbench -experiment sync` (global-reduction sync ablation:
+#     monolithic single-frame baseline vs streamed part frames with
+#     serial / parallel / shard-level merging, on the large-rank-vector
+#     pagerank in env-cloud; digest-checked, with the streamed-parallel
+#     and streamed-sharded wall-clock wins and merge concurrency
+#     enforced) -> BENCH_sync.json
 #
 # Usage:
 #   scripts/bench.sh                # default: -records-divisor 10
@@ -44,7 +50,12 @@ ELASTIC_OUT="${ELASTIC_OUT:-BENCH_elastic.json}"
 SPOT_OUT="${SPOT_OUT:-BENCH_spot.json}"
 WIRE_OUT="${WIRE_OUT:-BENCH_wire.json}"
 BUFFER_OUT="${BUFFER_OUT:-BENCH_buffer.json}"
+SYNC_OUT="${SYNC_OUT:-BENCH_sync.json}"
 BENCHTIME="${BENCHTIME:-1s}"
+# The sync ablation needs pages >= 2 shard units for shard-level merge
+# parallelism to engage, which caps its divisor at 9 (see
+# internal/gr/combiners.go); it runs one notch below the default.
+SYNC_DIVISOR="${SYNC_DIVISOR:-8}"
 
 go run ./cmd/cbbench -experiment overlap \
 	-records-divisor "$DIVISOR" \
@@ -77,3 +88,8 @@ go run ./cmd/cbbench -experiment buffer \
 	-overlap-iters "$ITERS" \
 	-check-win \
 	-json "$BUFFER_OUT"
+
+go run ./cmd/cbbench -experiment sync \
+	-records-divisor "$SYNC_DIVISOR" \
+	-check-win \
+	-json "$SYNC_OUT"

@@ -10,11 +10,12 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/cluster/ ./internal/store/ ./internal/chunk/ ./internal/driver/ ./internal/elastic/
+go test -race ./internal/cluster/ ./internal/store/ ./internal/chunk/ ./internal/driver/ ./internal/elastic/ ./internal/gr/
 # Dynamic membership (mid-run joins, drain-vs-steal races, elastic
-# end-to-end) is the most race-prone surface: run it twice under the
-# race detector so a lucky interleaving can't hide a regression.
-go test -race -count=2 -run 'Join|Drain|Elastic|Spot|Preempt|Checkpoint|Revocation|Buffer' ./internal/cluster/
+# end-to-end) is the most race-prone surface, and streamed sync adds
+# concurrent merges fed from connection handlers: run both twice under
+# the race detector so a lucky interleaving can't hide a regression.
+go test -race -count=2 -run 'Join|Drain|Elastic|Spot|Preempt|Checkpoint|Revocation|Buffer|Merge|Sync' ./internal/cluster/ ./internal/gr/
 # The wire codec owns every byte on every connection: fuzz the decoder
 # briefly (corrupt frames must error, never panic) and run the codec
 # microbench as a correctness smoke (both codecs, round trips checked,
@@ -40,4 +41,9 @@ go run ./cmd/cbbench -experiment spot -records-divisor 100 -scale 0.0001 >/dev/n
 # wall-clock/egress win is asserted by scripts/bench.sh at real scale,
 # where emulated S3 latency dominates loopback noise.
 go run ./cmd/cbbench -experiment buffer -records-divisor 100 -scale 0.0001 >/dev/null
+# Sync ablation at smoke scale: validates digest invariance across
+# monolithic and the three streamed merge strategies (transport and
+# merge scheduling must never change results); the wall-clock win and
+# merge concurrency are asserted by scripts/bench.sh at real scale.
+go run ./cmd/cbbench -experiment sync -records-divisor 100 -scale 0.0001 >/dev/null
 echo "verify: ok"
