@@ -36,6 +36,7 @@
 package cloudburst
 
 import (
+	"cloudburst/internal/advisor"
 	"cloudburst/internal/chunk"
 	"cloudburst/internal/cluster"
 	"cloudburst/internal/driver"
@@ -215,6 +216,39 @@ type (
 // NewElasticController builds a scaling controller; the cluster layer
 // calls this itself when DeployConfig.Elastic is set.
 func NewElasticController(cfg ElasticConfig) *ElasticController { return elastic.New(cfg) }
+
+// History-driven burst advisor: persisted run records and plan scoring.
+type (
+	// BurstAdvisorStore is the append-only JSONL database of run
+	// records the advisor plans from.
+	BurstAdvisorStore = advisor.Store
+	// BurstRecord is one completed run's compact history entry.
+	BurstRecord = advisor.Record
+	// BurstRequest describes the upcoming run (app, link class, data
+	// size, deadline, budget) a plan is scored for.
+	BurstRequest = advisor.Request
+	// BurstPlan is the advisor's recommendation; its CloudCores seeds
+	// ElasticConfig.SeedWorkers to warm-start the controller.
+	BurstPlan = advisor.Plan
+	// BurstExtractOptions carries run context into RecordRun.
+	BurstExtractOptions = advisor.ExtractOptions
+)
+
+// OpenBurstHistory opens (creating if needed) the run-history database
+// in dir.
+func OpenBurstHistory(dir string) (*BurstAdvisorStore, error) { return advisor.Open(dir) }
+
+// AdviseBurst scores the request against matched history and returns a
+// burst plan with rationale.
+func AdviseBurst(history []BurstRecord, req BurstRequest) BurstPlan {
+	return advisor.Advise(history, req)
+}
+
+// RecordRun projects a completed run's report into a history record
+// (append it to a BurstAdvisorStore to close the feedback loop).
+func RecordRun(rep *RunReport, opt BurstExtractOptions) (*BurstRecord, error) {
+	return advisor.FromReport(rep, opt)
+}
 
 // Spot preemption tolerance.
 type (

@@ -1,0 +1,121 @@
+// Command cbadvise scores a burst plan from the run-history database
+// without running anything: it loads the records cbhead (or cbbench)
+// persisted under -history-dir, matches runs of the same application
+// and link class, and prints the advisor's recommendation — burst or
+// not, how many cloud cores, expected wall time and dollar cost, with
+// a confidence grade and the derivation.
+//
+//	cbadvise -history-dir ./history -app knn -env env-50/50 \
+//	         -deadline 90s -budget 2.50
+//	cbadvise -history-dir ./history -list
+//	cbadvise -history-dir ./history -compact 16
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cloudburst/internal/advisor"
+	"cloudburst/internal/cli"
+)
+
+func main() {
+	var (
+		historyDir = flag.String("history-dir", ".cloudburst-history", "run-history database directory")
+		appName    = flag.String("app", "", "application name to plan for")
+		env        = flag.String("env", "", "link class to match (as recorded, e.g. env-50/50)")
+		dataBytes  = flag.Int64("data-bytes", 0, "input size of the upcoming run (0 = same as history)")
+		indexPath  = flag.String("index", "", "derive -data-bytes from this index file instead")
+		deadline   = flag.Duration("deadline", 0, "deadline of the upcoming run (0 plans without one)")
+		budget     = flag.Float64("budget", 0, "USD cap on the plan's expected cost (0 = uncapped)")
+		maxCloud   = flag.Int("max-cloud", 16, "largest cloud fleet to recommend")
+		boot       = flag.Duration("boot", 60*time.Second, "instance boot latency assumed for new capacity")
+		instRate   = flag.Float64("instance-rate", 0.17, "USD per worker-hour")
+		egrRate    = flag.Float64("egress-rate", 0.12, "USD per GiB crossing sites")
+		jsonOut    = flag.Bool("json", false, "print the plan as JSON")
+		list       = flag.Bool("list", false, "list the history records and exit")
+		compactTo  = flag.Int("compact", 0, "keep only the newest N records per (app, env) and exit")
+	)
+	flag.Parse()
+
+	st, err := advisor.Open(*historyDir)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compactTo > 0 {
+		if err := st.Compact(*compactTo); err != nil {
+			fatal(err)
+		}
+		recs, err := st.Load()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cbadvise: compacted %s to %d record(s)\n", st.Dir(), len(recs))
+		return
+	}
+	if *list {
+		recs, err := st.Load()
+		if err != nil {
+			fatal(err)
+		}
+		if len(recs) == 0 {
+			fmt.Printf("cbadvise: no history in %s\n", st.Dir())
+			return
+		}
+		fmt.Printf("  %4s %-10s %-12s %10s %6s %8s %6s %9s %9s\n",
+			"seq", "app", "env", "data", "jobs", "wall", "peak", "cost $", "wallerr%")
+		for _, r := range recs {
+			errPct := "-"
+			if r.PredictedWallSecs > 0 {
+				errPct = fmt.Sprintf("%+.1f", r.WallErrPct)
+			}
+			fmt.Printf("  %4d %-10s %-12s %10d %6d %8.1f %6d %9.4f %9s\n",
+				r.Seq, r.App, r.Env, r.DataBytes, r.Jobs, r.WallSecs,
+				r.PeakCloud, r.CostUSD, errPct)
+		}
+		return
+	}
+
+	if *appName == "" {
+		fatal(fmt.Errorf("-app is required (or use -list / -compact)"))
+	}
+	size := *dataBytes
+	if *indexPath != "" {
+		idx, err := cli.ReadIndexFile(*indexPath)
+		if err != nil {
+			fatal(err)
+		}
+		size = 0
+		for _, f := range idx.Files {
+			size += f.Size
+		}
+	}
+
+	history, err := st.Load()
+	if err != nil {
+		fatal(err)
+	}
+	plan := advisor.Advise(history, advisor.Request{
+		App: *appName, Env: *env, DataBytes: size,
+		Deadline: *deadline, BudgetUSD: *budget, MaxCloud: *maxCloud,
+		BootLatency: *boot, InstanceRate: *instRate, EgressRate: *egrRate,
+	})
+	if *jsonOut {
+		out, err := json.MarshalIndent(plan, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Println(plan.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cbadvise:", err)
+	os.Exit(1)
+}

@@ -29,14 +29,15 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune, elastic, spot, wire, buffer, sync")
+			"one of: all, fig1, fig3a, fig3b, fig3c, fig3, table1, table2, fig4a, fig4b, fig4c, fig4, summary, ablation, cost, chaos, overlap, autotune, elastic, advisor, spot, wire, buffer, sync")
 		scale   = flag.Float64("scale", 0, "clock scale override (wall s per emulated s)")
 		divisor = flag.Int64("records-divisor", 1, "shrink data sets (and jobs) by this factor")
 		verbose = flag.Bool("v", false, "log cluster progress")
 
 		overlapIters = flag.Int("overlap-iters", 3, "overlap/buffer: pagerank power iterations")
-		jsonPath     = flag.String("json", "", "overlap/autotune/elastic/spot/wire/buffer/sync: also write results as JSON to this file")
-		checkWin     = flag.Bool("check-win", false, "autotune/elastic/spot/wire/buffer/sync: fail unless the acceptance criteria are met")
+		jsonPath     = flag.String("json", "", "overlap/autotune/elastic/advisor/spot/wire/buffer/sync: also write results as JSON to this file")
+		checkWin     = flag.Bool("check-win", false, "autotune/elastic/advisor/spot/wire/buffer/sync: fail unless the acceptance criteria are met")
+		historyDir   = flag.String("history-dir", "", "advisor: burst-history database directory (empty = throwaway temp dir)")
 		benchtime    = flag.Duration("benchtime", time.Second, "wire: microbench duration per (scenario, codec) cell")
 
 		faultSeed      = flag.Int64("fault-seed", 42, "chaos: fault plan seed")
@@ -274,6 +275,73 @@ func main() {
 			fmt.Printf("elastic win check: local-only %.1fs misses, elastic %.1fs at $%.4f beats static-over %.1fs at $%.4f, drain variant sheds %d ✓\n",
 				local.Seconds(), el.Seconds(), el.TotalUSD,
 				static.Seconds(), static.TotalUSD, drain.Drains)
+		}
+	}
+
+	runAdvisor := func() {
+		scaleUp := 10_000.0 / float64(maxI64(*divisor, 1))
+		res, err := bench.AdvisorSweep(specs["a"], sim, scaleUp, *historyDir, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderAdvisor("knn, history-warmed vs cold-start elastic", res))
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("advisor results written to %s\n", *jsonPath)
+		}
+		if !res.Match {
+			fatal(fmt.Errorf("advisor runs diverged from the cold-start result"))
+		}
+		if *checkWin {
+			cold := res.Row("cold")
+			warm := res.Row("warm")
+			warm2 := res.Row("warm-2")
+			if cold == nil || warm == nil || warm2 == nil {
+				fatal(fmt.Errorf("advisor sequence is missing rows"))
+			}
+			if cold.RampEvents == 0 {
+				fatal(fmt.Errorf("cold run needed no reactive ramp — the deadline is not binding"))
+			}
+			if !res.Plan.Burst || res.Plan.CloudCores <= 0 {
+				fatal(fmt.Errorf("advisor did not recommend a burst from the cold run's history: %s", res.Plan))
+			}
+			// The warm start's claim is the ramp replacement, so ramp
+			// events are strict for every warm run. Wall clock is owned
+			// by the live controller after the seed, whose late-run
+			// drain/re-ramp hysteresis is timing noise at bench scale:
+			// require the best warm run to beat cold outright and bound
+			// the rest at 1.10x so a real regression still fails.
+			best := warm
+			if warm2.TotalEmu < best.TotalEmu {
+				best = warm2
+			}
+			if best.TotalEmu > cold.TotalEmu {
+				fatal(fmt.Errorf("best warm run %.1fs is slower than cold-start %.1fs",
+					best.Seconds(), cold.Seconds()))
+			}
+			for _, w := range []*bench.AdvisorRow{warm, warm2} {
+				if w.RampEvents >= cold.RampEvents {
+					fatal(fmt.Errorf("%s run still needed %d reactive ramp events (cold: %d) — warm start did not replace the ramp",
+						w.Label, w.RampEvents, cold.RampEvents))
+				}
+				if float64(w.TotalEmu) > 1.10*float64(cold.TotalEmu) {
+					fatal(fmt.Errorf("%s run %.1fs is >1.10x cold-start %.1fs",
+						w.Label, w.Seconds(), cold.Seconds()))
+				}
+			}
+			// No absolute-deadline assertion: at aggressive shrink
+			// factors the derived deadline can be unreachable for every
+			// variant; the win is the ramp replacement, not the deadline.
+			fmt.Printf("advisor win check: plan %d cores (conf %.2f); warm %.1fs vs cold %.1fs, ramp events %d vs %d (%.1fs of discovery saved), cost delta %+.4f $, wall prediction err %+.1f%% ✓\n",
+				res.Plan.CloudCores, res.Plan.Confidence,
+				warm.Seconds(), cold.Seconds(), warm.RampEvents, cold.RampEvents,
+				res.RampSecsSaved, res.CostDeltaUSD, warm.WallErrPct)
 		}
 	}
 
@@ -528,6 +596,8 @@ func main() {
 		runAutotune()
 	case "elastic":
 		runElastic()
+	case "advisor":
+		runAdvisor()
 	case "spot":
 		runSpot()
 	case "wire":

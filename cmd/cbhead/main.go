@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"time"
 
+	"cloudburst/internal/advisor"
 	_ "cloudburst/internal/apps" // register built-in applications
 	"cloudburst/internal/cli"
 	"cloudburst/internal/cluster"
@@ -44,6 +45,11 @@ func main() {
 		egressRate   = flag.Float64("elastic-egress-rate", 0.12, "elastic: USD per GiB crossing sites")
 		spotRate     = flag.Float64("elastic-spot-rate", 0, "elastic: USD per spot worker-hour; boots ride the revocable spot tier (0 disables)")
 		odFallback   = flag.Int("elastic-od-fallback", 3, "elastic: revocations before replacements switch to on-demand")
+		costCap      = flag.Float64("elastic-cost-cap", 0, "elastic: refuse scale-ups whose projected bill exceeds this USD cap (0 disables)")
+
+		advise     = flag.String("advise", "", "plan the burst from run history: the advised fleet warm-starts the elastic controller; value is the link class to match (e.g. prod-wan); requires -history-dir and -deadline")
+		historyDir = flag.String("history-dir", "", "run-history database: completed runs are recorded here, and -advise plans from it")
+		budget     = flag.Float64("advise-budget", 0, "advise: USD cap on the plan's expected cost (0 = uncapped)")
 	)
 	flag.Parse()
 	if *appName == "" {
@@ -75,6 +81,43 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 		SyncMode:          *syncMode,
 	}
+	// The history database: -advise plans from it before the run, and
+	// every completed run is recorded into it afterwards.
+	var (
+		hist *advisor.Store
+		plan *advisor.Plan
+	)
+	dataBytes := int64(0)
+	for _, f := range idx.Files {
+		dataBytes += f.Size
+	}
+	if *historyDir != "" {
+		var err error
+		if hist, err = advisor.Open(*historyDir); err != nil {
+			fatal(err)
+		}
+	}
+	if *advise != "" {
+		if hist == nil {
+			fatal(fmt.Errorf("-advise requires -history-dir"))
+		}
+		if *deadline <= 0 {
+			fatal(fmt.Errorf("-advise requires -deadline (the plan sizes a fleet against it)"))
+		}
+		history, err := hist.Load()
+		if err != nil {
+			fatal(err)
+		}
+		p := advisor.Advise(history, advisor.Request{
+			App: *appName, Env: *advise, DataBytes: dataBytes,
+			Deadline: *deadline, BudgetUSD: *budget, MaxCloud: *elasticMax,
+			BootLatency: *elasticBoot, InstanceRate: *instanceRate,
+			EgressRate: *egressRate,
+		})
+		plan = &p
+		fmt.Println("cbhead:", p.String())
+	}
+
 	if *deadline > 0 {
 		workers, err := cli.ParseParams(*elasticWork)
 		if err != nil || len(workers) == 0 {
@@ -88,13 +131,19 @@ func main() {
 			}
 			wmap[s] = n
 		}
+		seed := 0
+		if plan != nil && plan.Burst {
+			seed = plan.CloudCores
+		}
 		cfg.Elastic = elastic.New(elastic.Config{
 			Site: *elasticSite, Deadline: *deadline,
 			MinWorkers: *elasticMin, MaxWorkers: *elasticMax,
+			SeedWorkers:  seed,
 			BootLatency:  *elasticBoot,
 			InstanceRate: *instanceRate, EgressRate: *egressRate,
 			SpotRate: *spotRate, OnDemandFallback: *odFallback,
-			Workers: wmap, Logf: logf,
+			CostCapUSD: *costCap,
+			Workers:    wmap, Logf: logf,
 		})
 		// The head cannot boot machines itself: surface scale-up
 		// decisions as operator instructions. Scale-downs need no
@@ -137,6 +186,29 @@ func main() {
 	}
 	if report.Elastic != nil {
 		fmt.Println("cbhead:", elastic.String(report.Elastic))
+	}
+	if hist != nil {
+		// Record the run (with the plan's prediction error when it was
+		// advised) so the next plan learns from this one.
+		env := *advise
+		if env == "" {
+			env = "default"
+		}
+		report.Env = env
+		rec, err := advisor.FromReport(report, advisor.ExtractOptions{
+			DataBytes: dataBytes, Deadline: *deadline, Plan: plan,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := hist.Append(rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cbhead: run recorded as %s history seq %d (wall %.1fs", env, rec.Seq, rec.WallSecs)
+		if plan != nil {
+			fmt.Printf(", prediction error %+.1f%%", rec.WallErrPct)
+		}
+		fmt.Printf(") in %s\n", hist.Dir())
 	}
 	if report.FinalResult != "" {
 		fmt.Println("cbhead: result:", report.FinalResult)

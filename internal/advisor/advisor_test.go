@@ -1,0 +1,295 @@
+package advisor
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cloudburst/internal/metrics"
+)
+
+// hybridRecord builds a 50/50 run record: 8 local workers at localRate
+// jobs/s/worker, a cloud site at cloudRate, 960 jobs split evenly,
+// 12 MB of input.
+func hybridRecord(cloudRate float64) Record {
+	return Record{
+		App: "knn", Env: "env-50/50",
+		DataBytes: 12 << 20, Jobs: 960,
+		CloudSite: "cloud", PeakCloud: 8,
+		WallSecs: 250,
+		Sites: []SiteStats{
+			{Site: "local", Workers: 8, Jobs: 480, RatePerWorker: 0.25, WallSecs: 240},
+			{Site: "cloud", Workers: 8, Jobs: 480, RatePerWorker: cloudRate, WallSecs: 250,
+				BytesRemote: 1 << 20},
+		},
+	}
+}
+
+func baseRequest() Request {
+	return Request{
+		App: "knn", Env: "env-50/50",
+		DataBytes:    12 << 20,
+		Deadline:     300 * time.Second,
+		MaxCloud:     24,
+		BootLatency:  10 * time.Second,
+		InstanceRate: 0.17, EgressRate: 0.12,
+	}
+}
+
+func TestAdviseEmptyHistory(t *testing.T) {
+	plan := Advise(nil, baseRequest())
+	if plan.Burst {
+		t.Fatalf("empty history recommended a burst: %+v", plan)
+	}
+	if plan.CloudCores != 0 || plan.BasedOn != 0 || plan.Confidence != 0 {
+		t.Fatalf("empty history plan is not conservative: %+v", plan)
+	}
+	if len(plan.Rationale) == 0 {
+		t.Fatalf("empty history plan has no rationale")
+	}
+}
+
+func TestAdviseSingleRunMatch(t *testing.T) {
+	plan := Advise([]Record{hybridRecord(0.25)}, baseRequest())
+	if !plan.Burst {
+		t.Fatalf("deadline-missing history did not recommend bursting: %+v", plan)
+	}
+	// Local side alone runs 960/(8*0.25) = 480s against a 300/1.15 =
+	// 260.9s budget, so the burst is required; the cloud backlog of 480
+	// jobs needs 480/(n*0.25) + 10s boot <= 260.9 => n = 8.
+	if plan.CloudCores != 8 {
+		t.Fatalf("single-run match sized %d cores, want 8: %s", plan.CloudCores, plan)
+	}
+	// Expected wall = max(local side 240s, boot 10 + 480/(8*0.25) = 250s).
+	if got := plan.ExpectedWall.Seconds(); got < 245 || got > 255 {
+		t.Fatalf("expected wall %.1fs, want ~250s", got)
+	}
+	if plan.ExpectedCost <= 0 {
+		t.Fatalf("burst plan carries no cost estimate: %+v", plan)
+	}
+	if plan.BasedOn != 1 || plan.Confidence <= 0 {
+		t.Fatalf("single-run plan bookkeeping wrong: %+v", plan)
+	}
+}
+
+func TestAdviseSizeScaledExtrapolation(t *testing.T) {
+	small := Advise([]Record{hybridRecord(0.25)}, baseRequest())
+
+	req := baseRequest()
+	req.DataBytes *= 2
+	req.Deadline *= 2
+	big := Advise([]Record{hybridRecord(0.25)}, req)
+	if !big.Burst {
+		t.Fatalf("scaled request did not burst: %+v", big)
+	}
+	ratio := big.ExpectedWall.Seconds() / small.ExpectedWall.Seconds()
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("doubling data scaled expected wall by %.2fx, want ~2x (%.1fs -> %.1fs)",
+			ratio, small.ExpectedWall.Seconds(), big.ExpectedWall.Seconds())
+	}
+}
+
+func TestAdviseStaleHistoryDecay(t *testing.T) {
+	slow, fast := hybridRecord(0.05), hybridRecord(0.25)
+	slow.Seq, fast.Seq = 1, 2
+	freshFast := Advise([]Record{slow, fast}, baseRequest())
+
+	slow2, fast2 := hybridRecord(0.05), hybridRecord(0.25)
+	fast2.Seq, slow2.Seq = 1, 2
+	freshSlow := Advise([]Record{fast2, slow2}, baseRequest())
+
+	if !freshFast.Burst || !freshSlow.Burst {
+		t.Fatalf("decay variants did not both burst: %+v / %+v", freshFast, freshSlow)
+	}
+	// The newest record must dominate: with the fast run freshest the
+	// blended rate is high and the fleet small; with the slow run
+	// freshest the same two records size a much larger fleet.
+	if freshFast.CloudCores >= freshSlow.CloudCores {
+		t.Fatalf("stale history not decayed: fresh-fast %d cores vs fresh-slow %d",
+			freshFast.CloudCores, freshSlow.CloudCores)
+	}
+}
+
+func TestAdviseNoBurstInsideDeadline(t *testing.T) {
+	req := baseRequest()
+	req.Deadline = 700 * time.Second // local-only 480s fits 700/1.15
+	plan := Advise([]Record{hybridRecord(0.25)}, req)
+	if plan.Burst || plan.CloudCores != 0 {
+		t.Fatalf("loose deadline still burst: %+v", plan)
+	}
+	if got := plan.ExpectedWall.Seconds(); got < 470 || got > 490 {
+		t.Fatalf("no-burst expected wall %.1fs, want ~480s", got)
+	}
+}
+
+func TestAdviseCostCapped(t *testing.T) {
+	// A long boot makes fleet size matter to the bill: each booted core
+	// pays 100s before working, so trimming genuinely saves money.
+	req := baseRequest()
+	req.BootLatency = 100 * time.Second
+	req.Deadline = 500 * time.Second // local-only 480s misses 500/1.15
+	uncapped := Advise([]Record{hybridRecord(0.25)}, req)
+	if !uncapped.Burst || uncapped.CostCapped {
+		t.Fatalf("uncapped plan wrong: %+v", uncapped)
+	}
+
+	// A budget below the deadline-fitting fleet's bill but above a
+	// single core's trims the fleet: budget wins over deadline.
+	capped := req
+	capped.BudgetUSD = uncapped.ExpectedCost * 0.97
+	trimmed := Advise([]Record{hybridRecord(0.25)}, capped)
+	if !trimmed.CostCapped || !trimmed.Burst {
+		t.Fatalf("under-budget plan not marked cost-capped: %+v", trimmed)
+	}
+	if trimmed.CloudCores >= uncapped.CloudCores {
+		t.Fatalf("cost cap did not trim the fleet: %d vs uncapped %d",
+			trimmed.CloudCores, uncapped.CloudCores)
+	}
+	if trimmed.ExpectedCost > capped.BudgetUSD {
+		t.Fatalf("trimmed plan still projects $%.4f against a $%.4f budget",
+			trimmed.ExpectedCost, capped.BudgetUSD)
+	}
+
+	// A budget no fleet fits refuses the burst entirely.
+	broke := req
+	broke.BudgetUSD = uncapped.ExpectedCost / 4
+	refusal := Advise([]Record{hybridRecord(0.25)}, broke)
+	if refusal.Burst || refusal.CloudCores != 0 || !refusal.CostCapped {
+		t.Fatalf("unaffordable budget still burst: %+v", refusal)
+	}
+}
+
+func TestStoreAppendLoadMatchCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, env := range []string{"env-50/50", "env-50/50", "env-local"} {
+		r := hybridRecord(0.2 + float64(i)/10)
+		r.Env = env
+		if err := s.Append(&r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Seq != i+1 {
+			t.Fatalf("append %d assigned seq %d", i, r.Seq)
+		}
+	}
+	recs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("loaded %d records, want 3", len(recs))
+	}
+	m, err := s.Match("knn", "env-50/50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[0].Seq != 1 || m[1].Seq != 2 {
+		t.Fatalf("match returned %+v", m)
+	}
+	if err := s.Compact(1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("compact kept %d records, want 2 (newest per key)", len(recs))
+	}
+	if recs[0].Seq != 2 || recs[1].Seq != 3 {
+		t.Fatalf("compact kept seqs %d/%d, want 2/3", recs[0].Seq, recs[1].Seq)
+	}
+}
+
+func TestStoreSkipsTornLine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := hybridRecord(0.25)
+	if err := s.Append(&r); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, historyFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"app":"knn","env`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("torn line not skipped: %+v", recs)
+	}
+	// The next append must still hand out a fresh sequence number.
+	r2 := hybridRecord(0.3)
+	if err := s.Append(&r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Seq != 2 {
+		t.Fatalf("append after torn line assigned seq %d, want 2", r2.Seq)
+	}
+}
+
+func TestFromReportExtraction(t *testing.T) {
+	rep := &metrics.RunReport{
+		App: "knn", Env: "env-50/50",
+		TotalWall: 250 * time.Second,
+		Clusters: []metrics.ClusterReport{
+			{Site: "local", Cores: 8, Wall: 240 * time.Second,
+				Workers: metrics.Snapshot{JobsProcessed: 480, BytesRead: 6 << 20}},
+			{Site: "cloud", Cores: 2, Wall: 250 * time.Second,
+				Workers: metrics.Snapshot{JobsProcessed: 480, BytesRead: 6 << 20, BytesRemote: 1 << 20}},
+		},
+		Elastic: &metrics.ElasticReport{
+			Site: "cloud", Peak: 10, Boots: 8, Drains: 0,
+			InstanceSecs: 1920, TotalUSD: 0.09,
+		},
+	}
+	plan := &Plan{ExpectedWall: 240 * time.Second, ExpectedCost: 0.10}
+	rec, err := FromReport(rep, ExtractOptions{
+		DataBytes: 12 << 20, Deadline: 300 * time.Second, Plan: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.App != "knn" || rec.Env != "env-50/50" || rec.Jobs != 960 {
+		t.Fatalf("extraction lost identity: %+v", rec)
+	}
+	if !rec.MetDeadline || rec.CloudSite != "cloud" || rec.PeakCloud != 10 {
+		t.Fatalf("extraction lost elastic shape: %+v", rec)
+	}
+	if rec.CostUSD != 0.09 {
+		t.Fatalf("extraction did not take the elastic bill: %+v", rec)
+	}
+	cloud := rec.Site("cloud")
+	if cloud == nil || cloud.Workers != 10 {
+		t.Fatalf("cloud site did not use elastic peak: %+v", cloud)
+	}
+	// Elastic site rate uses the billing integral: 480 jobs / 1920
+	// instance-seconds = 0.25 jobs/s/worker.
+	if cloud.RatePerWorker < 0.24 || cloud.RatePerWorker > 0.26 {
+		t.Fatalf("cloud rate %.3f, want 0.25", cloud.RatePerWorker)
+	}
+	local := rec.Site("local")
+	// Static site rate: 480 jobs / (8 cores x 240s) = 0.25.
+	if local == nil || local.RatePerWorker < 0.24 || local.RatePerWorker > 0.26 {
+		t.Fatalf("local rate wrong: %+v", local)
+	}
+	// Prediction feedback: predicted 240s vs actual 250s = -4%.
+	if rec.PredictedWallSecs != 240 || rec.WallErrPct > -3 || rec.WallErrPct < -5 {
+		t.Fatalf("wall feedback wrong: %+v", rec)
+	}
+	if rec.CostErrPct < 10 || rec.CostErrPct > 12.5 {
+		t.Fatalf("cost feedback wrong: %+v", rec)
+	}
+}

@@ -1,0 +1,335 @@
+package advisor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"cloudburst/internal/elastic"
+)
+
+// Request describes the run about to start: what is being run, over
+// which link shape, how much data, and the deadline/budget envelope
+// the plan must fit.
+type Request struct {
+	App string
+	// Env is the link class matched against history (the bench harness
+	// uses its env names: env-local, env-50/50, ...).
+	Env string
+	// DataBytes is the input size; matched runs are scaled by the size
+	// ratio. Zero means "same size as history".
+	DataBytes int64
+	// Deadline is the emulated wall-time target. Zero plans without a
+	// deadline: the advisor reports expectations but never bursts.
+	Deadline time.Duration
+	// BudgetUSD caps the plan's expected cost; the advisor trims the
+	// fleet to fit (0 = uncapped).
+	BudgetUSD float64
+	// MaxCloud bounds the recommended cloud fleet (default 16).
+	MaxCloud int
+	// LocalWorkers overrides the in-house core count (0 = from
+	// history).
+	LocalWorkers int
+	// BootLatency, InstanceRate, EgressRate, and Margin mirror
+	// elastic.Config: boots arrive late, instance time and egress are
+	// priced per elastic.Cost, and the sizing aims Margin times inside
+	// the deadline (default 1.15).
+	BootLatency  time.Duration
+	InstanceRate float64
+	EgressRate   float64
+	Margin       float64
+}
+
+// Plan is the advisor's recommendation, sized from history.
+type Plan struct {
+	// Burst reports whether cloud capacity is needed at all;
+	// CloudCores is the fleet to start with (the elastic controller's
+	// warm seed).
+	Burst        bool          `json:"burst"`
+	CloudCores   int           `json:"cloud_cores"`
+	CloudSite    string        `json:"cloud_site,omitempty"`
+	ExpectedWall time.Duration `json:"expected_wall"`
+	ExpectedCost float64       `json:"expected_cost_usd"`
+	// Confidence grades the prediction in [0, 1] from how much history
+	// backed it and how well that history agreed with itself.
+	Confidence float64 `json:"confidence"`
+	// BasedOn counts the matched history records; CostCapped marks a
+	// fleet trimmed to fit BudgetUSD.
+	BasedOn    int  `json:"based_on"`
+	CostCapped bool `json:"cost_capped,omitempty"`
+	// Rationale is the human-readable derivation, one step per line.
+	Rationale []string `json:"rationale"`
+}
+
+// String renders the plan for operators.
+func (p Plan) String() string {
+	var b strings.Builder
+	verb := "do not burst"
+	if p.Burst {
+		verb = fmt.Sprintf("burst with %d cloud cores", p.CloudCores)
+	}
+	fmt.Fprintf(&b, "advisor: %s (expect %.1fs, $%.4f, confidence %.2f, %d run(s) of history)",
+		verb, p.ExpectedWall.Seconds(), p.ExpectedCost, p.Confidence, p.BasedOn)
+	for _, line := range p.Rationale {
+		fmt.Fprintf(&b, "\n  - %s", line)
+	}
+	return b.String()
+}
+
+// decayPerRun is the weight multiplier per run of staleness: the
+// newest matched record carries weight 1, the one before it decayPerRun,
+// and so on. Recency is counted in runs, not wall time, so history
+// ages identically under emulated and real clocks.
+const decayPerRun = 0.6
+
+// Advise scores the request against the matched history and returns a
+// plan. The model mirrors the elastic controller's own no-sharing
+// makespan estimate: the cloud site is sized against its own backlog
+// (WAN stealing is too slow for either side to absorb the other's
+// work), booted capacity arrives BootLatency late, and instance time
+// is priced with elastic.Cost so the plan and the controller it seeds
+// bill identically.
+func Advise(history []Record, req Request) Plan {
+	if req.Margin <= 1 {
+		req.Margin = 1.15
+	}
+	if req.MaxCloud <= 0 {
+		req.MaxCloud = 16
+	}
+
+	matched := Filter(history, req.App, req.Env)
+	plan := Plan{BasedOn: len(matched)}
+	if len(matched) == 0 {
+		// Nothing comparable on file: recommend the conservative path —
+		// no burst, let the elastic controller's cold-start ramp learn
+		// the rates the hard way.
+		plan.Rationale = append(plan.Rationale,
+			fmt.Sprintf("no history for %s over %s: conservative no-burst plan, elastic ramp will learn rates live", req.App, req.Env))
+		return plan
+	}
+
+	// Fold the matched runs newest-first under per-run decay, so a
+	// changed link or fixed regression stops haunting plans within a
+	// couple of runs.
+	var (
+		wSum, wCloud     float64
+		jobs, cloudShare float64
+		rLocal, rCloud   float64
+		localWorkers     float64
+		egressRatio      float64 // remote bytes per input byte
+		cloudRates       []float64
+		cloudWeights     []float64
+		cloudSite        string
+	)
+	for i := len(matched) - 1; i >= 0; i-- {
+		rec := matched[i]
+		w := math.Pow(decayPerRun, float64(len(matched)-1-i))
+		ratio := 1.0
+		if req.DataBytes > 0 && rec.DataBytes > 0 {
+			ratio = float64(req.DataBytes) / float64(rec.DataBytes)
+		}
+		wSum += w
+		jobs += w * float64(rec.Jobs) * ratio
+
+		cs := rec.CloudSite
+		if cs == "" && rec.Site("cloud") != nil {
+			cs = "cloud"
+		}
+		var remote int64
+		for _, s := range rec.Sites {
+			remote += s.BytesRemote
+			if s.Site == cs {
+				continue
+			}
+			if s.RatePerWorker > 0 {
+				rLocal += w * s.RatePerWorker
+				localWorkers += w * float64(s.Workers)
+			}
+		}
+		if rec.DataBytes > 0 {
+			egressRatio += w * float64(remote) / float64(rec.DataBytes)
+		}
+		if c := rec.Site(cs); c != nil && c.RatePerWorker > 0 {
+			if cloudSite == "" {
+				cloudSite = cs
+			}
+			wCloud += w
+			rCloud += w * c.RatePerWorker
+			cloudShare += w * float64(c.Jobs) / math.Max(1, float64(rec.Jobs))
+			cloudRates = append(cloudRates, c.RatePerWorker)
+			cloudWeights = append(cloudWeights, w)
+		}
+	}
+	jobs /= wSum
+	egressRatio /= wSum
+	if rLocal > 0 {
+		rLocal /= wSum
+		localWorkers /= wSum
+	}
+	if wCloud > 0 {
+		rCloud /= wCloud
+		cloudShare /= wCloud
+	}
+	if req.LocalWorkers > 0 {
+		localWorkers = float64(req.LocalWorkers)
+	}
+	if cloudSite == "" {
+		cloudSite = "cloud"
+	}
+	plan.CloudSite = cloudSite
+	plan.Confidence = confidence(len(matched), cloudRates, cloudWeights)
+
+	egressBytes := int64(egressRatio * float64(req.DataBytes))
+	if req.DataBytes == 0 && len(matched) > 0 {
+		// No size given: reuse the newest record's absolute egress.
+		var remote int64
+		for _, s := range matched[len(matched)-1].Sites {
+			remote += s.BytesRemote
+		}
+		egressBytes = remote
+	}
+
+	// Local-only projection: can the in-house fleet alone make the
+	// budgeted deadline? (The budget aims Margin inside the deadline,
+	// absorbing estimation error exactly like the controller.)
+	localOnlyWall := math.Inf(1)
+	if rLocal > 0 && localWorkers > 0 {
+		localOnlyWall = jobs / (rLocal * localWorkers)
+	}
+	budget := math.Inf(1)
+	if req.Deadline > 0 {
+		budget = req.Deadline.Seconds() / req.Margin
+	}
+
+	if req.Deadline <= 0 {
+		plan.ExpectedWall = secs(math.Min(localOnlyWall, matched[len(matched)-1].WallSecs))
+		plan.Rationale = append(plan.Rationale,
+			"no deadline given: nothing to burst for; expectation is the history-scaled wall")
+		return plan
+	}
+	if localOnlyWall <= budget {
+		plan.ExpectedWall = secs(localOnlyWall)
+		plan.Rationale = append(plan.Rationale,
+			fmt.Sprintf("local fleet of %.0f at %.2f jobs/s/worker finishes %.0f jobs in %.1fs, inside the %.1fs budget (deadline %.1fs / margin %.2f): no burst needed",
+				localWorkers, rLocal, jobs, localOnlyWall, budget, req.Deadline.Seconds(), req.Margin))
+		return plan
+	}
+	plan.Rationale = append(plan.Rationale,
+		fmt.Sprintf("local-only projection %.1fs misses the %.1fs budget (deadline %.1fs / margin %.2f): burst required",
+			localOnlyWall, budget, req.Deadline.Seconds(), req.Margin))
+
+	if rCloud <= 0 {
+		// History shows the deadline needs help but carries no cloud
+		// rate to size with. Recommend a minimal presence and let the
+		// controller ramp — still better than nothing, flagged low
+		// confidence.
+		plan.Burst = true
+		plan.CloudCores = 1
+		plan.ExpectedWall = secs(localOnlyWall)
+		plan.Confidence = math.Min(plan.Confidence, 0.2)
+		plan.Rationale = append(plan.Rationale,
+			"matched history has no cloud-rate signal: seeding a single core for the elastic ramp to grow")
+		return plan
+	}
+
+	// Size the cloud fleet against its own backlog, like the
+	// controller: find the smallest fleet whose boot-delayed finish
+	// fits the budget.
+	cloudJobs := cloudShare * jobs
+	localSideWall := (jobs - cloudJobs) / math.Max(rLocal*localWorkers, 1e-9)
+	boot := req.BootLatency.Seconds()
+	cloudWallAt := func(n int) float64 {
+		return boot + cloudJobs/(float64(n)*rCloud)
+	}
+	wallAt := func(n int) float64 {
+		return math.Max(localSideWall, cloudWallAt(n))
+	}
+	costAt := func(n int) float64 {
+		// Cloud workers bill until their own side's backlog clears —
+		// the elastic controller drains surplus once its ETA shows
+		// slack — plus one retained worker to the end of the run (a
+		// site master always keeps a live worker).
+		cw := cloudWallAt(n)
+		instSecs := float64(n)*cw + math.Max(0, wallAt(n)-cw)
+		_, _, total := elastic.Cost(instSecs, egressBytes, req.InstanceRate, req.EgressRate)
+		return total
+	}
+	n := req.MaxCloud
+	for k := 1; k <= req.MaxCloud; k++ {
+		if wallAt(k) <= budget {
+			n = k
+			break
+		}
+	}
+	if wallAt(n) > budget {
+		plan.Rationale = append(plan.Rationale,
+			fmt.Sprintf("even %d cloud cores project %.1fs > %.1fs budget: recommending max and hoping the margin absorbs it",
+				n, wallAt(n), budget))
+	} else {
+		plan.Rationale = append(plan.Rationale,
+			fmt.Sprintf("%d cloud cores at %.2f jobs/s/worker clear the %.0f-job cloud backlog (%.0f%% of pool) in %.1fs after a %.1fs boot",
+				n, rCloud, cloudJobs, 100*cloudShare, wallAt(n), boot))
+	}
+	if req.BudgetUSD > 0 && costAt(n) > req.BudgetUSD {
+		// The budget wins over the deadline: shrink the fleet to the
+		// largest one the money buys, even though the projected wall
+		// slips past the budgeted deadline — and when even one core is
+		// unaffordable, stay local.
+		plan.CostCapped = true
+		for n > 0 && costAt(n) > req.BudgetUSD {
+			n--
+		}
+		if n == 0 {
+			plan.CloudCores = 0
+			plan.ExpectedWall = secs(localOnlyWall)
+			plan.ExpectedCost = 0
+			plan.Rationale = append(plan.Rationale,
+				fmt.Sprintf("no fleet fits the $%.4f budget: staying local and accepting the %.1fs wall", req.BudgetUSD, localOnlyWall))
+			return plan
+		}
+		plan.Rationale = append(plan.Rationale,
+			fmt.Sprintf("fleet trimmed to %d cores to fit the $%.4f budget (projected $%.4f, wall %.1fs): budget wins over deadline",
+				n, req.BudgetUSD, costAt(n), wallAt(n)))
+	}
+	plan.Burst = true
+	plan.CloudCores = n
+	plan.ExpectedWall = secs(wallAt(n))
+	plan.ExpectedCost = costAt(n)
+	return plan
+}
+
+// confidence grades a plan from how much history backed it and how
+// well the matched runs' cloud rates agreed: more runs raise it,
+// dispersion lowers it.
+func confidence(matches int, rates, weights []float64) float64 {
+	if matches == 0 {
+		return 0
+	}
+	conf := float64(matches) / float64(matches+1)
+	if len(rates) > 1 {
+		var wSum, mean float64
+		for i, r := range rates {
+			wSum += weights[i]
+			mean += weights[i] * r
+		}
+		mean /= wSum
+		var variance float64
+		for i, r := range rates {
+			variance += weights[i] * (r - mean) * (r - mean)
+		}
+		variance /= wSum
+		if mean > 0 {
+			cv := math.Sqrt(variance) / mean
+			conf *= math.Max(0.2, 1-cv)
+		}
+	}
+	return math.Min(0.95, math.Max(0.05, conf))
+}
+
+func secs(s float64) time.Duration {
+	if math.IsInf(s, 0) || s < 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,174 @@
+// Package advisor is the history-driven burst planner: it persists one
+// compact record per completed run, and before the next run starts it
+// matches similar past runs (same application and link class, scaled by
+// data size) against a deadline and budget to recommend a burst plan —
+// whether to burst at all, how many cloud cores to buy, and what wall
+// time and dollar cost to expect, with a confidence grade and a
+// human-readable rationale. The plan's core count warm-starts the
+// elastic controller (replacing its cold-start ramp); the live
+// controller retains authority to correct a bad prediction mid-run, and
+// the prediction error is written back into the history so the next
+// plan learns from this one's miss.
+//
+// The decision layer deliberately reuses the run's own telemetry
+// (metrics.RunReport) and the elastic package's pricing model rather
+// than introducing a parallel cost model: a plan is priced exactly the
+// way the controller it seeds will bill.
+package advisor
+
+import (
+	"fmt"
+	"time"
+
+	"cloudburst/internal/metrics"
+)
+
+// SiteStats is one site's share of a recorded run: how many workers it
+// ran, how much of the pool it processed, and the measured per-worker
+// throughput the planner extrapolates from.
+type SiteStats struct {
+	Site    string `json:"site"`
+	Workers int    `json:"workers"` // peak commanded workers (elastic) or cores (static)
+	Jobs    int    `json:"jobs"`    // jobs this site processed
+	// RatePerWorker is jobs per emulated second per worker. For the
+	// elastically scaled site it is jobs / billed instance-seconds — a
+	// slightly conservative figure (boot time bills before it works),
+	// which errs the planner toward over-provisioning, the cheap
+	// direction under a deadline.
+	RatePerWorker float64 `json:"rate_per_worker"`
+	WallSecs      float64 `json:"wall_secs"`
+	BytesRead     int64   `json:"bytes_read"`
+	BytesRemote   int64   `json:"bytes_remote"`
+}
+
+// Record is one run's history entry — the compact projection of a
+// RunReport the planner actually needs. Fields are plain JSON types
+// (durations in float seconds) so the on-disk database stays readable
+// and stable; TestRunReportJSONRoundTrip guards the RunReport side of
+// the extraction.
+type Record struct {
+	// Seq is the store-assigned sequence number (1-based, newest
+	// highest). Recency is measured in runs, not wall-clock time, so
+	// history ages the same way under emulated and real clocks.
+	Seq int `json:"seq"`
+	// App and Env form the match key: runs of the same application over
+	// the same link shape (env-local / env-50/50 / a cbhead-supplied
+	// link class) are comparable; everything else is not.
+	App string `json:"app"`
+	Env string `json:"env"`
+	// DataBytes is the total input size; the planner scales a matched
+	// run's wall time and backlog linearly by the size ratio.
+	DataBytes int64 `json:"data_bytes"`
+	Jobs      int   `json:"jobs"`
+
+	Sites []SiteStats `json:"sites"`
+
+	WallSecs     float64 `json:"wall_secs"`
+	DeadlineSecs float64 `json:"deadline_secs,omitempty"`
+	MetDeadline  bool    `json:"met_deadline,omitempty"`
+	CostUSD      float64 `json:"cost_usd,omitempty"`
+
+	// CloudSite names the elastically scaled site when the run had one;
+	// the per-site entry under that name carries its measured rate.
+	CloudSite string `json:"cloud_site,omitempty"`
+	PeakCloud int    `json:"peak_cloud,omitempty"`
+	Boots     int    `json:"boots,omitempty"`
+	Drains    int    `json:"drains,omitempty"`
+
+	// Prediction feedback: when the run was planned by the advisor, the
+	// plan's expectations and their error against what actually
+	// happened are recorded here on completion, closing the loop.
+	PredictedWallSecs float64 `json:"predicted_wall_secs,omitempty"`
+	PredictedCostUSD  float64 `json:"predicted_cost_usd,omitempty"`
+	WallErrPct        float64 `json:"wall_err_pct,omitempty"`
+	CostErrPct        float64 `json:"cost_err_pct,omitempty"`
+}
+
+// Key returns the match key (application + link class).
+func (r Record) Key() string { return r.App + "|" + r.Env }
+
+// Site returns the stats for the named site, or nil.
+func (r *Record) Site(name string) *SiteStats {
+	for i := range r.Sites {
+		if r.Sites[i].Site == name {
+			return &r.Sites[i]
+		}
+	}
+	return nil
+}
+
+// ExtractOptions carries the run context a RunReport does not know:
+// the input size, the deadline the run aimed at, and (for advisor-
+// planned runs) the plan whose prediction error should be fed back.
+type ExtractOptions struct {
+	DataBytes int64
+	Deadline  time.Duration
+	// CostUSD prices the run when it had no elastic controller (static
+	// deployments); ignored when the report carries an ElasticReport,
+	// whose own billing wins.
+	CostUSD float64
+	// Plan, when non-nil, records the prediction this run was launched
+	// under and its error against the measured outcome.
+	Plan *Plan
+}
+
+// FromReport projects a completed run's RunReport into a history
+// Record. Per-site rates are derived from the report's own counters:
+// jobs over worker-seconds, using the elastic billing integral for the
+// scaled site (workers varied mid-run) and cores x wall for static
+// ones.
+func FromReport(rep *metrics.RunReport, opt ExtractOptions) (*Record, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("advisor: nil run report")
+	}
+	r := &Record{
+		App:          rep.App,
+		Env:          rep.Env,
+		DataBytes:    opt.DataBytes,
+		Jobs:         rep.JobsProcessed(),
+		WallSecs:     rep.TotalWall.Seconds(),
+		DeadlineSecs: opt.Deadline.Seconds(),
+		MetDeadline:  opt.Deadline <= 0 || rep.TotalWall <= opt.Deadline,
+		CostUSD:      opt.CostUSD,
+	}
+	el := rep.Elastic
+	if el != nil {
+		r.CloudSite = el.Site
+		r.PeakCloud = el.Peak
+		r.Boots = el.Boots
+		r.Drains = el.Drains
+		r.CostUSD = el.TotalUSD
+	}
+	for _, c := range rep.Clusters {
+		s := SiteStats{
+			Site:        c.Site,
+			Workers:     c.Cores,
+			Jobs:        c.Workers.JobsProcessed,
+			WallSecs:    c.Wall.Seconds(),
+			BytesRead:   c.Workers.BytesRead,
+			BytesRemote: c.Workers.BytesRemote,
+		}
+		workerSecs := float64(c.Cores) * c.Wall.Seconds()
+		if el != nil && c.Site == el.Site {
+			s.Workers = el.Peak
+			if el.InstanceSecs > 0 {
+				workerSecs = el.InstanceSecs
+			}
+		}
+		if workerSecs > 0 {
+			s.RatePerWorker = float64(s.Jobs) / workerSecs
+		}
+		r.Sites = append(r.Sites, s)
+	}
+	if p := opt.Plan; p != nil {
+		r.PredictedWallSecs = p.ExpectedWall.Seconds()
+		r.PredictedCostUSD = p.ExpectedCost
+		if r.WallSecs > 0 {
+			r.WallErrPct = 100 * (r.PredictedWallSecs - r.WallSecs) / r.WallSecs
+		}
+		if r.CostUSD > 0 {
+			r.CostErrPct = 100 * (r.PredictedCostUSD - r.CostUSD) / r.CostUSD
+		}
+	}
+	return r, nil
+}

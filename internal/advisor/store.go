@@ -1,0 +1,183 @@
+package advisor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// historyFile is the database file name inside the history directory.
+const historyFile = "history.jsonl"
+
+// Store is the on-disk run-history database: one JSON record per line,
+// append-only, under a directory the operator passes as -history-dir.
+// JSONL keeps the database greppable and crash-tolerant — a torn final
+// line (the only corruption an append-only writer can leave) is
+// skipped on load rather than poisoning the whole history. A Store is
+// safe for concurrent use within one process; cross-process writers
+// rely on O_APPEND line atomicity for the short records involved.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	path string
+}
+
+// Open returns the store rooted at dir, creating the directory if
+// needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("advisor: empty history dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("advisor: history dir: %w", err)
+	}
+	return &Store{dir: dir, path: filepath.Join(dir, historyFile)}, nil
+}
+
+// Dir returns the history directory the store is rooted at.
+func (s *Store) Dir() string { return s.dir }
+
+// Append assigns the record the next sequence number and appends it to
+// the database.
+func (s *Store) Append(r *Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs, err := s.loadLocked()
+	if err != nil {
+		return err
+	}
+	r.Seq = 1
+	if n := len(recs); n > 0 {
+		r.Seq = recs[n-1].Seq + 1
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("advisor: encode record: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("advisor: open history: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("advisor: append history: %w", err)
+	}
+	return nil
+}
+
+// Load returns every record in the database, oldest first. A missing
+// file is an empty history, not an error; unparseable lines are
+// skipped.
+func (s *Store) Load() ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadLocked()
+}
+
+func (s *Store) loadLocked() ([]Record, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("advisor: open history: %w", err)
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			continue // torn or hand-mangled line: skip, don't poison
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, fmt.Errorf("advisor: read history: %w", err)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	return recs, nil
+}
+
+// Match returns the records for one (app, env) key, oldest first.
+func (s *Store) Match(app, env string) ([]Record, error) {
+	recs, err := s.Load()
+	if err != nil {
+		return nil, err
+	}
+	return Filter(recs, app, env), nil
+}
+
+// Filter selects the records matching one (app, env) key, preserving
+// order.
+func Filter(recs []Record, app, env string) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.App == app && r.Env == env {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Compact rewrites the database keeping only the newest keepPerKey
+// records per (app, env) key, bounding growth for long-lived history
+// directories. Sequence numbers are preserved. The rewrite goes
+// through a temp file + rename so a crash leaves either the old or
+// the new database, never a half one.
+func (s *Store) Compact(keepPerKey int) error {
+	if keepPerKey < 1 {
+		return fmt.Errorf("advisor: compact keepPerKey %d < 1", keepPerKey)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs, err := s.loadLocked()
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]int)
+	var keep []Record
+	for i := len(recs) - 1; i >= 0; i-- { // newest first
+		k := recs[i].Key()
+		if seen[k] >= keepPerKey {
+			continue
+		}
+		seen[k]++
+		keep = append(keep, recs[i])
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i].Seq < keep[j].Seq })
+	tmp, err := os.CreateTemp(s.dir, historyFile+".tmp*")
+	if err != nil {
+		return fmt.Errorf("advisor: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	for i := range keep {
+		line, err := json.Marshal(&keep[i])
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("advisor: compact encode: %w", err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return fmt.Errorf("advisor: compact write: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("advisor: compact flush: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("advisor: compact close: %w", err)
+	}
+	return os.Rename(tmp.Name(), s.path)
+}

@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cloudburst/internal/advisor"
+	"cloudburst/internal/elastic"
+	"cloudburst/internal/metrics"
+)
+
+// The advisor experiment is the warm-vs-cold sequence: the same
+// deadline-constrained workload run repeatedly, with each completed
+// run's report persisted into the advisor's history database and the
+// next run planned from it. Run 1 (cold) starts from the token cloud
+// seed and pays the elastic controller's reactive ramp — several
+// "deadline at risk" scale-up rounds before the fleet fits the ETA.
+// Run 2 (warm) asks the advisor first: the plan's core count seeds the
+// controller at t=0, so the fleet boots once, up front, and the ramp
+// events disappear. Run 3 (warm-2) plans from two runs of history —
+// including run 2's own prediction error — showing the feedback loop
+// converging. Digests must be identical across every run: planning
+// changes when capacity arrives, never what is computed.
+
+// AdvisorRow is one run of the sequence.
+type AdvisorRow struct {
+	Label string
+	// Warm marks an advisor-planned run; PlannedCores is the plan's
+	// fleet (0 for the cold run), Confidence its grade.
+	Warm         bool
+	PlannedCores int
+	Confidence   float64
+	HistoryRuns  int // records on file when this run was planned
+	TotalEmu     time.Duration
+	MetDeadline  bool
+	// Membership churn and the reactive-ramp measure: RampEvents counts
+	// mid-run "deadline at risk" scale-ups (the warm-start boot at t=0
+	// is excluded — it is the ramp's replacement, not part of it);
+	// LastRampSecs is when commanded capacity last grew, i.e. how long
+	// the run took to discover its fleet.
+	Boots, Drains, WastedBoots int
+	Peak                       int
+	RampEvents                 int
+	LastRampSecs               float64
+	InstanceSecs               float64
+	EgressGiB                  float64
+	InstanceUSD                float64
+	EgressUSD                  float64
+	TotalUSD                   float64
+	// Prediction feedback (warm runs): the plan's expectations and the
+	// signed error against the measured outcome, as written back into
+	// the history record.
+	PredictedWallSecs float64
+	PredictedCostUSD  float64
+	WallErrPct        float64
+	CostErrPct        float64
+	Events            []metrics.ScaleEvent
+	Digest            string
+}
+
+// Seconds is TotalEmu in emulated seconds (for JSON consumers).
+func (r AdvisorRow) Seconds() float64 { return r.TotalEmu.Seconds() }
+
+// AdvisorResult is the whole warm-vs-cold sequence for one application.
+type AdvisorResult struct {
+	App        string
+	LocalCores int
+	// BaselineEmu is the measured local-only wall the deadline derives
+	// from (same derivation as the elastic experiment).
+	BaselineEmu time.Duration
+	Deadline    time.Duration
+	HistoryDir  string
+	// Plan is the advice the first warm run launched under.
+	Plan advisor.Plan
+	Rows []AdvisorRow
+	// Headline scores: reactive ramp events eliminated by the warm
+	// start, the seconds earlier the warm run settled its fleet, and
+	// the cost delta (warm minus cold, paper-scale dollars).
+	RampEventsSaved int
+	RampSecsSaved   float64
+	CostDeltaUSD    float64
+	// Match is true when every run produced the same digest.
+	Match bool
+}
+
+// Row returns the row with the given label, or nil.
+func (a *AdvisorResult) Row(label string) *AdvisorRow {
+	for i := range a.Rows {
+		if a.Rows[i].Label == label {
+			return &a.Rows[i]
+		}
+	}
+	return nil
+}
+
+// AdvisorSweep measures the local-only baseline, derives the deadline,
+// then runs the cold/warm/warm-2 sequence against the advisor history
+// database in historyDir (created if needed; pre-existing records are
+// kept — a second sweep in the same dir plans from more history).
+// scaleUp projects egress to paper scale for the dollar columns, as in
+// ElasticSweep.
+func AdvisorSweep(spec AppSpec, sim SimParams, scaleUp float64, historyDir string, logf func(string, ...any)) (*AdvisorResult, error) {
+	spec = spec.withDefaults()
+	prices := AWS2011()
+	coreRate := prices.InstancePerHour / float64(prices.CoresPerInstance)
+
+	if historyDir == "" {
+		// No durable database requested: the sequence still needs one to
+		// warm itself, so use a throwaway.
+		tmp, err := os.MkdirTemp("", "cloudburst-history-")
+		if err != nil {
+			return nil, err
+		}
+		historyDir = tmp
+	}
+	st, err := advisor.Open(historyDir)
+	if err != nil {
+		return nil, fmt.Errorf("bench: advisor history: %w", err)
+	}
+
+	data, err := CachedDataset(spec)
+	if err != nil {
+		return nil, err
+	}
+	var dataBytes int64
+	for _, f := range data.Files {
+		dataBytes += int64(len(f))
+	}
+
+	base := RunConfig{
+		Spec: spec, Dataset: data, LocalPct: 100, LocalCores: elasticLocalCores,
+		Sim: sim, Batch: elasticBatch, JobsPerRequest: elasticJobsPer,
+		Logf: logf,
+	}
+	out := &AdvisorResult{App: spec.Name, LocalCores: elasticLocalCores, HistoryDir: st.Dir()}
+
+	res, err := Execute(base)
+	if err != nil {
+		return nil, fmt.Errorf("bench: advisor %s local-only: %w", spec.Name, err)
+	}
+	out.BaselineEmu = res.Report.TotalWall
+	out.Deadline = time.Duration(float64(out.BaselineEmu) * elasticDeadlineFrac)
+	boot := time.Duration(float64(out.BaselineEmu) * elasticBootFrac)
+
+	ctrl := func(seed int) *elastic.Config {
+		return &elastic.Config{
+			Site:         "cloud",
+			Deadline:     out.Deadline,
+			MinWorkers:   1,
+			MaxWorkers:   elasticCloudOver,
+			StepUp:       elasticStepUp,
+			SeedWorkers:  seed,
+			BootLatency:  boot,
+			InstanceRate: coreRate,
+			EgressRate:   prices.EgressPerGB,
+			Logf:         logf,
+		}
+	}
+
+	// one run of the sequence: plan (nil for cold), execute, persist
+	// the record, fold the outcome into a row.
+	runOne := func(label string, plan *advisor.Plan, historyRuns int) (*AdvisorRow, error) {
+		seed := 0
+		if plan != nil && plan.Burst {
+			seed = plan.CloudCores
+		}
+		cfg := RunConfig{
+			Spec: spec, Dataset: data, LocalPct: 50, LocalCores: elasticLocalCores,
+			CloudCores: elasticCloudSeed, Sim: sim,
+			Batch: elasticBatch, JobsPerRequest: elasticJobsPer,
+			Elastic: ctrl(seed), Logf: logf,
+		}
+		res, err := Execute(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: advisor %s %s: %w", spec.Name, label, err)
+		}
+		el := res.Report.Elastic
+		if el == nil {
+			return nil, fmt.Errorf("bench: advisor %s %s: run produced no elastic report", spec.Name, label)
+		}
+		rec, err := advisor.FromReport(res.Report, advisor.ExtractOptions{
+			DataBytes: dataBytes, Deadline: out.Deadline, Plan: plan,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := st.Append(rec); err != nil {
+			return nil, fmt.Errorf("bench: advisor history append: %w", err)
+		}
+		row := AdvisorRow{
+			Label: label, Warm: plan != nil, HistoryRuns: historyRuns,
+			TotalEmu:    res.Report.TotalWall,
+			MetDeadline: res.Report.TotalWall <= out.Deadline,
+			Boots:       el.Boots, Drains: el.Drains,
+			WastedBoots: el.WastedBoots, Peak: el.Peak,
+			Events: el.Events,
+			Digest: res.Report.FinalResult,
+		}
+		if plan != nil {
+			row.PlannedCores = plan.CloudCores
+			row.Confidence = plan.Confidence
+			row.PredictedWallSecs = rec.PredictedWallSecs
+			row.PredictedCostUSD = rec.PredictedCostUSD
+			row.WallErrPct = rec.WallErrPct
+			row.CostErrPct = rec.CostErrPct
+		}
+		for _, ev := range el.Events {
+			if ev.To > ev.From && ev.Reason != elastic.ReasonWarmStart {
+				row.RampEvents++
+				if s := ev.AtEmu.Seconds(); s > row.LastRampSecs {
+					row.LastRampSecs = s
+				}
+			}
+		}
+		scaledRow := ElasticRow{}
+		fillElasticCost(&scaledRow, el.InstanceSecs, egressBytes(res.Report), scaleUp, coreRate, prices.EgressPerGB)
+		row.InstanceSecs = scaledRow.InstanceSecs
+		row.EgressGiB = scaledRow.EgressGiB
+		row.InstanceUSD = scaledRow.InstanceUSD
+		row.EgressUSD = scaledRow.EgressUSD
+		row.TotalUSD = scaledRow.TotalUSD
+		return &row, nil
+	}
+
+	// env is the link class every sequence run records and matches
+	// under (LocalPct 50 names it env-50/50 in the report).
+	const env = "env-50/50"
+	advise := func() (advisor.Plan, int, error) {
+		history, err := st.Load()
+		if err != nil {
+			return advisor.Plan{}, 0, err
+		}
+		plan := advisor.Advise(history, advisor.Request{
+			App: spec.Name, Env: env, DataBytes: dataBytes,
+			Deadline: out.Deadline, MaxCloud: elasticCloudOver,
+			LocalWorkers: elasticLocalCores,
+			BootLatency:  boot, InstanceRate: coreRate,
+			EgressRate: prices.EgressPerGB,
+		})
+		return plan, len(advisor.Filter(history, spec.Name, env)), nil
+	}
+
+	cold, err := runOne("cold", nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, *cold)
+
+	plan, runs, err := advise()
+	if err != nil {
+		return nil, err
+	}
+	out.Plan = plan
+	warm, err := runOne("warm", &plan, runs)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, *warm)
+
+	plan2, runs2, err := advise()
+	if err != nil {
+		return nil, err
+	}
+	warm2, err := runOne("warm-2", &plan2, runs2)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, *warm2)
+
+	out.RampEventsSaved = cold.RampEvents - warm.RampEvents
+	out.RampSecsSaved = cold.LastRampSecs - warm.LastRampSecs
+	out.CostDeltaUSD = warm.TotalUSD - cold.TotalUSD
+	out.Match = true
+	for _, r := range out.Rows[1:] {
+		if r.Digest != out.Rows[0].Digest {
+			out.Match = false
+		}
+	}
+	return out, nil
+}
+
+// RenderAdvisor prints the warm-vs-cold sequence: the plan the advisor
+// issued, each run's ramp and cost, and the prediction errors fed back
+// into history.
+func RenderAdvisor(title string, res *AdvisorResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Advisor warm-vs-cold — %s (local %d cores; deadline %.1fs = %.0f%% of local-only %.1fs; history %s)\n",
+		title, res.LocalCores, res.Deadline.Seconds(),
+		elasticDeadlineFrac*100, res.BaselineEmu.Seconds(), res.HistoryDir)
+	fmt.Fprintf(&b, "  plan: %s\n", strings.ReplaceAll(res.Plan.String(), "\n", "\n  "))
+	fmt.Fprintf(&b, "  %-8s %7s %8s %9s %5s %6s %9s %5s %9s %9s %9s\n",
+		"run", "planned", "total", "deadline", "ramps", "lastΔ", "boots/dr", "peak", "inst-s", "total $", "wallerr%")
+	for _, r := range res.Rows {
+		met := "met ✓"
+		if !r.MetDeadline {
+			met = "MISS ✗"
+		}
+		wallErr := "-"
+		if r.Warm {
+			wallErr = fmt.Sprintf("%+.1f", r.WallErrPct)
+		}
+		planned := "-"
+		if r.Warm {
+			planned = fmt.Sprintf("%d", r.PlannedCores)
+		}
+		fmt.Fprintf(&b, "  %-8s %7s %8.1f %9s %5d %6.1f %6d/%-2d %5d %9.0f %9.4f %9s\n",
+			r.Label, planned, r.TotalEmu.Seconds(), met,
+			r.RampEvents, r.LastRampSecs, r.Boots, r.Drains, r.Peak,
+			r.InstanceSecs, r.TotalUSD, wallErr)
+	}
+	for _, r := range res.Rows {
+		if len(r.Events) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s decisions:", r.Label)
+		for _, ev := range r.Events {
+			fmt.Fprintf(&b, " [%.1fs %d→%d %s]",
+				ev.AtEmu.Seconds(), ev.From, ev.To, ev.Reason)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "  warm start saved %d reactive ramp event(s) and %.1fs of fleet discovery; cost delta %+.4f $\n",
+		res.RampEventsSaved, res.RampSecsSaved, res.CostDeltaUSD)
+	if res.Match {
+		fmt.Fprintf(&b, "  result digests: identical across all runs ✓\n")
+	} else {
+		fmt.Fprintf(&b, "  result digests: DIVERGED — warm start changed results\n")
+		for _, r := range res.Rows {
+			fmt.Fprintf(&b, "    %-8s %s\n", r.Label+":", r.Digest)
+		}
+	}
+	return b.String()
+}

@@ -172,6 +172,8 @@ type provisioner struct {
 	mu        sync.Mutex
 	stopped   bool
 	spawn     func(onDemand bool) error // set once the elastic site's master listens
+	ready     chan struct{}             // closed when spawn is installed
+	halted    chan struct{}             // closed by stop()
 	slaves    []*Slave                  // every provisioned slave (hint-waste folding)
 	revocable []*Slave                  // live spot join slaves (preemption victims)
 	wasted    int                       // boots that arrived after the run ended
@@ -188,6 +190,14 @@ func (p *provisioner) ScaleUp(site string, n int, onDemand bool) {
 		go func() {
 			defer p.wg.Done()
 			p.clock.Sleep(p.boot) // simulated instance boot
+			// An advisor warm start boots at t=0; under a fast emulated
+			// clock the boot can mature before the deployment has wired
+			// the elastic site's master. Such a boot is early, not
+			// wasted: hold it until spawn is installed (or the run ends).
+			select {
+			case <-p.ready:
+			case <-p.halted:
+			}
 			p.mu.Lock()
 			spawn, stopped := p.spawn, p.stopped
 			p.mu.Unlock()
@@ -247,7 +257,10 @@ func (p *provisioner) noteWasted() {
 
 func (p *provisioner) stop() {
 	p.mu.Lock()
-	p.stopped = true
+	if !p.stopped {
+		p.stopped = true
+		close(p.halted)
+	}
 	p.mu.Unlock()
 }
 
@@ -387,7 +400,10 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 			ecfg.Logf = cfg.Logf
 		}
 		ctrl = elastic.New(ecfg)
-		prov = &provisioner{clock: cfg.Clock, boot: ecfg.BootLatency, logf: logf}
+		prov = &provisioner{
+			clock: cfg.Clock, boot: ecfg.BootLatency, logf: logf,
+			ready: make(chan struct{}), halted: make(chan struct{}),
+		}
 	}
 	if cfg.Revocations != nil && len(cfg.Revocations.Events) > 0 && prov == nil {
 		return nil, fmt.Errorf("cluster: revocation trace needs elastic provisioning (no spot workers without it)")
@@ -473,9 +489,9 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 			Batch: cfg.Batch, Watermark: cfg.Watermark, HintDepth: cfg.HintDepth,
 			Clock: cfg.Clock, Logf: cfg.Logf,
 			HeartbeatInterval: cfg.HeartbeatInterval, HeartbeatMisses: cfg.HeartbeatMisses,
-			StageBudget:       cfg.StageBudget,
-			SyncMode:          cfg.SyncMode,
-			MergeCost:         cfg.MergeCost,
+			StageBudget: cfg.StageBudget,
+			SyncMode:    cfg.SyncMode,
+			MergeCost:   cfg.MergeCost,
 		}
 		if buffer != nil {
 			// Typed-nil care: assign the interface only when a buffer
@@ -581,6 +597,7 @@ func Run(cfg DeployConfig) (*RunResult, error) {
 				return err
 			}
 			prov.mu.Unlock()
+			close(prov.ready) // release early warm-start boots
 		}
 	}
 	if prov != nil && prov.spawn == nil {

@@ -188,7 +188,9 @@ func (h *Head) Serve(l net.Listener) {
 		for _, c := range idx.Chunks {
 			byHome[idx.Files[c.File].Site]++
 		}
-		h.cfg.Elastic.Start(h.totalJobs, byHome)
+		// A warm-started controller (advisor-seeded) may command its
+		// first boot immediately; apply it like any mid-run decision.
+		h.apply(h.cfg.Elastic.Start(h.totalJobs, byHome))
 	}
 	h.wg.Add(1)
 	go func() {

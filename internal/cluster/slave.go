@@ -245,6 +245,24 @@ func (s *Slave) tunerFor(site string) *store.Autotuner {
 	return t
 }
 
+// partSize sizes streamed-object upload parts from the best measured
+// per-stream goodput across this slave's tuned links: a slave behind a
+// starved WAN link ships the reduction in smaller parts (sub-second
+// progress granularity), a well-fed one in larger parts (less framing
+// overhead). Untrained or absent tuners yield wire.DefaultPartSize, so
+// the adaptive path degrades to the previous fixed sizing.
+func (s *Slave) partSize() int {
+	var best float64
+	s.tunersMu.Lock()
+	for _, t := range s.tuners {
+		if g := t.Goodput(); g > best {
+			best = g
+		}
+	}
+	s.tunersMu.Unlock()
+	return wire.AdaptivePartSize(best)
+}
+
 // noteChunk remembers a job's cache-key -> chunk-id mapping for
 // residency reporting.
 func (s *Slave) noteChunk(job wire.JobAssign) {
@@ -594,7 +612,7 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 			Completed: append([]int32(nil), covered...),
 		}
 		if s.plan.streamed {
-			ow := wire.NewObjectWriter(conn, 0)
+			ow := wire.NewObjectWriter(conn, s.partSize())
 			if _, err := ow.Write(enc); err != nil {
 				return
 			}
@@ -617,7 +635,7 @@ func (s *Slave) worker(masterAddr string, dial store.Dialer, idx int) (metrics.S
 	shipResult := func(returned []int32) (metrics.Snapshot, error) {
 		msg := &wire.Message{Kind: wire.KindSlaveResult, Completed: pending, Returned: returned}
 		if s.plan.streamed {
-			ow := wire.NewObjectWriter(conn, 0)
+			ow := wire.NewObjectWriter(conn, s.partSize())
 			if err := red.Encode(ow); err != nil {
 				return zero, err
 			}

@@ -66,6 +66,20 @@ type Config struct {
 	// billed on-demand (the static seed) and boots are cheap spot
 	// capacity — until revocations force the on-demand fallback.
 	SpotRate float64
+	// SeedWorkers, when above the scaled site's initial worker count,
+	// warm-starts the fleet: Start immediately commands a boot up to
+	// this size (uncapped by StepUp — the whole point is skipping the
+	// reactive ramp), typically from an advisor plan sized on run
+	// history. The live controller keeps full authority afterwards: a
+	// bad seed is corrected by the same rate-driven decisions that
+	// would have grown a cold fleet.
+	SeedWorkers int
+	// CostCapUSD caps the projected instance bill: scale-ups whose
+	// projected billing integral (time already billed plus the proposed
+	// fleet carried to its projected finish, priced at InstanceRate)
+	// would exceed the cap are trimmed or refused, even with the
+	// deadline at risk. Zero disables the cap.
+	CostCapUSD float64
 	// OnDemandFallback is how many revocations the controller tolerates
 	// before it stops re-buying spot capacity and boots replacement and
 	// growth workers on-demand instead (default 3). On-demand workers
@@ -148,10 +162,12 @@ type Controller struct {
 	warnedRevs   int
 	replacements int
 
-	events []metrics.ScaleEvent
-	boots  int
-	drains int
-	wasted int
+	events  []metrics.ScaleEvent
+	boots   int
+	drains  int
+	wasted  int
+	seeded  int // workers warm-start-booted by Start (advisor seed)
+	capHits int // scale-ups trimmed or refused by CostCapUSD
 }
 
 // New builds a controller; zero config fields take the documented
@@ -192,7 +208,12 @@ func New(cfg Config) *Controller {
 // against its own backlog, because cross-site stealing over the WAN is
 // too slow for one side's capacity to meaningfully absorb the other
 // side's work.
-func (c *Controller) Start(totalJobs int, jobsByHome map[string]int) {
+//
+// When cfg.SeedWorkers exceeds the initial membership, Start issues a
+// warm-start boot up to the seed (the advisor's plan replacing the
+// cold-start ramp) and returns it for the caller to apply; otherwise
+// the returned slice is empty.
+func (c *Controller) Start(totalJobs int, jobsByHome map[string]int) []Decision {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.started = true
@@ -214,6 +235,61 @@ func (c *Controller) Start(totalJobs int, jobsByHome map[string]int) {
 	}
 	c.logf("elastic: start total=%d %s=%d other=%d deadline=%v",
 		totalJobs, c.cfg.Site, c.target, c.otherWorkers, c.cfg.Deadline)
+
+	seed := c.cfg.SeedWorkers
+	if seed > c.cfg.MaxWorkers {
+		seed = c.cfg.MaxWorkers
+	}
+	if c.cfg.Deadline <= 0 || seed <= c.target {
+		return nil
+	}
+	// Warm start: command the advised fleet now instead of discovering
+	// it one reactive step at a time. The cost cap still binds — a seed
+	// the budget cannot carry to the deadline is trimmed before a
+	// single instance launches.
+	step := seed - c.target
+	if c.cfg.CostCapUSD > 0 {
+		for step > 0 && c.projectedCostLocked(c.target+step, 0, c.cfg.Deadline.Seconds()) > c.cfg.CostCapUSD {
+			step--
+			c.capHits++
+		}
+		if step <= 0 {
+			c.logf("elastic: warm-start seed refused by $%.4f cost cap", c.cfg.CostCapUSD)
+			return nil
+		}
+	}
+	from := c.target
+	c.target += step
+	c.boots += step
+	c.seeded = step
+	od := c.onDemandTierLocked()
+	if od {
+		c.odTarget += step
+	}
+	if c.target > c.peak {
+		c.peak = c.target
+	}
+	c.pendingBoots = append(c.pendingBoots, bootRec{ready: c.cfg.BootLatency, n: step})
+	c.holdUntil = c.cfg.BootLatency + c.cfg.Interval
+	c.eventLocked(0, from, c.target, ReasonWarmStart)
+	return []Decision{{Site: c.cfg.Site, Delta: step, Target: c.target, Reason: ReasonWarmStart, OnDemand: od}}
+}
+
+// ReasonWarmStart tags the advisor-seeded boot Start issues, so report
+// consumers can separate the planned warm start from the reactive
+// mid-run ramp it replaces.
+const ReasonWarmStart = "advisor warm start"
+
+// projectedCostLocked prices the projected billing integral: what has
+// already been billed plus n workers carried from elapsed time el to
+// the projected finish, at the on-demand instance rate (conservative
+// when a spot tier discounts part of the fleet).
+func (c *Controller) projectedCostLocked(n int, el, finish float64) float64 {
+	secs := c.instanceSecs
+	if finish > el {
+		secs += float64(n) * (finish - el)
+	}
+	return secs / 3600 * c.cfg.InstanceRate
 }
 
 // Observe feeds a completion batch from site at the given emulated
@@ -337,6 +413,25 @@ func (c *Controller) decideLocked(elapsed time.Duration, remaining int) []Decisi
 		step := need - c.target
 		if step > c.cfg.StepUp {
 			step = c.cfg.StepUp
+		}
+		if c.cfg.CostCapUSD > 0 {
+			// Refuse (or trim) growth whose projected bill busts the cap:
+			// the already-billed integral plus the proposed fleet carried
+			// to its own projected finish. Under a cap the deadline is the
+			// soft constraint, the budget the hard one.
+			trimmed := false
+			for step > 0 && c.projectedCostLocked(c.target+step, el, eta(c.target+step)) > c.cfg.CostCapUSD {
+				step--
+				trimmed = true
+			}
+			if trimmed {
+				c.capHits++
+			}
+			if step <= 0 {
+				c.logf("elastic: t=%v scale-up to %d refused by $%.4f cost cap",
+					elapsed.Round(time.Millisecond), need, c.cfg.CostCapUSD)
+				return nil
+			}
 		}
 		from := c.target
 		c.target += step
@@ -522,20 +617,22 @@ func (c *Controller) Report(finalElapsed time.Duration, egressBytes int64) *metr
 	sort.Slice(events, func(i, j int) bool { return events[i].AtEmu < events[j].AtEmu })
 	instUSD, egUSD, total := Cost(c.instanceSecs, egressBytes, c.cfg.InstanceRate, c.cfg.EgressRate)
 	rep := &metrics.ElasticReport{
-		Site:         c.cfg.Site,
-		Deadline:     c.cfg.Deadline,
-		MetDeadline:  c.cfg.Deadline <= 0 || finalElapsed <= c.cfg.Deadline,
-		Workers:      c.target,
-		Peak:         c.peak,
-		Boots:        c.boots,
-		Drains:       c.drains,
-		WastedBoots:  c.wasted,
-		Events:       events,
-		InstanceSecs: c.instanceSecs,
-		EgressBytes:  egressBytes,
-		InstanceUSD:  instUSD,
-		EgressUSD:    egUSD,
-		TotalUSD:     total,
+		Site:          c.cfg.Site,
+		Deadline:      c.cfg.Deadline,
+		MetDeadline:   c.cfg.Deadline <= 0 || finalElapsed <= c.cfg.Deadline,
+		Workers:       c.target,
+		Peak:          c.peak,
+		Boots:         c.boots,
+		Drains:        c.drains,
+		WastedBoots:   c.wasted,
+		SeededWorkers: c.seeded,
+		CostCapHits:   c.capHits,
+		Events:        events,
+		InstanceSecs:  c.instanceSecs,
+		EgressBytes:   egressBytes,
+		InstanceUSD:   instUSD,
+		EgressUSD:     egUSD,
+		TotalUSD:      total,
 	}
 	if c.cfg.SpotRate > 0 {
 		spotSecs := c.instanceSecs - c.odSecs

@@ -306,3 +306,72 @@ func TestSpotDisabledKeepsLegacyBilling(t *testing.T) {
 		t.Fatalf("spot fields leaked into spot-disabled report: %+v", rep)
 	}
 }
+
+func TestWarmStartSeedsCapacity(t *testing.T) {
+	cfg := base(100 * time.Second)
+	cfg.SeedWorkers = 6
+	c := New(cfg)
+	ds := c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	if len(ds) != 1 {
+		t.Fatalf("decisions = %v, want one warm-start boot", ds)
+	}
+	d := ds[0]
+	if d.Site != "cloud" || d.Delta != 4 || d.Target != 6 {
+		t.Fatalf("decision = %+v, want cloud +4 -> 6", d)
+	}
+	if d.Reason != "advisor warm start" {
+		t.Fatalf("reason = %q, want advisor warm start", d.Reason)
+	}
+	rep := c.Report(sec(20), 0)
+	if rep.SeededWorkers != 4 || rep.Boots != 4 {
+		t.Fatalf("seeded=%d boots=%d, want 4/4", rep.SeededWorkers, rep.Boots)
+	}
+	if len(rep.Events) == 0 || rep.Events[0].Reason != "advisor warm start" || rep.Events[0].AtEmu != 0 {
+		t.Fatalf("events[0] = %+v, want warm start at t=0", rep.Events)
+	}
+}
+
+func TestWarmStartClampedToMaxWorkers(t *testing.T) {
+	cfg := base(100 * time.Second)
+	cfg.SeedWorkers = 50 // far above MaxWorkers (8)
+	c := New(cfg)
+	ds := c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	if len(ds) != 1 || ds[0].Target != 8 {
+		t.Fatalf("decisions = %v, want target clamped to 8", ds)
+	}
+}
+
+func TestWarmStartRefusedByCostCap(t *testing.T) {
+	cfg := base(100 * time.Second)
+	cfg.SeedWorkers = 6
+	cfg.InstanceRate = 0.68
+	cfg.CostCapUSD = 0.0001 // cannot afford even one extra core to the deadline
+	c := New(cfg)
+	if ds := c.Start(1000, map[string]int{"local": 500, "cloud": 500}); len(ds) != 0 {
+		t.Fatalf("cost-capped warm start still booted: %v", ds)
+	}
+	rep := c.Report(sec(20), 0)
+	if rep.SeededWorkers != 0 || rep.CostCapHits == 0 {
+		t.Fatalf("seeded=%d capHits=%d, want 0 seeded and cap hits recorded", rep.SeededWorkers, rep.CostCapHits)
+	}
+}
+
+func TestCostCapRefusesScaleUp(t *testing.T) {
+	cfg := base(100 * time.Second)
+	cfg.InstanceRate = 0.68
+	cfg.CostCapUSD = 0.0001
+	c := New(cfg)
+	c.Start(1000, map[string]int{"local": 500, "cloud": 500})
+	// Same deadline-at-risk sequence that normally triggers a +2 boot.
+	c.Observe("local", 20, sec(0.5), 980)
+	if ds := c.Observe("cloud", 10, sec(10), 970); len(ds) != 0 {
+		t.Fatalf("cost-capped controller still scaled up: %v", ds)
+	}
+	rep := c.Report(sec(20), 0)
+	if rep.CostCapHits == 0 {
+		t.Fatal("refused scale-up not counted in CostCapHits")
+	}
+	if rep.Boots != 0 {
+		t.Fatalf("boots = %d, want 0 under cap", rep.Boots)
+	}
+}

@@ -799,7 +799,12 @@ type ElasticReport struct {
 	Boots       int // workers provisioned mid-run
 	Drains      int // workers retired mid-run
 	WastedBoots int // booted instances that arrived after the run ended
-	Events      []ScaleEvent
+	// SeededWorkers counts capacity the advisor's warm start commanded
+	// at t=0 (included in Boots); CostCapHits counts scale-ups the
+	// CostCapUSD budget trimmed or refused.
+	SeededWorkers int
+	CostCapHits   int
+	Events        []ScaleEvent
 
 	InstanceSecs float64 // emulated instance-seconds billed
 	EgressBytes  int64   // bytes crossing sites (stolen-chunk retrieval)

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -137,5 +139,82 @@ func TestSnapshotString(t *testing.T) {
 	str := s.String()
 	if !strings.Contains(str, "jobs=3") || !strings.Contains(str, "stolen=1") {
 		t.Fatalf("string = %q", str)
+	}
+}
+
+// TestRunReportJSONRoundTrip guards the on-disk stability of the run
+// report: the advisor's history extraction and every bench -json
+// artifact depend on a RunReport surviving a marshal/unmarshal cycle
+// with no field silently dropped. Populate every branch (sync,
+// elastic, preemption, spot tier) with distinct values so a field
+// that stops serializing fails loudly.
+func TestRunReportJSONRoundTrip(t *testing.T) {
+	rep := RunReport{
+		App: "knn", Env: "env-50/50",
+		Clusters: []ClusterReport{
+			{
+				Site: "local",
+				Workers: Snapshot{
+					Processing: 11 * time.Second, Retrieval: 3 * time.Second,
+					Sync: time.Second, JobsProcessed: 480, JobsStolen: 12,
+					BytesRead: 1 << 24, BytesRemote: 1 << 20,
+				},
+				Cores: 8, IdleAtEnd: 2 * time.Second, Wall: 240 * time.Second,
+			},
+			{
+				Site: "cloud",
+				Workers: Snapshot{
+					Processing: 9 * time.Second, JobsProcessed: 480,
+					BytesRead: 1 << 23, BytesRemote: 1 << 21,
+				},
+				Cores: 2, Wall: 238 * time.Second,
+			},
+		},
+		GlobalRed: 4 * time.Second, TotalWall: 244 * time.Second,
+		FinalResult: "digest-abc",
+		Faults:      FaultReport{Injected: 7, Retries: 5, BackoffEmu: time.Second, HeartbeatMisses: 1},
+		Retrieval: RetrievalReport{
+			CacheHits: 10, CacheMisses: 20, CacheBytesSaved: 1 << 22,
+			PrefetchedJobs: 30, PoolGets: 40, AutotuneSamples: 50,
+		},
+		Sync: &SyncReport{
+			Mode: "streamed-parallel", Parts: 64, StreamedBytes: 1 << 25,
+			Merges: 9, MaxParallel: 3,
+		},
+		Elastic: &ElasticReport{
+			Site: "cloud", Deadline: 200 * time.Second, MetDeadline: true,
+			Workers: 10, Peak: 12, Boots: 10, Drains: 2, WastedBoots: 1,
+			SeededWorkers: 8, CostCapHits: 3,
+			Events: []ScaleEvent{
+				{AtEmu: 0, Site: "cloud", From: 2, To: 10, Reason: "advisor warm start"},
+				{AtEmu: 90 * time.Second, Site: "cloud", From: 10, To: 12, Reason: "deadline at risk"},
+			},
+			InstanceSecs: 1920, EgressBytes: 1 << 21,
+			InstanceUSD: 0.09, EgressUSD: 0.01, TotalUSD: 0.1,
+			Revocations: 2, WarnedRevs: 1, Replacements: 2, OnDemandWorkers: 1,
+			SpotSecs: 900, OnDemandSecs: 1020, SpotUSD: 0.03, OnDemandUSD: 0.06,
+		},
+		Preemption: &PreemptionReport{Revocations: 2, PreemptWarns: 1, CheckpointsSent: 4},
+	}
+
+	out, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("round trip changed the report:\n before %+v\n after  %+v", rep, back)
+	}
+	// Second generation must be byte-stable (no map ordering or float
+	// formatting drift feeding spurious history diffs).
+	out2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(out) != string(out2) {
+		t.Fatalf("re-marshal not byte-identical:\n first  %s\n second %s", out, out2)
 	}
 }

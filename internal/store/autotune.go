@@ -196,6 +196,20 @@ func (t *Autotuner) Observe(running int, bytes int64, emu time.Duration) int {
 	return -1
 }
 
+// Goodput returns the best unsaturated per-stream rate the controller
+// has observed, in bytes per emulated second (0 for a nil or untrained
+// controller). It is the same decayed baseline the AIMD loop compares
+// against, so consumers sizing transfers from it track a link whose
+// capacity drifts.
+func (t *Autotuner) Goodput() float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bestRate
+}
+
 // AutotuneStats is a point-in-time controller snapshot.
 type AutotuneStats struct {
 	Threads  int   // current concurrency decision

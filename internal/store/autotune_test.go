@@ -22,12 +22,12 @@ func TestNewAutotunerDefaults(t *testing.T) {
 		initial, max         int
 		wantThreads, wantMax int
 	}{
-		{0, 0, 8, 32},    // both defaulted: seed from DefaultFetchOptions
-		{-1, -1, 8, 32},  // negatives behave like zero
-		{2, 0, 2, 32},    // 4x initial below the 32 floor
-		{16, 0, 16, 64},  // 4x initial above the floor
-		{8, 4, 8, 8},     // ceiling below seed: clamp up to the seed
-		{3, 12, 3, 12},   // both explicit
+		{0, 0, 8, 32},   // both defaulted: seed from DefaultFetchOptions
+		{-1, -1, 8, 32}, // negatives behave like zero
+		{2, 0, 2, 32},   // 4x initial below the 32 floor
+		{16, 0, 16, 64}, // 4x initial above the floor
+		{8, 4, 8, 8},    // ceiling below seed: clamp up to the seed
+		{3, 12, 3, 12},  // both explicit
 	}
 	for _, c := range cases {
 		tu := NewAutotuner(c.initial, c.max)
@@ -152,5 +152,24 @@ func TestAutotunerSkipsUnusableSamples(t *testing.T) {
 	}
 	if st.Raises != 0 || st.Drops != 0 || tu.Threads() != 2 {
 		t.Fatalf("unusable samples moved the controller: %+v threads=%d", st, tu.Threads())
+	}
+}
+
+func TestAutotunerGoodputTracksBaseline(t *testing.T) {
+	var nilTuner *Autotuner
+	if nilTuner.Goodput() != 0 {
+		t.Fatal("nil tuner goodput != 0")
+	}
+	tu := NewAutotuner(4, 8)
+	if tu.Goodput() != 0 {
+		t.Fatal("untrained tuner goodput != 0")
+	}
+	// One full epoch at 2 MiB per stream-second.
+	for i := 0; i < autotuneWindow; i++ {
+		tu.Observe(4, 2<<20, time.Second)
+	}
+	got := tu.Goodput()
+	if got < 1.9*float64(1<<20) || got > 2.1*float64(1<<20) {
+		t.Fatalf("goodput = %v, want ~2 MiB/s", got)
 	}
 }

@@ -11,6 +11,44 @@ import (
 // object never forces a single giant allocation on either side.
 const DefaultPartSize = 1 << 20
 
+// Adaptive part-size bounds. MinPartSize keeps framing overhead
+// amortized even on a starved WAN link; MaxPartSize keeps a part
+// buffer inside the BufferPool's comfortable size classes and bounds
+// how long one part monopolizes the connection's write mutex against
+// interleaving heartbeats.
+const (
+	MinPartSize = 256 << 10
+	MaxPartSize = 4 << 20
+)
+
+// adaptiveWindow is the slice of a single stream's measured goodput
+// one part should carry: a quarter emulated second. Fast links get
+// fewer, larger frames; slow links get parts small enough that
+// progress (and failure) surfaces at sub-second granularity.
+const adaptiveWindow = 0.25
+
+// AdaptivePartSize maps a measured per-stream goodput (bytes per
+// emulated second, e.g. store.Autotuner.Goodput) to an object-part
+// size: one adaptiveWindow's worth of bytes, rounded up to a power of
+// two so part buffers keep riding the BufferPool's size classes, then
+// clamped to [MinPartSize, MaxPartSize]. A non-positive goodput (no
+// tuner, or one that has not closed an epoch yet) falls back to
+// DefaultPartSize.
+func AdaptivePartSize(goodput float64) int {
+	if goodput <= 0 {
+		return DefaultPartSize
+	}
+	want := goodput * adaptiveWindow
+	size := MinPartSize
+	for float64(size) < want && size < MaxPartSize {
+		size <<= 1
+	}
+	if size > MaxPartSize {
+		size = MaxPartSize
+	}
+	return size
+}
+
 // ObjectWriter streams an encoded reduction object over a connection
 // as bounded KindObjectPart frames. It is an io.WriteCloser: the
 // object's Encode writes into it directly, each filled part ships as

@@ -165,3 +165,30 @@ func TestObjectStreamOutOfOrderPoisons(t *testing.T) {
 		t.Fatal("reader survived a poisoned stream")
 	}
 }
+
+func TestAdaptivePartSize(t *testing.T) {
+	cases := []struct {
+		goodput float64
+		want    int
+	}{
+		{0, DefaultPartSize},        // no tuner / untrained
+		{-5, DefaultPartSize},       // defensive
+		{1 << 10, MinPartSize},      // starved link clamps low
+		{1 << 22, MinPartSize * 4},  // 4 MiB/s * 0.25s = 1 MiB
+		{3 << 22, MinPartSize * 16}, // 12 MiB/s * 0.25s = 3 MiB -> next pow2 4 MiB
+		{1 << 30, MaxPartSize},      // fast link clamps high
+	}
+	for _, c := range cases {
+		if got := AdaptivePartSize(c.goodput); got != c.want {
+			t.Errorf("AdaptivePartSize(%v) = %d, want %d", c.goodput, got, c.want)
+		}
+	}
+	// Every result must stay a pool-friendly power of two inside the
+	// clamp band, whatever the goodput.
+	for g := 1.0; g < 1e12; g *= 3.7 {
+		s := AdaptivePartSize(g)
+		if s < MinPartSize || s > MaxPartSize || s&(s-1) != 0 {
+			t.Fatalf("AdaptivePartSize(%v) = %d outside clamp band or not a power of two", g, s)
+		}
+	}
+}

@@ -34,6 +34,11 @@
 #     pagerank in env-cloud; digest-checked, with the streamed-parallel
 #     and streamed-sharded wall-clock wins and merge concurrency
 #     enforced) -> BENCH_sync.json
+#   - `cbbench -experiment advisor` (history-driven burst advisor:
+#     cold-start elastic run recorded into the history database, then
+#     two advisor-planned runs warm-started from it; digest-checked,
+#     with the warm runs' reactive-ramp elimination and
+#     equal-or-better wall clock enforced) -> BENCH_advisor.json
 #
 # Usage:
 #   scripts/bench.sh                # default: -records-divisor 10
@@ -51,6 +56,8 @@ SPOT_OUT="${SPOT_OUT:-BENCH_spot.json}"
 WIRE_OUT="${WIRE_OUT:-BENCH_wire.json}"
 BUFFER_OUT="${BUFFER_OUT:-BENCH_buffer.json}"
 SYNC_OUT="${SYNC_OUT:-BENCH_sync.json}"
+ADVISOR_OUT="${ADVISOR_OUT:-BENCH_advisor.json}"
+HISTORY_DIR="${HISTORY_DIR:-.cloudburst-history}"
 BENCHTIME="${BENCHTIME:-1s}"
 # The sync ablation needs pages >= 2 shard units for shard-level merge
 # parallelism to engage, which caps its divisor at 9 (see
@@ -93,3 +100,13 @@ go run ./cmd/cbbench -experiment sync \
 	-records-divisor "$SYNC_DIVISOR" \
 	-check-win \
 	-json "$SYNC_OUT"
+
+# A fresh history per invocation keeps the cold run genuinely cold
+# (records from earlier bench runs would warm it and deflate the
+# measured ramp savings).
+rm -rf "$HISTORY_DIR"
+go run ./cmd/cbbench -experiment advisor \
+	-records-divisor "$DIVISOR" \
+	-history-dir "$HISTORY_DIR" \
+	-check-win \
+	-json "$ADVISOR_OUT"

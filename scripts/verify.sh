@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/cluster/ ./internal/store/ ./internal/chunk/ ./internal/driver/ ./internal/elastic/ ./internal/gr/
+go test -race ./internal/cluster/ ./internal/store/ ./internal/chunk/ ./internal/driver/ ./internal/elastic/ ./internal/gr/ ./internal/advisor/
 # Dynamic membership (mid-run joins, drain-vs-steal races, elastic
 # end-to-end) is the most race-prone surface, and streamed sync adds
 # concurrent merges fed from connection handlers: run both twice under
@@ -46,4 +46,20 @@ go run ./cmd/cbbench -experiment buffer -records-divisor 100 -scale 0.0001 >/dev
 # merge scheduling must never change results); the wall-clock win and
 # merge concurrency are asserted by scripts/bench.sh at real scale.
 go run ./cmd/cbbench -experiment sync -records-divisor 100 -scale 0.0001 >/dev/null
+# Advisor warm-vs-cold sequence at smoke scale: validates that the
+# history store round-trips records, the warm-started controller keeps
+# digests identical to cold-start, and the prediction feedback lands.
+# The ramp/wall/cost win is asserted by scripts/bench.sh at real scale.
+# ADVISOR_HISTORY_DIR keeps the history database after the run (CI
+# uploads it as an artifact); unset, it lands in a throwaway tempdir.
+ADVHIST="${ADVISOR_HISTORY_DIR:-}"
+if [ -z "$ADVHIST" ]; then
+	ADVHIST="$(mktemp -d)"
+	trap 'rm -rf "$ADVHIST"' EXIT
+fi
+go run ./cmd/cbbench -experiment advisor -records-divisor 100 -scale 0.0001 -history-dir "$ADVHIST" >/dev/null
+# cbadvise must read the history the smoke run just wrote and print a
+# burst plan for the same app/link class without running anything.
+go run ./cmd/cbadvise -history-dir "$ADVHIST" -list | grep -q knn
+go run ./cmd/cbadvise -history-dir "$ADVHIST" -app knn -env env-50/50 -deadline 60s | grep -q advisor
 echo "verify: ok"
